@@ -1,0 +1,27 @@
+"""Benchmark-suite helpers.
+
+Every figure/table benchmark renders the same rows/series the paper
+reports; the rendered text is printed (visible with ``-s``) and also
+written under ``benchmarks/results/`` so the regenerated artifacts
+survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_artifact():
+    """Write a rendered table to benchmarks/results/<name>.txt."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

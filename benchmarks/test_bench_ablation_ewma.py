@@ -1,0 +1,36 @@
+"""A4 — toggling granularity and EWMA smoothing sweep (§5)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_granularity_ablation
+from repro.units import msecs
+
+
+def test_bench_ablation_ewma(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_granularity_ablation(
+            rate=50_000.0,
+            ticks_ns=(msecs(4), msecs(16), msecs(32)),
+            alphas=(0.1, 0.5),
+            measure_ns=msecs(320),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("ablation_ewma", result.render())
+
+    # 50 kRPS is past the no-batching knee.  Coarse ticks give each
+    # explored mode time to drain the other's backlog, so they must
+    # discover Nagle-on; finer ticks are allowed to struggle — that *is*
+    # the granularity trade-off §5 describes (finer reacts faster but is
+    # more noise/transition-sensitive).
+    coarse = [row for row in result.rows if row.tick_ns >= msecs(16)]
+    assert coarse
+    assert all(row.final_mode is True for row in coarse)
+    assert any(
+        row.latency_ns < 6 * result.best_static_ns for row in coarse
+    )
+    # And every configuration still ends far below the collapsed
+    # no-batching default (5+ ms at this load).
+    for row in result.rows:
+        assert row.latency_ns < 5_000_000

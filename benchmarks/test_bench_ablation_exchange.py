@@ -1,0 +1,31 @@
+"""A3 — metadata exchange cadence: accuracy vs overhead (§5)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_exchange_ablation
+from repro.units import msecs
+
+
+def test_bench_ablation_exchange(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_exchange_ablation(
+            periods_ns=(msecs(1), msecs(5), msecs(20), msecs(60)),
+            rate=35_000.0,
+            measure_ns=msecs(240),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("ablation_exchange", result.render())
+
+    # Overhead scales down with the period...
+    states = [row.states_sent for row in result.rows]
+    assert states == sorted(states, reverse=True)
+    # ...while Little's-law accuracy survives even sparse exchanges
+    # ("estimates remain accurate regardless", §5).
+    for row in result.rows:
+        assert row.error_fraction is not None
+        assert row.error_fraction < 0.6
+    # 36 bytes per state on the wire.
+    for row in result.rows:
+        assert row.option_bytes >= 36 * row.states_sent

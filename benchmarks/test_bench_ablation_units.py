@@ -1,0 +1,35 @@
+"""A1 — estimate accuracy per message-unit granularity (§3.3).
+
+Runs in the Figure 4b failure regime (Nagle on, moderate load): on the
+mixed workload, byte-weighted averages barely see the batching delay
+that dominates per-request latency, while boundary-aware units (send
+syscalls) and application hints capture it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_units_ablation
+from repro.units import msecs
+
+
+def test_bench_ablation_units(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_units_ablation(rate=15_000.0, measure_ns=msecs(120),
+                                   nagle=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("ablation_units", result.render())
+
+    errors = {
+        (row.workload, row.unit): row.error_fraction for row in result.rows
+    }
+    # Hints are accurate everywhere (the §3.3 pitch).
+    assert errors[("SET-only", "hints")] < 0.15
+    assert errors[("95:5 SET:GET", "hints")] < 0.15
+    # On the mixed workload bytes fail badly (Figure 4b)...
+    assert errors[("95:5 SET:GET", "bytes")] > 0.3
+    # ...syscall units — the paper's proposed next step — do better...
+    assert errors[("95:5 SET:GET", "syscalls")] < errors[("95:5 SET:GET", "bytes")]
+    # ...and packets are "similarly limited" to bytes (§3.4).
+    assert errors[("95:5 SET:GET", "packets")] > 0.2

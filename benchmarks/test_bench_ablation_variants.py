@@ -1,0 +1,39 @@
+"""A7 — the stack's static batching heuristics head-to-head (§2).
+
+off vs classic Nagle vs Minshall's variant vs auto-corking, at a low
+load and past the no-batching knee.  The point is the paper's §2 claim:
+every static heuristic embeds timing assumptions that hold only
+sometimes — including Minshall's "fixed" Nagle, which avoids the classic
+tail stall but (on this request/response workload) phase-locks the
+server's small responses behind their own acks at low load, and
+auto-corking, which barely batches here because the TX ring drains
+faster than requests arrive.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_variant_ablation
+from repro.units import msecs
+
+LOW, HIGH = 8_000.0, 50_000.0
+
+
+def test_bench_ablation_variants(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_variant_ablation(rates=(LOW, HIGH), measure_ns=msecs(120)),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("ablation_variants", result.render())
+
+    # Low load: immediate transmission wins; both Nagle flavors pay for
+    # delaying (each through a different mechanism).
+    assert result.latency("off", LOW) < result.latency("nagle", LOW)
+    assert result.latency("off", LOW) < result.latency("minshall", LOW)
+    # Past the knee: both Nagle flavors rescue the system (Minshall's
+    # held-tail chain degenerates into classic-like coalescing under
+    # sustained load); plain off collapses, and auto-corking alone
+    # cannot save it (the ring empties between requests).
+    assert result.latency("nagle", HIGH) < 0.2 * result.latency("off", HIGH)
+    assert result.latency("minshall", HIGH) < 0.2 * result.latency("off", HIGH)
+    assert result.latency("autocork", HIGH) > 5 * result.latency("nagle", HIGH)

@@ -1,0 +1,22 @@
+"""A5 — AIMD batch-limit adaptation vs binary Nagle toggling (§5)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_aimd_ablation
+from repro.units import msecs
+
+
+def test_bench_aimd(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_aimd_ablation(rate=50_000.0, measure_ns=msecs(200)),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("ablation_aimd", result.render())
+
+    # At 50 kRPS static-off has blown up; the AIMD floor must rescue the
+    # system into the same ballpark as static-on.
+    assert result.aimd_latency_ns < 0.5 * result.off_latency_ns
+    assert result.aimd_latency_ns < 10 * result.on_latency_ns
+    # And it actually grew a batching floor.
+    assert result.final_batch_bytes > 0

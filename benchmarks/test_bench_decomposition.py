@@ -1,0 +1,27 @@
+"""A11 — latency decomposition into the Figure 3 legs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_decomposition
+
+
+def test_bench_decomposition(benchmark, record_artifact):
+    result = benchmark.pedantic(run_decomposition, rounds=1, iterations=1)
+    record_artifact("decomposition", result.render())
+
+    for row in result.rows:
+        # The four components recombine into the estimate exactly — the
+        # formula really is a sum of independently measured legs.
+        assert row.recombined == pytest.approx(row.total, rel=1e-9)
+        # And the sum tracks the measured latency (minus app time).
+        assert row.total < row.measured
+        assert row.total > 0.5 * row.measured
+
+    # The dominant term moves with load: at the knee the unacked leg
+    # (send -> ack, inflated by the receiver's softirq backlog that
+    # delays ack generation) carries nearly everything.
+    low, high = result.rows[0], result.rows[-1]
+    assert high.unacked_local > 4 * low.unacked_local
+    assert high.unacked_local / high.total > 0.9

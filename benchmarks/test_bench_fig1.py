@@ -1,0 +1,19 @@
+"""E1 — regenerate Figure 1 (analytic batching scenario)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig1
+
+
+def test_bench_fig1(benchmark, record_artifact):
+    result = benchmark(run_fig1)
+    record_artifact("fig1", result.render())
+
+    verdicts = {
+        row.c: (row.latency_verdict, row.throughput_verdict)
+        for row in result.rows
+    }
+    # The paper's three panels.
+    assert verdicts[1.0] == ("improves", "improves")
+    assert verdicts[3.0] == ("degrades", "improves")
+    assert verdicts[5.0] == ("degrades", "degrades")

@@ -1,0 +1,23 @@
+"""E2 — regenerate Figure 2: bare-metal vs VM client at fixed 20 kRPS."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2
+from repro.units import msecs
+
+
+def test_bench_fig2(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig2(seeds=(1, 2, 3), measure_ns=msecs(150)),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("fig2", result.render())
+
+    # (a) the VM client burns much more CPU for the same workload;
+    assert result.client_cpu_ratio > 2.0
+    # (b) the server's CPU stays roughly the same;
+    assert 0.7 < result.server_cpu_ratio < 1.3
+    # (c) the client change flips the Nagle outcome.
+    assert result.nagle_helps_bare
+    assert not result.nagle_helps_vm

@@ -1,0 +1,38 @@
+"""E3 — regenerate Figure 4a: SET 16KiB load sweep, Nagle on/off,
+measured and estimated latency, cutoff and SLO headlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4a import default_config, run_fig4a
+from repro.units import msecs
+
+RATES = [
+    5_000.0, 15_000.0, 25_000.0, 30_000.0, 35_000.0, 37_500.0,
+    40_000.0, 50_000.0, 60_000.0, 70_000.0, 80_000.0,
+]
+
+
+def test_bench_fig4a(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig4a(rates=RATES, base=default_config(measure_ns=msecs(100))),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("fig4a", result.render())
+
+    # Shape assertions mirroring the paper's reading of the figure:
+    # 1. a cutoff exists — no-batching wins below, batching above;
+    assert result.cutoff_rate is not None
+    assert 20_000 < result.cutoff_rate < 45_000
+    # 2. batching extends the 500us-SLO sustainable range ~2x (1.93x);
+    assert result.extension_factor > 1.5
+    # 3. batching improves latency at the baseline's last good rate;
+    assert result.improvement_factor is not None
+    assert result.improvement_factor > 1.2
+    # 4. the estimates identify a similar cutoff (Fig 4a's key point).
+    assert result.estimated_cutoff_rate is not None
+    assert result.estimated_cutoff_rate == pytest.approx(
+        result.cutoff_rate, rel=0.35
+    )

@@ -1,0 +1,56 @@
+"""E5 — the paper's §4 headline numbers, from a fine grid near the knees.
+
+Paper: batching extends the sustainable range at a 500 us SLO by 1.93x
+(37.5 -> 72.5 kRPS) and improves latency at 37.5 kRPS by 2.80x
+(468 -> 168 us).  We assert the same *shape*: extension well above 1.5x
+and a multi-x latency win at the baseline's edge.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cutoff import improvement_at, range_extension
+from repro.analysis.report import format_table
+from repro.experiments.fig4a import SLO_NS, default_config
+from repro.loadgen.sweep import measured_curve, sweep_rates
+from repro.units import msecs, to_usecs
+
+# A fine grid around both knees.
+RATES = [34_000.0, 36_000.0, 38_000.0, 40_000.0, 42_000.0,
+         55_000.0, 60_000.0, 65_000.0, 70_000.0, 75_000.0]
+
+
+def _run():
+    from dataclasses import replace
+
+    base = default_config(measure_ns=msecs(100))
+    off = sweep_rates(replace(base, nagle=False), RATES)
+    on = sweep_rates(replace(base, nagle=True), RATES)
+    return off, on
+
+
+def test_bench_headline(benchmark, record_artifact):
+    off_points, on_points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    off = measured_curve(off_points)
+    on = measured_curve(on_points)
+    base_max, batch_max, extension = range_extension(off, on, SLO_NS)
+    improvement = improvement_at(off, on, base_max)
+
+    table = format_table(
+        ["metric", "paper", "reproduced"],
+        [
+            ("max load, Nagle off (SLO 500us)", "37.5 kRPS", f"{base_max/1000:.1f} kRPS"),
+            ("max load, Nagle on  (SLO 500us)", "72.5 kRPS", f"{batch_max/1000:.1f} kRPS"),
+            ("range extension", "1.93x", f"{extension:.2f}x"),
+            (f"latency improvement at {base_max/1000:.1f} kRPS",
+             "2.80x (at 37.5)", f"{improvement:.2f}x"),
+        ],
+        title="E5: headline numbers (paper vs reproduction)",
+    )
+    record_artifact("headline", table)
+
+    assert extension > 1.5
+    assert improvement > 1.3
+    # Off-curve latency at its own edge approaches the SLO the way the
+    # paper's 468us does.
+    edge_latency = {p.rate_per_sec: p.latency_ns for p in off}[base_max]
+    assert to_usecs(edge_latency) > 100

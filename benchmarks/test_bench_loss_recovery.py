@@ -1,0 +1,22 @@
+"""A12 — SACK vs dupack-only loss recovery on the TCP substrate."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_loss_ablation
+
+
+def test_bench_loss_recovery(benchmark, record_artifact):
+    result = benchmark.pedantic(run_loss_ablation, rounds=1, iterations=1)
+    record_artifact("loss_recovery", result.render())
+
+    for loss in (0.02, 0.05, 0.10):
+        # SACK never loses to dupack-only recovery.
+        assert result.completion(loss, True) <= result.completion(loss, False)
+    # At light-to-moderate loss — where holes are isolated and the
+    # scoreboard is reliable — SACK wins big; at heavy loss the acks
+    # carrying the blocks get lost too and RTOs dominate both modes.
+    assert result.completion(0.02, False) > 2 * result.completion(0.02, True)
+    assert result.completion(0.05, False) > 1.5 * result.completion(0.05, True)
+    # SACK actually used its scoreboard.
+    sack_rows = [row for row in result.rows if row.sack]
+    assert any(row.sack_retransmits > 0 for row in sack_rows)

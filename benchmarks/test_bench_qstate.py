@@ -1,0 +1,72 @@
+"""A6 — microbenchmarks of the contribution's hot-path primitives.
+
+The paper's pitch rests on the counters being "easily maintained": TRACK
+is a handful of integer operations per queue-size change, GETAVGS a few
+divisions per estimate, and the wire encoding 36 bytes of struct
+packing.  These benchmarks quantify that on this substrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.exchange import WirePeerState, WireQueueState, WireScale
+from repro.core.littles_law import get_avgs
+from repro.core.qstate import QueueSnapshot, QueueState
+
+
+class _Clock:
+    __slots__ = ("now",)
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        self.now += 7
+        return self.now
+
+
+def test_bench_track(benchmark):
+    """One TRACK call (the per-queue-change cost in the data path)."""
+    qs = QueueState(_Clock())
+    deltas = itertools.cycle([3, -3, 10, -10, 1, -1])
+    benchmark(lambda: qs.track(next(deltas)))
+    assert qs.size >= 0
+
+
+def test_bench_snapshot(benchmark):
+    qs = QueueState(_Clock())
+    qs.track(5)
+    benchmark(qs.snapshot)
+
+
+def test_bench_get_avgs(benchmark):
+    prev = QueueSnapshot(time=0, total=0, integral=0)
+    now = QueueSnapshot(time=1_000_000, total=5_000, integral=90_000_000)
+    result = benchmark(lambda: get_avgs(prev, now))
+    assert result.defined
+
+
+def test_bench_wire_encode(benchmark):
+    """Building + encoding the full 36-byte exchange payload."""
+    clock = _Clock()
+
+    class Endpoint:
+        qs_unacked = QueueState(clock)
+        qs_unread = QueueState(clock)
+        qs_ackdelay = QueueState(clock)
+
+    endpoint = Endpoint()
+    scale = WireScale()
+    data = benchmark(lambda: WirePeerState.capture(endpoint, scale).encode())
+    assert len(data) == 36
+
+
+def test_bench_wire_decode(benchmark):
+    payload = WirePeerState(
+        WireQueueState(1, 2, 3),
+        WireQueueState(4, 5, 6),
+        WireQueueState(7, 8, 9),
+    ).encode()
+    state = benchmark(lambda: WirePeerState.decode(payload))
+    assert state.unread.total32 == 5

@@ -1,0 +1,50 @@
+"""Substrate performance: event-loop and end-to-end harness throughput.
+
+Not a paper artifact — these track the simulator's own speed so
+regressions in the substrate (which would silently stretch every other
+benchmark) are visible.
+"""
+
+from __future__ import annotations
+
+from repro.loadgen.arrivals import Workload
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.sim.loop import Simulator
+from repro.units import KIB, msecs
+
+
+def test_bench_event_loop(benchmark):
+    """Raw scheduling throughput: schedule + run 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                sim.call_after(10, tick)
+
+        sim.call_after(10, tick)
+        sim.run()
+        return state["count"]
+
+    count = benchmark(run)
+    assert count == 10_000
+
+
+def test_bench_full_stack_run(benchmark):
+    """One short full-stack benchmark run (10 kRPS for 20 ms)."""
+
+    def run():
+        return run_benchmark(
+            BenchConfig(
+                rate_per_sec=10_000.0,
+                workload=Workload(value_bytes=16 * KIB),
+                warmup_ns=msecs(5),
+                measure_ns=msecs(20),
+            )
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.latency.count > 100

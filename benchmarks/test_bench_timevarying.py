@@ -1,0 +1,35 @@
+"""A8 — dynamic toggling under a time-varying load walk.
+
+No static Nagle setting is right across the low → high → low walk:
+static-off collapses in the high phase (and its backlog poisons the
+next phase), static-on overpays at low load.  The estimate-driven
+controller must approach the per-phase best of both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.timevarying import PhasePlan, run_timevarying
+
+
+def test_bench_timevarying(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_timevarying(PhasePlan()), rounds=1, iterations=1
+    )
+    record_artifact("timevarying", result.render())
+
+    off = result.policy("static-off").phase_latency_ns
+    on = result.policy("static-on").phase_latency_ns
+    dynamic = result.policy("dynamic").phase_latency_ns
+
+    # Static-off collapses at high load; its backlog even bleeds into
+    # the following low phase.
+    assert off["high"] > 10 * on["high"]
+    assert off["low-2"] > 2 * off["low-1"]
+    # The controller beats static-on where off is better (low phases)...
+    assert dynamic["low-1"] < on["low-1"]
+    # ...and beats static-off by an order of magnitude where on is
+    # better (the residual over static-on is the re-learning cost).
+    assert dynamic["high"] < 0.2 * off["high"]
+    assert dynamic["low-2"] < 0.5 * off["low-2"]
+    # It actually re-toggled across phases.
+    assert result.policy("dynamic").toggles >= 2

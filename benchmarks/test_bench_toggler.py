@@ -1,0 +1,34 @@
+"""A2 — dynamic ε-greedy toggling vs static Nagle settings."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_toggler_ablation
+from repro.units import msecs
+
+
+def test_bench_toggler(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        lambda: run_toggler_ablation(
+            rates=(10_000.0, 30_000.0, 50_000.0, 65_000.0),
+            measure_ns=msecs(300),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("ablation_toggler", result.render())
+
+    for row in result.rows:
+        worst_static = max(row.off_latency_ns, row.on_latency_ns)
+        # The controller must track the better static mode: far better
+        # than the worse static choice wherever the two diverge, and
+        # never catastrophically worse than the best (the residual gap
+        # is the exploration cost paid inside the measurement window).
+        if worst_static > 2 * row.best_static_ns:
+            assert row.toggler_latency_ns < 0.3 * worst_static
+        assert row.toggler_latency_ns < 6 * row.best_static_ns
+
+    # It must land on the correct mode at the extremes.
+    by_rate = {row.rate: row for row in result.rows}
+    assert by_rate[10_000.0].final_mode is False
+    assert by_rate[50_000.0].final_mode is True
+    assert by_rate[65_000.0].final_mode is True

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Dynamic Nagle toggling driven by end-to-end estimates (paper §5).
+
+Runs the Redis-like workload at a low load (where batching hurts) and at
+an overload (where the no-batching default collapses), each time with the
+ε-greedy controller deciding the Nagle setting from live wire-mode
+estimates.  Shows the controller's per-tick trace and that it lands on
+the right mode in both regimes.
+
+Run:  python examples/dynamic_toggling.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.toggler import TogglerConfig
+from repro.experiments.ablations import attach_toggler
+from repro.experiments.fig4a import default_config
+from repro.loadgen.lancet import run_benchmark
+from repro.units import msecs, to_usecs
+
+
+def run_regime(name: str, rate: float) -> None:
+    print(f"=== {name}: {rate:,.0f} RPS ===")
+    base = replace(default_config(measure_ns=msecs(200)), rate_per_sec=rate)
+
+    static = {}
+    for nagle in (False, True):
+        static[nagle] = run_benchmark(replace(base, nagle=nagle))
+        print(f"  static nagle={'on ' if nagle else 'off'}: "
+              f"{to_usecs(static[nagle].latency.mean_ns):>9.1f} us mean latency")
+
+    holder = {}
+
+    def tweak(bed):
+        holder["toggler"] = attach_toggler(
+            bed,
+            config=TogglerConfig(tick_ns=msecs(4), epsilon=0.05, min_samples=2),
+        )
+
+    dynamic = run_benchmark(replace(base, nagle=False), tweak=tweak)
+    toggler = holder["toggler"]
+    print(f"  dynamic toggling:    {to_usecs(dynamic.latency.mean_ns):>9.1f} us "
+          f"({toggler.toggles} toggles, final mode "
+          f"{'on' if toggler.mode else 'off'})")
+
+    print("  controller trace (first 10 ticks):")
+    for record in toggler.history[:10]:
+        latency = (
+            f"{to_usecs(record.sample.latency_ns):8.1f} us"
+            if record.sample and record.sample.latency_ns is not None
+            else "   (none)"
+        )
+        flag = "explore" if record.explored else "greedy "
+        print(f"    t={record.time/1e6:6.1f} ms  mode={'on ' if record.mode else 'off'}"
+              f"  {flag}  estimate={latency}")
+    best = min(static[False].latency.mean_ns, static[True].latency.mean_ns)
+    print(f"  -> regret vs best static: "
+          f"{(dynamic.latency.mean_ns - best) / best:+.1%}\n")
+
+
+if __name__ == "__main__":
+    run_regime("low load (batching hurts; controller should pick OFF)", 8_000.0)
+    run_regime("overload (no-batching collapses; controller should pick ON)",
+               50_000.0)

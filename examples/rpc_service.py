@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""An RPC service with framework-level hints (paper §3.3's adoption story).
+
+Builds a two-method "inventory" service on the bundled RPC framework.
+The application code never touches a counter: the channel drives the
+create/complete hints internally and ships them over the metadata
+exchange, so the *server* can report the client-perceived latency and
+throughput of its own callers — per §3.3, "the server needs not monitor
+and share its own queue states".
+
+Run:  python examples/rpc_service.py
+"""
+
+from __future__ import annotations
+
+from repro.core.exchange import MetadataExchange
+from repro.core.hints import RemoteHintEstimator
+from repro.host.host import Host
+from repro.net.topology import PointToPoint
+from repro.rpc import RpcChannel, RpcMethod, RpcServer
+from repro.sim.loop import Simulator
+from repro.sim.process import Timeout
+from repro.sim.rng import RngRegistry
+from repro.tcp.connect import connect_pair
+from repro.tcp.socket import TcpConfig
+from repro.units import msecs, to_usecs, usecs
+
+LOOKUP = RpcMethod(method_id=1, name="Lookup",
+                   reply_bytes_fn=lambda n: 256, cost_ns=3_000)
+RESERVE = RpcMethod(method_id=2, name="Reserve",
+                    reply_bytes_fn=lambda n: 32, cost_ns=9_000)
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(7)
+    client_host = Host(sim, "client")
+    server_host = Host(sim, "server")
+    PointToPoint.connect(sim, client_host.nic, server_host.nic,
+                         propagation_delay_ns=usecs(10))
+    sock_a, sock_b = connect_pair(sim, client_host, server_host,
+                                  TcpConfig(nagle=False))
+    client_exchange = MetadataExchange(sim, sock_a, period_ns=msecs(5))
+    server_exchange = MetadataExchange(sim, sock_b, period_ns=msecs(5))
+
+    channel = RpcChannel(sim, client_host, sock_a, exchange=client_exchange,
+                         name="inventory-client")
+    server = RpcServer(sim, server_host, [sock_b], name="inventory")
+    server.register(LOOKUP)
+    server.register(RESERVE)
+    server.start()
+
+    latencies: dict[str, list[int]] = {"Lookup": [], "Reserve": []}
+
+    def workload():
+        stream = rng.stream("calls")
+        while sim.now < msecs(200):
+            method = LOOKUP if stream.random() < 0.8 else RESERVE
+            start = sim.now
+            yield channel.call(method.method_id, payload_bytes=512)
+            latencies[method.name].append(sim.now - start)
+            yield Timeout(stream.exponential_ns(100_000))  # ~10 kRPS
+
+    sim.spawn(workload(), name="workload")
+    sim.run(until=msecs(210))
+
+    print("=== application view (what the client measured itself) ===")
+    for name, samples in latencies.items():
+        mean = sum(samples) / len(samples)
+        print(f"  {name:8s}: {len(samples):5d} calls, "
+              f"mean {to_usecs(mean):.1f} us")
+
+    print("\n=== server view, from exchanged hints alone ===")
+    estimator = RemoteHintEstimator(server_exchange)
+    averages = estimator.sample()
+    if averages is not None and averages.defined:
+        all_samples = latencies["Lookup"] + latencies["Reserve"]
+        overall = sum(all_samples) / len(all_samples)
+        print(f"  end-to-end latency ~= {to_usecs(averages.latency_ns):.1f} us "
+              f"(client measured {to_usecs(overall):.1f} us)")
+        print(f"  call throughput   ~= {averages.throughput_per_sec:,.0f}/s")
+    print(f"\n  exchange overhead: "
+          f"{client_exchange.option_bytes_sent} option bytes from the client "
+          f"({client_exchange.states_sent} states)")
+    print("  The handlers and the workload never touched a counter — the "
+          "framework did (the paper's gRPC/Thrift adoption argument).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Exists so ``pip install -e . --no-build-isolation --no-use-pep517`` (or
+``python setup.py develop``) works on environments without the ``wheel``
+package, where PEP 660 editable installs cannot build.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Offline counter analysis — the paper's prototype methodology (§3.4).
+
+The paper's prototype exports queue states as ethtool counters from both
+machines and analyses them offline.  This package mirrors that:
+
+- :mod:`~repro.analysis.counters` — periodic snapshots of both
+  endpoints' three queue states during a run;
+- :mod:`~repro.analysis.offline` — GETAVGS over snapshot intervals and
+  the §3.2 combination into end-to-end estimates;
+- :mod:`~repro.analysis.cutoff` — Figure 4 curve analytics: SLO-
+  sustainable load, batching cutoff points, extension/improvement
+  factors (the paper's 1.93× and 2.80× headlines);
+- :mod:`~repro.analysis.report` — plain-text tables for the benchmark
+  harness output.
+"""
+
+from repro.analysis.counters import CounterCollector, CounterSample, TripleSnapshot
+from repro.analysis.cutoff import (
+    CurvePoint,
+    crossover_rate,
+    improvement_at,
+    max_sustainable_rate,
+    range_extension,
+)
+from repro.analysis.offline import (
+    OfflineEstimate,
+    estimate_between,
+    interval_series,
+    window_estimate,
+)
+from repro.analysis.plot import ascii_plot, curve_points
+from repro.analysis.report import format_table
+
+__all__ = [
+    "CounterCollector",
+    "CounterSample",
+    "CurvePoint",
+    "OfflineEstimate",
+    "TripleSnapshot",
+    "ascii_plot",
+    "crossover_rate",
+    "curve_points",
+    "estimate_between",
+    "format_table",
+    "improvement_at",
+    "interval_series",
+    "max_sustainable_rate",
+    "range_extension",
+    "window_estimate",
+]

@@ -1,0 +1,85 @@
+"""Periodic queue-state snapshots from both endpoints.
+
+The simulated ethtool: a timer samples the three queue states of the
+client and server sockets (or of attached unit adapters) at a fixed
+period, producing a time series the offline analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.qstate import QueueSnapshot
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class TripleSnapshot:
+    """One endpoint's three queue snapshots, taken together."""
+
+    unacked: QueueSnapshot
+    unread: QueueSnapshot
+    ackdelay: QueueSnapshot
+
+    @classmethod
+    def capture(cls, states) -> "TripleSnapshot":
+        """Snapshot an object exposing qs_unacked/qs_unread/qs_ackdelay."""
+        return cls(
+            unacked=states.qs_unacked.snapshot(),
+            unread=states.qs_unread.snapshot(),
+            ackdelay=states.qs_ackdelay.snapshot(),
+        )
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """Both endpoints' counters at one sampling instant."""
+
+    time: int
+    client: TripleSnapshot
+    server: TripleSnapshot
+
+
+class CounterCollector:
+    """Samples both endpoints at a fixed period.
+
+    ``client_states`` / ``server_states`` are any objects exposing the
+    three queue states — sockets (byte units) or
+    :class:`~repro.core.semantic.MessageUnits` adapters.
+    """
+
+    def __init__(self, sim, client_states, server_states, period_ns: int):
+        if period_ns <= 0:
+            raise EstimationError(f"period must be positive, got {period_ns}")
+        self._sim = sim
+        self._client = client_states
+        self._server = server_states
+        self.period_ns = period_ns
+        self.samples: list[CounterSample] = []
+        self._timer = None
+
+    def start(self) -> None:
+        """Take an immediate sample and begin periodic sampling."""
+        self.sample_now()
+        self._timer = self._sim.call_after(self.period_ns, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling (takes one final sample)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.sample_now()
+
+    def sample_now(self) -> CounterSample:
+        """Record one sample immediately."""
+        sample = CounterSample(
+            time=self._sim.now,
+            client=TripleSnapshot.capture(self._client),
+            server=TripleSnapshot.capture(self._server),
+        )
+        self.samples.append(sample)
+        return sample
+
+    def _tick(self) -> None:
+        self.sample_now()
+        self._timer = self._sim.call_after(self.period_ns, self._tick)

@@ -1,0 +1,103 @@
+"""Figure 4 curve analytics: cutoffs, SLO ranges, headline factors.
+
+The paper reads three things off its latency-vs-load curves:
+
+- the **cutoff**: the load beyond which batching (Nagle on) beats the
+  no-batching default — where dynamic toggling should flip;
+- the **sustainable range** under a latency SLO (500 µs) for each
+  configuration, and the extension factor batching buys (1.93× in the
+  paper);
+- the **latency improvement** batching delivers at a reference load
+  inside the overlap (2.80× at 37.5 kRPS in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One latency-vs-load point."""
+
+    rate_per_sec: float
+    latency_ns: float
+
+
+def _sorted(points: list[CurvePoint]) -> list[CurvePoint]:
+    if not points:
+        raise EstimationError("empty curve")
+    return sorted(points, key=lambda p: p.rate_per_sec)
+
+
+def max_sustainable_rate(points: list[CurvePoint], slo_ns: float) -> float:
+    """Highest measured load whose latency meets the SLO (0 if none).
+
+    Scans up to the first SLO violation: loads beyond a violation are
+    not 'sustainable' even if a later point dips back under (that would
+    be measurement noise past saturation).
+    """
+    best = 0.0
+    for point in _sorted(points):
+        if point.latency_ns <= slo_ns:
+            best = point.rate_per_sec
+        else:
+            break
+    return best
+
+
+def crossover_rate(
+    baseline: list[CurvePoint], batched: list[CurvePoint]
+) -> float | None:
+    """The cutoff: lowest common rate where batching wins.
+
+    Uses linear interpolation between the bracketing common rates;
+    returns None when one configuration dominates everywhere.
+    """
+    base = {p.rate_per_sec: p.latency_ns for p in baseline}
+    batch = {p.rate_per_sec: p.latency_ns for p in batched}
+    rates = sorted(set(base) & set(batch))
+    if not rates:
+        raise EstimationError("curves share no rates")
+    previous = None
+    for rate in rates:
+        diff = base[rate] - batch[rate]  # positive = batching better
+        if diff > 0:
+            if previous is None:
+                return rate  # batching wins from the start
+            prev_rate, prev_diff = previous
+            # Interpolate where the difference crossed zero.
+            span = diff - prev_diff
+            if span <= 0:
+                return rate
+            fraction = -prev_diff / span
+            return prev_rate + fraction * (rate - prev_rate)
+        previous = (rate, diff)
+    return None
+
+
+def range_extension(
+    baseline: list[CurvePoint], batched: list[CurvePoint], slo_ns: float
+) -> tuple[float, float, float]:
+    """(baseline max rate, batched max rate, extension factor) at an SLO."""
+    base_max = max_sustainable_rate(baseline, slo_ns)
+    batch_max = max_sustainable_rate(batched, slo_ns)
+    if base_max <= 0:
+        raise EstimationError("baseline sustains no load under the SLO")
+    return base_max, batch_max, batch_max / base_max
+
+
+def improvement_at(
+    baseline: list[CurvePoint], batched: list[CurvePoint], rate_per_sec: float
+) -> float:
+    """baseline/batched latency ratio at one common rate (>1 = batching
+    better)."""
+    base = {p.rate_per_sec: p.latency_ns for p in baseline}
+    batch = {p.rate_per_sec: p.latency_ns for p in batched}
+    if rate_per_sec not in base or rate_per_sec not in batch:
+        raise EstimationError(f"rate {rate_per_sec} missing from a curve")
+    if batch[rate_per_sec] <= 0:
+        raise EstimationError("non-positive batched latency")
+    return base[rate_per_sec] / batch[rate_per_sec]

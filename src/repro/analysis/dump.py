@@ -1,0 +1,115 @@
+"""The ethtool analogue: dump every counter a testbed maintains.
+
+The paper's prototype exports its queue states as ethtool counters; this
+module generalizes that to the whole simulated machine — socket, NIC,
+softirq and CPU statistics — as a plain nested dict (easy to diff, log,
+or assert on) plus a rendered table for humans.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.report import format_table
+
+
+def socket_stats(sock) -> dict[str, Any]:
+    """One socket's protocol and queue-state counters."""
+    return {
+        "segments_sent": sock.segments_sent,
+        "pure_acks_sent": sock.pure_acks_sent,
+        "retransmits": sock.retransmits,
+        "bytes_sent": sock.bytes_sent,
+        "snd_una": sock.snd_una,
+        "snd_nxt": sock.snd_nxt,
+        "rcv_nxt": sock.rcv_nxt,
+        "cwnd": sock.cc.cwnd,
+        "srtt_ns": sock.rtt.srtt_ns,
+        "delack_timer_fires": sock.delack.timer_fires,
+        "delack_quick_acks": sock.delack.quick_acks,
+        "qs_unacked": _queue_stats(sock.qs_unacked),
+        "qs_unread": _queue_stats(sock.qs_unread),
+        "qs_ackdelay": _queue_stats(sock.qs_ackdelay),
+    }
+
+
+def _queue_stats(qs) -> dict[str, int]:
+    return {"size": qs.size, "total": qs.total, "integral": qs.integral}
+
+
+def nic_stats(nic) -> dict[str, Any]:
+    """One NIC's transmit/receive counters."""
+    return {
+        "doorbells": nic.doorbells,
+        "tx_descriptors": nic.tx_descriptors,
+        "tx_wire_packets": nic.tx_wire_packets,
+        "rx_wire_packets": nic.rx_wire_packets,
+        "rx_deliveries": nic.rx_deliveries,
+        "rx_interrupts": nic.rx_interrupts,
+    }
+
+
+def host_stats(host) -> dict[str, Any]:
+    """One host's NIC, softirq and core counters."""
+    return {
+        "nic": nic_stats(host.nic),
+        "softirq": {
+            "interrupts": host.softirq.interrupts,
+            "deliveries": host.softirq.deliveries,
+            "wire_packets": host.softirq.wire_packets,
+        },
+        "app_core": {
+            "busy_ns": host.app_core.busy_ns,
+            "work_items": host.app_core.work_items,
+            "utilization": host.app_core.utilization(),
+        },
+        "net_core": {
+            "busy_ns": host.net_core.busy_ns,
+            "work_items": host.net_core.work_items,
+            "utilization": host.net_core.utilization(),
+        },
+    }
+
+
+def exchange_stats(exchange) -> dict[str, Any]:
+    """One metadata exchange's traffic counters."""
+    return {
+        "states_sent": exchange.states_sent,
+        "states_received": exchange.states_received,
+        "option_bytes_sent": exchange.option_bytes_sent,
+    }
+
+
+def dump_testbed(bed) -> dict[str, Any]:
+    """Every counter of a :class:`~repro.loadgen.lancet.Testbed`."""
+    stats: dict[str, Any] = {
+        "client_host": host_stats(bed.client_host),
+        "server_host": host_stats(bed.server_host),
+        "connections": [],
+    }
+    for conn in bed.conns:
+        stats["connections"].append({
+            "client_sock": socket_stats(conn.client_sock),
+            "server_sock": socket_stats(conn.server_sock),
+            "client_exchange": exchange_stats(conn.client_exchange),
+            "server_exchange": exchange_stats(conn.server_exchange),
+        })
+    return stats
+
+
+def _flatten(prefix: str, value: Any, rows: list) -> None:
+    if isinstance(value, dict):
+        for key, nested in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else key, nested, rows)
+    elif isinstance(value, list):
+        for index, nested in enumerate(value):
+            _flatten(f"{prefix}[{index}]", nested, rows)
+    else:
+        rows.append((prefix, value if value is not None else "-"))
+
+
+def render_stats(stats: dict[str, Any], title: str = "counters") -> str:
+    """Flatten a stats dict into an aligned two-column table."""
+    rows: list = []
+    _flatten("", stats, rows)
+    return format_table(["counter", "value"], rows, title=title)

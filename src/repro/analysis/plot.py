@@ -1,0 +1,111 @@
+"""Terminal plots: render latency-vs-load curves as ASCII.
+
+The repository is terminal-first (no matplotlib dependency); the
+examples and CLI render the paper's figures as character grids — enough
+to *see* the knees, crossovers and estimate tracking without leaving
+the shell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import EstimationError
+
+MARKERS = "ox+*#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from :data:`MARKERS` (legend appended).
+    ``log_y`` plots the y axis logarithmically — the right view for
+    latency curves whose knees span orders of magnitude.
+    """
+    if not series or all(not points for points in series.values()):
+        raise EstimationError("nothing to plot")
+    if width < 16 or height < 4:
+        raise EstimationError(f"grid too small: {width}x{height}")
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        if y <= 0:
+            raise EstimationError(f"log plot requires positive y, got {y}")
+        return math.log10(y)
+
+    all_points = [p for points in series.values() for p in points]
+    xs = [x for x, _ in all_points]
+    ys = [transform(y) for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in points:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _nice_number(10 ** y_hi if log_y else y_hi)
+    bottom_label = _nice_number(10 ** y_lo if log_y else y_lo)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _nice_number(x_lo)
+        + _nice_number(x_hi).rjust(width - len(_nice_number(x_lo)))
+    )
+    lines.append(x_axis)
+    footer = []
+    if x_label or y_label or log_y:
+        footer.append(f"x: {x_label}   y: {y_label}"
+                      + ("  [log y]" if log_y else ""))
+    legend = "   ".join(
+        f"{MARKERS[index % len(MARKERS)]} = {name}"
+        for index, name in enumerate(series)
+    )
+    footer.append(legend)
+    lines.extend(footer)
+    return "\n".join(lines)
+
+
+def curve_points(points: Iterable) -> list[tuple[float, float]]:
+    """Convert :class:`~repro.analysis.cutoff.CurvePoint` lists to
+    (x, y) pairs with latency in microseconds."""
+    return [(p.rate_per_sec, p.latency_ns / 1000.0) for p in points]

@@ -1,0 +1,35 @@
+"""Plain-text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table.
+
+    Floats render with three significant decimals; everything else via
+    ``str``.
+    """
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

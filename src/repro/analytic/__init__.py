@@ -1,0 +1,17 @@
+"""Closed-form models from the paper's motivation section."""
+
+from repro.analytic.batching_model import (
+    BatchingOutcome,
+    ScenarioParams,
+    compare,
+    simulate_batched,
+    simulate_unbatched,
+)
+
+__all__ = [
+    "BatchingOutcome",
+    "ScenarioParams",
+    "compare",
+    "simulate_batched",
+    "simulate_unbatched",
+]

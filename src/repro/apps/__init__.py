@@ -1,0 +1,45 @@
+"""Applications: a Redis-like key-value store over the simulated stack.
+
+- :mod:`~repro.apps.resp` — a real RESP (REdis Serialization Protocol)
+  encoder/parser; the simulation carries message descriptors whose wire
+  sizes are computed by this encoder, and the parser is exercised by the
+  protocol test suite.
+- :mod:`~repro.apps.kvstore` — the dictionary-backed store.
+- :mod:`~repro.apps.messages` — request/response descriptors flowing
+  through the simulated sockets.
+- :mod:`~repro.apps.redis_server` — the event-loop server process with
+  the Figure 1 cost model (β per iteration, α per request).
+- :mod:`~repro.apps.redis_client` — the client: open- or closed-loop
+  issue process plus a response-draining process (cost c per response).
+"""
+
+from repro.apps.kvstore import KVStore
+from repro.apps.messages import Request, Response
+from repro.apps.redis_client import ClientConfig, RedisClient
+from repro.apps.redis_server import RedisServer, ServerConfig
+from repro.apps.resp import (
+    RespParser,
+    bulk_reply_bytes,
+    command_bytes,
+    encode_bulk_reply,
+    encode_command,
+    encode_simple_string,
+    simple_reply_bytes,
+)
+
+__all__ = [
+    "ClientConfig",
+    "KVStore",
+    "RedisClient",
+    "RedisServer",
+    "Request",
+    "RespParser",
+    "Response",
+    "ServerConfig",
+    "bulk_reply_bytes",
+    "command_bytes",
+    "encode_bulk_reply",
+    "encode_command",
+    "encode_simple_string",
+    "simple_reply_bytes",
+]

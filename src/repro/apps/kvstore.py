@@ -1,0 +1,54 @@
+"""The dictionary-backed key-value store behind the Redis-like server.
+
+Values are stored by *size*, not content (the simulation never fabricates
+16 KiB of bytes per request), but the store behaves like a real one:
+SET overwrites, GET returns the last stored size or a miss, DEL removes.
+Memory accounting mirrors what a real store would report.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+
+
+class KVStore:
+    """A size-tracking key-value store."""
+
+    def __init__(self):
+        self._data: dict[str, int] = {}
+        self.bytes_stored = 0
+        self.sets = 0
+        self.gets = 0
+        self.hits = 0
+        self.deletes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def set(self, key: str, value_bytes: int) -> None:
+        """Store (or overwrite) a value of the given size."""
+        if value_bytes < 0:
+            raise WorkloadError(f"negative value size {value_bytes}")
+        self.sets += 1
+        previous = self._data.get(key)
+        if previous is not None:
+            self.bytes_stored -= previous
+        self._data[key] = value_bytes
+        self.bytes_stored += value_bytes
+
+    def get(self, key: str) -> int | None:
+        """Return the stored value size, or None on a miss."""
+        self.gets += 1
+        value = self._data.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def delete(self, key: str) -> bool:
+        """Remove a key; returns whether it existed."""
+        value = self._data.pop(key, None)
+        if value is None:
+            return False
+        self.deletes += 1
+        self.bytes_stored -= value
+        return True

@@ -1,0 +1,75 @@
+"""Request/response descriptors flowing through simulated sockets.
+
+A descriptor stands for the RESP bytes a real client/server would put on
+the wire; its ``wire_bytes`` is the exact RESP encoding size (computed by
+:mod:`repro.apps.resp`).  Timestamps accumulate along the journey so the
+load generator can compute latencies without global lookup tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.apps import resp
+from repro.errors import WorkloadError
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One client command (SET or GET).
+
+    ``created_at`` is the scheduled issue time (open-loop arrival);
+    ``sent_at`` is when the send syscall actually ran.  The difference is
+    client-side queueing — it grows when the client itself saturates
+    (the Figure 2 VM scenario).
+    """
+
+    kind: str
+    key: str
+    value_bytes: int
+    created_at: int
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    sent_at: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("SET", "GET"):
+            raise WorkloadError(f"unsupported command {self.kind!r}")
+        if not self.key:
+            raise WorkloadError("key must be non-empty")
+        if self.kind == "SET" and self.value_bytes < 0:
+            raise WorkloadError(f"negative value size {self.value_bytes}")
+
+    @property
+    def key_bytes(self) -> int:
+        """Key length on the wire."""
+        return len(self.key)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Exact RESP size of this command on the wire."""
+        if self.kind == "SET":
+            return resp.set_command_bytes(self.key_bytes, self.value_bytes)
+        return resp.get_command_bytes(self.key_bytes)
+
+
+@dataclass
+class Response:
+    """The server's reply descriptor for one request.
+
+    ``value_bytes`` is what the store actually returned for a GET (None
+    for a miss); SETs reply ``+OK`` regardless.
+    """
+
+    request: Request
+    served_at: int
+    value_bytes: int | None = None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Exact RESP size of the reply."""
+        if self.request.kind == "SET":
+            return resp.simple_reply_bytes()  # +OK
+        return resp.bulk_reply_bytes(self.value_bytes)

@@ -1,0 +1,197 @@
+"""RESP — the REdis Serialization Protocol (v2 subset).
+
+A genuine encoder and incremental parser for the protocol Redis speaks.
+The simulation's data plane carries message *descriptors* whose wire
+sizes come from :func:`command_bytes` / :func:`bulk_reply_bytes`, so
+every simulated byte count is exactly what Redis would put on the wire;
+the parser exists for protocol-level tests and the runnable examples.
+
+Covered types: simple strings (``+OK``), errors (``-ERR``), integers
+(``:N``), bulk strings (``$N``, including null ``$-1``), and arrays
+(``*N``) — enough for SET/GET traffic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+CRLF = b"\r\n"
+
+
+# ---------------------------------------------------------------------------
+# Encoding.
+# ---------------------------------------------------------------------------
+
+
+def encode_command(*args: bytes) -> bytes:
+    """Encode a command as a RESP array of bulk strings."""
+    if not args:
+        raise ProtocolError("a command needs at least one argument")
+    parts = [b"*%d\r\n" % len(args)]
+    for arg in args:
+        parts.append(b"$%d\r\n" % len(arg))
+        parts.append(arg)
+        parts.append(CRLF)
+    return b"".join(parts)
+
+
+def encode_simple_string(text: bytes) -> bytes:
+    """Encode ``+text\\r\\n``."""
+    if CRLF in text:
+        raise ProtocolError("simple strings cannot contain CRLF")
+    return b"+" + text + CRLF
+
+
+def encode_error(text: bytes) -> bytes:
+    """Encode ``-text\\r\\n``."""
+    return b"-" + text + CRLF
+
+
+def encode_integer(value: int) -> bytes:
+    """Encode ``:value\\r\\n``."""
+    return b":%d\r\n" % value
+
+
+def encode_bulk_reply(value: bytes | None) -> bytes:
+    """Encode a bulk string reply; None encodes the null bulk ``$-1``."""
+    if value is None:
+        return b"$-1\r\n"
+    return b"$%d\r\n" % len(value) + value + CRLF
+
+
+# ---------------------------------------------------------------------------
+# Exact wire sizes (used by the simulation's descriptors).
+# ---------------------------------------------------------------------------
+
+
+def _bulk_bytes(payload_len: int) -> int:
+    # $<len>\r\n<payload>\r\n
+    return 1 + len(str(payload_len)) + 2 + payload_len + 2
+
+
+def command_bytes(*arg_lens: int) -> int:
+    """Exact RESP size of a command with arguments of the given lengths."""
+    if not arg_lens:
+        raise ProtocolError("a command needs at least one argument")
+    size = 1 + len(str(len(arg_lens))) + 2  # *N\r\n
+    for arg_len in arg_lens:
+        size += _bulk_bytes(arg_len)
+    return size
+
+
+def set_command_bytes(key_len: int, value_len: int) -> int:
+    """Exact size of ``SET key value``."""
+    return command_bytes(3, key_len, value_len)
+
+
+def get_command_bytes(key_len: int) -> int:
+    """Exact size of ``GET key``."""
+    return command_bytes(3, key_len)
+
+
+def simple_reply_bytes(text_len: int = 2) -> int:
+    """Exact size of a simple-string reply (default ``+OK``)."""
+    return 1 + text_len + 2
+
+
+def bulk_reply_bytes(value_len: int | None) -> int:
+    """Exact size of a bulk reply; None = null bulk."""
+    if value_len is None:
+        return 5  # $-1\r\n
+    return _bulk_bytes(value_len)
+
+
+# ---------------------------------------------------------------------------
+# Incremental parsing.
+# ---------------------------------------------------------------------------
+
+
+class RespParser:
+    """Incremental RESP parser: feed bytes, pop complete values.
+
+    Values are returned as Python types: bytes for strings/bulk, int for
+    integers, list for arrays, None for null bulk, and
+    ``(b"error", message)`` tuples for errors.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        """Append bytes; return every value completed by them."""
+        self._buffer.extend(data)
+        values = []
+        while True:
+            result = self._try_parse(0)
+            if result is None:
+                return values
+            value, consumed = result
+            del self._buffer[:consumed]
+            values.append(value)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete value."""
+        return len(self._buffer)
+
+    def _try_parse(self, pos: int):
+        if pos >= len(self._buffer):
+            return None
+        marker = self._buffer[pos : pos + 1]
+        line = self._read_line(pos + 1)
+        if line is None:
+            return None
+        text, after = line
+        if marker == b"+":
+            return bytes(text), after
+        if marker == b"-":
+            return (b"error", bytes(text)), after
+        if marker == b":":
+            return self._parse_int(text), after
+        if marker == b"$":
+            return self._parse_bulk(text, after)
+        if marker == b"*":
+            return self._parse_array(text, after)
+        raise ProtocolError(f"unknown RESP type marker {marker!r}")
+
+    def _read_line(self, pos: int):
+        end = self._buffer.find(CRLF, pos)
+        if end < 0:
+            return None
+        return self._buffer[pos:end], end + 2
+
+    @staticmethod
+    def _parse_int(text: bytearray) -> int:
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise ProtocolError(f"bad RESP integer {bytes(text)!r}") from exc
+
+    def _parse_bulk(self, header: bytearray, after: int):
+        length = self._parse_int(header)
+        if length == -1:
+            return None, after
+        if length < 0:
+            raise ProtocolError(f"bad bulk length {length}")
+        end = after + length
+        if len(self._buffer) < end + 2:
+            return None
+        if self._buffer[end : end + 2] != CRLF:
+            raise ProtocolError("bulk string not CRLF-terminated")
+        return bytes(self._buffer[after:end]), end + 2
+
+    def _parse_array(self, header: bytearray, after: int):
+        count = self._parse_int(header)
+        if count == -1:
+            return None, after
+        if count < 0:
+            raise ProtocolError(f"bad array length {count}")
+        items = []
+        pos = after
+        for _ in range(count):
+            result = self._try_parse(pos)
+            if result is None:
+                return None
+            value, pos = result
+            items.append(value)
+        return items, pos

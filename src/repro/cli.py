@@ -1,0 +1,215 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro fig1
+    python -m repro fig4a --quick
+    python -m repro fig2 --seeds 1 2 3
+    python -m repro run --rate 35000 --nagle --value-bytes 16384
+    python -m repro ablation units
+    python -m repro ablation toggler --measure-ms 300
+
+Every command prints the same rows/series the paper reports (via each
+experiment's ``render()``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.loadgen.arrivals import Workload
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.units import msecs, to_usecs
+
+
+def _add_measure(parser: argparse.ArgumentParser, default_ms: int) -> None:
+    parser.add_argument(
+        "--measure-ms", type=int, default=default_ms,
+        help=f"measurement window in simulated ms (default {default_ms})",
+    )
+
+
+def _cmd_fig1(args) -> int:
+    from repro.experiments import run_fig1
+
+    print(run_fig1(cs=tuple(args.c)).render())
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments import run_fig2
+
+    result = run_fig2(seeds=tuple(args.seeds),
+                      measure_ns=msecs(args.measure_ms))
+    print(result.render())
+    return 0
+
+
+def _cmd_fig4a(args) -> int:
+    from repro.experiments.fig4a import DEFAULT_RATES, default_config, run_fig4a
+
+    rates = args.rates or ([10_000.0, 35_000.0, 55_000.0, 75_000.0]
+                           if args.quick else DEFAULT_RATES)
+    result = run_fig4a(
+        rates=rates, base=default_config(measure_ns=msecs(args.measure_ms))
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_fig4b(args) -> int:
+    from repro.experiments.fig4b import DEFAULT_RATES, mixed_config, run_fig4b
+
+    rates = args.rates or ([10_000.0, 30_000.0, 50_000.0]
+                           if args.quick else DEFAULT_RATES)
+    base = mixed_config()
+    base = replace(base, measure_ns=msecs(args.measure_ms))
+    result = run_fig4b(rates=rates, base=base)
+    print(result.render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = BenchConfig(
+        rate_per_sec=args.rate,
+        nagle=args.nagle,
+        nagle_mode=args.nagle_mode,
+        autocork=args.autocork,
+        connections=args.connections,
+        seed=args.seed,
+        workload=Workload(
+            set_ratio=args.set_ratio,
+            value_bytes=args.value_bytes,
+        ),
+        warmup_ns=msecs(args.warmup_ms),
+        measure_ns=msecs(args.measure_ms),
+        client_cpu_factor=args.client_cpu_factor,
+    )
+    holder: dict = {}
+    tweak = (lambda bed: holder.update(bed=bed)) if args.dump_counters else None
+    result = run_benchmark(config, tweak=tweak)
+    print(f"offered: {result.offered_rate:,.0f} RPS   "
+          f"achieved: {result.achieved_rate:,.0f} RPS")
+    print(f"latency mean/p50/p99: {to_usecs(result.latency.mean_ns):.1f} / "
+          f"{to_usecs(result.latency.p50_ns):.1f} / "
+          f"{to_usecs(result.latency.p99_ns):.1f} us")
+    if result.estimate is not None and result.estimate.defined:
+        print(f"byte-queue estimate (sec. 3.2): "
+              f"{to_usecs(result.estimate.latency_ns):.1f} us")
+    if result.hint_latency_ns is not None:
+        print(f"hint estimate (sec. 3.3): "
+              f"{to_usecs(result.hint_latency_ns):.1f} us, "
+              f"{result.hint_rps:,.0f} req/s")
+    print(f"CPU: client app/net {result.client_app_util:.0%}/"
+          f"{result.client_net_util:.0%}   server app/net "
+          f"{result.server_app_util:.0%}/{result.server_net_util:.0%}")
+    if args.dump_counters:
+        from repro.analysis.dump import dump_testbed, render_stats
+
+        print()
+        print(render_stats(dump_testbed(holder["bed"])))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments import ablations
+
+    measure = msecs(args.measure_ms)
+    if args.which == "units":
+        print(ablations.run_units_ablation(measure_ns=measure).render())
+    elif args.which == "toggler":
+        print(ablations.run_toggler_ablation(measure_ns=measure).render())
+    elif args.which == "exchange":
+        print(ablations.run_exchange_ablation(measure_ns=measure).render())
+    elif args.which == "ewma":
+        print(ablations.run_granularity_ablation(measure_ns=measure).render())
+    elif args.which == "aimd":
+        print(ablations.run_aimd_ablation(measure_ns=measure).render())
+    elif args.which == "variants":
+        print(ablations.run_variant_ablation(measure_ns=measure).render())
+    elif args.which == "timevarying":
+        from repro.experiments.timevarying import run_timevarying
+
+        print(run_timevarying().render())
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batching with End-to-End Performance Estimation — "
+                    "experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig1 = sub.add_parser("fig1", help="Figure 1: analytic batching model")
+    p_fig1.add_argument("--c", type=float, nargs="+", default=[1.0, 3.0, 5.0],
+                        help="client costs to evaluate")
+    p_fig1.set_defaults(func=_cmd_fig1)
+
+    p_fig2 = sub.add_parser("fig2", help="Figure 2: VM client flip at 20 kRPS")
+    p_fig2.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    _add_measure(p_fig2, 150)
+    p_fig2.set_defaults(func=_cmd_fig2)
+
+    for name, helptext, fn in (
+        ("fig4a", "Figure 4a: SET 16KiB load sweep", _cmd_fig4a),
+        ("fig4b", "Figure 4b: 95:5 SET:GET mix", _cmd_fig4b),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--rates", type=float, nargs="+", default=None)
+        p.add_argument("--quick", action="store_true",
+                       help="coarse grid for a fast look")
+        _add_measure(p, 100)
+        p.set_defaults(func=fn)
+
+    p_run = sub.add_parser("run", help="one benchmark run")
+    p_run.add_argument("--rate", type=float, required=True)
+    p_run.add_argument("--nagle", action="store_true")
+    p_run.add_argument("--nagle-mode", choices=["classic", "minshall"],
+                       default="classic")
+    p_run.add_argument("--autocork", action="store_true")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--set-ratio", type=float, default=1.0)
+    p_run.add_argument("--value-bytes", type=int, default=16 * 1024)
+    p_run.add_argument("--warmup-ms", type=int, default=40)
+    p_run.add_argument("--client-cpu-factor", type=float, default=1.0,
+                       help="VM-style client cost multiplier (Figure 2)")
+    p_run.add_argument("--connections", type=int, default=1)
+    p_run.add_argument("--dump-counters", action="store_true",
+                       help="print the full counter dump (ethtool analogue)")
+    _add_measure(p_run, 120)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_ablation = sub.add_parser("ablation", help="run one ablation by name")
+    p_ablation.add_argument(
+        "which",
+        choices=["units", "toggler", "exchange", "ewma", "aimd", "variants",
+                 "timevarying"],
+    )
+    _add_measure(p_ablation, 150)
+    p_ablation.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `head`).
+        import os
+
+        os.close(sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution.
+
+This package implements §3 of *Batching with End-to-End Performance
+Estimation* (HotOS'25):
+
+- :mod:`~repro.core.qstate` — the 4-tuple queue state and the ``TRACK``
+  update procedure (Algorithm 1).
+- :mod:`~repro.core.littles_law` — ``GETAVGS`` (Algorithm 2): average
+  occupancy, throughput and queuing delay between two snapshots.
+- :mod:`~repro.core.estimator` — combining the three TCP queue delays
+  (unacked, unread, ackdelay) into an end-to-end latency estimate (§3.2).
+- :mod:`~repro.core.exchange` — the peer metadata exchange: 36-byte
+  payloads of three 3-tuples, wrap-safe 32-bit wire counters (§3.2, §5).
+- :mod:`~repro.core.hints` — the cooperative-application ``create``/
+  ``complete`` hint API (§3.3).
+- :mod:`~repro.core.semantic` — message-unit adapters (bytes, packets,
+  syscalls, hints) bridging the kernel/application semantic gap (§3.3).
+- :mod:`~repro.core.ewma`, :mod:`~repro.core.policy`,
+  :mod:`~repro.core.toggler`, :mod:`~repro.core.aimd` — smoothing,
+  throughput/latency trade-off policies, the ε-greedy dynamic batching
+  toggler, and the AIMD batch-limit controller (§5).
+"""
+
+from repro.core.aimd import AimdBatchLimiter
+from repro.core.estimator import E2EEstimator, EstimateSample, QueueDelays
+from repro.core.ewma import Ewma
+from repro.core.exchange import MetadataExchange, WirePeerState, WireQueueState
+from repro.core.hints import HintSession
+from repro.core.littles_law import QueueAverages, get_avgs
+from repro.core.policy import (
+    BatchingPolicy,
+    LatencyFirstPolicy,
+    PerfSample,
+    ThroughputUnderSloPolicy,
+)
+from repro.core.qstate import QueueSnapshot, QueueState
+from repro.core.semantic import (
+    ByteUnits,
+    HintUnits,
+    MessageUnits,
+    PacketUnits,
+    SyscallUnits,
+)
+from repro.core.toggler import NagleToggler, TogglerConfig
+
+__all__ = [
+    "AimdBatchLimiter",
+    "BatchingPolicy",
+    "ByteUnits",
+    "E2EEstimator",
+    "EstimateSample",
+    "Ewma",
+    "HintSession",
+    "HintUnits",
+    "LatencyFirstPolicy",
+    "MessageUnits",
+    "MetadataExchange",
+    "NagleToggler",
+    "PacketUnits",
+    "PerfSample",
+    "QueueAverages",
+    "QueueDelays",
+    "QueueSnapshot",
+    "QueueState",
+    "SyscallUnits",
+    "ThroughputUnderSloPolicy",
+    "TogglerConfig",
+    "WirePeerState",
+    "WireQueueState",
+    "get_avgs",
+]

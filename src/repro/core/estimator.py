@@ -1,0 +1,188 @@
+"""End-to-end latency estimation from three queue delays (paper §3.2).
+
+The estimate combines the queuing delays of the three monitored queues:
+
+    L ≈ L_unacked^local − L_ackdelay^remote + L_unread^local + L_unread^remote
+
+where *local* is the endpoint whose perspective we take.  The intuition
+(paper Figure 3): the local unacked delay spans "send until ack returns";
+subtracting the remote's deliberate ack delay and adding both sides'
+unread (receive-buffer) delays recovers the request+response journey.
+
+Remote delays come either from the metadata exchange (wire mode — what a
+deployment would use) or by directly snapshotting the peer's queue
+states (oracle mode — what the paper's offline ethtool-based prototype
+effectively does).  Both sides can compute an estimate; the paper uses
+the maximum of the two to hedge against underestimation, implemented
+here by :func:`combine_estimates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.littles_law import get_avgs
+from repro.core.qstate import QueueSnapshot
+from repro.errors import EstimationError
+from repro.units import SEC
+
+
+@dataclass(frozen=True)
+class QueueDelays:
+    """Per-queue average delays (ns) over an interval; None = no
+    departures observed, so Little's law yields no estimate."""
+
+    unacked: float | None
+    unread: float | None
+    ackdelay: float | None
+
+
+@dataclass(frozen=True)
+class EstimateSample:
+    """One end-to-end estimate.
+
+    ``latency_ns`` is None when a *required* component (local unacked,
+    local or remote unread) was undefined.  An undefined remote ackdelay
+    only means no acks were delayed — it contributes zero.  ``complete``
+    records whether every component was defined.  ``throughput_per_sec``
+    is λ of the local unacked queue: units acknowledged per second.
+    """
+
+    latency_ns: float | None
+    throughput_per_sec: float
+    local: QueueDelays
+    remote: QueueDelays | None
+    interval_ns: int
+    complete: bool
+
+    @property
+    def defined(self) -> bool:
+        """Whether a latency estimate exists."""
+        return self.latency_ns is not None
+
+
+class _Tripple:
+    """Previous snapshots of one side's three queues."""
+
+    __slots__ = ("unacked", "unread", "ackdelay")
+
+    def __init__(self, unacked, unread, ackdelay):
+        self.unacked = unacked
+        self.unread = unread
+        self.ackdelay = ackdelay
+
+
+def _delay(prev: QueueSnapshot, now: QueueSnapshot) -> float | None:
+    if now.time <= prev.time:
+        return None
+    return get_avgs(prev, now).latency_ns
+
+
+class E2EEstimator:
+    """Computes local-view end-to-end estimates for one endpoint.
+
+    ``local`` is any object exposing ``qs_unacked`` / ``qs_unread`` /
+    ``qs_ackdelay`` queue states — a socket (byte units) or a
+    :class:`repro.core.semantic.MessageUnits` adapter.  Exactly one of
+    ``remote`` (oracle mode: the peer's same-shaped object) or
+    ``exchange`` (wire mode: this endpoint's metadata exchange) must be
+    given.
+    """
+
+    def __init__(self, local, remote=None, exchange=None):
+        if (remote is None) == (exchange is None):
+            raise EstimationError("provide exactly one of remote= or exchange=")
+        self._local = local
+        self._remote = remote
+        self._exchange = exchange
+        self._prev_local: _Tripple | None = None
+        self._prev_remote: _Tripple | None = None
+
+    def sample(self) -> EstimateSample | None:
+        """Estimate over the interval since the previous call.
+
+        The first call establishes baselines and returns None.
+        """
+        local_now = _Tripple(
+            self._local.qs_unacked.snapshot(),
+            self._local.qs_unread.snapshot(),
+            self._local.qs_ackdelay.snapshot(),
+        )
+        prev_local, self._prev_local = self._prev_local, local_now
+        remote_interval = self._remote_interval()
+        if prev_local is None:
+            return None
+        if local_now.unacked.time <= prev_local.unacked.time:
+            return None
+
+        d_local = QueueDelays(
+            unacked=_delay(prev_local.unacked, local_now.unacked),
+            unread=_delay(prev_local.unread, local_now.unread),
+            ackdelay=_delay(prev_local.ackdelay, local_now.ackdelay),
+        )
+        d_remote = None
+        if remote_interval is not None:
+            prev_remote, remote_now = remote_interval
+            d_remote = QueueDelays(
+                unacked=_delay(prev_remote.unacked, remote_now.unacked),
+                unread=_delay(prev_remote.unread, remote_now.unread),
+                ackdelay=_delay(prev_remote.ackdelay, remote_now.ackdelay),
+            )
+
+        interval = local_now.unacked.time - prev_local.unacked.time
+        throughput = (
+            (local_now.unacked.total - prev_local.unacked.total) * SEC / interval
+        )
+
+        latency, complete = self._combine(d_local, d_remote)
+        return EstimateSample(
+            latency_ns=latency,
+            throughput_per_sec=throughput,
+            local=d_local,
+            remote=d_remote,
+            interval_ns=interval,
+            complete=complete,
+        )
+
+    def _remote_interval(self):
+        if self._remote is not None:
+            remote_now = _Tripple(
+                self._remote.qs_unacked.snapshot(),
+                self._remote.qs_unread.snapshot(),
+                self._remote.qs_ackdelay.snapshot(),
+            )
+            prev_remote, self._prev_remote = self._prev_remote, remote_now
+            if prev_remote is None:
+                return None
+            return prev_remote, remote_now
+        prev = self._exchange.remote_prev
+        cur = self._exchange.remote_cur
+        if prev is None or cur is None or cur.unacked.time <= prev.unacked.time:
+            return None
+        return (
+            _Tripple(prev.unacked, prev.unread, prev.ackdelay),
+            _Tripple(cur.unacked, cur.unread, cur.ackdelay),
+        )
+
+    @staticmethod
+    def _combine(
+        local: QueueDelays, remote: QueueDelays | None
+    ) -> tuple[float | None, bool]:
+        if local.unacked is None or local.unread is None or remote is None:
+            return None, False
+        if remote.unread is None:
+            return None, False
+        ackdelay = remote.ackdelay if remote.ackdelay is not None else 0.0
+        complete = remote.ackdelay is not None
+        latency = local.unacked - ackdelay + local.unread + remote.unread
+        return latency, complete
+
+
+def combine_estimates(
+    a: EstimateSample | None, b: EstimateSample | None
+) -> float | None:
+    """The paper's two-sided hedge: max of both endpoints' estimates."""
+    candidates = [s.latency_ns for s in (a, b) if s is not None and s.defined]
+    if not candidates:
+        return None
+    return max(candidates)

@@ -1,0 +1,60 @@
+"""Exponentially weighted moving averages (paper §5, toggling granularity).
+
+The toggler smooths noisy per-tick estimates with an EWMA before
+comparing modes.  Implemented incrementally (one multiply-add per
+update), following the approach the paper cites for online computation
+of weighted mean and variance [Finch 2009]: the variance accumulator
+lets callers gauge how settled an estimate is.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+
+
+class Ewma:
+    """Incremental exponentially weighted mean and variance."""
+
+    def __init__(self, alpha: float):
+        if not 0.0 < alpha <= 1.0:
+            raise EstimationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.mean: float | None = None
+        self._variance = 0.0
+        self.updates = 0
+
+    def update(self, value: float) -> float:
+        """Fold in one observation; returns the new mean."""
+        self.updates += 1
+        if self.mean is None:
+            self.mean = value
+            return self.mean
+        diff = value - self.mean
+        increment = self.alpha * diff
+        self.mean += increment
+        # Finch's incremental weighted variance.
+        self._variance = (1.0 - self.alpha) * (self._variance + diff * increment)
+        return self.mean
+
+    @property
+    def variance(self) -> float:
+        """Exponentially weighted variance of observations."""
+        return self._variance
+
+    @property
+    def stddev(self) -> float:
+        """Square root of :attr:`variance`."""
+        return math.sqrt(self._variance)
+
+    @property
+    def initialized(self) -> bool:
+        """Whether at least one observation was folded in."""
+        return self.mean is not None
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self.mean = None
+        self._variance = 0.0
+        self.updates = 0

@@ -1,0 +1,326 @@
+"""Peer metadata exchange (paper §3.2 wire format, §5 exchange policy).
+
+Each endpoint occasionally shares its three queue states with its peer.
+Per the paper, a shared state is three 3-tuples — (integral, total, time)
+for the unacked, unread and ackdelay queues — at **4 bytes per counter**,
+i.e. 36 bytes per exchange.  32-bit counters wrap, so this module
+implements the scaled, wrap-safe wire representation:
+
+- time is carried in microseconds modulo 2³² (wraps every ~71 minutes);
+- totals are carried in queue units modulo 2³²;
+- integrals are carried in (unit·µs) >> ``integral_shift`` modulo 2³².
+
+Deltas between successive exchanges unwrap correctly as long as less
+than 2³² of progress happens between them — the receiver maintains
+monotone unwrapped counters per queue.
+
+Exchange cadence (§5): a fixed period, plus an on-demand flag — Little's
+law estimates stay accurate regardless of when snapshots are taken, so
+the cadence trades freshness against header bytes, nothing else.
+Options ride outgoing segments (the TCP-option header-extension model);
+an endpoint that sends nothing shares nothing, exactly as on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.qstate import QueueSnapshot, QueueState
+from repro.errors import EstimationError
+from repro.units import msecs
+
+_WIRE_MOD = 1 << 32
+_STRUCT = struct.Struct("<III")
+
+OPTION_E2E = "e2e"
+OPTION_HINT = "e2e_hint"
+
+
+@dataclass(frozen=True)
+class WireScale:
+    """Scaling between native (ns, unit, unit·ns) and wire counters."""
+
+    time_unit_ns: int = 1_000
+    integral_shift: int = 10
+
+    def pack_snapshot(self, snap: QueueSnapshot) -> tuple[int, int, int]:
+        """Native snapshot -> (time32, total32, integral32)."""
+        time32 = (snap.time // self.time_unit_ns) % _WIRE_MOD
+        total32 = snap.total % _WIRE_MOD
+        integral32 = (
+            (snap.integral // self.time_unit_ns) >> self.integral_shift
+        ) % _WIRE_MOD
+        return time32, total32, integral32
+
+
+class WireQueueState:
+    """One queue's 12-byte wire representation."""
+
+    WIRE_BYTES = 12
+
+    __slots__ = ("time32", "total32", "integral32")
+
+    def __init__(self, time32: int, total32: int, integral32: int):
+        self.time32 = time32
+        self.total32 = total32
+        self.integral32 = integral32
+
+    @classmethod
+    def capture(cls, state: QueueState, scale: WireScale) -> "WireQueueState":
+        """Snapshot a live queue state into wire counters."""
+        return cls(*scale.pack_snapshot(state.snapshot()))
+
+    def encode(self) -> bytes:
+        """Serialize to the 12-byte on-the-wire layout."""
+        return _STRUCT.pack(self.time32, self.total32, self.integral32)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "WireQueueState":
+        """Parse the 12-byte layout."""
+        if len(data) != cls.WIRE_BYTES:
+            raise EstimationError(
+                f"wire queue state must be {cls.WIRE_BYTES} bytes, got {len(data)}"
+            )
+        return cls(*_STRUCT.unpack(data))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, WireQueueState)
+            and self.time32 == other.time32
+            and self.total32 == other.total32
+            and self.integral32 == other.integral32
+        )
+
+
+class WirePeerState:
+    """The full 36-byte exchange payload: three queue states."""
+
+    WIRE_BYTES = 3 * WireQueueState.WIRE_BYTES
+
+    __slots__ = ("unacked", "unread", "ackdelay")
+
+    def __init__(
+        self,
+        unacked: WireQueueState,
+        unread: WireQueueState,
+        ackdelay: WireQueueState,
+    ):
+        self.unacked = unacked
+        self.unread = unread
+        self.ackdelay = ackdelay
+
+    @classmethod
+    def capture(cls, socket, scale: WireScale) -> "WirePeerState":
+        """Snapshot a socket's three byte-queue states."""
+        return cls(
+            unacked=WireQueueState.capture(socket.qs_unacked, scale),
+            unread=WireQueueState.capture(socket.qs_unread, scale),
+            ackdelay=WireQueueState.capture(socket.qs_ackdelay, scale),
+        )
+
+    def encode(self) -> bytes:
+        """Serialize to the 36-byte exchange payload."""
+        return self.unacked.encode() + self.unread.encode() + self.ackdelay.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "WirePeerState":
+        """Parse the 36-byte exchange payload."""
+        if len(data) != cls.WIRE_BYTES:
+            raise EstimationError(
+                f"peer state must be {cls.WIRE_BYTES} bytes, got {len(data)}"
+            )
+        size = WireQueueState.WIRE_BYTES
+        return cls(
+            unacked=WireQueueState.decode(data[:size]),
+            unread=WireQueueState.decode(data[size : 2 * size]),
+            ackdelay=WireQueueState.decode(data[2 * size :]),
+        )
+
+
+class _CounterUnwrapper:
+    """Reconstructs a monotone counter from wrapped 32-bit observations."""
+
+    __slots__ = ("_last32", "value")
+
+    def __init__(self):
+        self._last32: int | None = None
+        self.value = 0
+
+    def update(self, observed32: int) -> int:
+        if self._last32 is None:
+            self.value = observed32
+        else:
+            self.value += (observed32 - self._last32) % _WIRE_MOD
+        self._last32 = observed32
+        return self.value
+
+
+class _QueueUnwrapper:
+    """Unwraps one queue's wire counters back to native units."""
+
+    def __init__(self, scale: WireScale):
+        self._scale = scale
+        self._time = _CounterUnwrapper()
+        self._total = _CounterUnwrapper()
+        self._integral = _CounterUnwrapper()
+
+    def update(self, wire: WireQueueState) -> QueueSnapshot:
+        return QueueSnapshot(
+            time=self._time.update(wire.time32) * self._scale.time_unit_ns,
+            total=self._total.update(wire.total32),
+            integral=(
+                self._integral.update(wire.integral32)
+                << self._scale.integral_shift
+            )
+            * self._scale.time_unit_ns,
+        )
+
+
+@dataclass(frozen=True)
+class PeerSnapshots:
+    """Unwrapped remote queue snapshots from one exchange."""
+
+    unacked: QueueSnapshot
+    unread: QueueSnapshot
+    ackdelay: QueueSnapshot
+
+
+class MetadataExchange:
+    """Attaches to a socket; shares queue states, collects the peer's.
+
+    The paper keeps two states per connection, previous and current
+    (§5); :attr:`remote_prev` / :attr:`remote_cur` are exactly those.
+    When a :class:`~repro.core.hints.HintSession` is supplied, its
+    userspace queue state rides along as the hint option (§3.3's
+    ancillary-data path).
+    """
+
+    def __init__(
+        self,
+        sim,
+        socket,
+        period_ns: int = msecs(10),
+        scale: WireScale | None = None,
+        hint_session=None,
+    ):
+        if period_ns <= 0:
+            raise EstimationError(f"exchange period must be positive: {period_ns}")
+        self._sim = sim
+        self._socket = socket
+        self.period_ns = period_ns
+        self.scale = scale or WireScale()
+        self.hint_session = hint_session
+        socket.exchange = self
+        self._next_due = sim.now
+        self._demand = False
+        self._unwrap_unacked = _QueueUnwrapper(self.scale)
+        self._unwrap_unread = _QueueUnwrapper(self.scale)
+        self._unwrap_ackdelay = _QueueUnwrapper(self.scale)
+        self._unwrap_hint = _QueueUnwrapper(
+            WireScale(time_unit_ns=self.scale.time_unit_ns, integral_shift=0)
+        )
+        self.remote_prev: PeerSnapshots | None = None
+        self.remote_cur: PeerSnapshots | None = None
+        self.remote_hint_prev: QueueSnapshot | None = None
+        self.remote_hint_cur: QueueSnapshot | None = None
+        self.states_sent = 0
+        self.states_received = 0
+        self.option_bytes_sent = 0
+        self.carrier_acks_sent = 0
+        self._carrier_timer = None
+        self._carrier_deadline_ns = None
+
+    def request(self) -> None:
+        """On-demand exchange (§5): attach state to the next segment."""
+        self._demand = True
+
+    # ------------------------------------------------------------------
+    # Standalone carrier for quiet endpoints.
+    # ------------------------------------------------------------------
+
+    def start_carrier(self, deadline_ns: int) -> None:
+        """Guarantee delivery even without reverse traffic.
+
+        Options ride outgoing segments, so an endpoint that transmits
+        nothing shares nothing — a one-way bulk receiver, or an idle
+        connection that a controller still wants estimates from.  The
+        carrier checks every ``deadline_ns``: if a state is due (by
+        period or on-demand) and no segment has carried it, it emits a
+        pure ack as a carrier.
+        """
+        if deadline_ns <= 0:
+            raise EstimationError(f"carrier deadline must be positive: {deadline_ns}")
+        self._carrier_deadline_ns = deadline_ns
+        if self._carrier_timer is None:
+            self._carrier_timer = self._sim.call_after(
+                deadline_ns, self._carrier_tick
+            )
+
+    def stop_carrier(self) -> None:
+        """Cancel the carrier."""
+        if self._carrier_timer is not None:
+            self._carrier_timer.cancel()
+            self._carrier_timer = None
+        self._carrier_deadline_ns = None
+
+    def _carrier_tick(self) -> None:
+        self._carrier_timer = None
+        if self._carrier_deadline_ns is None:
+            return
+        starved = (
+            self._sim.now >= self._next_due + self._carrier_deadline_ns
+        )
+        if self._demand or starved:
+            # Starved: the state has been due for a full deadline and no
+            # segment carried it; send a bare ack (its transmit path
+            # calls back into on_transmit, attaching the state).  Merely
+            # "due" states get the grace window — regular traffic will
+            # carry them.
+            self.carrier_acks_sent += 1
+            self._socket._emit_pure_ack()
+        self._carrier_timer = self._sim.call_after(
+            self._carrier_deadline_ns, self._carrier_tick
+        )
+
+    # ------------------------------------------------------------------
+    # Socket hooks.
+    # ------------------------------------------------------------------
+
+    def on_transmit(self, segment) -> None:
+        """Called for every outgoing segment; attaches options when due."""
+        if self._sim.now < self._next_due and not self._demand:
+            return
+        self._next_due = self._sim.now + self.period_ns
+        self._demand = False
+        state = WirePeerState.capture(self._socket, self.scale)
+        segment.options[OPTION_E2E] = state
+        self.states_sent += 1
+        self.option_bytes_sent += WirePeerState.WIRE_BYTES
+        if self.hint_session is not None:
+            hint_scale = WireScale(
+                time_unit_ns=self.scale.time_unit_ns, integral_shift=0
+            )
+            segment.options[OPTION_HINT] = WireQueueState.capture(
+                self.hint_session.state, hint_scale
+            )
+            self.option_bytes_sent += WireQueueState.WIRE_BYTES
+
+    def on_receive(self, options: dict) -> None:
+        """Called for incoming segments carrying options."""
+        state = options.get(OPTION_E2E)
+        if state is not None:
+            self.states_received += 1
+            snapshots = PeerSnapshots(
+                unacked=self._unwrap_unacked.update(state.unacked),
+                unread=self._unwrap_unread.update(state.unread),
+                ackdelay=self._unwrap_ackdelay.update(state.ackdelay),
+            )
+            self.remote_prev, self.remote_cur = self.remote_cur, snapshots
+        hint = options.get(OPTION_HINT)
+        if hint is not None:
+            snapshot = self._unwrap_hint.update(hint)
+            self.remote_hint_prev, self.remote_hint_cur = (
+                self.remote_hint_cur,
+                snapshot,
+            )

@@ -1,0 +1,77 @@
+"""The cooperative-application hint API (paper §3.3).
+
+A client that knows its own request/response boundaries maintains a
+userspace 4-tuple queue state of *outstanding requests*: ``create(n)``
+when issuing requests, ``complete(n)`` when responses arrive — thin
+wrappers over TRACK.  Little's law applied to this single logical queue
+yields exactly the application-perceived end-to-end latency and
+throughput; no kernel queue monitoring is needed, and the server needs
+to share nothing (top of the paper's Figure 3).
+
+The state is shared with the peer by attaching the session to the
+socket's :class:`~repro.core.exchange.MetadataExchange` (the send
+ancillary-data analogue).
+"""
+
+from __future__ import annotations
+
+from repro.core.littles_law import QueueAverages, get_avgs
+from repro.core.qstate import QueueSnapshot, QueueState
+from repro.errors import EstimationError
+
+
+class HintSession:
+    """Userspace request-queue state with the create/complete API."""
+
+    def __init__(self, clock):
+        self.state = QueueState(clock)
+        self._prev: QueueSnapshot | None = None
+
+    def create(self, n: int = 1) -> None:
+        """Record that ``n`` requests were issued."""
+        if n <= 0:
+            raise EstimationError(f"create() needs a positive count, got {n}")
+        self.state.track(n)
+
+    def complete(self, n: int = 1) -> None:
+        """Record that ``n`` responses were received."""
+        if n <= 0:
+            raise EstimationError(f"complete() needs a positive count, got {n}")
+        self.state.track(-n)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests issued but not yet completed."""
+        return self.state.size
+
+    def sample(self) -> QueueAverages | None:
+        """Averages since the previous :meth:`sample` call.
+
+        Returns None on the first call (no interval yet) and when no
+        time elapsed.
+        """
+        snapshot = self.state.snapshot()
+        prev, self._prev = self._prev, snapshot
+        if prev is None or snapshot.time <= prev.time:
+            return None
+        return get_avgs(prev, snapshot)
+
+
+class RemoteHintEstimator:
+    """Server-side view of a client's hint queue (via the exchange).
+
+    The server reads the two most recent hint snapshots its exchange
+    collected and applies GETAVGS — the latency is application-perceived
+    end-to-end by construction.
+    """
+
+    def __init__(self, exchange):
+        self._exchange = exchange
+
+    def sample(self) -> QueueAverages | None:
+        """Averages over the interval between the last two exchanges."""
+        prev = self._exchange.remote_hint_prev
+        cur = self._exchange.remote_hint_cur
+        if prev is None or cur is None or cur.time <= prev.time:
+            return None
+        return get_avgs(prev, cur)

@@ -1,0 +1,68 @@
+"""GETAVGS — averages between two queue snapshots (paper §3.1, Algorithm 2).
+
+Given two successive snapshots of a queue state, compute over the interval
+between them:
+
+- average occupancy ``Q = Δintegral / Δtime``;
+- throughput ``λ = Δtotal / Δtime`` (departure rate; for a lossless queue
+  the arrival rate is the same);
+- queuing delay ``D = Q / λ = Δintegral / Δtotal`` (Little's law).
+
+The paper's illustration: a queue holding 1 item for 10 µs then 4 items for
+20 µs has integral 1·10 + 4·20 = 90 item·µs, so Q = 90/30 = 3 items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.qstate import QueueSnapshot
+from repro.errors import EstimationError
+from repro.units import SEC
+
+
+@dataclass(frozen=True)
+class QueueAverages:
+    """Averages over a snapshot interval.
+
+    ``latency_ns`` is None when no items departed during the interval
+    (λ = 0): Little's law gives 0/0 and the paper's estimator treats the
+    queue's delay contribution as unknown rather than zero.
+    """
+
+    occupancy: float
+    throughput_per_sec: float
+    latency_ns: float | None
+    interval_ns: int
+
+    @property
+    def defined(self) -> bool:
+        """Whether a latency estimate exists (some item departed)."""
+        return self.latency_ns is not None
+
+
+def get_avgs(prev: QueueSnapshot, now: QueueSnapshot) -> QueueAverages:
+    """Algorithm 2: averages for the interval between two snapshots.
+
+    ``prev`` must be the earlier snapshot of the same queue state; a
+    non-positive interval or negative counter deltas indicate misuse.
+    """
+    delta = now - prev
+    if delta.time <= 0:
+        raise EstimationError(
+            f"snapshot interval must be positive, got {delta.time} ns"
+        )
+    if delta.total < 0 or delta.integral < 0:
+        raise EstimationError(
+            f"counter deltas went backwards (total {delta.total}, "
+            f"integral {delta.integral}); snapshots from different queues?"
+        )
+    occupancy = delta.integral / delta.time
+    throughput = delta.total * SEC / delta.time
+    latency = delta.integral / delta.total if delta.total > 0 else None
+    return QueueAverages(
+        occupancy=occupancy,
+        throughput_per_sec=throughput,
+        latency_ns=latency,
+        interval_ns=delta.time,
+    )

@@ -1,0 +1,72 @@
+"""Batching objectives (paper §5, "Dynamic Toggling").
+
+Throughput and latency can conflict, so mode selection follows a system-
+or user-defined policy.  A policy scores a :class:`PerfSample`; scores
+are ordered tuples so lexicographic objectives ("meet the SLO, then
+maximize throughput") compose naturally.
+
+The two policies the paper names:
+
+- :class:`LatencyFirstPolicy` — prefer lower latency outright;
+- :class:`ThroughputUnderSloPolicy` — maximize throughput provided a
+  latency SLO is met; among SLO violators, prefer lower latency.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One end-to-end performance observation.
+
+    ``latency_ns`` may be None (the estimator had no defined sample);
+    policies treat unknown latency pessimistically.
+    """
+
+    latency_ns: float | None
+    throughput_per_sec: float
+
+
+class BatchingPolicy(ABC):
+    """Orders performance samples; bigger score = better."""
+
+    @abstractmethod
+    def score(self, sample: PerfSample) -> tuple:
+        """Comparable score tuple for one sample."""
+
+    def better(self, a: PerfSample, b: PerfSample) -> bool:
+        """Whether ``a`` is strictly preferable to ``b``."""
+        return self.score(a) > self.score(b)
+
+
+class LatencyFirstPolicy(BatchingPolicy):
+    """Minimize latency; throughput breaks ties."""
+
+    def score(self, sample: PerfSample) -> tuple:
+        if sample.latency_ns is None:
+            return (0, 0.0, sample.throughput_per_sec)
+        return (1, -sample.latency_ns, sample.throughput_per_sec)
+
+
+class ThroughputUnderSloPolicy(BatchingPolicy):
+    """Maximize throughput subject to a latency SLO.
+
+    Samples meeting the SLO rank above all violators and are ordered by
+    throughput; violators are ordered by how close they come to the SLO.
+    The paper's evaluation uses a 500 µs SLO [IX, ZygOS].
+    """
+
+    def __init__(self, slo_ns: int):
+        if slo_ns <= 0:
+            raise ValueError(f"SLO must be positive, got {slo_ns}")
+        self.slo_ns = slo_ns
+
+    def score(self, sample: PerfSample) -> tuple:
+        if sample.latency_ns is None:
+            return (0, -float("inf"), 0.0)
+        if sample.latency_ns <= self.slo_ns:
+            return (1, sample.throughput_per_sec, -sample.latency_ns)
+        return (0, -sample.latency_ns, sample.throughput_per_sec)

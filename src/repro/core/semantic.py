@@ -1,0 +1,224 @@
+"""Bridging the semantic gap: message-unit adapters (paper §3.3).
+
+Applications perceive performance in *requests and responses*; the kernel
+sees bytes and packets.  The paper proposes a ladder of approximations:
+
+1. **bytes** — what the prototype uses (socket byte queues exist
+   already); accurate only when requests and responses have similar
+   sizes (Figure 4a vs. 4b).
+2. **packets** — similar limits, demonstrated "similarly limited" (§3.4).
+3. **send syscalls** — each ``send()`` buffer approximates one message;
+   reasonable for many request/response workloads.
+4. **hints** — the application tells the truth via
+   ``create``/``complete`` (:mod:`repro.core.hints`); exact by
+   construction.
+
+Each adapter here is a :class:`~repro.tcp.instrumentation.SocketInstrument`
+maintaining the paper's three queues (unacked / unread / ackdelay) in its
+own unit, attached to a socket via :func:`attach_units`.
+
+A *unit boundary* is the stream offset at which a unit ends.  A unit
+"leaves" the unacked queue when its last byte is acked, "enters" unread
+when its last byte arrives, etc.  Partially progressed units therefore
+count as still queued — matching how an application perceives an
+incomplete message (useless until whole).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.qstate import QueueState
+from repro.errors import EstimationError
+from repro.tcp.instrumentation import SocketInstrument
+
+
+class _BoundaryCounter:
+    """Counts unit boundaries crossed by an advancing stream offset."""
+
+    __slots__ = ("_boundaries",)
+
+    def __init__(self):
+        self._boundaries: deque[int] = deque()
+
+    def add_boundary(self, end_offset: int) -> None:
+        if self._boundaries and end_offset <= self._boundaries[-1]:
+            raise EstimationError(
+                f"boundary {end_offset} not beyond {self._boundaries[-1]}"
+            )
+        self._boundaries.append(end_offset)
+
+    def crossed(self, offset: int) -> int:
+        """Pop and count boundaries at or before ``offset``."""
+        count = 0
+        while self._boundaries and self._boundaries[0] <= offset:
+            self._boundaries.popleft()
+            count += 1
+        return count
+
+
+class MessageUnits(SocketInstrument):
+    """Base adapter: three queue states in some message unit.
+
+    Subclasses decide what constitutes a unit by feeding boundary
+    offsets; this base handles the queue-state mechanics.  Receiver-side
+    boundaries are learned from ``on_arrived`` consultations of the
+    sender's boundary declarations, which subclasses provide by sharing
+    the boundary source between the two endpoints' adapters (see
+    :func:`attach_units`).
+    """
+
+    unit_name = "units"
+
+    def __init__(self, clock):
+        self.qs_unacked = QueueState(clock)
+        self.qs_unread = QueueState(clock)
+        self.qs_ackdelay = QueueState(clock)
+        # Sender side: units awaiting full acknowledgment.
+        self._ack_boundaries = _BoundaryCounter()
+        # Receiver side: units awaiting arrival completion / read / ack.
+        self._arrive_boundaries = _BoundaryCounter()
+        self._read_boundaries = _BoundaryCounter()
+        self._ack_sent_boundaries = _BoundaryCounter()
+        self._send_offset = 0
+        self.peer: "MessageUnits | None" = None
+
+    # ------------------------------------------------------------------
+    # Unit definition (sender side).
+    # ------------------------------------------------------------------
+
+    def declare_sent_unit(self, end_offset: int) -> None:
+        """A unit of ours ends at ``end_offset``: it enters unacked and
+        is announced to the peer's receive-side boundary trackers."""
+        self.qs_unacked.track(1)
+        self._ack_boundaries.add_boundary(end_offset)
+        if self.peer is not None:
+            self.peer._arrive_boundaries.add_boundary(end_offset)
+            self.peer._read_boundaries.add_boundary(end_offset)
+            self.peer._ack_sent_boundaries.add_boundary(end_offset)
+
+    # ------------------------------------------------------------------
+    # Socket hooks.
+    # ------------------------------------------------------------------
+
+    def on_acked(self, new_snd_una: int) -> None:
+        done = self._ack_boundaries.crossed(new_snd_una)
+        if done:
+            self.qs_unacked.track(-done)
+
+    def on_arrived(self, new_rcv_nxt: int) -> None:
+        done = self._arrive_boundaries.crossed(new_rcv_nxt)
+        if done:
+            self.qs_unread.track(done)
+            self.qs_ackdelay.track(done)
+
+    def on_read(self, new_read_seq: int) -> None:
+        done = self._read_boundaries.crossed(new_read_seq)
+        if done:
+            self.qs_unread.track(-done)
+
+    def on_ack_sent(self, acked_upto: int) -> None:
+        done = self._ack_sent_boundaries.crossed(acked_upto)
+        if done:
+            self.qs_ackdelay.track(-done)
+
+
+class SyscallUnits(MessageUnits):
+    """One send() buffer = one unit (the paper's 'next step', §3.3)."""
+
+    unit_name = "syscalls"
+
+    def on_send(self, nbytes: int) -> None:
+        self._send_offset += nbytes
+        self.declare_sent_unit(self._send_offset)
+
+
+class PacketUnits(MessageUnits):
+    """One transmitted (super-)segment = one unit (§3.4's alternative)."""
+
+    unit_name = "packets"
+
+    def on_segment_sent(self, seq: int, nbytes: int) -> None:
+        end = seq + nbytes
+        if end > self._send_offset:
+            self._send_offset = end
+            self.declare_sent_unit(end)
+
+
+class ByteUnits(MessageUnits):
+    """Bytes-as-units adapter.
+
+    The socket's built-in byte queues already provide this; the adapter
+    exists so unit-comparison experiments can treat all granularities
+    uniformly.  Every byte is a unit, tracked in bulk (no per-byte
+    boundary bookkeeping).
+    """
+
+    unit_name = "bytes"
+
+    def on_send(self, nbytes: int) -> None:
+        self.qs_unacked.track(nbytes)
+        self._send_offset += nbytes
+
+    def on_acked(self, new_snd_una: int) -> None:
+        delta = new_snd_una - getattr(self, "_acked_upto", 0)
+        self._acked_upto = new_snd_una
+        if delta > 0:
+            self.qs_unacked.track(-delta)
+
+    def on_arrived(self, new_rcv_nxt: int) -> None:
+        delta = new_rcv_nxt - getattr(self, "_arrived_upto", 0)
+        self._arrived_upto = new_rcv_nxt
+        if delta > 0:
+            self.qs_unread.track(delta)
+            self.qs_ackdelay.track(delta)
+
+    def on_read(self, new_read_seq: int) -> None:
+        delta = new_read_seq - getattr(self, "_read_upto", 0)
+        self._read_upto = new_read_seq
+        if delta > 0:
+            self.qs_unread.track(-delta)
+
+    def on_ack_sent(self, acked_upto: int) -> None:
+        delta = acked_upto - getattr(self, "_ack_sent_upto", 0)
+        self._ack_sent_upto = acked_upto
+        if delta > 0:
+            self.qs_ackdelay.track(-delta)
+
+
+class HintUnits(MessageUnits):
+    """Application-hinted units (§3.3): boundaries declared explicitly.
+
+    The application calls :meth:`mark_message_end` when it finishes
+    writing one logical request/response, regardless of how many send
+    syscalls that took.  Note this adapter tracks the *socket-level*
+    queues in hint units; the even simpler single-logical-queue hint path
+    is :class:`repro.core.hints.HintSession`.
+    """
+
+    unit_name = "hints"
+
+    def on_send(self, nbytes: int) -> None:
+        self._send_offset += nbytes
+
+    def mark_message_end(self) -> None:
+        """Declare that the bytes written so far complete one message."""
+        self.declare_sent_unit(self._send_offset)
+
+
+def attach_units(
+    sock_a, sock_b, units_cls: type[MessageUnits]
+) -> tuple[MessageUnits, MessageUnits]:
+    """Attach a unit adapter to both endpoints of a connection.
+
+    Each endpoint gets an adapter; the pair is cross-linked so sender
+    boundary declarations feed the peer's receive-side trackers (the
+    kernel equivalent: both stacks count the same on-the-wire units).
+    """
+    unit_a = units_cls(sock_a.host.clock)
+    unit_b = units_cls(sock_b.host.clock)
+    unit_a.peer = unit_b
+    unit_b.peer = unit_a
+    sock_a.instruments.append(unit_a)
+    sock_b.instruments.append(unit_b)
+    return unit_a, unit_b

@@ -1,0 +1,193 @@
+"""Dynamic on/off batching controlled by end-to-end estimates (paper §5).
+
+The effect of toggling Nagle is unknown until tried — a classic
+exploration/exploitation problem.  As the paper speculates, a light
+ε-greedy scheme suffices: every tick (the *toggling granularity*, §5) the
+controller
+
+1. samples end-to-end performance for the mode that just ran,
+2. folds it into that mode's EWMA,
+3. picks the next mode: with probability ε the other one (exploration),
+   otherwise the mode whose smoothed performance the policy prefers,
+
+and applies the choice to the sockets under control.  Ticks whose
+estimate is undefined (idle connection) leave the EWMAs untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.ewma import Ewma
+from repro.core.policy import BatchingPolicy, PerfSample
+from repro.errors import EstimationError
+from repro.units import msecs
+
+
+@dataclass(frozen=True)
+class TogglerConfig:
+    """ε-greedy toggler tunables.
+
+    ``tick_ns`` is the toggling granularity (the paper's initial results
+    suggest a kernel tick, ~1–4 ms).  ``epsilon`` is the exploration
+    probability.  ``alpha`` is the per-mode EWMA weight.
+    ``min_samples`` forces each mode to be tried that many times before
+    greedy selection starts.  ``settle_ticks`` discards that many
+    intervals after every mode change before attributing samples: the
+    queues built under the old mode must drain, or the new mode gets
+    blamed for the old one's backlog (most visible when exploring the
+    good mode while the bad one is collapsing).
+    """
+
+    tick_ns: int = msecs(1)
+    epsilon: float = 0.1
+    alpha: float = 0.3
+    min_samples: int = 3
+    settle_ticks: int = 3
+
+    def validate(self) -> None:
+        """Raise on out-of-range parameters."""
+        if self.tick_ns <= 0:
+            raise EstimationError(f"tick must be positive, got {self.tick_ns}")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise EstimationError(f"epsilon out of range: {self.epsilon}")
+        if self.min_samples < 1:
+            raise EstimationError(f"min_samples must be >= 1: {self.min_samples}")
+        if self.settle_ticks < 0:
+            raise EstimationError(f"settle_ticks must be >= 0: {self.settle_ticks}")
+
+
+@dataclass
+class ToggleRecord:
+    """Telemetry: one controller tick."""
+
+    time: int
+    mode: bool
+    sample: PerfSample | None
+    explored: bool
+
+
+@dataclass
+class _ModeStats:
+    latency: Ewma
+    throughput: Ewma
+    samples: int = 0
+
+
+class NagleToggler:
+    """ε-greedy dynamic Nagle on/off controller.
+
+    ``sample_fn`` returns the latest :class:`PerfSample` (or None) —
+    typically a closure over an :class:`~repro.core.estimator
+    .E2EEstimator` or a :class:`~repro.core.hints.RemoteHintEstimator`.
+    ``apply_fn`` receives the chosen mode (True = Nagle on) and flips it
+    on every connection the policy governs; per §3.2, a policy spanning
+    multiple connections averages their estimates inside ``sample_fn``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        sample_fn: Callable[[], PerfSample | None],
+        apply_fn: Callable[[bool], None],
+        policy: BatchingPolicy,
+        rng,
+        config: TogglerConfig | None = None,
+        initial_mode: bool = False,
+    ):
+        self._sim = sim
+        self._sample_fn = sample_fn
+        self._apply_fn = apply_fn
+        self._policy = policy
+        self._rng = rng
+        self.config = config or TogglerConfig()
+        self.config.validate()
+        self.mode = initial_mode
+        self._stats = {
+            mode: _ModeStats(
+                latency=Ewma(self.config.alpha),
+                throughput=Ewma(self.config.alpha),
+            )
+            for mode in (False, True)
+        }
+        self.history: list[ToggleRecord] = []
+        self.toggles = 0
+        self._timer = None
+        self._settling = 0
+
+    def start(self) -> None:
+        """Apply the initial mode and begin ticking."""
+        self._apply_fn(self.mode)
+        self._timer = self._sim.call_after(self.config.tick_ns, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the tick timer."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Controller loop.
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        sample = self._sample_fn()
+        explored = self._observe_and_choose(sample)
+        self.history.append(
+            ToggleRecord(self._sim.now, self.mode, sample, explored)
+        )
+        self._timer = self._sim.call_after(self.config.tick_ns, self._tick)
+
+    def _observe_and_choose(self, sample: PerfSample | None) -> bool:
+        if self._settling > 0:
+            # The intervals right after a mode change straddle the
+            # transition — queues built under the old mode drain under
+            # the new one, so attributing them would poison this arm's
+            # EWMA.  Discard them and measure clean intervals first.
+            self._settling -= 1
+            return False
+        if sample is not None and sample.latency_ns is not None:
+            stats = self._stats[self.mode]
+            stats.samples += 1
+            stats.latency.update(sample.latency_ns)
+            stats.throughput.update(sample.throughput_per_sec)
+        next_mode, explored = self._select()
+        if next_mode != self.mode:
+            self.mode = next_mode
+            self.toggles += 1
+            self._settling = self.config.settle_ticks
+            self._apply_fn(next_mode)
+        return explored
+
+    def _select(self) -> tuple[bool, bool]:
+        # Make sure both arms have a minimal history first.
+        for mode in (False, True):
+            if self._stats[mode].samples < self.config.min_samples:
+                return mode, True
+        if self._rng.bernoulli(self.config.epsilon):
+            return (not self.mode), True
+        return self._greedy(), False
+
+    def _greedy(self) -> bool:
+        scores = {}
+        for mode, stats in self._stats.items():
+            scores[mode] = self._policy.score(
+                PerfSample(
+                    latency_ns=stats.latency.mean,
+                    throughput_per_sec=stats.throughput.mean or 0.0,
+                )
+            )
+        return scores[True] > scores[False]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def smoothed(self, mode: bool) -> PerfSample:
+        """Current EWMA view of one mode."""
+        stats = self._stats[mode]
+        return PerfSample(
+            latency_ns=stats.latency.mean,
+            throughput_per_sec=stats.throughput.mean or 0.0,
+        )

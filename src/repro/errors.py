@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors like ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. scheduling in
+    the past, running a finished simulation)."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process yielded something the scheduler cannot
+    interpret, or was resumed after termination."""
+
+
+class NetworkError(ReproError):
+    """Invalid network configuration or packet handling (e.g. oversized
+    frame for the link MTU without TSO)."""
+
+
+class TcpError(ReproError):
+    """TCP socket misuse: sending on a closed socket, malformed segment,
+    option-encoding failures, and similar."""
+
+
+class ProtocolError(ReproError):
+    """Application-level protocol violation (malformed RESP data)."""
+
+
+class EstimationError(ReproError):
+    """Queue-state or estimator misuse, e.g. computing averages over an
+    empty or negative interval."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload or load-generator configuration."""

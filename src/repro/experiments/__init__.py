@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per paper figure plus ablations.
+
+Each driver returns a structured result object and can render itself as
+text; the benchmark suite under ``benchmarks/`` invokes these and prints
+the same rows/series the paper reports.  See DESIGN.md's per-experiment
+index (E1-E5, A1-A6).
+"""
+
+from repro.experiments.decomposition import DecompositionResult, run_decomposition
+from repro.experiments.fanin import FaninConfig, FaninResult, run_fanin
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig4a import Fig4aResult, run_fig4a
+from repro.experiments.fig4b import Fig4bResult, run_fig4b
+from repro.experiments.tail import TailResult, run_tail
+from repro.experiments.timevarying import PhasePlan, TimeVaryingResult, run_timevarying
+
+__all__ = [
+    "DecompositionResult",
+    "FaninConfig",
+    "FaninResult",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig4aResult",
+    "Fig4bResult",
+    "PhasePlan",
+    "TailResult",
+    "TimeVaryingResult",
+    "run_decomposition",
+    "run_fanin",
+    "run_fig1",
+    "run_fig2",
+    "run_fig4a",
+    "run_fig4b",
+    "run_tail",
+    "run_timevarying",
+]

@@ -1,0 +1,243 @@
+"""A10 — many clients, one server: fan-in through a switch.
+
+The paper's evaluation uses one client machine; its §3.2 notes that
+per-connection estimates "can be averaged if a batching policy
+simultaneously affects multiple connections."  This experiment builds
+the deployment that sentence implies: N independent client machines
+funnel through a switch into one server, the offline estimates are
+computed per connection and throughput-weighted-averaged, and a single
+dynamic toggler flips Nagle on *every* connection from that averaged
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.counters import CounterCollector
+from repro.analysis.offline import window_estimate
+from repro.analysis.report import format_table
+from repro.apps.kvstore import KVStore
+from repro.apps.redis_client import ClientConfig, RedisClient
+from repro.apps.redis_server import RedisServer, ServerConfig
+from repro.core.estimator import E2EEstimator, combine_estimates
+from repro.core.policy import LatencyFirstPolicy, PerfSample
+from repro.core.toggler import NagleToggler, TogglerConfig
+from repro.host.host import Host, HostCosts
+from repro.loadgen.arrivals import Workload, poisson_schedule
+from repro.loadgen.stats import summarize
+from repro.net.switch import Star
+from repro.sim.loop import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.connect import connect_pair
+from repro.tcp.socket import TcpConfig
+from repro.units import msecs, to_usecs, usecs
+
+
+@dataclass(frozen=True)
+class FaninConfig:
+    """The fan-in scenario's knobs."""
+
+    clients: int = 4
+    total_rate_per_sec: float = 48_000.0
+    nagle: bool = False
+    workload: Workload = field(default_factory=Workload)
+    warmup_ns: int = msecs(40)
+    measure_ns: int = msecs(150)
+    seed: int = 1
+    propagation_delay_ns: int = usecs(5)
+
+
+@dataclass
+class FaninBed:
+    """Everything the fan-in builder assembles."""
+
+    sim: Simulator
+    rng: RngRegistry
+    server_host: Host
+    client_hosts: list[Host]
+    client_socks: list
+    server_socks: list
+    clients: list[RedisClient]
+    server: RedisServer
+    collectors: list[CounterCollector]
+
+
+def build_fanin(config: FaninConfig) -> FaninBed:
+    """Assemble N client machines, a switch, and one server."""
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    server_host = Host(sim, "server", costs=HostCosts())
+    client_hosts = [
+        Host(sim, f"client{index}", costs=HostCosts())
+        for index in range(config.clients)
+    ]
+    Star.connect(
+        sim,
+        {host.name: host.nic for host in client_hosts + [server_host]},
+        propagation_delay_ns=config.propagation_delay_ns,
+    )
+    tcp_config = TcpConfig(nagle=config.nagle)
+    client_socks, server_socks, clients, collectors = [], [], [], []
+    for index, host in enumerate(client_hosts):
+        client_sock, server_sock = connect_pair(
+            sim, host, server_host, tcp_config, tcp_config,
+            name=f"conn{index}",
+        )
+        client_socks.append(client_sock)
+        server_socks.append(server_sock)
+        clients.append(
+            RedisClient(sim, host, client_sock, config=ClientConfig(),
+                        name=f"lancet{index}")
+        )
+        collectors.append(
+            CounterCollector(sim, client_sock, server_sock, period_ns=msecs(10))
+        )
+    server = RedisServer(
+        sim, server_host, server_socks[0], store=KVStore(),
+        config=ServerConfig(), extra_sockets=server_socks[1:],
+    )
+    return FaninBed(
+        sim=sim, rng=rng, server_host=server_host, client_hosts=client_hosts,
+        client_socks=client_socks, server_socks=server_socks,
+        clients=clients, server=server, collectors=collectors,
+    )
+
+
+@dataclass
+class FaninResult:
+    """One fan-in run's measurements."""
+
+    config: FaninConfig
+    per_client_mean_ns: list[float]
+    aggregate_mean_ns: float
+    averaged_estimate_ns: float | None
+    server_net_util: float
+    toggler_final_mode: bool | None = None
+    toggler_toggles: int | None = None
+
+    def render(self) -> str:
+        """A10 as a table."""
+        rows = [
+            (f"client {index}", to_usecs(mean))
+            for index, mean in enumerate(self.per_client_mean_ns)
+        ]
+        rows.append(("aggregate", to_usecs(self.aggregate_mean_ns)))
+        if self.averaged_estimate_ns is not None:
+            rows.append(("averaged estimate (sec. 3.2)",
+                         to_usecs(self.averaged_estimate_ns)))
+        title = (
+            f"A10: {self.config.clients} clients -> 1 server at "
+            f"{self.config.total_rate_per_sec:,.0f} RPS total, "
+            f"nagle={'on' if self.config.nagle else 'off'}"
+        )
+        return format_table(["series", "mean latency (us)"], rows, title=title)
+
+
+def run_fanin(
+    config: FaninConfig, with_toggler: bool = False
+) -> FaninResult:
+    """Run the fan-in scenario, optionally under a spanning toggler."""
+    bed = build_fanin(config)
+    toggler = None
+    if with_toggler:
+        toggler = _attach_spanning_toggler(bed)
+
+    workload = config.workload
+    for index in range(workload.keyspace):
+        bed.server.store.set(workload.make_key(index), workload.value_bytes)
+    bed.server.start()
+    per_client_rate = config.total_rate_per_sec / config.clients
+    for index, client in enumerate(bed.clients):
+        schedule = poisson_schedule(
+            bed.rng.stream(f"arrivals.{index}"), workload, per_client_rate,
+            start_ns=bed.sim.now,
+            duration_ns=config.warmup_ns + config.measure_ns,
+        )
+        client.start(schedule)
+
+    measure_start = bed.sim.now + config.warmup_ns
+    measure_end = measure_start + config.measure_ns
+
+    def begin() -> None:
+        bed.server_host.reset_utilization_windows()
+        for collector in bed.collectors:
+            collector.start()
+
+    bed.sim.call_at(measure_start, begin)
+    bed.sim.run(until=measure_end)
+    for collector in bed.collectors:
+        collector.stop()
+
+    per_client = []
+    all_samples = []
+    for client in bed.clients:
+        samples = [
+            r.latency_ns for r in client.records
+            if measure_start <= r.completed_at <= measure_end
+        ]
+        per_client.append(summarize(samples).mean_ns)
+        all_samples.extend(samples)
+
+    estimates = [
+        window_estimate(collector.samples, measure_start, measure_end)
+        for collector in bed.collectors
+        if len(collector.samples) >= 2
+    ]
+    defined = [e for e in estimates if e.defined and e.throughput_per_sec > 0]
+    averaged = None
+    if defined:
+        total = sum(e.throughput_per_sec for e in defined)
+        averaged = sum(e.latency_ns * e.throughput_per_sec for e in defined) / total
+
+    return FaninResult(
+        config=config,
+        per_client_mean_ns=per_client,
+        aggregate_mean_ns=summarize(all_samples).mean_ns,
+        averaged_estimate_ns=averaged,
+        server_net_util=bed.server_host.net_core.utilization(),
+        toggler_final_mode=toggler.mode if toggler else None,
+        toggler_toggles=toggler.toggles if toggler else None,
+    )
+
+
+def _attach_spanning_toggler(bed: FaninBed) -> NagleToggler:
+    """One controller governing every connection (§3.2 averaging)."""
+    estimators = [
+        (E2EEstimator(client_sock, remote=server_sock),
+         E2EEstimator(server_sock, remote=client_sock))
+        for client_sock, server_sock in zip(bed.client_socks, bed.server_socks)
+    ]
+
+    def sample_fn() -> PerfSample | None:
+        latencies, throughput = [], 0.0
+        for client_est, server_est in estimators:
+            client_sample = client_est.sample()
+            server_sample = server_est.sample()
+            combined = combine_estimates(client_sample, server_sample)
+            if combined is not None:
+                latencies.append(combined)
+            if client_sample is not None:
+                throughput += client_sample.throughput_per_sec
+        if not latencies:
+            return None
+        return PerfSample(
+            latency_ns=sum(latencies) / len(latencies),
+            throughput_per_sec=throughput,
+        )
+
+    def apply_fn(mode: bool) -> None:
+        for sock in bed.client_socks + bed.server_socks:
+            sock.set_nagle(mode)
+
+    toggler = NagleToggler(
+        bed.sim,
+        sample_fn=sample_fn,
+        apply_fn=apply_fn,
+        policy=LatencyFirstPolicy(),
+        rng=bed.rng.stream("toggler"),
+        config=TogglerConfig(tick_ns=msecs(16), settle_ticks=1, min_samples=2),
+        initial_mode=False,
+    )
+    toggler.start()
+    return toggler

@@ -1,0 +1,72 @@
+"""E1 — Figure 1: the analytic batching scenario.
+
+Three client processing costs (c = 1, 3, 5) under n=3, α=2, β=4, showing
+batching (a) improving both metrics, (b) degrading both, (c) trading
+latency for throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.analytic.batching_model import ScenarioParams, compare
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One panel of Figure 1."""
+
+    c: float
+    batched_latency: float
+    unbatched_latency: float
+    batched_throughput: float
+    unbatched_throughput: float
+    latency_verdict: str
+    throughput_verdict: str
+
+
+@dataclass
+class Fig1Result:
+    """All three panels."""
+
+    rows: list[Fig1Row]
+
+    def render(self) -> str:
+        """Figure 1 as a table."""
+        return format_table(
+            ["c", "lat(batch)", "lat(none)", "tput(batch)", "tput(none)",
+             "batching:latency", "batching:throughput"],
+            [
+                (row.c, row.batched_latency, row.unbatched_latency,
+                 row.batched_throughput, row.unbatched_throughput,
+                 row.latency_verdict, row.throughput_verdict)
+                for row in self.rows
+            ],
+            title="Figure 1: batching outcome vs client cost c (n=3, alpha=2, beta=4)",
+        )
+
+
+def run_fig1(cs: tuple[float, ...] = (1.0, 3.0, 5.0)) -> Fig1Result:
+    """Evaluate the model at the paper's three client costs."""
+    rows = []
+    for c in cs:
+        outcome = compare(ScenarioParams(c=c))
+        rows.append(
+            Fig1Row(
+                c=c,
+                batched_latency=outcome["batched"].avg_latency,
+                unbatched_latency=outcome["unbatched"].avg_latency,
+                batched_throughput=outcome["batched"].throughput,
+                unbatched_throughput=outcome["unbatched"].throughput,
+                latency_verdict=(
+                    "improves" if outcome["batching_improves_latency"] else "degrades"
+                ),
+                throughput_verdict=(
+                    "improves"
+                    if outcome["batching_improves_throughput"]
+                    else "degrades"
+                ),
+            )
+        )
+    return Fig1Result(rows=rows)

@@ -1,0 +1,122 @@
+"""E4 — Figure 4b: heterogeneous 95:5 SET:GET workload.
+
+5% of requests are GETs whose 16 KiB responses dwarf the SET responses
+(one GET reply carries ~34× the bytes of 95 SET replies' worth of +OK).
+Byte-granularity estimation consequently mis-weights the traffic: the
+estimated curves no longer track the (SET-dominated) measured request
+latency, and the estimated cutoff diverges from the measured one —
+exactly the failure the paper demonstrates to motivate syscall/hint
+units (§3.3).  The hint-based estimate, recorded in the same runs,
+stays accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.cutoff import crossover_rate
+from repro.analysis.report import format_table
+from repro.experiments.fig4a import default_config
+from repro.loadgen.arrivals import Workload
+from repro.loadgen.lancet import BenchConfig
+from repro.loadgen.sweep import SweepPoint, estimated_curve, measured_curve, sweep_rates
+from repro.units import KIB, to_usecs
+
+DEFAULT_RATES = [
+    5_000.0, 15_000.0, 25_000.0, 30_000.0, 35_000.0,
+    40_000.0, 50_000.0, 60_000.0, 70_000.0,
+]
+
+
+def mixed_config() -> BenchConfig:
+    """The 95:5 SET:GET mix of Figure 4b."""
+    base = default_config()
+    return replace(
+        base,
+        workload=Workload(set_ratio=0.95, key_bytes=16, value_bytes=16 * KIB),
+    )
+
+
+@dataclass
+class Fig4bResult:
+    """Sweeps for both configurations plus divergence diagnostics."""
+
+    off_points: list[SweepPoint]
+    on_points: list[SweepPoint]
+    measured_cutoff: float | None = None
+    estimated_cutoff: float | None = None
+    mean_abs_error_fraction: float = 0.0
+    hint_mean_abs_error_fraction: float = 0.0
+
+    def render(self) -> str:
+        """Figure 4b as a table plus cutoff comparison."""
+        rows = []
+        for off, on in zip(self.off_points, self.on_points):
+            rows.append((
+                int(off.rate_per_sec),
+                to_usecs(off.result.latency.mean_ns),
+                to_usecs(off.result.estimate.latency_ns)
+                if off.result.estimate and off.result.estimate.defined else float("nan"),
+                to_usecs(off.result.hint_latency_ns)
+                if off.result.hint_latency_ns else float("nan"),
+                to_usecs(on.result.latency.mean_ns),
+                to_usecs(on.result.estimate.latency_ns)
+                if on.result.estimate and on.result.estimate.defined else float("nan"),
+            ))
+        table = format_table(
+            ["rate (RPS)", "meas off", "byte-est off", "hint-est off",
+             "meas on", "byte-est on"],
+            rows,
+            title="Figure 4b: 95:5 SET:GET — byte estimates diverge (us)",
+        )
+        return "\n".join([
+            table,
+            f"measured cutoff: {self.measured_cutoff and round(self.measured_cutoff)} RPS; "
+            f"byte-estimated cutoff: {self.estimated_cutoff and round(self.estimated_cutoff)} RPS",
+            f"byte-estimate mean |error|: {self.mean_abs_error_fraction:.1%}; "
+            f"hint-estimate mean |error|: {self.hint_mean_abs_error_fraction:.1%}",
+        ])
+
+
+def _mean_abs_error(points: list[SweepPoint], use_hint: bool) -> float:
+    errors = []
+    for point in points:
+        measured = point.result.send_latency.mean_ns
+        if use_hint:
+            estimate = point.result.hint_latency_ns
+        else:
+            estimate = (
+                point.result.estimate.latency_ns
+                if point.result.estimate and point.result.estimate.defined
+                else None
+            )
+        if estimate is not None and measured > 0:
+            errors.append(abs(estimate - measured) / measured)
+    return sum(errors) / len(errors) if errors else float("nan")
+
+
+def run_fig4b(
+    rates: list[float] | None = None,
+    base: BenchConfig | None = None,
+) -> Fig4bResult:
+    """Run the full Figure 4b sweep (both configurations)."""
+    rates = rates or DEFAULT_RATES
+    base = base or mixed_config()
+    off_points = sweep_rates(replace(base, nagle=False), rates)
+    on_points = sweep_rates(replace(base, nagle=True), rates)
+
+    result = Fig4bResult(off_points=off_points, on_points=on_points)
+    off_curve = measured_curve(off_points)
+    on_curve = measured_curve(on_points)
+    result.measured_cutoff = crossover_rate(off_curve, on_curve)
+    est_off = estimated_curve(off_points)
+    est_on = estimated_curve(on_points)
+    if est_off and est_on:
+        result.estimated_cutoff = crossover_rate(est_off, est_on)
+    result.mean_abs_error_fraction = _mean_abs_error(
+        off_points + on_points, use_hint=False
+    )
+    result.hint_mean_abs_error_fraction = _mean_abs_error(
+        off_points + on_points, use_hint=True
+    )
+    return result

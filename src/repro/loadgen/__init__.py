@@ -1,0 +1,42 @@
+"""Load generation and measurement (the paper's Lancet role).
+
+- :mod:`~repro.loadgen.arrivals` — open-loop arrival schedules (Poisson,
+  uniform) and the workload specification (SET/GET mix, sizes).
+- :mod:`~repro.loadgen.stats` — latency summaries (mean, percentiles)
+  over the measurement window.
+- :mod:`~repro.loadgen.lancet` — the single-run benchmark harness: build
+  the two-host testbed, apply a load, measure latency, CPU utilization,
+  and end-to-end estimates.
+- :mod:`~repro.loadgen.sweep` — load sweeps across rates and batching
+  configurations (the Figure 4 x-axis).
+"""
+
+from repro.loadgen.arrivals import Workload, poisson_schedule, uniform_schedule
+from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+from repro.loadgen.stats import LatencySummary, summarize
+from repro.loadgen.sweep import SweepPoint, sweep_rates
+from repro.loadgen.trace import (
+    TraceEntry,
+    load_trace,
+    record_schedule,
+    save_trace,
+    trace_schedule,
+)
+
+__all__ = [
+    "BenchConfig",
+    "LatencySummary",
+    "RunResult",
+    "SweepPoint",
+    "TraceEntry",
+    "Workload",
+    "load_trace",
+    "poisson_schedule",
+    "record_schedule",
+    "run_benchmark",
+    "save_trace",
+    "summarize",
+    "sweep_rates",
+    "trace_schedule",
+    "uniform_schedule",
+]

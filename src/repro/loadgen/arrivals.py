@@ -1,0 +1,132 @@
+"""Workload specification and open-loop arrival schedules.
+
+The paper's primary workload: one client issuing SETs of 16 KiB values
+under 16 B keys (Figure 4a), and a 95:5 SET:GET variant whose large GET
+responses break byte-granularity estimation (Figure 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.messages import Request
+from repro.errors import WorkloadError
+from repro.units import KIB, interarrival_ns
+
+
+@dataclass(frozen=True)
+class Workload:
+    """SET/GET mix with fixed or distributed value sizes.
+
+    ``set_ratio`` is the probability a request is a SET.  Keys are drawn
+    uniformly from a ``keyspace`` of fixed-length keys so GETs hit
+    values stored by earlier SETs (the harness pre-populates the store).
+    ``value_dist``, when given, replaces the fixed ``value_bytes`` with
+    a discrete size distribution of ``(size, weight)`` pairs — the
+    general heterogeneous case beyond Figure 4b's two-size mix.
+    """
+
+    set_ratio: float = 1.0
+    key_bytes: int = 16
+    value_bytes: int = 16 * KIB
+    keyspace: int = 1024
+    value_dist: tuple[tuple[int, float], ...] | None = None
+
+    def validate(self) -> None:
+        """Raise on nonsensical parameters."""
+        if not 0.0 <= self.set_ratio <= 1.0:
+            raise WorkloadError(f"set_ratio out of range: {self.set_ratio}")
+        if self.key_bytes < len(str(self.keyspace - 1)) + 2:
+            raise WorkloadError(
+                f"key_bytes={self.key_bytes} too small for keyspace {self.keyspace}"
+            )
+        if self.value_bytes < 0:
+            raise WorkloadError(f"negative value size {self.value_bytes}")
+        if self.value_dist is not None:
+            if not self.value_dist:
+                raise WorkloadError("empty value distribution")
+            for size, weight in self.value_dist:
+                if size < 0 or weight <= 0:
+                    raise WorkloadError(
+                        f"bad value-dist entry ({size}, {weight})"
+                    )
+
+    def make_key(self, index: int) -> str:
+        """Fixed-length key for a keyspace slot."""
+        key = f"k:{index}"
+        return key.ljust(self.key_bytes, "x")
+
+    def _draw_value_bytes(self, rng) -> int:
+        if self.value_dist is None:
+            return self.value_bytes
+        total = sum(weight for _, weight in self.value_dist)
+        pick = rng.random() * total
+        acc = 0.0
+        for size, weight in self.value_dist:
+            acc += weight
+            if pick < acc:
+                return size
+        return self.value_dist[-1][0]
+
+    def make_request(self, rng, created_at: int) -> Request:
+        """Draw one request."""
+        kind = "SET" if rng.random() < self.set_ratio else "GET"
+        key = self.make_key(rng.randrange(self.keyspace))
+        return Request(
+            kind=kind,
+            key=key,
+            value_bytes=self._draw_value_bytes(rng),
+            created_at=created_at,
+        )
+
+    def mean_value_bytes(self) -> float:
+        """Expected value size under the distribution."""
+        if self.value_dist is None:
+            return float(self.value_bytes)
+        total = sum(weight for _, weight in self.value_dist)
+        return sum(size * weight for size, weight in self.value_dist) / total
+
+    def mean_request_wire_bytes(self) -> float:
+        """Expected RESP request size under the mix.
+
+        Approximates the SET size at the mean value size (the RESP
+        length-prefix digits differ by at most a few bytes across
+        sizes).
+        """
+        from repro.apps import resp
+
+        set_bytes = resp.set_command_bytes(
+            self.key_bytes, round(self.mean_value_bytes())
+        )
+        get_bytes = resp.get_command_bytes(self.key_bytes)
+        return self.set_ratio * set_bytes + (1.0 - self.set_ratio) * get_bytes
+
+
+def poisson_schedule(rng, workload: Workload, rate_per_sec: float,
+                     start_ns: int, duration_ns: int):
+    """Yield (time, request) pairs with exponential inter-arrivals."""
+    workload.validate()
+    mean_gap = interarrival_ns(rate_per_sec)
+    now = start_ns
+    end = start_ns + duration_ns
+    while True:
+        now += rng.exponential_ns(mean_gap)
+        if now >= end:
+            return
+        yield now, workload.make_request(rng, created_at=now)
+
+
+def uniform_schedule(rng, workload: Workload, rate_per_sec: float,
+                     start_ns: int, duration_ns: int):
+    """Yield (time, request) pairs at fixed inter-arrival gaps."""
+    workload.validate()
+    gap = round(interarrival_ns(rate_per_sec))
+    if gap <= 0:
+        raise WorkloadError(f"rate {rate_per_sec}/s rounds to a zero gap")
+    now = start_ns
+    end = start_ns + duration_ns
+    while True:
+        now += gap
+        if now >= end:
+            return
+        yield now, workload.make_request(rng, created_at=now)

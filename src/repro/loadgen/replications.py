@@ -1,0 +1,107 @@
+"""Multi-seed replications with confidence intervals.
+
+Single simulated runs are deterministic, but conclusions should not
+hinge on one arrival sequence.  :func:`replicate` runs a configuration
+under K seeds and summarizes any scalar metric with a mean and a
+Student-t confidence interval; :func:`replicated_sweep` lifts that to
+latency-vs-load curves with per-point error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.errors import WorkloadError
+from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+
+# Two-sided 95% Student-t critical values by degrees of freedom.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+    30: 2.042, 60: 2.000,
+}
+
+
+def _t95(dof: int) -> float:
+    if dof <= 0:
+        raise WorkloadError("confidence interval needs at least two samples")
+    best = max(k for k in _T95 if k <= dof) if dof >= 1 else 1
+    if dof in _T95:
+        return _T95[dof]
+    if dof > max(_T95):
+        return 1.96
+    return _T95[best]
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Mean and 95% confidence half-width of one scalar metric."""
+
+    mean: float
+    half_width_95: float
+    samples: tuple[float, ...]
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the 95% interval."""
+        return self.mean - self.half_width_95
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the 95% interval."""
+        return self.mean + self.half_width_95
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (0 when mean is 0)."""
+        if self.mean == 0:
+            return 0.0
+        return self.half_width_95 / abs(self.mean)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Replicated":
+        """Summarize raw per-seed samples."""
+        if len(samples) < 2:
+            raise WorkloadError("confidence interval needs at least two samples")
+        n = len(samples)
+        mean = sum(samples) / n
+        variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        half = _t95(n - 1) * math.sqrt(variance / n)
+        return cls(mean=mean, half_width_95=half, samples=tuple(samples))
+
+
+def replicate(
+    config: BenchConfig,
+    seeds: Sequence[int],
+    metric: Callable[[RunResult], float] = lambda r: r.latency.mean_ns,
+) -> Replicated:
+    """Run ``config`` under each seed; summarize ``metric``."""
+    samples = [
+        metric(run_benchmark(replace(config, seed=seed))) for seed in seeds
+    ]
+    return Replicated.from_samples(samples)
+
+
+@dataclass(frozen=True)
+class ReplicatedPoint:
+    """One load point with error bars."""
+
+    rate_per_sec: float
+    latency: Replicated
+
+
+def replicated_sweep(
+    base: BenchConfig,
+    rates: Sequence[float],
+    seeds: Sequence[int],
+) -> list[ReplicatedPoint]:
+    """A latency-vs-load curve with per-point confidence intervals."""
+    return [
+        ReplicatedPoint(
+            rate_per_sec=rate,
+            latency=replicate(replace(base, rate_per_sec=rate), seeds),
+        )
+        for rate in rates
+    ]

@@ -1,0 +1,63 @@
+"""Latency statistics over a measurement window."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.units import SEC
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of one latency sample set (all values ns)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p90_ns: float
+    p99_ns: float
+    max_ns: float
+    stddev_ns: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """Summary of zero samples."""
+        return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+
+
+def percentile(sorted_values: list, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        raise WorkloadError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction out of range: {fraction}")
+    rank = min(len(sorted_values) - 1, max(0, math.ceil(fraction * len(sorted_values)) - 1))
+    return float(sorted_values[rank])
+
+
+def summarize(latencies_ns: list) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw samples."""
+    if not latencies_ns:
+        return LatencySummary.empty()
+    ordered = sorted(latencies_ns)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((x - mean) ** 2 for x in ordered) / count
+    return LatencySummary(
+        count=count,
+        mean_ns=mean,
+        p50_ns=percentile(ordered, 0.50),
+        p90_ns=percentile(ordered, 0.90),
+        p99_ns=percentile(ordered, 0.99),
+        max_ns=float(ordered[-1]),
+        stddev_ns=math.sqrt(variance),
+    )
+
+
+def throughput_per_sec(completions: int, window_ns: int) -> float:
+    """Completions per second over a window."""
+    if window_ns <= 0:
+        raise WorkloadError(f"window must be positive, got {window_ns}")
+    return completions * SEC / window_ns

@@ -1,0 +1,58 @@
+"""Load sweeps: latency-vs-load curves (the Figure 4 x-axis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.cutoff import CurvePoint
+from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: full run result at one offered load."""
+
+    rate_per_sec: float
+    result: RunResult
+
+    def measured_point(self) -> CurvePoint:
+        """Measured mean latency curve point."""
+        return CurvePoint(self.rate_per_sec, self.result.latency.mean_ns)
+
+    def estimated_point(self) -> CurvePoint | None:
+        """Estimated (offline §3.2) latency curve point."""
+        estimate = self.result.estimate
+        if estimate is None or not estimate.defined:
+            return None
+        return CurvePoint(self.rate_per_sec, estimate.latency_ns)
+
+
+def sweep_rates(
+    base: BenchConfig, rates: list[float], tweak=None
+) -> list[SweepPoint]:
+    """Run ``base`` at each offered rate; identical seeds across rates.
+
+    Because every random stream is derived from the config's seed, a
+    sweep over rates with Nagle on sees exactly the same request
+    sequences as the matching sweep with Nagle off.
+    """
+    points = []
+    for rate in rates:
+        config = replace(base, rate_per_sec=rate)
+        points.append(SweepPoint(rate, run_benchmark(config, tweak=tweak)))
+    return points
+
+
+def measured_curve(points: list[SweepPoint]) -> list[CurvePoint]:
+    """Measured latency curve from a sweep."""
+    return [p.measured_point() for p in points]
+
+
+def estimated_curve(points: list[SweepPoint]) -> list[CurvePoint]:
+    """Estimated latency curve from a sweep (undefined points skipped)."""
+    curve = []
+    for point in points:
+        estimated = point.estimated_point()
+        if estimated is not None:
+            curve.append(estimated)
+    return curve

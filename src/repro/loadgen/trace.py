@@ -1,0 +1,113 @@
+"""Trace-driven load: record, save, load and replay request schedules.
+
+Reproduction work often needs the *same* request sequence replayed
+against different configurations or library versions.  Seeded schedules
+already give that within one code version; traces extend it across
+versions and to externally supplied workloads (e.g. converted
+production logs — the substitution DESIGN.md describes for data we
+cannot have).
+
+The on-disk format is JSON-lines, one request per line:
+
+    {"t": 123456, "kind": "SET", "key": "k:7xxx...", "value": 16384}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.apps.messages import Request
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request."""
+
+    time_ns: int
+    kind: str
+    key: str
+    value_bytes: int
+
+    def to_json(self) -> str:
+        """One JSONL line."""
+        return json.dumps(
+            {"t": self.time_ns, "kind": self.kind, "key": self.key,
+             "value": self.value_bytes},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        """Parse one JSONL line."""
+        try:
+            data = json.loads(line)
+            return cls(
+                time_ns=int(data["t"]),
+                kind=str(data["kind"]),
+                key=str(data["key"]),
+                value_bytes=int(data["value"]),
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise WorkloadError(f"bad trace line: {line!r}") from exc
+
+
+def record_schedule(schedule: Iterable[tuple[int, Request]]) -> list[TraceEntry]:
+    """Materialize any schedule into trace entries (consumes it)."""
+    return [
+        TraceEntry(time_ns=when, kind=request.kind, key=request.key,
+                   value_bytes=request.value_bytes)
+        for when, request in schedule
+    ]
+
+
+def save_trace(entries: Iterable[TraceEntry], path: str | Path) -> int:
+    """Write entries as JSONL; returns the count written."""
+    count = 0
+    with open(path, "w") as handle:
+        for entry in entries:
+            handle.write(entry.to_json() + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[TraceEntry]:
+    """Read a JSONL trace, validating monotone timestamps."""
+    entries: list[TraceEntry] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entries.append(TraceEntry.from_json(line))
+    for previous, current in zip(entries, entries[1:]):
+        if current.time_ns < previous.time_ns:
+            raise WorkloadError(
+                f"trace times go backwards at t={current.time_ns}"
+            )
+    return entries
+
+
+def trace_schedule(
+    entries: Iterable[TraceEntry],
+    start_ns: int = 0,
+    time_scale: float = 1.0,
+) -> Iterator[tuple[int, Request]]:
+    """Replay a trace as a load-generator schedule.
+
+    ``start_ns`` shifts the whole trace; ``time_scale`` stretches or
+    compresses it (0.5 = twice the offered load).
+    """
+    if time_scale <= 0:
+        raise WorkloadError(f"time scale must be positive: {time_scale}")
+    for entry in entries:
+        when = start_ns + round(entry.time_ns * time_scale)
+        yield when, Request(
+            kind=entry.kind,
+            key=entry.key,
+            value_bytes=entry.value_bytes,
+            created_at=when,
+        )

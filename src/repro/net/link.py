@@ -1,0 +1,99 @@
+"""A unidirectional link with bandwidth, propagation delay and optional loss.
+
+The link is callback-based (no simulation processes) to keep the per-packet
+event count low: :meth:`Link.send` queues the packet, a self-scheduling
+callback chain serializes packets one at a time at link bandwidth, and each
+packet is delivered to the receiver callback one propagation delay after
+its serialization completes (store-and-forward).
+
+Loss is opt-in (``loss_probability``) and exists mainly to exercise the TCP
+retransmission machinery in tests; the paper's testbed is lossless.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.units import serialization_delay_ns
+
+
+class Link:
+    """One direction of a wire: FIFO, fixed bandwidth, fixed delay."""
+
+    def __init__(
+        self,
+        sim,
+        bandwidth_bps: float,
+        propagation_delay_ns: int,
+        name: str = "link",
+        loss_probability: float = 0.0,
+        loss_rng=None,
+    ):
+        if bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if propagation_delay_ns < 0:
+            raise NetworkError(f"negative propagation delay {propagation_delay_ns}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError(f"loss probability out of range: {loss_probability}")
+        if loss_probability > 0.0 and loss_rng is None:
+            raise NetworkError("loss requires an RNG stream for determinism")
+        self._sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay_ns = propagation_delay_ns
+        self.loss_probability = loss_probability
+        self._loss_rng = loss_rng
+        self._receiver: Callable[[Packet], None] | None = None
+        self._queue: deque[Packet] = deque()
+        self._serializing = False
+        # Statistics.
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+        self.busy_ns = 0
+
+    def attach_receiver(self, receiver: Callable[[Packet], None]) -> None:
+        """Set the callback invoked on packet arrival at the far end."""
+        if self._receiver is not None:
+            raise NetworkError(f"link {self.name!r} already has a receiver")
+        self._receiver = receiver
+
+    @property
+    def queued(self) -> int:
+        """Packets waiting to be serialized (excluding the one in flight)."""
+        return len(self._queue)
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue a packet for transmission."""
+        if self._receiver is None:
+            raise NetworkError(f"link {self.name!r} has no receiver attached")
+        self._queue.append(packet)
+        if not self._serializing:
+            self._serialize_next()
+
+    def _serialize_next(self) -> None:
+        if not self._queue:
+            self._serializing = False
+            return
+        self._serializing = True
+        packet = self._queue.popleft()
+        delay = serialization_delay_ns(packet.wire_bytes, self.bandwidth_bps)
+        self.busy_ns += delay
+        self._sim.call_after(delay, lambda: self._finish_serialization(packet))
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        if self._loss_rng is not None and self._loss_rng.bernoulli(
+            self.loss_probability
+        ):
+            self.packets_dropped += 1
+        else:
+            self.packets_sent += 1
+            self.bytes_sent += packet.wire_bytes
+            self._sim.call_after(
+                self.propagation_delay_ns,
+                lambda: self._receiver(packet),
+            )
+        self._serialize_next()

@@ -1,0 +1,276 @@
+"""NIC model: TX ring + doorbell batching + TSO, and GRO + RX interrupts.
+
+Transmit path.  The TCP stack posts *super-segments* (one flow's
+contiguous data, up to ``tso_max_bytes``) to the TX ring and rings the
+doorbell.  With ``doorbell_batching`` enabled, descriptors posted while
+the NIC is already draining do not ring again (xmit_more-style
+amortization — one of the driver-level batching heuristics from §1 of the
+paper).  TSO slices each super-segment into MTU-sized wire packets; the
+egress link paces them at line rate.
+
+Receive path.  GRO coalesces contiguous same-flow data packets into one
+delivery, flushed when a coalescing window expires, the aggregate reaches
+``gro_max_bytes``, or a non-mergeable packet (pure ack, out-of-order,
+retransmit) arrives for the flow.  Deliveries are handed to the host via
+an interrupt; an optional interrupt-coalescing window batches several
+deliveries per interrupt.
+
+GRO matters to the paper's story twice: it amortizes per-packet receive
+costs over bursts (bigger bursts — e.g. Nagle-coalesced request trains —
+amortize better), and it makes the receiver acknowledge a whole burst at
+once, which bounds the Nagle tail-segment stall at roughly one RTT
+instead of a delayed-ack timeout.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet, TCPIP_HEADER
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """NIC tunables.
+
+    ``mtu`` bounds TCP payload per wire packet at ``mtu - TCPIP_HEADER``.
+    ``tso_max_bytes`` bounds the super-segment payload per TX descriptor
+    (64 KiB mirrors Linux's GSO_MAX_SIZE).  ``gro_flush_ns`` is the GRO
+    coalescing window measured from the first held packet; 0 disables
+    GRO.  ``gro_max_bytes`` bounds one delivery's aggregation (64 KiB
+    mirrors Linux).  ``rx_coalesce_ns`` batches interrupt delivery; 0
+    means one interrupt per (GRO-merged) delivery.
+    """
+
+    mtu: int = 1500
+    tso_max_bytes: int = 64 * 1024
+    tx_ring_size: int = 4096
+    doorbell_batching: bool = True
+    gro_flush_ns: int = 3_000
+    gro_max_bytes: int = 64 * 1024
+    rx_coalesce_ns: int = 0
+
+    @property
+    def mss(self) -> int:
+        """Maximum TCP payload per wire packet."""
+        return self.mtu - TCPIP_HEADER
+
+
+class _GroFlow:
+    """Per-flow GRO aggregation state."""
+
+    __slots__ = ("packet", "timer")
+
+    def __init__(self, packet: Packet, timer):
+        self.packet = packet
+        self.timer = timer
+
+
+class Nic:
+    """One host's NIC, bound to an egress :class:`~repro.net.link.Link`."""
+
+    def __init__(self, sim, config: NicConfig, name: str = "nic"):
+        self._sim = sim
+        self.config = config
+        self.name = name
+        self._egress = None
+        self._tx_ring: deque[Packet] = deque()
+        self._tx_active = False
+        self._rx_handler: Callable[[list[Packet]], None] | None = None
+        self._gro_flows: dict[tuple[int, str], _GroFlow] = {}
+        self._irq_pending: list[Packet] = []
+        self._irq_timer = None
+        # Statistics.
+        self.doorbells = 0
+        self.tx_descriptors = 0
+        self.tx_wire_packets = 0
+        self.rx_wire_packets = 0
+        self.rx_deliveries = 0
+        self.rx_interrupts = 0
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+
+    def attach_egress(self, link) -> None:
+        """Connect the transmit side to a link."""
+        if self._egress is not None:
+            raise NetworkError(f"NIC {self.name!r} already has an egress link")
+        self._egress = link
+
+    def attach_rx_handler(self, handler: Callable[[list[Packet]], None]) -> None:
+        """Set the host callback invoked per RX interrupt with deliveries."""
+        if self._rx_handler is not None:
+            raise NetworkError(f"NIC {self.name!r} already has an RX handler")
+        self._rx_handler = handler
+
+    # ------------------------------------------------------------------
+    # Transmit.
+    # ------------------------------------------------------------------
+
+    def tx_ring_available(self) -> int:
+        """Free descriptor slots in the TX ring."""
+        return self.config.tx_ring_size - len(self._tx_ring)
+
+    @property
+    def tx_ring_occupancy(self) -> int:
+        """Descriptors currently queued (the auto-corking signal, §2)."""
+        return len(self._tx_ring) + (1 if self._tx_active else 0)
+
+    def post(self, packet: Packet) -> None:
+        """Post one descriptor and (if the NIC is idle) ring the doorbell."""
+        if packet.payload_bytes > self.config.tso_max_bytes:
+            raise NetworkError(
+                f"super-segment of {packet.payload_bytes}B exceeds TSO max "
+                f"{self.config.tso_max_bytes}B"
+            )
+        if len(self._tx_ring) >= self.config.tx_ring_size:
+            raise NetworkError(f"TX ring overflow on NIC {self.name!r}")
+        self._tx_ring.append(packet)
+        self.tx_descriptors += 1
+        if not self._tx_active or not self.config.doorbell_batching:
+            self.doorbells += 1
+        if not self._tx_active:
+            self._tx_active = True
+            self._drain()
+
+    def _drain(self) -> None:
+        # Hand every posted descriptor to the link; the link's own FIFO
+        # paces the wire at line rate, so the ring drains instantly from
+        # the simulator's point of view.  The ring still exists for
+        # occupancy-based decisions (auto-corking) and overflow checks:
+        # occupancy is cleared one "drain tick" later, modelling the
+        # completion interrupt lag that auto-corking keys off.
+        while self._tx_ring:
+            packet = self._tx_ring.popleft()
+            for wire_packet in self._tso_slice(packet):
+                self._egress.send(wire_packet)
+                self.tx_wire_packets += 1
+        self._sim.call_after(0, self._tx_done)
+
+    def _tx_done(self) -> None:
+        if self._tx_ring:
+            self._drain()
+        else:
+            self._tx_active = False
+
+    def _tso_slice(self, packet: Packet) -> list[Packet]:
+        """Slice a super-segment into MTU-bounded wire packets."""
+        mss = self.config.mss
+        if packet.payload_bytes <= mss:
+            return [packet]
+        segment = packet.payload
+        if segment is None or not hasattr(segment, "split_at"):
+            raise NetworkError(
+                f"cannot TSO-slice payload of type {type(segment).__name__}"
+            )
+        slices: list[Packet] = []
+        rest = segment
+        while rest is not None:
+            head, rest = rest.split_at(mss)
+            slices.append(
+                Packet(
+                    src=packet.src,
+                    dst=packet.dst,
+                    payload_bytes=head.payload_len,
+                    payload=head,
+                    options_bytes=head.options_bytes(),
+                )
+            )
+        return slices
+
+    # ------------------------------------------------------------------
+    # Receive: GRO, then interrupt.
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Ingress entry point (the link's receiver callback)."""
+        if self._rx_handler is None:
+            raise NetworkError(f"NIC {self.name!r} has no RX handler")
+        self.rx_wire_packets += 1
+        if self.config.gro_flush_ns <= 0:
+            self._deliver(packet)
+            return
+        self._gro_receive(packet)
+
+    def _gro_receive(self, packet: Packet) -> None:
+        """GRO aggregation rules, as in the Linux receive path:
+
+        - pure acks flush the flow's aggregate and pass through;
+        - **sub-MSS data packets are never aggregated**: they flush the
+          pending aggregate and are delivered standalone (a short packet
+          signals end-of-burst — this is what makes a Nagle-off sender's
+          pushed tails expensive at the receiver);
+        - a full-MSS packet with **PSH** is merged and then flushes the
+          aggregate immediately;
+        - other full-MSS packets aggregate until ``gro_max_bytes`` or
+          the ``gro_flush_ns`` window expires.
+        """
+        segment = packet.payload
+        if segment is None or not hasattr(segment, "can_merge"):
+            self._deliver(packet)
+            return
+        key = (segment.conn_id, segment.src)
+        flow = self._gro_flows.get(key)
+        if segment.is_pure_ack or segment.payload_len < self.config.mss:
+            if flow is not None:
+                self._flush_flow(key)
+            self._deliver(packet)
+            return
+        if flow is not None:
+            held = flow.packet.payload
+            merged_size = held.payload_len + segment.payload_len
+            if (
+                held.can_merge(segment)
+                and merged_size <= self.config.gro_max_bytes
+            ):
+                flow.packet = Packet(
+                    src=packet.src,
+                    dst=packet.dst,
+                    payload_bytes=merged_size,
+                    payload=held.merge(segment),
+                    options_bytes=max(
+                        flow.packet.options_bytes, packet.options_bytes
+                    ),
+                    wire_count=flow.packet.wire_count + packet.wire_count,
+                )
+                if segment.psh or merged_size >= self.config.gro_max_bytes:
+                    self._flush_flow(key)
+                return
+            self._flush_flow(key)
+        if segment.psh:
+            self._deliver(packet)
+            return
+        timer = self._sim.call_after(
+            self.config.gro_flush_ns, lambda: self._flush_flow(key)
+        )
+        self._gro_flows[key] = _GroFlow(packet, timer)
+
+    def _flush_flow(self, key: tuple[int, str]) -> None:
+        flow = self._gro_flows.pop(key, None)
+        if flow is None:
+            return
+        flow.timer.cancel()
+        self._deliver(flow.packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rx_deliveries += 1
+        if self.config.rx_coalesce_ns <= 0:
+            self.rx_interrupts += 1
+            self._rx_handler([packet])
+            return
+        self._irq_pending.append(packet)
+        if self._irq_timer is None:
+            self._irq_timer = self._sim.call_after(
+                self.config.rx_coalesce_ns, self._fire_interrupt
+            )
+
+    def _fire_interrupt(self) -> None:
+        self._irq_timer = None
+        batch, self._irq_pending = self._irq_pending, []
+        if batch:
+            self.rx_interrupts += 1
+            self._rx_handler(batch)

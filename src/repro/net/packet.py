@@ -1,0 +1,59 @@
+"""Wire packets.
+
+A :class:`Packet` is one on-the-wire frame.  The payload is opaque to the
+network layer (in practice a :class:`repro.tcp.segment.Segment`); the
+network cares only about sizes, for serialization-time and MTU accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+# Fixed per-frame overheads, in bytes.  TCPIP_HEADER covers IPv4 (20) +
+# TCP (20) + timestamps option (12), matching what Linux typically sends.
+# ETHERNET_OVERHEAD covers the MAC header, FCS, preamble and inter-frame
+# gap — bytes that occupy the wire but never reach the TCP layer.
+TCPIP_HEADER = 52
+ETHERNET_OVERHEAD = 38
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One frame on the wire.
+
+    ``payload_bytes`` is TCP payload only; :attr:`wire_bytes` adds header
+    and Ethernet overheads and is what the link charges serialization time
+    for.  ``options_bytes`` accounts for any extra TCP options (e.g. the
+    end-to-end metadata option) beyond the fixed header.
+    """
+
+    src: str
+    dst: str
+    payload_bytes: int
+    payload: Any = None
+    options_bytes: int = 0
+    wire_count: int = 1
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes occupying the wire for this frame.
+
+        For GRO-merged deliveries (``wire_count > 1``) this counts the
+        headers of every constituent wire packet.
+        """
+        return (
+            self.payload_bytes
+            + self.options_bytes
+            + (TCPIP_HEADER + ETHERNET_OVERHEAD) * self.wire_count
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.packet_id} {self.src}->{self.dst} "
+            f"{self.payload_bytes}B payload>"
+        )

@@ -1,0 +1,95 @@
+"""A store-and-forward switch and star topologies.
+
+The paper's testbed is two machines on one wire, but its §3.2 notes that
+a batching policy may span many connections — and the natural deployment
+has many clients funneling into one server port.  :class:`Switch` models
+that fan-in point: per-port links (serialization + propagation) on both
+sides and name-based forwarding, so the server's ingress link becomes a
+shared, congestible resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.units import usecs
+
+
+class Switch:
+    """Name-forwarding switch with per-port egress links."""
+
+    def __init__(self, sim, name: str = "switch",
+                 forwarding_delay_ns: int = 500):
+        self._sim = sim
+        self.name = name
+        self.forwarding_delay_ns = forwarding_delay_ns
+        self._egress: dict[str, Link] = {}
+        self.packets_forwarded = 0
+
+    def attach_port(self, host_name: str, egress: Link) -> None:
+        """Bind a host name to its switch→host link."""
+        if host_name in self._egress:
+            raise NetworkError(f"port for {host_name!r} already attached")
+        self._egress[host_name] = egress
+
+    def receive(self, packet: Packet) -> None:
+        """Ingress handler: forward after the pipeline delay."""
+        egress = self._egress.get(packet.dst)
+        if egress is None:
+            raise NetworkError(
+                f"switch {self.name!r}: no port for destination {packet.dst!r}"
+            )
+        self.packets_forwarded += 1
+        self._sim.call_after(
+            self.forwarding_delay_ns, lambda: egress.send(packet)
+        )
+
+
+@dataclass
+class Star:
+    """A switch with every NIC attached by a full-duplex link pair."""
+
+    switch: Switch
+    uplinks: dict[str, Link]      # host -> switch
+    downlinks: dict[str, Link]    # switch -> host
+
+    @classmethod
+    def connect(
+        cls,
+        sim,
+        nics: dict[str, Nic],
+        bandwidth_bps: float = 100e9,
+        propagation_delay_ns: int = usecs(5),
+        forwarding_delay_ns: int = 500,
+    ) -> "Star":
+        """Wire named NICs through one switch.
+
+        Every host gets an uplink (host→switch) and a downlink
+        (switch→host); the downlink toward a busy server is the shared
+        fan-in bottleneck.
+        """
+        if len(nics) < 2:
+            raise NetworkError("a star needs at least two hosts")
+        switch = Switch(sim, forwarding_delay_ns=forwarding_delay_ns)
+        uplinks: dict[str, Link] = {}
+        downlinks: dict[str, Link] = {}
+        for host_name, nic in nics.items():
+            uplink = Link(
+                sim, bandwidth_bps, propagation_delay_ns,
+                name=f"{host_name}->switch",
+            )
+            nic.attach_egress(uplink)
+            uplink.attach_receiver(switch.receive)
+            downlink = Link(
+                sim, bandwidth_bps, propagation_delay_ns,
+                name=f"switch->{host_name}",
+            )
+            downlink.attach_receiver(nic.receive)
+            switch.attach_port(host_name, downlink)
+            uplinks[host_name] = uplink
+            downlinks[host_name] = downlink
+        return cls(switch=switch, uplinks=uplinks, downlinks=downlinks)

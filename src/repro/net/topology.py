@@ -1,0 +1,60 @@
+"""Topology helper: a point-to-point pair of hosts.
+
+The paper's testbed is two machines on one wire.  :class:`PointToPoint`
+builds the two unidirectional links, attaches each host's NIC egress and
+ingress, and exposes the pieces for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.units import usecs
+
+
+@dataclass
+class PointToPoint:
+    """Two hosts' NICs joined by a full-duplex wire."""
+
+    forward: Link
+    backward: Link
+
+    @classmethod
+    def connect(
+        cls,
+        sim,
+        nic_a: Nic,
+        nic_b: Nic,
+        bandwidth_bps: float = 100e9,
+        propagation_delay_ns: int = usecs(5),
+        loss_probability: float = 0.0,
+        loss_rng=None,
+    ) -> "PointToPoint":
+        """Wire ``nic_a`` and ``nic_b`` together.
+
+        Defaults model the paper's testbed: 100 Gbps NICs and a few
+        microseconds of one-way wire-plus-switch delay.
+        """
+        forward = Link(
+            sim,
+            bandwidth_bps,
+            propagation_delay_ns,
+            name=f"{nic_a.name}->{nic_b.name}",
+            loss_probability=loss_probability,
+            loss_rng=loss_rng,
+        )
+        backward = Link(
+            sim,
+            bandwidth_bps,
+            propagation_delay_ns,
+            name=f"{nic_b.name}->{nic_a.name}",
+            loss_probability=loss_probability,
+            loss_rng=loss_rng,
+        )
+        nic_a.attach_egress(forward)
+        forward.attach_receiver(nic_b.receive)
+        nic_b.attach_egress(backward)
+        backward.attach_receiver(nic_a.receive)
+        return cls(forward=forward, backward=backward)

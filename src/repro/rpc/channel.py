@@ -1,0 +1,120 @@
+"""The RPC client channel: calls, reply futures, and transparent hints.
+
+The channel owns a :class:`~repro.core.hints.HintSession` and drives it
+from inside ``call()`` (create) and the reply path (complete) — the
+application never sees a counter, which is the paper's §3.3 adoption
+argument.  Attaching the session to the socket's metadata exchange
+ships the queue state to the server automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.hints import HintSession
+from repro.errors import ProtocolError
+from repro.rpc.messages import RpcReply, RpcRequest
+from repro.sim.events import Event
+
+
+class RpcCallFuture:
+    """A waitable reply handle.
+
+    Processes ``yield future`` to block until the reply arrives; the
+    yield resumes with the :class:`~repro.rpc.messages.RpcReply`.
+    """
+
+    def __init__(self, sim, request: RpcRequest):
+        self.request = request
+        self._event = Event(sim, name=f"rpc.call.{request.call_id}")
+
+    @property
+    def done(self) -> bool:
+        """Whether the reply arrived."""
+        return self._event.triggered
+
+    @property
+    def reply(self) -> RpcReply | None:
+        """The reply, once arrived."""
+        return self._event.value
+
+    def _complete(self, reply: RpcReply) -> None:
+        self._event.trigger(reply)
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> None:
+        self._event.add_callback(resume)
+
+
+class RpcChannel:
+    """One client's connection to an RPC server."""
+
+    def __init__(self, sim, host, socket, exchange=None, name: str = "rpc"):
+        self._sim = sim
+        self.host = host
+        self.socket = socket
+        self.name = name
+        self.hints = HintSession(host.clock)
+        if exchange is not None:
+            if exchange.hint_session is None:
+                exchange.hint_session = self.hints
+        self._pending: dict[int, RpcCallFuture] = {}
+        self.calls_issued = 0
+        self.replies_received = 0
+        self.errors_received = 0
+        self._drainer = sim.spawn(self._drain(), name=f"{name}.drain")
+
+    # ------------------------------------------------------------------
+    # Client API.
+    # ------------------------------------------------------------------
+
+    def call(self, method_id: int, payload_bytes: int) -> RpcCallFuture:
+        """Issue one call; returns a waitable reply future.
+
+        Charges nothing by itself — the caller's process pays its own
+        CPU costs (the channel cannot know the caller's context).
+        """
+        if payload_bytes < 0:
+            raise ProtocolError(f"negative payload {payload_bytes}")
+        request = RpcRequest(
+            method_id=method_id,
+            payload_bytes=payload_bytes,
+            issued_at=self._sim.now,
+        )
+        future = RpcCallFuture(self._sim, request)
+        self._pending[request.call_id] = future
+        self.hints.create(1)          # §3.3: transparent to the caller
+        self.calls_issued += 1
+        self.socket.send(request, request.wire_bytes)
+        return future
+
+    @property
+    def outstanding(self) -> int:
+        """Calls without replies yet."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Reply path.
+    # ------------------------------------------------------------------
+
+    def _drain(self):
+        sock = self.socket
+        host = self.host
+        while True:
+            if sock.readable_bytes == 0:
+                yield sock.wait_readable()
+            yield host.app_core.submit(host.costs.wakeup_ns)
+            _, messages = sock.read()
+            for message in messages:
+                self._dispatch(message)
+
+    def _dispatch(self, reply: RpcReply) -> None:
+        future = self._pending.pop(reply.call_id, None)
+        if future is None:
+            raise ProtocolError(
+                f"reply for unknown call {reply.call_id} on {self.name!r}"
+            )
+        self.hints.complete(1)        # §3.3: transparent to the caller
+        self.replies_received += 1
+        if reply.is_error:
+            self.errors_received += 1
+        future._complete(reply)

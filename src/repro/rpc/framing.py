@@ -1,0 +1,81 @@
+"""RPC wire framing.
+
+Each message — request or reply — travels as one length-prefixed frame:
+
+=========  =====
+field      bytes
+=========  =====
+length     4
+call id    8
+method id  2
+flags      2
+payload    n
+=========  =====
+
+so a frame carrying ``n`` payload bytes occupies ``16 + n`` bytes of
+TCP stream.  As elsewhere in the simulation, payloads are carried by
+*size*; the framing module provides exact byte accounting plus real
+header encode/decode used by the protocol tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+_HEADER = struct.Struct("<IQHH")
+FRAME_HEADER_BYTES = _HEADER.size  # 16
+
+
+def frame_bytes(payload_bytes: int) -> int:
+    """Total stream bytes for one frame with the given payload."""
+    if payload_bytes < 0:
+        raise ProtocolError(f"negative payload size {payload_bytes}")
+    return FRAME_HEADER_BYTES + payload_bytes
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded frame header."""
+
+    payload_bytes: int
+    call_id: int
+    method_id: int
+    flags: int = 0
+
+    REPLY_FLAG = 0x1
+    ERROR_FLAG = 0x2
+
+    @property
+    def is_reply(self) -> bool:
+        """Whether this frame is a reply (vs. a request)."""
+        return bool(self.flags & self.REPLY_FLAG)
+
+    @property
+    def is_error(self) -> bool:
+        """Whether this reply carries an application error."""
+        return bool(self.flags & self.ERROR_FLAG)
+
+    def encode(self) -> bytes:
+        """Serialize the 16-byte header."""
+        return _HEADER.pack(
+            self.payload_bytes, self.call_id, self.method_id, self.flags
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FrameHeader":
+        """Parse a 16-byte header."""
+        if len(data) != FRAME_HEADER_BYTES:
+            raise ProtocolError(
+                f"frame header must be {FRAME_HEADER_BYTES} bytes, "
+                f"got {len(data)}"
+            )
+        payload_bytes, call_id, method_id, flags = _HEADER.unpack(data)
+        return cls(
+            payload_bytes=payload_bytes,
+            call_id=call_id,
+            method_id=method_id,
+            flags=flags,
+        )

@@ -1,0 +1,50 @@
+"""RPC message descriptors flowing through the simulated sockets."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.rpc.framing import frame_bytes
+
+_call_ids = itertools.count(1)
+
+
+def next_call_id() -> int:
+    """Allocate a fresh call identifier."""
+    return next(_call_ids)
+
+
+@dataclass
+class RpcRequest:
+    """One outbound call."""
+
+    method_id: int
+    payload_bytes: int
+    issued_at: int
+    call_id: int = field(default_factory=next_call_id)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Stream bytes of this request frame."""
+        return frame_bytes(self.payload_bytes)
+
+
+@dataclass
+class RpcReply:
+    """One reply, matched to its request by call id."""
+
+    request: RpcRequest
+    payload_bytes: int
+    served_at: int
+    is_error: bool = False
+
+    @property
+    def call_id(self) -> int:
+        """The originating call's id."""
+        return self.request.call_id
+
+    @property
+    def wire_bytes(self) -> int:
+        """Stream bytes of this reply frame."""
+        return frame_bytes(self.payload_bytes)

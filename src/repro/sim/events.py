@@ -1,0 +1,71 @@
+"""One-shot events that simulation processes can wait on.
+
+An :class:`Event` starts untriggered.  Processes yield it to block; when
+some other code calls :meth:`Event.trigger`, every waiter is resumed (at the
+current simulated instant) with the trigger value.  Triggering twice is an
+error — create a fresh event per occurrence, or use
+:class:`~repro.sim.resources.Store` for streams of items.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot, many-waiter event.
+
+    Waiters registered after the event already triggered are resumed
+    immediately (scheduled at the current instant), so there is no
+    lost-wakeup race between checking and waiting.
+    """
+
+    def __init__(self, sim, name: str = ""):
+        self._sim = sim
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`trigger`; None before triggering."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            # Deliver asynchronously (same instant) so a trigger inside a
+            # process cannot reentrantly resume another process mid-step.
+            self._sim.call_after(0, lambda cb=callback: cb(value))
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the event triggers.
+
+        If the event already triggered the callback is scheduled to run
+        at the current instant with the stored value.
+        """
+        if self._triggered:
+            self._sim.call_after(0, lambda: callback(self._value))
+        else:
+            self._callbacks.append(callback)
+
+    # Protocol used by Process when this object is yielded.
+    def _subscribe(self, resume: Callable[[Any], None]) -> None:
+        self.add_callback(resume)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"

@@ -1,0 +1,155 @@
+"""The discrete-event loop.
+
+:class:`Simulator` owns the clock and a heap of scheduled callbacks.  Time
+never moves backwards; callbacks scheduled for the same instant run in the
+order they were scheduled (FIFO within a timestamp), which keeps runs
+deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class _Scheduled:
+    """A heap entry: (time, sequence number, callback).
+
+    The sequence number breaks ties so same-time callbacks preserve
+    scheduling order, and entries can be cancelled in O(1) by flipping
+    :attr:`cancelled` rather than rebuilding the heap.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Scheduled") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self) -> None:
+        """Mark this entry so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an integer-ns clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call_after(1000, lambda: print("at t=1000ns"))
+        sim.run()
+
+    Processes (see :mod:`repro.sim.process`) are spawned via
+    :meth:`spawn`, which exists here only as a convenience re-export to
+    avoid import cycles in user code.
+    """
+
+    def __init__(self, start_time: int = 0):
+        self._now = start_time
+        self._heap: list[_Scheduled] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Clock.
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling.
+    # ------------------------------------------------------------------
+
+    def call_at(self, time: int, callback: Callable[[], None]) -> _Scheduled:
+        """Schedule ``callback`` to run at absolute simulated ``time``.
+
+        Returns a handle whose ``cancel()`` prevents the callback from
+        running.  Scheduling in the past is an error.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        entry = _Scheduled(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def call_after(self, delay: int, callback: Callable[[], None]) -> _Scheduled:
+        """Schedule ``callback`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next scheduled callback.
+
+        Returns False when the heap is exhausted (nothing ran).
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            return True
+        return False
+
+    def run(self, until: int | None = None) -> None:
+        """Run until the event heap is empty, or until simulated time would
+        pass ``until`` (the clock is then advanced to exactly ``until``).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                entry = self._heap[0]
+                if entry.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = entry.time
+                entry.callback()
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current callback."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled entries."""
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    # ------------------------------------------------------------------
+    # Process convenience.
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator, name: str | None = None):
+        """Spawn a generator as a :class:`~repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)

@@ -1,0 +1,137 @@
+"""Generator-based cooperative processes.
+
+A simulation process is a Python generator.  It advances by ``yield``-ing
+*waitables*:
+
+- ``Timeout(delay)`` — resume after ``delay`` nanoseconds;
+- an :class:`~repro.sim.events.Event` — resume when it triggers, receiving
+  the trigger value;
+- another :class:`Process` — resume when it terminates, receiving its
+  return value;
+- a store operation from :mod:`repro.sim.resources` (``Store.get()`` etc.).
+
+Anything yielded must expose ``_subscribe(resume)``, where ``resume`` is a
+one-argument callable the waitable invokes (exactly once) to hand control
+back.  Processes themselves are waitables, so parent/child structuring is
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import ProcessError
+
+
+class Timeout:
+    """Waitable that resumes the process after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise ProcessError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def _subscribe_with_sim(self, sim, resume: Callable[[Any], None]) -> None:
+        sim.call_after(self.delay, lambda: resume(None))
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The process starts automatically: its first step is scheduled at the
+    current simulated instant.  When the generator returns, the process's
+    completion event fires with the return value, waking any process that
+    yielded this one.
+    """
+
+    def __init__(self, sim, generator: Generator, name: str | None = None):
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"Process needs a generator, got {type(generator).__name__} "
+                "(did you forget to call the generator function?)"
+            )
+        from repro.sim.events import Event
+
+        self._sim = sim
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._done = Event(sim, name=f"{self.name}.done")
+        self._failure: BaseException | None = None
+        sim.call_after(0, lambda: self._step(None))
+
+    # ------------------------------------------------------------------
+    # State.
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns or raises."""
+        return not self._done.triggered
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value (None until completion)."""
+        return self._done.value
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The exception that killed the process, if any."""
+        return self._failure
+
+    # ------------------------------------------------------------------
+    # Stepping.
+    # ------------------------------------------------------------------
+
+    def _step(self, value: Any) -> None:
+        if self._done.triggered:
+            # A waitable resumed us after interrupt()/termination — e.g.
+            # a timeout that was already in flight.  Drop it silently;
+            # the generator is closed.
+            return
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self._done.trigger(stop.value)
+            return
+        except BaseException as exc:
+            # Record and re-raise: a crashing process is a bug in the
+            # simulation script, not a condition to paper over.
+            self._failure = exc
+            self._done.trigger(None)
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            target._subscribe_with_sim(self._sim, self._step)
+        elif hasattr(target, "_subscribe"):
+            target._subscribe(self._step)
+        else:
+            raise ProcessError(
+                f"process {self.name!r} yielded non-waitable "
+                f"{type(target).__name__}: {target!r}"
+            )
+
+    # Protocol: a Process is itself waitable (resumes with its result).
+    def _subscribe(self, resume: Callable[[Any], None]) -> None:
+        self._done.add_callback(resume)
+
+    def interrupt(self) -> None:
+        """Forcefully terminate the process.
+
+        The generator is closed (its pending ``yield`` raises
+        ``GeneratorExit``), and the completion event fires with None.
+        """
+        if self._done.triggered:
+            return
+        self._generator.close()
+        self._done.trigger(None)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"

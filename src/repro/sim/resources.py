@@ -1,0 +1,162 @@
+"""Stores and resources for producer/consumer structuring.
+
+- :class:`Store` — an unbounded (or capacity-bounded) FIFO of items.
+  ``store.get()`` returns a waitable a process yields; it resumes with the
+  next item.  ``store.put(item)`` never blocks for unbounded stores and
+  wakes one waiter per item.
+- :class:`Resource` — a counted resource (semaphore).  ``acquire()`` is a
+  waitable; ``release()`` hands the slot to the next waiter FIFO.
+
+Both preserve strict FIFO ordering among waiters, which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class _GetOp:
+    """Waitable returned by :meth:`Store.get`."""
+
+    __slots__ = ("_store", "_resume")
+
+    def __init__(self, store: "Store"):
+        self._store = store
+        self._resume: Callable[[Any], None] | None = None
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> None:
+        self._resume = resume
+        self._store._satisfy_getters()
+
+
+class Store:
+    """FIFO item store with blocking get and optional capacity.
+
+    ``capacity=None`` means unbounded puts.  A bounded store raises on
+    overflow rather than blocking the producer: in this code base bounded
+    stores model hardware rings where overflow is a programming error that
+    should surface loudly (backpressure is modelled explicitly by the NIC
+    and TCP layers, not hidden inside the store).
+    """
+
+    def __init__(self, sim, capacity: int | None = None, name: str = ""):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[_GetOp] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes blocked in get()."""
+        return sum(1 for op in self._getters if op._resume is not None)
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest waiting getter if any."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError(
+                f"store {self.name!r} overflow (capacity {self.capacity})"
+            )
+        self._items.append(item)
+        self._satisfy_getters()
+
+    def get(self) -> _GetOp:
+        """Return a waitable that resumes with the next item."""
+        op = _GetOp(self)
+        self._getters.append(op)
+        return op
+
+    def try_get(self) -> Any | None:
+        """Non-blocking get: pop the next item or return None.
+
+        Only valid when no processes are blocked in :meth:`get` — mixing
+        the two would let a poll steal an item from a FIFO waiter.
+        """
+        if self._getters:
+            raise SimulationError(
+                f"try_get on store {self.name!r} while getters are waiting"
+            )
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def _satisfy_getters(self) -> None:
+        while self._items and self._getters:
+            op = self._getters[0]
+            if op._resume is None:
+                # get() was called but the process has not yielded it yet;
+                # it will re-run _satisfy_getters on subscribe.
+                break
+            self._getters.popleft()
+            item = self._items.popleft()
+            # Resume at the current instant, asynchronously, to avoid
+            # reentrant process stepping from inside put().
+            self._sim.call_after(0, lambda op=op, item=item: op._resume(item))
+
+
+class _AcquireOp:
+    """Waitable returned by :meth:`Resource.acquire`."""
+
+    __slots__ = ("_resource", "_resume")
+
+    def __init__(self, resource: "Resource"):
+        self._resource = resource
+        self._resume: Callable[[Any], None] | None = None
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> None:
+        self._resume = resume
+        self._resource._grant()
+
+
+class Resource:
+    """A counted resource with FIFO acquisition order."""
+
+    def __init__(self, sim, capacity: int = 1, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[_AcquireOp] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Currently held slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Free slots."""
+        return self.capacity - self._in_use
+
+    def acquire(self) -> _AcquireOp:
+        """Return a waitable that resumes (with None) once a slot is held."""
+        op = _AcquireOp(self)
+        self._waiters.append(op)
+        return op
+
+    def release(self) -> None:
+        """Free a slot, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of un-acquired resource {self.name!r}")
+        self._in_use -= 1
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._in_use < self.capacity and self._waiters:
+            op = self._waiters[0]
+            if op._resume is None:
+                break
+            self._waiters.popleft()
+            self._in_use += 1
+            self._sim.call_after(0, lambda op=op: op._resume(None))

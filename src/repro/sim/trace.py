@@ -1,0 +1,51 @@
+"""Lightweight trace recording.
+
+Components emit ``(time, source, event, detail)`` records through a shared
+:class:`TraceRecorder`.  Tracing is off by default and costs one attribute
+check per emit when disabled, so instrumented hot paths stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record."""
+
+    time: int
+    source: str
+    event: str
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, sim, enabled: bool = False):
+        self._sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, source: str, event: str, detail: Any = None) -> None:
+        """Record an event (no-op when disabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(self._sim.now, source, event, detail))
+
+    def filter(self, source: str | None = None, event: str | None = None) -> Iterator[TraceRecord]:
+        """Iterate records matching the given source and/or event name."""
+        for record in self.records:
+            if source is not None and record.source != source:
+                continue
+            if event is not None and record.event != event:
+                continue
+            yield record
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,116 @@
+"""Byte-stream bookkeeping shared between a sender and its receiver.
+
+Payload bytes are modelled by counts and absolute stream offsets.  A
+:class:`ByteStream` records, per connection direction, which *messages*
+(application-level units — RESP requests, responses) occupy which offset
+ranges, so the receiving application can recover message boundaries
+exactly as a real parser would, without the simulation shuffling real
+buffers.
+
+The sender side appends ``(end_offset, message)`` records as the
+application writes; the receiver side pops every message whose last byte
+it has consumed.  This is simulation bookkeeping, not a covert channel:
+nothing about *timing* or *sizes* leaks — a message is only surfaced once
+all of its bytes were delivered in order and read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import TcpError
+
+
+class ByteStream:
+    """Message-boundary registry for one direction of a connection."""
+
+    def __init__(self):
+        self.write_seq = 0
+        self._boundaries: deque[tuple[int, Any]] = deque()
+
+    def append(self, nbytes: int, message: Any) -> tuple[int, int]:
+        """Record a message occupying the next ``nbytes`` of the stream.
+
+        Returns the (start, end) offsets of the message.
+        """
+        if nbytes <= 0:
+            raise TcpError(f"message length must be positive, got {nbytes}")
+        start = self.write_seq
+        self.write_seq += nbytes
+        self._boundaries.append((self.write_seq, message))
+        return start, self.write_seq
+
+    def pop_completed(self, read_seq: int) -> list[Any]:
+        """Pop every message whose end offset is at most ``read_seq``."""
+        completed: list[Any] = []
+        while self._boundaries and self._boundaries[0][0] <= read_seq:
+            completed.append(self._boundaries.popleft()[1])
+        return completed
+
+    def pending_messages(self) -> int:
+        """Messages written but not yet fully consumed by the receiver."""
+        return len(self._boundaries)
+
+    def boundaries_in(self, lo: int, hi: int) -> int:
+        """How many message end-offsets fall in (lo, hi].
+
+        Used by unit-granularity instrumentation to translate byte
+        progress into message counts.
+        """
+        return sum(1 for end, _ in self._boundaries if lo < end <= hi)
+
+
+class ReassemblyQueue:
+    """Out-of-order segment holding area for the receiver.
+
+    Stores ``(seq, end_seq)`` ranges beyond ``rcv_nxt`` and advances the
+    in-order frontier as holes fill.  Duplicate and overlapping ranges
+    (retransmits) are tolerated.
+    """
+
+    def __init__(self):
+        self._ranges: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def add(self, seq: int, end_seq: int) -> None:
+        """Hold an out-of-order range."""
+        if end_seq <= seq:
+            raise TcpError(f"empty range [{seq}, {end_seq})")
+        self._ranges.append((seq, end_seq))
+        self._ranges.sort()
+
+    def advance(self, rcv_nxt: int) -> int:
+        """Given the new in-order frontier, merge any now-contiguous held
+        ranges and return the advanced frontier."""
+        merged = True
+        while merged:
+            merged = False
+            remaining: list[tuple[int, int]] = []
+            for seq, end_seq in self._ranges:
+                if seq <= rcv_nxt < end_seq:
+                    rcv_nxt = end_seq
+                    merged = True
+                elif end_seq <= rcv_nxt:
+                    continue  # fully duplicate, drop
+                else:
+                    remaining.append((seq, end_seq))
+            self._ranges = remaining
+        return rcv_nxt
+
+    def blocks(self, limit: int = 3) -> tuple[tuple[int, int], ...]:
+        """Up to ``limit`` held ranges, coalesced — the SACK blocks a
+        receiver advertises."""
+        if not self._ranges:
+            return ()
+        coalesced: list[tuple[int, int]] = []
+        for seq, end_seq in self._ranges:  # already sorted
+            if coalesced and seq <= coalesced[-1][1]:
+                coalesced[-1] = (
+                    coalesced[-1][0], max(coalesced[-1][1], end_seq)
+                )
+            else:
+                coalesced.append((seq, end_seq))
+        return tuple(coalesced[:limit])

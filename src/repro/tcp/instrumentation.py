@@ -1,0 +1,49 @@
+"""Socket instrumentation hook protocol.
+
+The socket always maintains the paper's three queues in **byte** units
+(the prototype's choice, §3.4).  Alternative message units — packets,
+syscalls, application hints (§3.3) — attach as *instruments*: objects
+registered on :attr:`repro.tcp.socket.TcpSocket.instruments` that receive
+progress callbacks and maintain their own queue states.
+
+All callbacks are optional in spirit; :class:`SocketInstrument` provides
+no-op defaults so subclasses override only what they need.
+"""
+
+from __future__ import annotations
+
+
+class SocketInstrument:
+    """Base class: no-op implementations of every socket hook.
+
+    Hooks and their meaning (offsets are absolute stream positions):
+
+    - ``on_send(nbytes)`` — the application wrote ``nbytes`` (one send
+      syscall);
+    - ``on_segment_sent(seq, nbytes)`` — a (super-)segment left the
+      stack for the NIC;
+    - ``on_acked(new_snd_una)`` — cumulative ack advanced;
+    - ``on_arrived(new_rcv_nxt)`` — in-order receive frontier advanced;
+    - ``on_read(new_read_seq)`` — the application consumed up to this
+      offset;
+    - ``on_ack_sent(acked_upto)`` — an ack (pure or piggybacked) for
+      everything up to this offset left this endpoint.
+    """
+
+    def on_send(self, nbytes: int) -> None:
+        pass
+
+    def on_segment_sent(self, seq: int, nbytes: int) -> None:
+        pass
+
+    def on_acked(self, new_snd_una: int) -> None:
+        pass
+
+    def on_arrived(self, new_rcv_nxt: int) -> None:
+        pass
+
+    def on_read(self, new_read_seq: int) -> None:
+        pass
+
+    def on_ack_sent(self, acked_upto: int) -> None:
+        pass

@@ -1,0 +1,79 @@
+"""Transmit batching heuristics: Nagle's algorithm and auto-corking.
+
+These are the batching policies the paper studies (§2).  All answer the
+same question — *may a sub-MSS segment be transmitted now?* — from
+different signals:
+
+- **Nagle** [RFC 896]: hold a partial segment while any previously sent
+  data is unacknowledged.  Full-MSS segments always pass.
+- **Minshall's variant** [Minshall/Mogul, cited by the paper §2]: hold
+  a partial segment only while a previously sent *sub-MSS* packet is
+  unacknowledged — large writes' tails are not penalized for the
+  full-sized segments in flight ahead of them.
+- **Auto-corking** (Linux): hold a partial segment while the NIC TX ring
+  still has unfinished descriptors for this flow, on the theory that more
+  data will arrive before the ring drains.
+
+The decision function is stateless given its inputs, which makes it easy
+for the dynamic toggler (:mod:`repro.core.toggler`) to flip the enable
+bits at runtime — the paper's proposed use of end-to-end estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TcpError
+
+NAGLE_CLASSIC = "classic"
+NAGLE_MINSHALL = "minshall"
+
+
+@dataclass
+class BatchingHeuristics:
+    """Per-socket transmit batching switches.
+
+    ``nagle`` mirrors the inverse of ``TCP_NODELAY``; ``nagle_mode``
+    selects the classic RFC 896 test or Minshall's small-packet-only
+    variant.  ``autocork`` mirrors ``net.ipv4.tcp_autocorking``.
+    ``min_batch_bytes`` is the §5 "better batching heuristics" extension
+    knob: when positive, a partial segment is additionally held until at
+    least this many bytes are queued (an AIMD controller adjusts it
+    gradually).
+    """
+
+    nagle: bool = True
+    nagle_mode: str = NAGLE_CLASSIC
+    autocork: bool = True
+    min_batch_bytes: int = 0
+
+    def __post_init__(self):
+        if self.nagle_mode not in (NAGLE_CLASSIC, NAGLE_MINSHALL):
+            raise TcpError(f"unknown Nagle mode {self.nagle_mode!r}")
+
+    def may_send_partial(
+        self,
+        queued_bytes: int,
+        unacked_bytes: int,
+        tx_ring_occupancy: int,
+        small_packet_outstanding: bool = False,
+    ) -> bool:
+        """Decide whether a sub-MSS chunk may go out now.
+
+        ``queued_bytes`` — unsent bytes available (all sub-MSS here);
+        ``unacked_bytes`` — sent-but-unacked bytes;
+        ``tx_ring_occupancy`` — this host's NIC TX ring depth;
+        ``small_packet_outstanding`` — whether an unacked sub-MSS
+        packet is in flight (Minshall's test).
+        """
+        if self.min_batch_bytes > 0 and queued_bytes < self.min_batch_bytes:
+            return False
+        if self.nagle:
+            if self.nagle_mode == NAGLE_CLASSIC:
+                if unacked_bytes > 0:
+                    return False
+            elif small_packet_outstanding:
+                return False
+        if self.autocork and tx_ring_occupancy > 0:
+            return False
+        return True

@@ -1,0 +1,10 @@
+"""TCP option keys used by the metadata exchange.
+
+The actual wire formats live with the contribution in
+:mod:`repro.core.exchange`; this module re-exports the option keys so
+TCP-layer code can refer to them without importing the estimator stack.
+"""
+
+from repro.core.exchange import OPTION_E2E, OPTION_HINT
+
+__all__ = ["OPTION_E2E", "OPTION_HINT"]

@@ -1,0 +1,51 @@
+"""Round-trip-time estimation and retransmission timeout (RTO).
+
+Implements the classic Jacobson/Karels estimator with Karn's rule
+(RFC 6298 structure): SRTT and RTTVAR exponentially smoothed, RTO =
+SRTT + 4·RTTVAR clamped to a floor.  Samples from retransmitted data are
+never taken (Karn), and the caller enforces that by sampling only
+segments transmitted once.
+
+The paper's §2 notes that RTT is a poor proxy for end-to-end latency —
+it misses application read delays and is inflated by delayed acks.  We
+keep the estimator anyway: TCP needs it for the RTO, and exposing it lets
+experiments *show* the RTT-vs-end-to-end gap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TcpError
+from repro.units import msecs
+
+
+class RttEstimator:
+    """SRTT/RTTVAR/RTO state for one connection."""
+
+    def __init__(self, min_rto_ns: int = msecs(200), initial_rto_ns: int = msecs(200)):
+        if min_rto_ns <= 0:
+            raise TcpError(f"min RTO must be positive, got {min_rto_ns}")
+        self.min_rto_ns = min_rto_ns
+        self.srtt_ns: float | None = None
+        self.rttvar_ns: float = 0.0
+        self.rto_ns = initial_rto_ns
+        self.samples = 0
+
+    def sample(self, rtt_ns: int) -> None:
+        """Fold in one RTT measurement (never from a retransmit — Karn)."""
+        if rtt_ns < 0:
+            raise TcpError(f"negative RTT sample {rtt_ns}")
+        self.samples += 1
+        if self.srtt_ns is None:
+            self.srtt_ns = float(rtt_ns)
+            self.rttvar_ns = rtt_ns / 2.0
+        else:
+            delta = abs(self.srtt_ns - rtt_ns)
+            self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * delta
+            self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * rtt_ns
+        self.rto_ns = max(
+            self.min_rto_ns, round(self.srtt_ns + 4.0 * self.rttvar_ns)
+        )
+
+    def backoff(self) -> None:
+        """Exponential RTO backoff after a retransmission timeout."""
+        self.rto_ns = min(self.rto_ns * 2, msecs(120_000))

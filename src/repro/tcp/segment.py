@@ -1,0 +1,146 @@
+"""TCP segments.
+
+A :class:`Segment` is the TCP layer's unit of transmission.  Payload bytes
+are modelled by *length and stream offset*, not by materialized byte
+arrays: the simulation only ever needs sizes and positions, and carrying
+real buffers would dominate runtime at the packet rates we simulate.
+Message boundaries travel out-of-band through the shared
+:class:`~repro.tcp.buffers.ByteStream` bookkeeping.
+
+Segments support :meth:`split_at` (used by the NIC to slice TSO
+super-segments into MTU-sized wire packets) and :meth:`merge` (used by
+GRO to coalesce contiguous arrivals into one delivery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import TcpError
+
+
+@dataclass
+class Segment:
+    """One TCP segment (or a TSO/GRO aggregate of contiguous segments).
+
+    ``seq`` is the absolute stream offset of the first payload byte;
+    ``payload_len`` may exceed the MSS for super-segments.  ``ack`` is the
+    cumulative acknowledgment for the reverse direction and ``wnd`` the
+    advertised receive window.  ``wire_count`` tracks how many wire
+    packets this (possibly GRO-merged) segment represents, for CPU-cost
+    accounting.
+    """
+
+    conn_id: int
+    src: str
+    dst: str
+    seq: int
+    payload_len: int
+    ack: int
+    wnd: int
+    options: dict[str, Any] = field(default_factory=dict)
+    wire_count: int = 1
+    is_retransmit: bool = False
+    psh: bool = False
+    # Zero-window probe marker.  Real TCP probes are recognized by
+    # carrying a byte beyond the advertised window; the flag models the
+    # same "please re-advertise your window" semantics directly.
+    window_probe: bool = False
+    # SACK blocks: out-of-order ranges the receiver holds (RFC 2018).
+    sack_blocks: tuple = ()
+
+    @property
+    def end_seq(self) -> int:
+        """Stream offset just past this segment's payload."""
+        return self.seq + self.payload_len
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """True for segments carrying no payload."""
+        return self.payload_len == 0
+
+    def options_bytes(self) -> int:
+        """Wire bytes consumed by variable options (metadata exchange,
+        SACK blocks: 2-byte header + 8 bytes per block)."""
+        option_bytes = sum(
+            getattr(value, "WIRE_BYTES", 8) for value in self.options.values()
+        )
+        if self.sack_blocks:
+            option_bytes += 2 + 8 * len(self.sack_blocks)
+        return option_bytes
+
+    # ------------------------------------------------------------------
+    # TSO slicing.
+    # ------------------------------------------------------------------
+
+    def split_at(self, nbytes: int) -> tuple["Segment", "Segment | None"]:
+        """Split into a head of at most ``nbytes`` payload and the rest.
+
+        Options stay on the *tail* slice so that, as on real NICs doing
+        TSO, the final packet of the burst carries the freshest metadata;
+        the cumulative ``ack``/``wnd`` are replicated on every slice.
+        """
+        if nbytes <= 0:
+            raise TcpError(f"split size must be positive, got {nbytes}")
+        if self.payload_len <= nbytes:
+            return self, None
+        head = replace(
+            self,
+            payload_len=nbytes,
+            options={},
+            wire_count=1,
+            psh=False,  # PSH rides the last slice of the burst
+            sack_blocks=(),
+        )
+        rest = replace(
+            self,
+            seq=self.seq + nbytes,
+            payload_len=self.payload_len - nbytes,
+            wire_count=1,
+        )
+        return head, rest
+
+    # ------------------------------------------------------------------
+    # GRO merging.
+    # ------------------------------------------------------------------
+
+    def can_merge(self, nxt: "Segment") -> bool:
+        """Whether ``nxt`` extends this segment contiguously."""
+        return (
+            nxt.conn_id == self.conn_id
+            and nxt.src == self.src
+            and nxt.seq == self.end_seq
+            and not nxt.is_pure_ack
+            and not self.is_retransmit
+            and not nxt.is_retransmit
+        )
+
+    def merge(self, nxt: "Segment") -> "Segment":
+        """Coalesce a contiguous successor into one delivery.
+
+        The later segment's ``ack``/``wnd``/options win: they are
+        cumulative (ack, wnd) or snapshot-valued (metadata option), so
+        freshest-wins is semantically exact.
+        """
+        if not self.can_merge(nxt):
+            raise TcpError(f"cannot merge {nxt!r} after {self!r}")
+        merged_options = dict(self.options)
+        merged_options.update(nxt.options)
+        return replace(
+            self,
+            payload_len=self.payload_len + nxt.payload_len,
+            ack=max(self.ack, nxt.ack),
+            wnd=nxt.wnd,
+            options=merged_options,
+            wire_count=self.wire_count + nxt.wire_count,
+            psh=self.psh or nxt.psh,
+            sack_blocks=nxt.sack_blocks or self.sack_blocks,
+        )
+
+    def __repr__(self) -> str:
+        kind = "ack" if self.is_pure_ack else f"{self.payload_len}B"
+        return (
+            f"<Segment conn={self.conn_id} {self.src}->{self.dst} "
+            f"seq={self.seq} {kind} ack={self.ack}>"
+        )

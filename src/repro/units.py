@@ -1,0 +1,91 @@
+"""Units and unit-conversion helpers shared across the simulator.
+
+Simulated time is kept as **integer nanoseconds** throughout the code base.
+Floating point time accumulates rounding error over long runs and makes
+discrete-event ordering fragile; integer nanoseconds give us exact arithmetic
+with a range (2**63 ns ~ 292 years) far beyond any simulation we run.
+
+Byte quantities are plain integers.  Rates cross the int/float boundary:
+an offered load in requests/second or a link bandwidth in bits/second is a
+float, and the helpers here convert between rates and integer inter-arrival
+times or serialization delays.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time constants (all express "how many nanoseconds").
+# ---------------------------------------------------------------------------
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def usecs(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * USEC)
+
+
+def msecs(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * MSEC)
+
+
+def secs(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * SEC)
+
+
+def to_usecs(ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return ns / USEC
+
+
+def to_msecs(ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds."""
+    return ns / MSEC
+
+
+def to_secs(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / SEC
+
+
+# ---------------------------------------------------------------------------
+# Byte constants.
+# ---------------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Rate conversions.
+# ---------------------------------------------------------------------------
+
+
+def interarrival_ns(rate_per_sec: float) -> float:
+    """Mean inter-arrival time (ns, float) for a given event rate per second.
+
+    Returned as a float so Poisson samplers can scale it before rounding.
+    """
+    if rate_per_sec <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_sec}")
+    return SEC / rate_per_sec
+
+
+def serialization_delay_ns(nbytes: int, bits_per_sec: float) -> int:
+    """Time to push ``nbytes`` onto a wire of the given bandwidth."""
+    if bits_per_sec <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bits_per_sec}")
+    return round(nbytes * 8 * SEC / bits_per_sec)
+
+
+def rate_per_sec(count: int, elapsed_ns: int) -> float:
+    """Events per second given a count over an elapsed period."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_ns}")
+    return count * SEC / elapsed_ns

@@ -1,0 +1,87 @@
+"""Tests for cutoff/SLO curve analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cutoff import (
+    CurvePoint,
+    crossover_rate,
+    improvement_at,
+    max_sustainable_rate,
+    range_extension,
+)
+from repro.errors import EstimationError
+
+
+def curve(points):
+    return [CurvePoint(rate, latency) for rate, latency in points]
+
+
+class TestMaxSustainable:
+    def test_highest_rate_under_slo(self):
+        points = curve([(10, 100), (20, 200), (30, 600), (40, 400)])
+        assert max_sustainable_rate(points, slo_ns=500) == 20
+
+    def test_all_sustainable(self):
+        points = curve([(10, 100), (20, 200)])
+        assert max_sustainable_rate(points, slo_ns=500) == 20
+
+    def test_none_sustainable(self):
+        points = curve([(10, 900)])
+        assert max_sustainable_rate(points, slo_ns=500) == 0
+
+    def test_post_violation_dips_ignored(self):
+        points = curve([(10, 100), (20, 600), (30, 100)])
+        assert max_sustainable_rate(points, slo_ns=500) == 10
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(EstimationError):
+            max_sustainable_rate([], 500)
+
+
+class TestCrossover:
+    def test_interpolated_crossover(self):
+        baseline = curve([(10, 100), (20, 300)])
+        batched = curve([(10, 200), (20, 200)])
+        # diff(base-batch): -100 at 10, +100 at 20 -> crossing at 15.
+        assert crossover_rate(baseline, batched) == pytest.approx(15)
+
+    def test_batching_wins_everywhere(self):
+        baseline = curve([(10, 300), (20, 300)])
+        batched = curve([(10, 100), (20, 100)])
+        assert crossover_rate(baseline, batched) == 10
+
+    def test_batching_never_wins(self):
+        baseline = curve([(10, 100), (20, 100)])
+        batched = curve([(10, 300), (20, 300)])
+        assert crossover_rate(baseline, batched) is None
+
+    def test_disjoint_rates_rejected(self):
+        with pytest.raises(EstimationError):
+            crossover_rate(curve([(10, 1)]), curve([(20, 1)]))
+
+
+class TestHeadlineFactors:
+    def test_range_extension(self):
+        baseline = curve([(10, 100), (20, 600)])
+        batched = curve([(10, 200), (20, 300), (30, 450), (40, 700)])
+        base_max, batch_max, factor = range_extension(baseline, batched, 500)
+        assert base_max == 10
+        assert batch_max == 30
+        assert factor == pytest.approx(3.0)
+
+    def test_range_extension_requires_baseline_viability(self):
+        baseline = curve([(10, 900)])
+        batched = curve([(10, 100)])
+        with pytest.raises(EstimationError):
+            range_extension(baseline, batched, 500)
+
+    def test_improvement_at(self):
+        baseline = curve([(10, 300)])
+        batched = curve([(10, 100)])
+        assert improvement_at(baseline, batched, 10) == pytest.approx(3.0)
+
+    def test_improvement_missing_rate_rejected(self):
+        with pytest.raises(EstimationError):
+            improvement_at(curve([(10, 1)]), curve([(10, 1)]), 99)

@@ -1,0 +1,60 @@
+"""Tests for the counter dump (ethtool analogue)."""
+
+from __future__ import annotations
+
+from repro.analysis.dump import (
+    dump_testbed,
+    exchange_stats,
+    host_stats,
+    render_stats,
+    socket_stats,
+)
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.units import msecs
+
+
+class TestDump:
+    def _run(self, connections=1):
+        holder = {}
+        run_benchmark(
+            BenchConfig(
+                rate_per_sec=8_000.0,
+                connections=connections,
+                warmup_ns=msecs(5),
+                measure_ns=msecs(20),
+            ),
+            tweak=lambda bed: holder.update(bed=bed),
+        )
+        return holder["bed"]
+
+    def test_socket_stats_complete(self):
+        bed = self._run()
+        stats = socket_stats(bed.client_sock)
+        assert stats["segments_sent"] > 0
+        assert stats["bytes_sent"] > 0
+        assert stats["qs_unacked"]["total"] > 0
+        assert stats["snd_una"] <= stats["snd_nxt"]
+
+    def test_host_stats_consistent(self):
+        bed = self._run()
+        stats = host_stats(bed.server_host)
+        assert stats["softirq"]["deliveries"] == stats["nic"]["rx_deliveries"]
+        assert 0 <= stats["net_core"]["utilization"] <= 1
+
+    def test_exchange_stats(self):
+        bed = self._run()
+        stats = exchange_stats(bed.client_exchange)
+        assert stats["states_sent"] > 0
+        assert stats["option_bytes_sent"] >= 36 * stats["states_sent"]
+
+    def test_dump_covers_all_connections(self):
+        bed = self._run(connections=2)
+        stats = dump_testbed(bed)
+        assert len(stats["connections"]) == 2
+        assert "client_host" in stats and "server_host" in stats
+
+    def test_render_flattens(self):
+        bed = self._run()
+        text = render_stats(dump_testbed(bed))
+        assert "client_host.nic.tx_wire_packets" in text
+        assert "connections[0].client_sock.segments_sent" in text

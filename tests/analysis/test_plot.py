@@ -1,0 +1,73 @@
+"""Tests for ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cutoff import CurvePoint
+from repro.analysis.plot import ascii_plot, curve_points
+from repro.errors import EstimationError
+
+
+class TestAsciiPlot:
+    def test_basic_rendering(self):
+        text = ascii_plot(
+            {"a": [(0, 0), (10, 100)]},
+            width=20, height=6, title="T", x_label="x", y_label="y",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "o = a" in text
+        assert "x: x   y: y" in text
+        # Grid rows exist between title and axis.
+        assert sum("|" in line for line in lines) == 6
+
+    def test_markers_per_series(self):
+        text = ascii_plot(
+            {"one": [(0, 1), (1, 2)], "two": [(0, 2), (1, 1)]},
+            width=20, height=6,
+        )
+        assert "o = one" in text
+        assert "x = two" in text
+        assert "o" in text and "x" in text
+
+    def test_points_at_extremes_land_on_grid_edges(self):
+        text = ascii_plot({"a": [(0, 0), (100, 50)]}, width=20, height=5)
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")   # max y at top-right
+        assert rows[-1].startswith("o")          # min y at bottom-left
+
+    def test_log_scale(self):
+        text = ascii_plot(
+            {"a": [(0, 1), (1, 10), (2, 100), (3, 1000)]},
+            width=24, height=7, log_y=True,
+        )
+        assert "[log y]" in text
+        # Log spacing: the four points should form a straight diagonal;
+        # each occupied row has exactly one marker.
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        assert sum(row.count("o") for row in rows) == 4
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(EstimationError):
+            ascii_plot({"a": [(0, 0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            ascii_plot({})
+        with pytest.raises(EstimationError):
+            ascii_plot({"a": []})
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(EstimationError):
+            ascii_plot({"a": [(0, 1)]}, width=4, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot({"a": [(0, 5), (10, 5)]}, width=20, height=5)
+        assert "o" in text
+
+
+class TestCurvePoints:
+    def test_conversion_to_microseconds(self):
+        points = curve_points([CurvePoint(1000.0, 250_000.0)])
+        assert points == [(1000.0, 250.0)]

@@ -1,0 +1,29 @@
+"""Tests for table formatting."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1), ("bb", 22)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data lines share the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.23456,)])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

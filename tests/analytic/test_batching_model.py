@@ -1,0 +1,101 @@
+"""Tests for the Figure 1 closed-form model — the paper's exact numbers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytic.batching_model import (
+    ScenarioParams,
+    compare,
+    simulate_batched,
+    simulate_unbatched,
+)
+from repro.errors import WorkloadError
+
+
+class TestPaperNumbers:
+    """n=3, alpha=2, beta=4, c in {1, 3, 5} (paper Figure 1a/b/c)."""
+
+    def test_figure_1a_c1_batching_improves_both(self):
+        outcome = compare(ScenarioParams(c=1))
+        assert outcome["batched"].completion_times == (11, 12, 13)
+        assert outcome["unbatched"].completion_times == (7, 13, 19)
+        assert outcome["batching_improves_latency"]
+        assert outcome["batching_improves_throughput"]
+
+    def test_figure_1b_c5_batching_degrades_both(self):
+        outcome = compare(ScenarioParams(c=5))
+        assert outcome["batched"].completion_times == (15, 20, 25)
+        assert outcome["unbatched"].completion_times == (11, 17, 23)
+        assert not outcome["batching_improves_latency"]
+        assert not outcome["batching_improves_throughput"]
+
+    def test_figure_1c_c3_mixed_outcome(self):
+        outcome = compare(ScenarioParams(c=3))
+        assert outcome["batched"].completion_times == (13, 16, 19)
+        assert outcome["unbatched"].completion_times == (9, 15, 21)
+        assert not outcome["batching_improves_latency"]
+        assert outcome["batching_improves_throughput"]
+
+    def test_server_times_match_paper_totals(self):
+        """Batched server work n*alpha+beta=10; unbatched n*(alpha+beta)=18."""
+        params = ScenarioParams()
+        batched = simulate_batched(params)
+        assert min(batched.completion_times) == 10 + params.c
+        unbatched = simulate_unbatched(params)
+        # With c=1 < alpha+beta the server paces the pipeline.
+        assert max(unbatched.completion_times) == 3 * 6 + 1
+
+
+class TestModelProperties:
+    @given(
+        st.integers(1, 20),
+        st.floats(0.1, 50),
+        st.floats(0.0, 50),
+        st.floats(0.0, 50),
+    )
+    def test_completions_monotone(self, n, alpha, beta, c):
+        params = ScenarioParams(n=n, alpha=alpha, beta=beta, c=c)
+        for outcome in (simulate_batched(params), simulate_unbatched(params)):
+            times = outcome.completion_times
+            assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @given(st.integers(1, 20), st.floats(0.1, 50), st.floats(0.1, 50))
+    def test_zero_client_cost_makes_batching_win(self, n, alpha, beta):
+        """With c=0 and n>1, batching strictly wins on throughput
+        (amortizes beta) and can't lose on the pipeline."""
+        if n == 1:
+            return
+        outcome = compare(ScenarioParams(n=n, alpha=alpha, beta=beta, c=0.0))
+        assert outcome["batching_improves_throughput"]
+
+    @given(st.floats(0.1, 100))
+    def test_n1_batching_is_identical(self, c):
+        """A batch of one is no batch at all."""
+        params = ScenarioParams(n=1, c=c)
+        batched = simulate_batched(params)
+        unbatched = simulate_unbatched(params)
+        assert batched.completion_times == unbatched.completion_times
+
+    @given(
+        st.integers(2, 15),
+        st.floats(0.1, 20),
+        st.floats(0.1, 20),
+        st.floats(0.0, 100),
+    )
+    def test_large_c_eventually_favors_no_batching(self, n, alpha, beta, c):
+        """Once the client is the bottleneck (c >= alpha+beta), the
+        batched pipeline finishes no earlier than the unbatched one."""
+        if c < alpha + beta:
+            return
+        params = ScenarioParams(n=n, alpha=alpha, beta=beta, c=c)
+        batched = simulate_batched(params)
+        unbatched = simulate_unbatched(params)
+        assert max(batched.completion_times) >= max(unbatched.completion_times)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ScenarioParams(n=0).validate()
+        with pytest.raises(WorkloadError):
+            ScenarioParams(alpha=-1).validate()

@@ -1,0 +1,51 @@
+"""Tests for the key-value store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kvstore import KVStore
+from repro.errors import WorkloadError
+
+
+class TestKVStore:
+    def test_set_get(self):
+        store = KVStore()
+        store.set("k", 100)
+        assert store.get("k") == 100
+
+    def test_miss_returns_none(self):
+        store = KVStore()
+        assert store.get("missing") is None
+        assert store.hits == 0
+        assert store.gets == 1
+
+    def test_overwrite_updates_memory(self):
+        store = KVStore()
+        store.set("k", 100)
+        store.set("k", 50)
+        assert store.bytes_stored == 50
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = KVStore()
+        store.set("k", 100)
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert store.bytes_stored == 0
+        assert store.get("k") is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            KVStore().set("k", -1)
+
+    def test_statistics(self):
+        store = KVStore()
+        store.set("a", 1)
+        store.set("b", 2)
+        store.get("a")
+        store.get("zzz")
+        assert store.sets == 2
+        assert store.gets == 2
+        assert store.hits == 1
+        assert store.bytes_stored == 3

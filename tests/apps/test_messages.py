@@ -1,0 +1,51 @@
+"""Tests for request/response descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import resp
+from repro.apps.messages import Request, Response
+from repro.errors import WorkloadError
+
+
+class TestRequest:
+    def test_set_wire_bytes_exact(self):
+        request = Request(kind="SET", key="k" * 16, value_bytes=16384,
+                          created_at=0)
+        assert request.wire_bytes == resp.set_command_bytes(16, 16384)
+
+    def test_get_wire_bytes_exact(self):
+        request = Request(kind="GET", key="k" * 16, value_bytes=16384,
+                          created_at=0)
+        assert request.wire_bytes == resp.get_command_bytes(16)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            Request(kind="DEL", key="k", value_bytes=0, created_at=0)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            Request(kind="GET", key="", value_bytes=0, created_at=0)
+
+    def test_ids_unique(self):
+        a = Request(kind="GET", key="k", value_bytes=0, created_at=0)
+        b = Request(kind="GET", key="k", value_bytes=0, created_at=0)
+        assert a.request_id != b.request_id
+
+
+class TestResponse:
+    def test_set_reply_is_plus_ok(self):
+        request = Request(kind="SET", key="k", value_bytes=100, created_at=0)
+        response = Response(request, served_at=10)
+        assert response.wire_bytes == len(b"+OK\r\n")
+
+    def test_get_reply_carries_value(self):
+        request = Request(kind="GET", key="k", value_bytes=0, created_at=0)
+        response = Response(request, served_at=10, value_bytes=16384)
+        assert response.wire_bytes == resp.bulk_reply_bytes(16384)
+
+    def test_get_miss_is_null_bulk(self):
+        request = Request(kind="GET", key="k", value_bytes=0, created_at=0)
+        response = Response(request, served_at=10, value_bytes=None)
+        assert response.wire_bytes == 5

@@ -1,0 +1,189 @@
+"""Integration tests: Redis-like server + client over the real stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kvstore import KVStore
+from repro.apps.messages import Request
+from repro.apps.redis_client import ClientConfig, RedisClient
+from repro.apps.redis_server import RedisServer, ServerConfig
+from repro.errors import WorkloadError
+
+SECOND = 10**9
+
+
+def build_app_pair(sim, pair_factory, nagle=False, client_config=None,
+                   server_config=None):
+    client_host, server_host, sock_a, sock_b = pair_factory.build(nagle=nagle)
+    server = RedisServer(sim, server_host, sock_b, store=KVStore(),
+                         config=server_config)
+    client = RedisClient(sim, client_host, sock_a, config=client_config)
+    return client, server
+
+
+def fixed_schedule(kinds_and_times, key="k" * 16, value_bytes=4096):
+    return [
+        (when, Request(kind=kind, key=key, value_bytes=value_bytes,
+                       created_at=when))
+        for when, kind in kinds_and_times
+    ]
+
+
+class TestRequestResponse:
+    def test_single_set_roundtrip(self, sim, pair_factory):
+        client, server = build_app_pair(sim, pair_factory)
+        server.start()
+        client.start(fixed_schedule([(1000, "SET")]))
+        sim.run(until=SECOND)
+        assert client.responses_received == 1
+        record = client.records[0]
+        assert record.kind == "SET"
+        assert record.latency_ns > 0
+        assert server.store.get("k" * 16) == 4096
+
+    def test_get_returns_stored_size(self, sim, pair_factory):
+        client, server = build_app_pair(sim, pair_factory)
+        server.store.set("k" * 16, 4096)
+        server.start()
+        client.start(fixed_schedule([(1000, "GET")]))
+        sim.run(until=SECOND)
+        assert client.responses_received == 1
+
+    def test_pipeline_of_requests_all_answered_in_order(self, sim, pair_factory):
+        client, server = build_app_pair(sim, pair_factory)
+        server.start()
+        schedule = fixed_schedule(
+            [(1000 + i * 50_000, "SET") for i in range(20)]
+        )
+        ids = [request.request_id for _, request in schedule]
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert client.responses_received == 20
+        assert [r.request_id for r in client.records] == ids
+        assert server.requests_served == 20
+
+    def test_latency_includes_client_queue_time(self, sim, pair_factory):
+        client, server = build_app_pair(sim, pair_factory)
+        server.start()
+        client.start(fixed_schedule([(1000, "SET")]))
+        sim.run(until=SECOND)
+        record = client.records[0]
+        assert record.latency_ns >= record.send_latency_ns
+
+    def test_closed_loop_one_outstanding(self, sim, pair_factory):
+        client, server = build_app_pair(
+            sim, pair_factory, client_config=ClientConfig(closed_loop=True)
+        )
+        server.start()
+        schedule = fixed_schedule([(1000, "SET"), (1001, "SET"), (1002, "SET")])
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert client.responses_received == 3
+        # Each request was sent only after the previous response.
+        completions = [r.completed_at for r in client.records]
+        assert completions == sorted(completions)
+
+    def test_nagle_coalescing_creates_server_batches(self, sim, pair_factory):
+        """With Nagle on, small requests issued back-to-back coalesce in
+        the client's send buffer (held behind the first unacked one) and
+        arrive together, so the server processes them as a batch — the
+        sender-side batching that amortizes the server's per-iteration
+        cost in Figure 4a."""
+        client, server = build_app_pair(sim, pair_factory, nagle=True)
+        server.start()
+        schedule = fixed_schedule([(1000, "SET") for _ in range(8)],
+                                  value_bytes=64)
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert server.requests_served == 8
+        assert server.mean_batch_size > 2.0
+
+    def test_nagle_off_serves_requests_individually(self, sim, pair_factory):
+        """Without Nagle each small request leaves immediately as its
+        own pushed packet and the (unloaded) server keeps up one by
+        one."""
+        client, server = build_app_pair(sim, pair_factory, nagle=False)
+        server.start()
+        schedule = fixed_schedule([(1000, "SET") for _ in range(8)],
+                                  value_bytes=64)
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert server.requests_served == 8
+        assert server.mean_batch_size < 2.0
+
+
+class TestServerConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ServerConfig(alpha_ns=-1).validate()
+        with pytest.raises(WorkloadError):
+            ServerConfig(read_chunk_bytes=0).validate()
+
+    def test_read_chunk_bounds_iteration(self, sim, pair_factory):
+        client, server = build_app_pair(
+            sim, pair_factory,
+            server_config=ServerConfig(read_chunk_bytes=1000),
+        )
+        server.start()
+        client.start(fixed_schedule([(1000, "SET")], value_bytes=4096))
+        sim.run(until=SECOND)
+        assert client.responses_received == 1
+        # A >4KiB request at 1000B per read needs several iterations.
+        assert server.iterations >= 4
+
+
+class TestBoundedBatching:
+    def test_bound_limits_per_iteration_batch(self, sim, pair_factory):
+        client, server = build_app_pair(
+            sim, pair_factory, nagle=True,
+            server_config=ServerConfig(max_batch_requests=2),
+        )
+        server.start()
+        schedule = fixed_schedule([(1000, "SET") for _ in range(8)],
+                                  value_bytes=64)
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert server.requests_served == 8
+        assert max(server.batch_sizes) <= 2
+
+    def test_unbounded_batches_freely(self, sim, pair_factory):
+        client, server = build_app_pair(sim, pair_factory, nagle=True)
+        server.start()
+        schedule = fixed_schedule([(1000, "SET") for _ in range(8)],
+                                  value_bytes=64)
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert max(server.batch_sizes) > 2
+
+    def test_bound_validation(self):
+        with pytest.raises(WorkloadError):
+            ServerConfig(max_batch_requests=0).validate()
+
+    def test_backlog_preserves_order(self, sim, pair_factory):
+        client, server = build_app_pair(
+            sim, pair_factory, nagle=True,
+            server_config=ServerConfig(max_batch_requests=1),
+        )
+        server.start()
+        schedule = fixed_schedule([(1000, "SET") for _ in range(6)],
+                                  value_bytes=64)
+        ids = [request.request_id for _, request in schedule]
+        client.start(schedule)
+        sim.run(until=SECOND)
+        assert [r.request_id for r in client.records] == ids
+
+
+class TestHintIntegration:
+    def test_hint_session_tracks_outstanding(self, sim, pair_factory):
+        from repro.core.hints import HintSession
+
+        client_host, server_host, sock_a, sock_b = pair_factory.build()
+        hints = HintSession(client_host.clock)
+        server = RedisServer(sim, server_host, sock_b)
+        client = RedisClient(sim, client_host, sock_a, hint_session=hints)
+        server.start()
+        client.start(fixed_schedule([(1000, "SET"), (2000, "SET")]))
+        sim.run(until=SECOND)
+        assert hints.outstanding == 0
+        assert hints.state.total == 2

@@ -1,0 +1,133 @@
+"""Tests for the RESP protocol implementation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps import resp
+from repro.errors import ProtocolError
+
+
+class TestEncoding:
+    def test_command_encoding(self):
+        assert resp.encode_command(b"GET", b"key") == b"*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n"
+
+    def test_simple_string(self):
+        assert resp.encode_simple_string(b"OK") == b"+OK\r\n"
+
+    def test_simple_string_rejects_crlf(self):
+        with pytest.raises(ProtocolError):
+            resp.encode_simple_string(b"a\r\nb")
+
+    def test_error(self):
+        assert resp.encode_error(b"ERR nope") == b"-ERR nope\r\n"
+
+    def test_integer(self):
+        assert resp.encode_integer(42) == b":42\r\n"
+        assert resp.encode_integer(-1) == b":-1\r\n"
+
+    def test_bulk(self):
+        assert resp.encode_bulk_reply(b"abc") == b"$3\r\nabc\r\n"
+        assert resp.encode_bulk_reply(None) == b"$-1\r\n"
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            resp.encode_command()
+
+
+class TestWireSizes:
+    """The size helpers must agree exactly with the real encoder."""
+
+    def test_set_command_size_matches_encoding(self):
+        key, value = b"k" * 16, b"v" * 16384
+        encoded = resp.encode_command(b"SET", key, value)
+        assert len(encoded) == resp.set_command_bytes(16, 16384)
+
+    def test_get_command_size_matches_encoding(self):
+        encoded = resp.encode_command(b"GET", b"k" * 16)
+        assert len(encoded) == resp.get_command_bytes(16)
+
+    def test_simple_reply_size(self):
+        assert resp.simple_reply_bytes() == len(b"+OK\r\n")
+
+    def test_bulk_reply_sizes(self):
+        assert resp.bulk_reply_bytes(16384) == len(resp.encode_bulk_reply(b"v" * 16384))
+        assert resp.bulk_reply_bytes(None) == len(resp.encode_bulk_reply(None))
+
+    @given(st.integers(0, 10), st.integers(0, 100_000))
+    def test_size_formula_always_matches(self, key_len, value_len):
+        key, value = b"k" * max(1, key_len), b"v" * value_len
+        encoded = resp.encode_command(b"SET", key, value)
+        assert len(encoded) == resp.set_command_bytes(len(key), value_len)
+
+
+class TestParser:
+    def test_parses_simple_string(self):
+        parser = resp.RespParser()
+        assert parser.feed(b"+OK\r\n") == [b"OK"]
+
+    def test_parses_command_array(self):
+        parser = resp.RespParser()
+        values = parser.feed(resp.encode_command(b"SET", b"key", b"value"))
+        assert values == [[b"SET", b"key", b"value"]]
+
+    def test_parses_integer_and_error(self):
+        parser = resp.RespParser()
+        assert parser.feed(b":42\r\n") == [42]
+        assert parser.feed(b"-ERR bad\r\n") == [(b"error", b"ERR bad")]
+
+    def test_parses_null_bulk(self):
+        parser = resp.RespParser()
+        assert parser.feed(b"$-1\r\n") == [None]
+
+    def test_incremental_feeding(self):
+        parser = resp.RespParser()
+        data = resp.encode_command(b"GET", b"k")
+        for byte_index in range(len(data) - 1):
+            chunk = data[byte_index:byte_index + 1]
+            assert parser.feed(chunk) == []
+        assert parser.feed(data[-1:]) == [[b"GET", b"k"]]
+
+    def test_multiple_values_in_one_feed(self):
+        parser = resp.RespParser()
+        blob = b"+OK\r\n" + b":7\r\n" + resp.encode_command(b"GET", b"x")
+        assert parser.feed(blob) == [b"OK", 7, [b"GET", b"x"]]
+
+    def test_pending_bytes(self):
+        parser = resp.RespParser()
+        parser.feed(b"$10\r\nabc")
+        assert parser.pending_bytes == 8
+
+    def test_unknown_marker_rejected(self):
+        parser = resp.RespParser()
+        with pytest.raises(ProtocolError):
+            parser.feed(b"?huh\r\n")
+
+    def test_bad_bulk_terminator_rejected(self):
+        parser = resp.RespParser()
+        with pytest.raises(ProtocolError):
+            parser.feed(b"$3\r\nabcXX")
+
+    @given(
+        st.lists(
+            st.binary(min_size=1, max_size=200).filter(lambda b: b"\r" not in b),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_roundtrip_any_command(self, args):
+        parser = resp.RespParser()
+        values = parser.feed(resp.encode_command(*args))
+        assert values == [list(args)]
+        assert parser.pending_bytes == 0
+
+    @given(st.binary(max_size=500), st.integers(1, 7))
+    def test_chunked_roundtrip(self, value, chunk_size):
+        """Bulk replies survive arbitrary chunking."""
+        parser = resp.RespParser()
+        data = resp.encode_bulk_reply(value)
+        collected = []
+        for start in range(0, len(data), chunk_size):
+            collected.extend(parser.feed(data[start:start + chunk_size]))
+        assert collected == [value]

@@ -1,0 +1,153 @@
+"""Tests for the AIMD batch-limit controller (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aimd import AimdBatchLimiter, AimdConfig
+from repro.core.policy import PerfSample
+from repro.errors import EstimationError
+from repro.sim.loop import Simulator
+
+CONFIG = AimdConfig(
+    tick_ns=1000,
+    latency_target_ns=500_000,
+    increase_bytes=100,
+    decrease_factor=0.5,
+    comfort_fraction=0.5,
+)
+
+
+def make_limiter(sim, latency_fn, config=CONFIG):
+    applied = []
+
+    def sample_fn():
+        latency = latency_fn()
+        if latency is None:
+            return None
+        return PerfSample(latency_ns=latency, throughput_per_sec=1.0)
+
+    limiter = AimdBatchLimiter(
+        sim,
+        sample_fn=sample_fn,
+        apply_fn=lambda value: applied.append((sim.now, value)),
+        config=config,
+    )
+    return limiter, applied
+
+
+class TestAimdConfig:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            AimdConfig(tick_ns=0).validate()
+        with pytest.raises(EstimationError):
+            AimdConfig(latency_target_ns=0).validate()
+        with pytest.raises(EstimationError):
+            AimdConfig(increase_bytes=0).validate()
+        with pytest.raises(EstimationError):
+            AimdConfig(decrease_factor=1.0).validate()
+        with pytest.raises(EstimationError):
+            AimdConfig(comfort_fraction=0.0).validate()
+
+
+class TestAimdDynamics:
+    def test_additive_increase_under_pressure(self):
+        """Latency above target -> the batch floor grows linearly."""
+        sim = Simulator()
+        limiter, _ = make_limiter(sim, lambda: 2_000_000)
+        limiter.start()
+        sim.run(until=10_500)
+        assert limiter.batch_bytes == 10 * 100
+
+    def test_multiplicative_decay_when_comfortable(self):
+        """Latency far below target -> the floor decays toward zero."""
+        sim = Simulator()
+        state = {"latency": 2_000_000}
+        limiter, _ = make_limiter(sim, lambda: state["latency"])
+        limiter.start()
+        sim.run(until=10_500)
+        grown = limiter.batch_bytes
+        state["latency"] = 1_000  # far under target; EWMA follows
+        sim.run(until=30_500)
+        assert limiter.batch_bytes < grown / 4
+
+    def test_hysteresis_band_freezes_floor(self):
+        """Between comfort*target and target, the floor holds steady."""
+        sim = Simulator()
+        limiter, _ = make_limiter(sim, lambda: 2_000_000)
+        limiter.start()
+        sim.run(until=5_500)
+        grown = limiter.batch_bytes
+
+        sim2 = Simulator()
+        state = {"latency": 400_000}  # in (250k, 500k): the band
+        limiter2, _ = make_limiter(sim2, lambda: state["latency"])
+        limiter2.batch_bytes = grown
+        limiter2.start()
+        sim2.run(until=10_500)
+        assert limiter2.batch_bytes == grown
+
+    def test_cap_at_max_batch(self):
+        sim = Simulator()
+        config = AimdConfig(tick_ns=1000, latency_target_ns=1,
+                            increase_bytes=100_000, max_batch_bytes=4096)
+        limiter, _ = make_limiter(sim, lambda: 10**9, config)
+        limiter.start()
+        sim.run(until=5_500)
+        assert limiter.batch_bytes == 4096
+
+    def test_none_samples_freeze_controller(self):
+        sim = Simulator()
+        limiter, applied = make_limiter(sim, lambda: None)
+        limiter.start()
+        sim.run(until=10_500)
+        assert limiter.batch_bytes == 0
+
+    def test_history_records_ticks(self):
+        sim = Simulator()
+        limiter, _ = make_limiter(sim, lambda: 2_000_000)
+        limiter.start()
+        sim.run(until=5_500)
+        assert len(limiter.history) == 5
+
+    def test_stop(self):
+        sim = Simulator()
+        limiter, _ = make_limiter(sim, lambda: 2_000_000)
+        limiter.start()
+        sim.run(until=3_500)
+        limiter.stop()
+        sim.run(until=20_000)
+        assert len(limiter.history) == 3
+
+    def test_sawtooth_around_target(self):
+        """A responsive plant (latency falls once the floor is big
+        enough) produces the AIMD sawtooth: grow, relieve, decay,
+        relapse, grow again."""
+        sim = Simulator()
+        state = {"floor": 0}
+
+        def plant_latency():
+            # The plant is overloaded unless the floor exceeds 300B.
+            return 50_000 if state["floor"] >= 300 else 2_000_000
+
+        def sample_fn():
+            return PerfSample(latency_ns=plant_latency(), throughput_per_sec=1.0)
+
+        floors = []
+
+        def apply_fn(value):
+            state["floor"] = value
+            floors.append(value)
+
+        limiter = AimdBatchLimiter(
+            sim, sample_fn=sample_fn, apply_fn=apply_fn,
+            config=AimdConfig(tick_ns=1000, latency_target_ns=500_000,
+                              increase_bytes=100, decrease_factor=0.5,
+                              comfort_fraction=0.5, alpha=1.0),
+        )
+        limiter.start()
+        sim.run(until=60_500)
+        assert max(floors) >= 300          # grew into relief
+        rises = sum(1 for a, b in zip(floors, floors[1:]) if b > a)
+        falls = sum(1 for a, b in zip(floors, floors[1:]) if b < a)
+        assert rises > 3 and falls > 3      # sawtooth, not a one-shot

@@ -1,0 +1,145 @@
+"""Tests for the three-queue end-to-end estimator (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import (
+    E2EEstimator,
+    EstimateSample,
+    QueueDelays,
+    combine_estimates,
+)
+from repro.core.qstate import QueueState
+from repro.errors import EstimationError
+from tests.core.test_qstate import ManualClock
+
+
+class FakeEndpoint:
+    """A stand-in exposing the three queue states."""
+
+    def __init__(self, clock):
+        self.qs_unacked = QueueState(clock)
+        self.qs_unread = QueueState(clock)
+        self.qs_ackdelay = QueueState(clock)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def endpoints(clock):
+    return FakeEndpoint(clock), FakeEndpoint(clock)
+
+
+class TestEstimatorConstruction:
+    def test_requires_exactly_one_remote_source(self, endpoints):
+        local, remote = endpoints
+        with pytest.raises(EstimationError):
+            E2EEstimator(local)
+        with pytest.raises(EstimationError):
+            E2EEstimator(local, remote=remote, exchange=object())
+
+    def test_first_sample_is_baseline(self, clock, endpoints):
+        local, remote = endpoints
+        estimator = E2EEstimator(local, remote=remote)
+        assert estimator.sample() is None
+
+
+class TestOracleEstimates:
+    def test_combines_four_queue_delays(self, clock, endpoints):
+        local, remote = endpoints
+        estimator = E2EEstimator(local, remote=remote)
+        estimator.sample()
+
+        # Local unacked: 1 item for 100 ns.
+        local.qs_unacked.track(1)
+        clock.advance(100)
+        local.qs_unacked.track(-1)
+        # Local unread: 1 item for 10 ns.
+        local.qs_unread.track(1)
+        clock.advance(10)
+        local.qs_unread.track(-1)
+        # Remote unread: 1 item for 30 ns.
+        remote.qs_unread.track(1)
+        clock.advance(30)
+        remote.qs_unread.track(-1)
+        # Remote ackdelay: 1 item for 20 ns.
+        remote.qs_ackdelay.track(1)
+        clock.advance(20)
+        remote.qs_ackdelay.track(-1)
+        clock.advance(1)
+
+        sample = estimator.sample()
+        assert sample is not None and sample.defined
+        # L = unacked - ackdelay_remote + unread_local + unread_remote
+        assert sample.latency_ns == pytest.approx(100 - 20 + 10 + 30)
+        assert sample.complete
+
+    def test_missing_remote_unread_gives_undefined(self, clock, endpoints):
+        local, remote = endpoints
+        estimator = E2EEstimator(local, remote=remote)
+        estimator.sample()
+        local.qs_unacked.track(1)
+        clock.advance(100)
+        local.qs_unacked.track(-1)
+        local.qs_unread.track(1)
+        clock.advance(10)
+        local.qs_unread.track(-1)
+        clock.advance(1)
+        sample = estimator.sample()
+        assert sample is not None
+        assert not sample.defined
+
+    def test_missing_ackdelay_counts_as_zero_incomplete(self, clock, endpoints):
+        local, remote = endpoints
+        estimator = E2EEstimator(local, remote=remote)
+        estimator.sample()
+        local.qs_unacked.track(1)
+        clock.advance(100)
+        local.qs_unacked.track(-1)
+        local.qs_unread.track(1)
+        clock.advance(10)
+        local.qs_unread.track(-1)
+        remote.qs_unread.track(1)
+        clock.advance(30)
+        remote.qs_unread.track(-1)
+        clock.advance(1)
+        sample = estimator.sample()
+        assert sample.defined
+        assert sample.latency_ns == pytest.approx(140)
+        assert not sample.complete
+
+    def test_throughput_from_unacked_departures(self, clock, endpoints):
+        local, remote = endpoints
+        estimator = E2EEstimator(local, remote=remote)
+        estimator.sample()
+        for _ in range(10):
+            local.qs_unacked.track(1)
+            clock.advance(100)
+            local.qs_unacked.track(-1)
+        sample = estimator.sample()
+        # 10 departures over 1000 ns = 10^7 per second.
+        assert sample.throughput_per_sec == pytest.approx(1e16 / 1e9)
+
+
+class TestCombineEstimates:
+    def _sample(self, latency):
+        return EstimateSample(
+            latency_ns=latency,
+            throughput_per_sec=0.0,
+            local=QueueDelays(None, None, None),
+            remote=None,
+            interval_ns=1,
+            complete=True,
+        )
+
+    def test_max_of_two(self):
+        assert combine_estimates(self._sample(10.0), self._sample(20.0)) == 20.0
+
+    def test_handles_none_and_undefined(self):
+        assert combine_estimates(None, None) is None
+        assert combine_estimates(self._sample(None), None) is None
+        assert combine_estimates(self._sample(None), self._sample(5.0)) == 5.0

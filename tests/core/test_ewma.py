@@ -1,0 +1,78 @@
+"""Tests for the incremental EWMA (§5 smoothing)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ewma import Ewma
+from repro.errors import EstimationError
+
+
+class TestEwma:
+    def test_first_value_becomes_mean(self):
+        ewma = Ewma(0.5)
+        assert not ewma.initialized
+        ewma.update(10.0)
+        assert ewma.mean == 10.0
+        assert ewma.initialized
+
+    def test_update_moves_toward_observation(self):
+        ewma = Ewma(0.5)
+        ewma.update(0.0)
+        ewma.update(10.0)
+        assert ewma.mean == pytest.approx(5.0)
+        ewma.update(10.0)
+        assert ewma.mean == pytest.approx(7.5)
+
+    def test_alpha_one_tracks_exactly(self):
+        ewma = Ewma(1.0)
+        for value in (3.0, 7.0, -2.0):
+            ewma.update(value)
+            assert ewma.mean == value
+
+    def test_invalid_alpha_rejected(self):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(EstimationError):
+                Ewma(alpha)
+
+    def test_variance_zero_for_constant_stream(self):
+        ewma = Ewma(0.3)
+        for _ in range(20):
+            ewma.update(5.0)
+        assert ewma.variance == pytest.approx(0.0)
+        assert ewma.stddev == pytest.approx(0.0)
+
+    def test_variance_positive_for_noisy_stream(self):
+        ewma = Ewma(0.3)
+        for index in range(50):
+            ewma.update(float(index % 2) * 10.0)
+        assert ewma.variance > 0
+
+    def test_reset(self):
+        ewma = Ewma(0.3)
+        ewma.update(5.0)
+        ewma.reset()
+        assert ewma.mean is None
+        assert ewma.updates == 0
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+    )
+    def test_mean_bounded_by_observations(self, alpha, values):
+        """The EWMA mean always stays within the observed range."""
+        ewma = Ewma(alpha)
+        for value in values:
+            ewma.update(value)
+        assert min(values) - 1e-6 <= ewma.mean <= max(values) + 1e-6
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100))
+    def test_converges_to_constant_tail(self, values):
+        """After many constant observations, the mean approaches it."""
+        ewma = Ewma(0.5)
+        for value in values:
+            ewma.update(value)
+        for _ in range(100):
+            ewma.update(42.0)
+        assert ewma.mean == pytest.approx(42.0, abs=1e-3)

@@ -1,0 +1,96 @@
+"""Tests for the create/complete hint API (§3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hints import HintSession, RemoteHintEstimator
+from repro.errors import EstimationError
+from tests.core.test_qstate import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestHintSession:
+    def test_create_complete_track_outstanding(self, clock):
+        session = HintSession(clock)
+        session.create(3)
+        assert session.outstanding == 3
+        session.complete(2)
+        assert session.outstanding == 1
+
+    def test_counts_must_be_positive(self, clock):
+        session = HintSession(clock)
+        with pytest.raises(EstimationError):
+            session.create(0)
+        with pytest.raises(EstimationError):
+            session.complete(-1)
+
+    def test_completing_more_than_outstanding_rejected(self, clock):
+        session = HintSession(clock)
+        session.create(1)
+        with pytest.raises(EstimationError):
+            session.complete(2)
+
+    def test_sample_yields_littles_law_latency(self, clock):
+        session = HintSession(clock)
+        assert session.sample() is None  # baseline
+        session.create(1)
+        clock.advance(500)
+        session.complete(1)
+        clock.advance(1)
+        avgs = session.sample()
+        assert avgs is not None
+        assert avgs.latency_ns == pytest.approx(500)
+
+    def test_sample_interval_resets(self, clock):
+        session = HintSession(clock)
+        session.sample()
+        session.create(1)
+        clock.advance(100)
+        session.complete(1)
+        clock.advance(1)
+        first = session.sample()
+        # Second interval: different residence time.
+        session.create(1)
+        clock.advance(300)
+        session.complete(1)
+        clock.advance(1)
+        second = session.sample()
+        assert first.latency_ns == pytest.approx(100)
+        assert second.latency_ns == pytest.approx(300)
+
+    def test_sample_without_time_progress_is_none(self, clock):
+        session = HintSession(clock)
+        session.sample()
+        assert session.sample() is None
+
+
+class TestRemoteHintEstimator:
+    class FakeExchange:
+        def __init__(self):
+            self.remote_hint_prev = None
+            self.remote_hint_cur = None
+
+    def test_needs_two_snapshots(self, clock):
+        exchange = self.FakeExchange()
+        estimator = RemoteHintEstimator(exchange)
+        assert estimator.sample() is None
+
+    def test_estimates_from_exchange_snapshots(self, clock):
+        from repro.core.qstate import QueueState
+
+        state = QueueState(clock)
+        exchange = self.FakeExchange()
+        exchange.remote_hint_prev = state.snapshot()
+        state.track(2)
+        clock.advance(400)
+        state.track(-2)
+        exchange.remote_hint_cur = state.snapshot()
+        estimator = RemoteHintEstimator(exchange)
+        avgs = estimator.sample()
+        assert avgs.latency_ns == pytest.approx(400)
+        assert avgs.throughput_per_sec == pytest.approx(2 * 1e9 / 400)

@@ -1,0 +1,119 @@
+"""Tests for GETAVGS (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.littles_law import get_avgs
+from repro.core.qstate import QueueSnapshot, QueueState
+from repro.errors import EstimationError
+from repro.units import SEC
+from tests.core.test_qstate import ManualClock
+
+
+class TestGetAvgs:
+    def test_paper_example(self):
+        """1 item for 10us then 4 items for 20us: Q=3."""
+        prev = QueueSnapshot(time=0, total=0, integral=0)
+        now = QueueSnapshot(time=30, total=5, integral=90)
+        avgs = get_avgs(prev, now)
+        assert avgs.occupancy == pytest.approx(3.0)
+        assert avgs.latency_ns == pytest.approx(90 / 5)
+
+    def test_throughput_is_departures_per_second(self):
+        prev = QueueSnapshot(time=0, total=0, integral=0)
+        now = QueueSnapshot(time=SEC, total=1000, integral=0)
+        avgs = get_avgs(prev, now)
+        assert avgs.throughput_per_sec == pytest.approx(1000.0)
+
+    def test_no_departures_gives_undefined_latency(self):
+        prev = QueueSnapshot(time=0, total=0, integral=0)
+        now = QueueSnapshot(time=100, total=0, integral=500)
+        avgs = get_avgs(prev, now)
+        assert avgs.latency_ns is None
+        assert not avgs.defined
+        assert avgs.throughput_per_sec == 0.0
+
+    def test_zero_interval_rejected(self):
+        snap = QueueSnapshot(time=5, total=0, integral=0)
+        with pytest.raises(EstimationError):
+            get_avgs(snap, snap)
+
+    def test_reversed_snapshots_rejected(self):
+        prev = QueueSnapshot(time=10, total=0, integral=0)
+        now = QueueSnapshot(time=5, total=0, integral=0)
+        with pytest.raises(EstimationError):
+            get_avgs(prev, now)
+
+    def test_mismatched_queues_rejected(self):
+        prev = QueueSnapshot(time=0, total=100, integral=0)
+        now = QueueSnapshot(time=10, total=50, integral=0)
+        with pytest.raises(EstimationError):
+            get_avgs(prev, now)
+
+    def test_latency_is_occupancy_over_throughput(self):
+        """D = Q / lambda (Little's law restated)."""
+        prev = QueueSnapshot(time=0, total=0, integral=0)
+        now = QueueSnapshot(time=200, total=8, integral=640)
+        avgs = get_avgs(prev, now)
+        lam = avgs.throughput_per_sec / SEC  # per ns
+        assert avgs.latency_ns == pytest.approx(avgs.occupancy / lam)
+
+
+class TestLittlesLawEndToEnd:
+    """Feed synthetic arrival/departure traces and verify Little's law
+    recovers the exact average delay."""
+
+    def test_fifo_queue_known_delays(self):
+        """Items spend exactly known times; GETAVGS must match their mean."""
+        clock = ManualClock()
+        qs = QueueState(clock)
+        start = qs.snapshot()
+        # Item A: in at t=0, out at t=50 (delay 50)
+        # Item B: in at t=10, out at t=30 (delay 20)
+        qs.track(1)
+        clock.advance(10)
+        qs.track(1)
+        clock.advance(20)
+        qs.track(-1)
+        clock.advance(20)
+        qs.track(-1)
+        end = qs.snapshot()
+        avgs = get_avgs(start, end)
+        assert avgs.latency_ns == pytest.approx((50 + 20) / 2)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 100), st.integers(1, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_sequential_items_exact(self, items):
+        """Non-overlapping items: average delay == mean residence time."""
+        clock = ManualClock()
+        qs = QueueState(clock)
+        start = qs.snapshot()
+        delays = []
+        for residence, gap in items:
+            qs.track(1)
+            clock.advance(residence)
+            qs.track(-1)
+            delays.append(residence)
+            clock.advance(gap)
+        end = qs.snapshot()
+        avgs = get_avgs(start, end)
+        assert avgs.latency_ns == pytest.approx(sum(delays) / len(delays))
+
+    @given(st.integers(1, 20), st.integers(1, 1000))
+    def test_batch_of_n_items_same_delay(self, n, residence):
+        """n items entering and leaving together each have the same delay."""
+        clock = ManualClock()
+        qs = QueueState(clock)
+        start = qs.snapshot()
+        qs.track(n)
+        clock.advance(residence)
+        qs.track(-n)
+        avgs = get_avgs(start, qs.snapshot())
+        assert avgs.latency_ns == pytest.approx(residence)

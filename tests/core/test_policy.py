@@ -1,0 +1,53 @@
+"""Tests for the batching objectives (§5 policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import (
+    LatencyFirstPolicy,
+    PerfSample,
+    ThroughputUnderSloPolicy,
+)
+
+
+def sample(latency_us: float | None, tput: float = 0.0) -> PerfSample:
+    latency = None if latency_us is None else latency_us * 1000
+    return PerfSample(latency_ns=latency, throughput_per_sec=tput)
+
+
+class TestLatencyFirst:
+    def test_prefers_lower_latency(self):
+        policy = LatencyFirstPolicy()
+        assert policy.better(sample(100), sample(200))
+        assert not policy.better(sample(200), sample(100))
+
+    def test_throughput_breaks_ties(self):
+        policy = LatencyFirstPolicy()
+        assert policy.better(sample(100, tput=2.0), sample(100, tput=1.0))
+
+    def test_unknown_latency_ranks_last(self):
+        policy = LatencyFirstPolicy()
+        assert policy.better(sample(10_000), sample(None))
+
+
+class TestThroughputUnderSlo:
+    def test_slo_meeting_beats_violation(self):
+        policy = ThroughputUnderSloPolicy(slo_ns=500_000)
+        assert policy.better(sample(400, tput=1.0), sample(600, tput=100.0))
+
+    def test_within_slo_higher_throughput_wins(self):
+        policy = ThroughputUnderSloPolicy(slo_ns=500_000)
+        assert policy.better(sample(499, tput=2.0), sample(100, tput=1.0))
+
+    def test_both_violating_lower_latency_wins(self):
+        policy = ThroughputUnderSloPolicy(slo_ns=500_000)
+        assert policy.better(sample(600), sample(900))
+
+    def test_unknown_latency_ranks_below_violators(self):
+        policy = ThroughputUnderSloPolicy(slo_ns=500_000)
+        assert policy.better(sample(10_000), sample(None))
+
+    def test_invalid_slo_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputUnderSloPolicy(slo_ns=0)

@@ -1,0 +1,188 @@
+"""Tests for QueueState / TRACK (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.qstate import QueueSnapshot, QueueState
+from repro.errors import EstimationError
+
+
+class ManualClock:
+    """A controllable integer clock."""
+
+    def __init__(self, start: int = 0):
+        self.now = start
+
+    def __call__(self) -> int:
+        return self.now
+
+    def advance(self, dt: int) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestTrack:
+    def test_initial_state(self, clock):
+        qs = QueueState(clock)
+        assert qs.size == 0
+        assert qs.total == 0
+        assert qs.integral == 0
+        assert qs.time == 0
+
+    def test_add_items_updates_size_not_total(self, clock):
+        qs = QueueState(clock)
+        qs.track(5)
+        assert qs.size == 5
+        assert qs.total == 0
+
+    def test_remove_items_updates_total(self, clock):
+        qs = QueueState(clock)
+        qs.track(5)
+        qs.track(-3)
+        assert qs.size == 2
+        assert qs.total == 3
+
+    def test_integral_accumulates_at_old_size(self, clock):
+        qs = QueueState(clock)
+        qs.track(4)          # size 4 at t=0
+        clock.advance(10)
+        qs.track(2)          # 4 items for 10 ns -> integral 40
+        assert qs.integral == 40
+        clock.advance(5)
+        qs.track(-6)         # 6 items for 5 ns -> +30
+        assert qs.integral == 70
+        assert qs.size == 0
+        assert qs.total == 6
+
+    def test_paper_example(self, clock):
+        """The paper's §3.1 illustration: 1 item for 10us, then 4 for
+        20us gives integral 90 item-us and average occupancy 3."""
+        qs = QueueState(clock)
+        qs.track(1)
+        clock.advance(10)
+        qs.track(3)
+        clock.advance(20)
+        qs.track(0)
+        assert qs.integral == 1 * 10 + 4 * 20
+        assert qs.integral / qs.time == 3.0
+
+    def test_track_zero_advances_integral_only(self, clock):
+        qs = QueueState(clock)
+        qs.track(2)
+        clock.advance(7)
+        qs.track(0)
+        assert qs.integral == 14
+        assert qs.size == 2
+        assert qs.total == 0
+
+    def test_negative_size_rejected(self, clock):
+        qs = QueueState(clock)
+        qs.track(1)
+        with pytest.raises(EstimationError):
+            qs.track(-2)
+
+    def test_negative_initial_size_rejected(self, clock):
+        with pytest.raises(EstimationError):
+            QueueState(clock, start_size=-1)
+
+    def test_clock_regression_rejected(self, clock):
+        qs = QueueState(clock)
+        clock.now = -5
+        with pytest.raises(EstimationError):
+            qs.track(1)
+
+    def test_start_size_counts_toward_integral(self, clock):
+        qs = QueueState(clock, start_size=3)
+        clock.advance(4)
+        qs.track(0)
+        assert qs.integral == 12
+
+
+class TestSnapshot:
+    def test_snapshot_brings_integral_forward(self, clock):
+        qs = QueueState(clock)
+        qs.track(2)
+        clock.advance(10)
+        snap = qs.snapshot()
+        assert snap.integral == 20
+        assert snap.time == 10
+        assert snap.total == 0
+
+    def test_snapshot_is_immutable_triple(self, clock):
+        qs = QueueState(clock)
+        snap = qs.snapshot()
+        assert isinstance(snap, QueueSnapshot)
+        with pytest.raises(AttributeError):
+            snap.total = 5
+
+    def test_snapshot_subtraction(self):
+        a = QueueSnapshot(time=10, total=5, integral=100)
+        b = QueueSnapshot(time=30, total=9, integral=180)
+        delta = b - a
+        assert delta.time == 20
+        assert delta.total == 4
+        assert delta.integral == 80
+
+
+class TestTrackProperties:
+    """Property-based invariants of Algorithm 1."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 50), st.integers(0, 1000)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_conservation(self, events):
+        """size + total == total items ever added, always."""
+        clock = ManualClock()
+        qs = QueueState(clock)
+        added = 0
+        for n, dt in events:
+            clock.advance(dt)
+            qs.track(n)
+            added += n
+            # Remove a random-but-deterministic portion.
+            to_remove = min(qs.size, n // 2)
+            if to_remove:
+                qs.track(-to_remove)
+        assert qs.size + qs.total == added
+        assert qs.size >= 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 500)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_integral_monotone_nondecreasing(self, events):
+        """The integral never decreases (sizes are non-negative)."""
+        clock = ManualClock()
+        qs = QueueState(clock)
+        last_integral = 0
+        for n, dt in events:
+            clock.advance(dt)
+            qs.track(n)
+            assert qs.integral >= last_integral
+            last_integral = qs.integral
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=40))
+    def test_integral_bounded_by_peak_size_times_time(self, gaps):
+        """integral <= max_size * elapsed — a Little's law sanity bound."""
+        clock = ManualClock()
+        qs = QueueState(clock)
+        peak = 0
+        for index, dt in enumerate(gaps):
+            clock.advance(dt)
+            qs.track(index % 3)
+            peak = max(peak, qs.size)
+        qs.track(0)
+        assert qs.integral <= peak * clock.now

@@ -1,0 +1,157 @@
+"""Tests for the message-unit adapters (§3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semantic import (
+    ByteUnits,
+    HintUnits,
+    PacketUnits,
+    SyscallUnits,
+    _BoundaryCounter,
+    attach_units,
+)
+from repro.errors import EstimationError
+from tests.core.test_qstate import ManualClock
+
+
+class TestBoundaryCounter:
+    def test_counts_crossed_boundaries(self):
+        counter = _BoundaryCounter()
+        counter.add_boundary(10)
+        counter.add_boundary(20)
+        counter.add_boundary(30)
+        assert counter.crossed(5) == 0
+        assert counter.crossed(20) == 2
+        assert counter.crossed(100) == 1
+
+    def test_rejects_non_monotone_boundaries(self):
+        counter = _BoundaryCounter()
+        counter.add_boundary(10)
+        with pytest.raises(EstimationError):
+            counter.add_boundary(10)
+
+
+def linked_pair(cls):
+    clock_a, clock_b = ManualClock(), ManualClock()
+    a, b = cls(clock_a), cls(clock_b)
+    a.peer = b
+    b.peer = a
+    return a, b, clock_a, clock_b
+
+
+class TestSyscallUnits:
+    def test_one_send_is_one_unit(self):
+        a, b, clock_a, clock_b = linked_pair(SyscallUnits)
+        a.on_send(100)
+        assert a.qs_unacked.size == 1
+        a.on_send(200)
+        assert a.qs_unacked.size == 2
+
+    def test_unit_leaves_unacked_when_fully_acked(self):
+        a, b, clock_a, _ = linked_pair(SyscallUnits)
+        a.on_send(100)
+        clock_a.advance(10)
+        a.on_acked(50)          # half the unit
+        assert a.qs_unacked.size == 1
+        a.on_acked(100)         # fully acked
+        assert a.qs_unacked.size == 0
+        assert a.qs_unacked.total == 1
+
+    def test_receiver_counts_whole_units_on_arrival(self):
+        a, b, _, clock_b = linked_pair(SyscallUnits)
+        a.on_send(100)
+        a.on_send(50)
+        b.on_arrived(99)
+        assert b.qs_unread.size == 0
+        b.on_arrived(150)
+        assert b.qs_unread.size == 2
+        assert b.qs_ackdelay.size == 2
+
+    def test_read_and_ack_drain_receiver_queues(self):
+        a, b, _, clock_b = linked_pair(SyscallUnits)
+        a.on_send(100)
+        b.on_arrived(100)
+        clock_b.advance(5)
+        b.on_read(100)
+        assert b.qs_unread.size == 0
+        assert b.qs_unread.total == 1
+        b.on_ack_sent(100)
+        assert b.qs_ackdelay.size == 0
+        assert b.qs_ackdelay.total == 1
+
+
+class TestPacketUnits:
+    def test_each_segment_is_a_unit(self):
+        a, b, _, _ = linked_pair(PacketUnits)
+        a.on_segment_sent(0, 1448)
+        a.on_segment_sent(1448, 1448)
+        assert a.qs_unacked.size == 2
+
+    def test_retransmits_do_not_double_count(self):
+        a, b, _, _ = linked_pair(PacketUnits)
+        a.on_segment_sent(0, 1448)
+        a.on_segment_sent(0, 1448)  # same range again
+        assert a.qs_unacked.size == 1
+
+
+class TestByteUnits:
+    def test_tracks_bulk_bytes(self):
+        a, b, clock_a, _ = linked_pair(ByteUnits)
+        a.on_send(1000)
+        assert a.qs_unacked.size == 1000
+        a.on_acked(400)
+        assert a.qs_unacked.size == 600
+        assert a.qs_unacked.total == 400
+
+    def test_receiver_side(self):
+        a, b, _, _ = linked_pair(ByteUnits)
+        b.on_arrived(500)
+        assert b.qs_unread.size == 500
+        assert b.qs_ackdelay.size == 500
+        b.on_read(200)
+        assert b.qs_unread.size == 300
+        b.on_ack_sent(500)
+        assert b.qs_ackdelay.size == 0
+
+
+class TestHintUnits:
+    def test_units_follow_explicit_marks(self):
+        a, b, _, _ = linked_pair(HintUnits)
+        a.on_send(60)
+        a.on_send(40)           # two syscalls, one message
+        assert a.qs_unacked.size == 0
+        a.mark_message_end()
+        assert a.qs_unacked.size == 1
+        a.on_acked(100)
+        assert a.qs_unacked.size == 0
+        b.on_arrived(100)
+        assert b.qs_unread.size == 1
+
+
+class TestAttachUnits:
+    def test_attaches_to_socket_pair(self, pair_factory, sim):
+        client, server, sock_a, sock_b = pair_factory.build()
+        unit_a, unit_b = attach_units(sock_a, sock_b, SyscallUnits)
+        assert unit_a in sock_a.instruments
+        assert unit_b in sock_b.instruments
+        assert unit_a.peer is unit_b
+
+    def test_end_to_end_unit_flow(self, pair_factory, sim):
+        """Send two messages through the real stack; the syscall-unit
+        queues must see exactly two units complete the journey."""
+        from tests.conftest import drain_reader
+
+        client, server, sock_a, sock_b = pair_factory.build()
+        unit_a, unit_b = attach_units(sock_a, sock_b, SyscallUnits)
+        sock_a.send("m1", 3000)
+        sock_a.send("m2", 2000)
+        results = {}
+        drain_reader(sim, sock_b, 5000, results)
+        sim.run(until=10**9)
+        assert results["bytes"] == 5000
+        assert unit_a.qs_unacked.total == 2
+        assert unit_a.qs_unacked.size == 0
+        assert unit_b.qs_unread.total == 2
+        assert unit_b.qs_ackdelay.size == 0

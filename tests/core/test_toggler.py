@@ -1,0 +1,143 @@
+"""Tests for the ε-greedy dynamic toggler (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import LatencyFirstPolicy, PerfSample
+from repro.core.toggler import NagleToggler, TogglerConfig
+from repro.errors import EstimationError
+from repro.sim.loop import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_toggler(sim, latency_by_mode, epsilon=0.0, min_samples=1,
+                 tick_ns=1000, initial_mode=False, alpha=1.0):
+    """A toggler whose environment has a fixed latency per mode."""
+    applied = []
+    current = {"mode": initial_mode}
+
+    def sample_fn():
+        return PerfSample(
+            latency_ns=latency_by_mode[current["mode"]],
+            throughput_per_sec=1.0,
+        )
+
+    def apply_fn(mode):
+        applied.append((sim.now, mode))
+        current["mode"] = mode
+
+    toggler = NagleToggler(
+        sim,
+        sample_fn=sample_fn,
+        apply_fn=apply_fn,
+        policy=LatencyFirstPolicy(),
+        rng=RngRegistry(7).stream("toggler"),
+        config=TogglerConfig(
+            tick_ns=tick_ns, epsilon=epsilon, alpha=alpha,
+            min_samples=min_samples,
+        ),
+        initial_mode=initial_mode,
+    )
+    return toggler, applied, current
+
+
+class TestTogglerConfig:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            TogglerConfig(tick_ns=0).validate()
+        with pytest.raises(EstimationError):
+            TogglerConfig(epsilon=1.5).validate()
+        with pytest.raises(EstimationError):
+            TogglerConfig(min_samples=0).validate()
+
+
+class TestTogglerLearning:
+    def test_settles_on_better_mode_when_on_wins(self):
+        sim = Simulator()
+        toggler, applied, current = make_toggler(
+            sim, {False: 1_000_000, True: 100_000}
+        )
+        toggler.start()
+        sim.run(until=50_000)
+        assert toggler.mode is True
+        # After exploring both arms it stays on the winner (with
+        # epsilon=0 the tail of the history is all Nagle-on).
+        tail = toggler.history[-5:]
+        assert all(record.mode for record in tail)
+
+    def test_settles_on_better_mode_when_off_wins(self):
+        sim = Simulator()
+        toggler, applied, current = make_toggler(
+            sim, {False: 100_000, True: 1_000_000}, initial_mode=True
+        )
+        toggler.start()
+        sim.run(until=50_000)
+        assert toggler.mode is False
+
+    def test_explores_both_arms_before_committing(self):
+        sim = Simulator()
+        toggler, applied, _ = make_toggler(
+            sim, {False: 100, True: 100}, min_samples=3
+        )
+        toggler.start()
+        sim.run(until=20_000)
+        assert toggler._stats[False].samples >= 3
+        assert toggler._stats[True].samples >= 3
+
+    def test_epsilon_keeps_exploring(self):
+        sim = Simulator()
+        toggler, applied, _ = make_toggler(
+            sim, {False: 1_000_000, True: 100_000}, epsilon=0.5
+        )
+        toggler.start()
+        sim.run(until=200_000)
+        explored = [record for record in toggler.history if record.explored]
+        assert len(explored) > 10
+
+    def test_undefined_samples_do_not_update_stats(self):
+        sim = Simulator()
+        calls = {"n": 0}
+
+        def sample_fn():
+            calls["n"] += 1
+            return None
+
+        toggler = NagleToggler(
+            sim,
+            sample_fn=sample_fn,
+            apply_fn=lambda mode: None,
+            policy=LatencyFirstPolicy(),
+            rng=RngRegistry(7).stream("t"),
+            config=TogglerConfig(tick_ns=1000),
+        )
+        toggler.start()
+        sim.run(until=10_000)
+        assert calls["n"] >= 5
+        assert toggler._stats[False].samples == 0
+        assert toggler._stats[True].samples == 0
+
+    def test_stop_cancels_ticks(self):
+        sim = Simulator()
+        toggler, _, _ = make_toggler(sim, {False: 100, True: 100})
+        toggler.start()
+        sim.run(until=5_000)
+        ticks = len(toggler.history)
+        toggler.stop()
+        sim.run(until=50_000)
+        assert len(toggler.history) == ticks
+
+    def test_history_records_every_tick(self):
+        sim = Simulator()
+        toggler, _, _ = make_toggler(sim, {False: 100, True: 50}, tick_ns=1000)
+        toggler.start()
+        sim.run(until=10_500)
+        assert len(toggler.history) == 10
+
+    def test_smoothed_view(self):
+        sim = Simulator()
+        toggler, _, _ = make_toggler(sim, {False: 100.0, True: 50.0})
+        toggler.start()
+        sim.run(until=20_000)
+        assert toggler.smoothed(False).latency_ns == pytest.approx(100.0)
+        assert toggler.smoothed(True).latency_ns == pytest.approx(50.0)

@@ -1,0 +1,104 @@
+"""Smoke tests for the heavier experiment drivers at reduced scale.
+
+The full-scale versions run under ``benchmarks/``; these verify the
+drivers' mechanics (sweep plumbing, headline math, rendering) on small
+grids so the unit suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_exchange_ablation,
+    run_units_ablation,
+)
+from repro.experiments.fig2 import fig2_config, run_fig2
+from repro.experiments.fig4a import default_config, run_fig4a
+from repro.experiments.fig4b import mixed_config, run_fig4b
+from repro.loadgen.lancet import run_benchmark
+from repro.units import msecs
+
+import pytest as _pytest
+
+pytestmark = _pytest.mark.slow
+
+SMALL_RATES = [10_000.0, 35_000.0, 50_000.0]
+
+
+class TestFig4aDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4a(
+            rates=SMALL_RATES, base=default_config(measure_ns=msecs(60))
+        )
+
+    def test_crossover_found(self, result):
+        assert result.cutoff_rate is not None
+        assert 10_000 < result.cutoff_rate < 50_000
+
+    def test_extension_factor_positive(self, result):
+        assert result.extension_factor > 1.2
+
+    def test_estimated_cutoff_close_to_measured(self, result):
+        assert result.estimated_cutoff_rate is not None
+        assert result.estimated_cutoff_rate == pytest.approx(
+            result.cutoff_rate, rel=0.4
+        )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 4a" in text
+        assert "extension" in text
+
+
+class TestFig4bDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4b(
+            rates=SMALL_RATES, base=mixed_config()
+        )
+
+    def test_byte_estimates_worse_than_hints(self, result):
+        assert result.mean_abs_error_fraction > result.hint_mean_abs_error_fraction
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 4b" in text
+
+
+class TestFig2Driver:
+    def test_single_cell_runs(self):
+        result = run_benchmark(fig2_config(vm=False, nagle=False, seed=1,
+                                           measure_ns=msecs(60)))
+        assert result.latency.count > 500
+
+    def test_full_grid_verdicts(self):
+        result = run_fig2(seeds=(1,), measure_ns=msecs(100))
+        assert result.client_cpu_ratio > 1.5
+        assert 0.7 < result.server_cpu_ratio < 1.3
+        assert result.nagle_helps_bare
+        assert not result.nagle_helps_vm
+        assert "Figure 2" in result.render()
+
+
+class TestAblationDrivers:
+    def test_units_ablation_hints_most_accurate_on_mixed(self):
+        result = run_units_ablation(rate=30_000.0, measure_ns=msecs(60))
+        errors = {
+            (row.workload, row.unit): row.error_fraction for row in result.rows
+        }
+        assert errors[("95:5 SET:GET", "hints")] < errors[("95:5 SET:GET", "bytes")]
+        assert "A1" in result.render()
+
+    def test_exchange_ablation_period_insensitive(self):
+        result = run_exchange_ablation(
+            periods_ns=(msecs(2), msecs(40)), rate=30_000.0,
+            measure_ns=msecs(100),
+        )
+        short_row, long_row = result.rows
+        assert short_row.states_sent > long_row.states_sent
+        # Little's law accuracy does not collapse at the long period.
+        assert long_row.error_fraction is not None
+        assert long_row.error_fraction < 0.6
+        assert "A3" in result.render()

@@ -1,0 +1,61 @@
+"""Smoke tests for the fan-in experiment (A10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fanin import FaninConfig, build_fanin, run_fanin
+from repro.units import msecs
+
+import pytest as _pytest
+
+pytestmark = _pytest.mark.slow
+
+
+def small_config(**overrides) -> FaninConfig:
+    defaults = dict(
+        clients=3,
+        total_rate_per_sec=15_000.0,
+        warmup_ns=msecs(10),
+        measure_ns=msecs(60),
+    )
+    defaults.update(overrides)
+    return FaninConfig(**defaults)
+
+
+class TestBuildFanin:
+    def test_topology_wiring(self, ):
+        bed = build_fanin(small_config())
+        assert len(bed.client_hosts) == 3
+        assert len(bed.server.sockets) == 3
+        # Every connection reaches the same server host.
+        for sock in bed.server_socks:
+            assert sock.host is bed.server_host
+
+
+class TestRunFanin:
+    def test_all_clients_served(self):
+        result = run_fanin(small_config())
+        assert len(result.per_client_mean_ns) == 3
+        assert all(mean > 0 for mean in result.per_client_mean_ns)
+
+    def test_estimates_track_aggregate_below_saturation(self):
+        result = run_fanin(small_config())
+        assert result.averaged_estimate_ns is not None
+        assert result.averaged_estimate_ns == pytest.approx(
+            result.aggregate_mean_ns, rel=0.5
+        )
+
+    def test_nagle_comparison_holds_under_fanin(self):
+        high = small_config(total_rate_per_sec=48_000.0)
+        off = run_fanin(high)
+        on = run_fanin(FaninConfig(
+            clients=3, total_rate_per_sec=48_000.0, nagle=True,
+            warmup_ns=msecs(10), measure_ns=msecs(60),
+        ))
+        assert on.aggregate_mean_ns < off.aggregate_mean_ns
+
+    def test_render(self):
+        text = run_fanin(small_config()).render()
+        assert "A10" in text
+        assert "aggregate" in text

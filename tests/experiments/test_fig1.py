@@ -1,0 +1,26 @@
+"""Tests for the Figure 1 experiment driver."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig1
+
+
+class TestFig1:
+    def test_paper_verdicts(self):
+        result = run_fig1()
+        verdicts = {
+            row.c: (row.latency_verdict, row.throughput_verdict)
+            for row in result.rows
+        }
+        assert verdicts[1.0] == ("improves", "improves")
+        assert verdicts[3.0] == ("degrades", "improves")
+        assert verdicts[5.0] == ("degrades", "degrades")
+
+    def test_render_contains_all_panels(self):
+        text = run_fig1().render()
+        assert "Figure 1" in text
+        assert text.count("improves") + text.count("degrades") == 6
+
+    def test_custom_costs(self):
+        result = run_fig1(cs=(0.5, 10.0))
+        assert len(result.rows) == 2

@@ -1,0 +1,46 @@
+"""Smoke tests for the time-varying-load experiment (A8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.timevarying import PhasePlan, run_timevarying
+from repro.units import msecs
+
+import pytest as _pytest
+
+pytestmark = _pytest.mark.slow
+
+
+class TestPhasePlan:
+    def test_phase_layout(self):
+        plan = PhasePlan(low_rate=1000, high_rate=2000, phase_ns=msecs(10))
+        assert [name for name, _ in plan.phases] == ["low-1", "high", "low-2"]
+        assert plan.total_ns == 3 * msecs(10)
+
+
+class TestTimeVarying:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_timevarying(PhasePlan(phase_ns=msecs(120)))
+
+    def test_all_policies_present(self, result):
+        assert {p.policy for p in result.policies} == {
+            "static-off", "static-on", "dynamic",
+        }
+
+    def test_static_off_collapses_at_high(self, result):
+        off = result.policy("static-off").phase_latency_ns
+        on = result.policy("static-on").phase_latency_ns
+        assert off["high"] > 5 * on["high"]
+
+    def test_dynamic_tracks_phases(self, result):
+        off = result.policy("static-off").phase_latency_ns
+        dynamic = result.policy("dynamic").phase_latency_ns
+        assert dynamic["high"] < 0.5 * off["high"]
+        assert result.policy("dynamic").toggles >= 1
+
+    def test_render(self, result):
+        text = result.render()
+        assert "A8" in text
+        assert "dynamic" in text

@@ -1,0 +1,95 @@
+"""Tests for the CPU core executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.host.cpu import CpuCore
+from repro.sim.process import Timeout
+
+
+class TestCpuCoreExecution:
+    def test_work_runs_after_cost(self, sim):
+        core = CpuCore(sim)
+        done = []
+        core.execute(500, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [500]
+
+    def test_serial_fifo(self, sim):
+        core = CpuCore(sim)
+        done = []
+        core.execute(100, lambda: done.append(("a", sim.now)))
+        core.execute(200, lambda: done.append(("b", sim.now)))
+        core.execute(50, lambda: done.append(("c", sim.now)))
+        sim.run()
+        assert done == [("a", 100), ("b", 300), ("c", 350)]
+
+    def test_negative_cost_rejected(self, sim):
+        core = CpuCore(sim)
+        with pytest.raises(SimulationError):
+            core.execute(-1, lambda: None)
+
+    def test_zero_cost_allowed(self, sim):
+        core = CpuCore(sim)
+        done = []
+        core.execute(0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0]
+
+    def test_submit_waitable(self, sim):
+        core = CpuCore(sim)
+        times = []
+
+        def proc():
+            yield core.submit(300)
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [300]
+
+    def test_queue_depth(self, sim):
+        core = CpuCore(sim)
+        core.execute(100, lambda: None)
+        core.execute(100, lambda: None)
+        core.execute(100, lambda: None)
+        assert core.queue_depth == 2  # one running, two queued
+
+
+class TestUtilization:
+    def test_fully_busy(self, sim):
+        core = CpuCore(sim)
+        core.execute(1000, lambda: None)
+        sim.run()
+        sim.call_at(1000, lambda: None)
+        sim.run()
+        assert core.utilization() == pytest.approx(1.0)
+
+    def test_half_busy(self, sim):
+        core = CpuCore(sim)
+        core.execute(500, lambda: None)
+        sim.run(until=1000)
+        assert core.utilization() == pytest.approx(0.5)
+
+    def test_window_reset(self, sim):
+        core = CpuCore(sim)
+        core.execute(1000, lambda: None)
+        sim.run(until=1000)
+        core.reset_window()
+        sim.run(until=2000)
+        assert core.utilization() == pytest.approx(0.0)
+
+    def test_interleaved_with_process_work(self, sim):
+        core = CpuCore(sim)
+
+        def worker():
+            for _ in range(5):
+                yield core.submit(100)
+                yield Timeout(100)
+
+        sim.spawn(worker())
+        sim.run(until=1000)
+        assert core.utilization() == pytest.approx(0.5)
+        assert core.work_items == 5

@@ -1,0 +1,99 @@
+"""Tests for host composition, costs, and softirq charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.host.host import Host, HostCosts
+from repro.net.packet import Packet
+from repro.tcp.segment import Segment
+
+
+class TestHostCosts:
+    def test_scaled_multiplies_everything(self):
+        base = HostCosts()
+        scaled = base.scaled(2.0)
+        assert scaled.rx_delivery_ns == 2 * base.rx_delivery_ns
+        assert scaled.rx_ack_ns == 2 * base.rx_ack_ns
+        assert scaled.tx_syscall_ns == 2 * base.tx_syscall_ns
+        assert scaled.wakeup_ns == 2 * base.wakeup_ns
+        assert scaled.rx_byte_ns == pytest.approx(2 * base.rx_byte_ns)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HostCosts().scaled(0)
+
+    def test_send_cost(self, sim):
+        host = Host(sim, "h", costs=HostCosts(tx_syscall_ns=1000, tx_byte_ns=0.5))
+        assert host.send_cost_ns(100) == 1000 + 50
+
+
+class TestDemux:
+    def test_unknown_connection_raises(self, sim):
+        host = Host(sim, "h")
+        segment = Segment(conn_id=99, src="x", dst="h", seq=0,
+                          payload_len=10, ack=0, wnd=0)
+        with pytest.raises(NetworkError):
+            host._demux(Packet(src="x", dst="h", payload_bytes=10,
+                               payload=segment))
+
+    def test_double_registration_rejected(self, sim):
+        host = Host(sim, "h")
+        host.register_socket(1, object())
+        with pytest.raises(NetworkError):
+            host.register_socket(1, object())
+
+
+class TestSoftirqCharging:
+    def test_data_delivery_charges_delivery_cost(self, sim):
+        costs = HostCosts(rx_irq_ns=100, rx_delivery_ns=1000, rx_ack_ns=10,
+                          rx_wire_packet_ns=50, rx_byte_ns=0.0)
+        host = Host(sim, "h", costs=costs)
+        delivered = []
+        host.register_socket(1, type("S", (), {
+            "segment_arrived": lambda self, seg: delivered.append(sim.now)
+        })())
+        segment = Segment(conn_id=1, src="x", dst="h", seq=0,
+                          payload_len=500, ack=0, wnd=0)
+        host.softirq.on_interrupt([
+            Packet(src="x", dst="h", payload_bytes=500, payload=segment)
+        ])
+        sim.run()
+        # irq (100) + delivery (1000) + 1 wire packet (50).
+        assert delivered == [1150]
+        assert host.net_core.busy_ns == 1150
+
+    def test_pure_ack_charges_ack_cost(self, sim):
+        costs = HostCosts(rx_irq_ns=0, rx_delivery_ns=1000, rx_ack_ns=10,
+                          rx_wire_packet_ns=0, rx_byte_ns=0.0)
+        host = Host(sim, "h", costs=costs)
+        delivered = []
+        host.register_socket(1, type("S", (), {
+            "segment_arrived": lambda self, seg: delivered.append(sim.now)
+        })())
+        segment = Segment(conn_id=1, src="x", dst="h", seq=0,
+                          payload_len=0, ack=100, wnd=0)
+        host.softirq.on_interrupt([
+            Packet(src="x", dst="h", payload_bytes=0, payload=segment)
+        ])
+        sim.run()
+        assert delivered == [10]
+
+    def test_gro_merged_charges_per_wire_packet(self, sim):
+        costs = HostCosts(rx_irq_ns=0, rx_delivery_ns=1000, rx_ack_ns=0,
+                          rx_wire_packet_ns=100, rx_byte_ns=0.0)
+        host = Host(sim, "h", costs=costs)
+        delivered = []
+        host.register_socket(1, type("S", (), {
+            "segment_arrived": lambda self, seg: delivered.append(sim.now)
+        })())
+        segment = Segment(conn_id=1, src="x", dst="h", seq=0,
+                          payload_len=4344, ack=0, wnd=0, wire_count=3)
+        host.softirq.on_interrupt([
+            Packet(src="x", dst="h", payload_bytes=4344, payload=segment,
+                   wire_count=3)
+        ])
+        sim.run()
+        assert delivered == [1000 + 300]
+        assert host.softirq.wire_packets == 3

@@ -1,0 +1,74 @@
+"""Tests for the standalone exchange carrier (quiet endpoints)."""
+
+from __future__ import annotations
+
+from repro.core.exchange import MetadataExchange
+from repro.units import msecs
+
+SECOND = 10**9
+
+
+class TestExchangeCarrier:
+    def test_idle_connection_shares_nothing_without_carrier(self, sim, pair_factory):
+        _, _, a, b = pair_factory.build()
+        MetadataExchange(sim, a, period_ns=msecs(1))
+        exchange_b = MetadataExchange(sim, b, period_ns=msecs(1))
+        sim.run(until=SECOND // 10)
+        # No traffic at all: nothing was ever carried.
+        assert exchange_b.states_received == 0
+
+    def test_carrier_delivers_states_on_idle_connection(self, sim, pair_factory):
+        _, _, a, b = pair_factory.build()
+        exchange_a = MetadataExchange(sim, a, period_ns=msecs(5))
+        exchange_b = MetadataExchange(sim, b, period_ns=msecs(5))
+        exchange_a.start_carrier(deadline_ns=msecs(10))
+        sim.run(until=SECOND // 10)
+        assert exchange_a.carrier_acks_sent >= 5
+        assert exchange_b.states_received >= 5
+
+    def test_carrier_idle_when_traffic_carries_states(self, sim, pair_factory):
+        from tests.conftest import drain_reader
+
+        _, _, a, b = pair_factory.build()
+        exchange_a = MetadataExchange(sim, a, period_ns=msecs(5))
+        exchange_a.start_carrier(deadline_ns=msecs(10))
+        results = {}
+        drain_reader(sim, b, 100 * 1000, results)
+
+        def sender():
+            from repro.sim.process import Timeout
+
+            for _ in range(100):
+                a.send("m", 1000)
+                yield Timeout(msecs(1))
+
+        sim.spawn(sender())
+        # Inspect only the window where traffic flows (1 send/ms); the
+        # carrier must stay silent because segments carry the states.
+        sim.run(until=msecs(100))
+        assert exchange_a.carrier_acks_sent <= 2
+        assert exchange_a.states_sent > 10
+        # Once the sender stops, the carrier takes over.
+        sim.run(until=msecs(200))
+        assert exchange_a.carrier_acks_sent >= 3
+
+    def test_stop_carrier(self, sim, pair_factory):
+        _, _, a, b = pair_factory.build()
+        exchange_a = MetadataExchange(sim, a, period_ns=msecs(5))
+        exchange_a.start_carrier(deadline_ns=msecs(10))
+        sim.run(until=msecs(25))
+        sent = exchange_a.carrier_acks_sent
+        exchange_a.stop_carrier()
+        sim.run(until=SECOND // 10)
+        assert exchange_a.carrier_acks_sent == sent
+
+    def test_on_demand_triggers_carrier(self, sim, pair_factory):
+        _, _, a, b = pair_factory.build()
+        exchange_a = MetadataExchange(sim, a, period_ns=SECOND * 60)
+        exchange_b = MetadataExchange(sim, b, period_ns=SECOND * 60)
+        exchange_a.start_carrier(deadline_ns=msecs(2))
+        sim.run(until=msecs(10))
+        received_before = exchange_b.states_received
+        exchange_a.request()
+        sim.run(until=msecs(30))
+        assert exchange_b.states_received > received_before

@@ -1,0 +1,67 @@
+"""On-demand metadata exchange (§5) in a live run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.toggler import TogglerConfig
+from repro.experiments.ablations import attach_toggler
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.units import msecs, secs
+
+import pytest as _pytest
+
+pytestmark = _pytest.mark.slow
+
+
+def config(**overrides) -> BenchConfig:
+    defaults = dict(
+        rate_per_sec=50_000.0,
+        nagle=False,
+        warmup_ns=msecs(20),
+        measure_ns=msecs(200),
+        # A deliberately useless periodic cadence: one exchange per
+        # simulated minute.  Only on-demand requests can feed the
+        # controller.
+        exchange_period_ns=secs(60),
+    )
+    defaults.update(overrides)
+    return BenchConfig(**defaults)
+
+
+class TestOnDemandExchange:
+    def test_periodic_only_starves_the_controller(self):
+        holder = {}
+
+        def tweak(bed):
+            holder["bed"] = bed
+            holder["toggler"] = attach_toggler(
+                bed, config=TogglerConfig(tick_ns=msecs(16), settle_ticks=1,
+                                          min_samples=2),
+                on_demand_exchange=False,
+            )
+
+        run_benchmark(config(), tweak=tweak)
+        # One initial exchange each way at most: no remote intervals.
+        assert holder["bed"].client_exchange.states_received <= 1
+
+    def test_on_demand_feeds_the_controller(self):
+        holder = {}
+
+        def tweak(bed):
+            holder["bed"] = bed
+            holder["toggler"] = attach_toggler(
+                bed, config=TogglerConfig(tick_ns=msecs(16), settle_ticks=1,
+                                          min_samples=2),
+                on_demand_exchange=True,
+            )
+
+        result = run_benchmark(config(), tweak=tweak)
+        bed = holder["bed"]
+        toggler = holder["toggler"]
+        # States flowed despite the useless period...
+        assert bed.client_exchange.states_received > 5
+        # ...and the controller found Nagle-on at this overload.
+        assert toggler.mode is True
+        static_off_mean = 5_000_000  # ~5 ms from the static sweeps
+        assert result.latency.mean_ns < static_off_mean

@@ -1,0 +1,51 @@
+"""Tests for the protocol trace taps (debug observability)."""
+
+from __future__ import annotations
+
+from tests.conftest import drain_reader
+
+SECOND = 10**9
+
+
+class TestTraceTaps:
+    def test_disabled_by_default_records_nothing(self, sim, pair_factory):
+        client, server, a, b = pair_factory.build()
+        a.send("m", 5000)
+        results = {}
+        drain_reader(sim, b, 5000, results)
+        sim.run(until=SECOND)
+        assert len(client.trace) == 0
+        assert len(server.trace) == 0
+
+    def test_tx_rx_events_recorded_when_enabled(self, sim, pair_factory):
+        client, server, a, b = pair_factory.build()
+        client.trace.enabled = True
+        server.trace.enabled = True
+        a.send("m", 5000)
+        results = {}
+        drain_reader(sim, b, 5000, results)
+        sim.run(until=SECOND)
+        tx_events = list(client.trace.filter(event="tx"))
+        rx_events = list(server.trace.filter(event="rx"))
+        assert tx_events
+        assert rx_events
+        assert sum(e.detail["len"] for e in tx_events) == 5000
+        assert sum(e.detail["len"] for e in rx_events) == 5000
+
+    def test_batching_hold_traced(self, sim, pair_factory):
+        client, _, a, b = pair_factory.build(nagle=True)
+        client.trace.enabled = True
+        a.send("m1", 500)
+        a.send("m2", 400)  # held by Nagle
+        holds = list(client.trace.filter(event="batching_hold"))
+        assert holds
+        assert holds[-1].detail == 400
+
+    def test_window_probe_traced(self, sim, pair_factory):
+        client, _, a, b = pair_factory.build(
+            tcp_kwargs={"recv_buffer_bytes": 5_000, "min_rto_ns": 1_000_000}
+        )
+        client.trace.enabled = True
+        a.send("big", 50_000)
+        sim.run(until=SECOND)
+        assert list(client.trace.filter(event="window_probe"))

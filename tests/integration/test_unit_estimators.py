@@ -1,0 +1,76 @@
+"""End-to-end estimation at message-unit granularity on live runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import E2EEstimator
+from repro.core.semantic import SyscallUnits, attach_units
+from repro.loadgen.arrivals import Workload
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.units import KIB, msecs
+
+import pytest as _pytest
+
+pytestmark = _pytest.mark.slow
+
+
+def config(**overrides) -> BenchConfig:
+    defaults = dict(
+        rate_per_sec=15_000.0,
+        nagle=True,
+        workload=Workload(set_ratio=0.95, value_bytes=16 * KIB),
+        warmup_ns=msecs(20),
+        measure_ns=msecs(120),
+    )
+    defaults.update(overrides)
+    return BenchConfig(**defaults)
+
+
+class TestSyscallUnitEstimator:
+    def test_syscall_units_beat_bytes_in_fig4b_regime(self):
+        """In the heterogeneous + Nagle regime where byte estimates miss
+        the batching delay, syscall-unit estimates (one send() = one
+        message) recover it: each unit leaves the unacked queue only
+        when its *last* byte — the Nagle-held tail — is acked."""
+        holder: dict = {}
+
+        def tweak(bed):
+            units = attach_units(bed.client_sock, bed.server_sock, SyscallUnits)
+            estimator = E2EEstimator(units[0], remote=units[1])
+            samples = []
+
+            def tick():
+                sample = estimator.sample()
+                if sample is not None and sample.defined:
+                    samples.append(sample.latency_ns)
+                bed.sim.call_after(msecs(20), tick)
+
+            bed.sim.call_after(msecs(25), tick)
+            holder["samples"] = samples
+
+        result = run_benchmark(config(), tweak=tweak)
+        measured = result.send_latency.mean_ns
+        byte_estimate = result.estimate.latency_ns
+        unit_samples = holder["samples"]
+        assert unit_samples
+        unit_estimate = sum(unit_samples) / len(unit_samples)
+
+        byte_error = abs(byte_estimate - measured) / measured
+        unit_error = abs(unit_estimate - measured) / measured
+        assert byte_error > 0.35          # bytes miss the stall (Fig 4b)
+        assert unit_error < byte_error    # units see it
+
+    def test_unit_throughput_counts_messages(self):
+        holder: dict = {}
+
+        def tweak(bed):
+            units = attach_units(bed.client_sock, bed.server_sock, SyscallUnits)
+            holder["units"] = units
+
+        result = run_benchmark(config(rate_per_sec=8_000.0), tweak=tweak)
+        client_units = holder["units"][0]
+        # One unit per request consumed end to end.
+        assert client_units.qs_unacked.total == pytest.approx(
+            result.latency.count, rel=0.25
+        )

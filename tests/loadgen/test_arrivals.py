@@ -1,0 +1,90 @@
+"""Tests for workloads and arrival schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadgen.arrivals import Workload, poisson_schedule, uniform_schedule
+from repro.sim.rng import RngRegistry
+from repro.units import SEC
+
+
+@pytest.fixture
+def stream():
+    return RngRegistry(5).stream("arrivals")
+
+
+class TestWorkload:
+    def test_keys_have_exact_length(self):
+        workload = Workload(key_bytes=16, keyspace=1024)
+        for index in (0, 7, 1023):
+            assert len(workload.make_key(index)) == 16
+
+    def test_set_ratio_validation(self):
+        with pytest.raises(WorkloadError):
+            Workload(set_ratio=1.5).validate()
+
+    def test_key_bytes_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(key_bytes=3, keyspace=1024).validate()
+
+    def test_request_mix(self, stream):
+        workload = Workload(set_ratio=0.95)
+        kinds = [
+            workload.make_request(stream, 0).kind for _ in range(2000)
+        ]
+        set_fraction = kinds.count("SET") / len(kinds)
+        assert 0.92 < set_fraction < 0.98
+
+    def test_pure_set_workload(self, stream):
+        workload = Workload(set_ratio=1.0)
+        assert all(
+            workload.make_request(stream, 0).kind == "SET" for _ in range(100)
+        )
+
+    def test_mean_request_wire_bytes(self):
+        workload = Workload(set_ratio=1.0, key_bytes=16, value_bytes=16384)
+        from repro.apps import resp
+
+        assert workload.mean_request_wire_bytes() == resp.set_command_bytes(16, 16384)
+
+
+class TestSchedules:
+    def test_poisson_rate(self, stream):
+        workload = Workload()
+        events = list(
+            poisson_schedule(stream, workload, 10_000.0, 0, SEC)
+        )
+        assert 9_000 < len(events) < 11_000
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert all(0 <= t < SEC for t in times)
+
+    def test_uniform_gaps(self, stream):
+        workload = Workload()
+        events = list(
+            uniform_schedule(stream, workload, 1_000.0, 0, SEC // 100)
+        )
+        times = [t for t, _ in events]
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert gaps == {SEC // 1000}
+
+    def test_created_at_matches_schedule_time(self, stream):
+        workload = Workload()
+        for when, request in poisson_schedule(stream, workload, 5000.0, 0, SEC // 10):
+            assert request.created_at == when
+
+    def test_same_seed_same_schedule(self):
+        workload = Workload()
+        first = [
+            t for t, _ in poisson_schedule(
+                RngRegistry(9).stream("a"), workload, 5000.0, 0, SEC // 10
+            )
+        ]
+        second = [
+            t for t, _ in poisson_schedule(
+                RngRegistry(9).stream("a"), workload, 5000.0, 0, SEC // 10
+            )
+        ]
+        assert first == second

@@ -1,0 +1,69 @@
+"""Tests for multi-seed replication statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadgen.lancet import BenchConfig
+from repro.loadgen.replications import (
+    Replicated,
+    replicate,
+    replicated_sweep,
+)
+from repro.units import msecs
+
+
+class TestReplicated:
+    def test_mean_and_interval(self):
+        stats = Replicated.from_samples([10.0, 12.0, 14.0])
+        assert stats.mean == 12.0
+        assert stats.half_width_95 > 0
+        assert stats.low < 12.0 < stats.high
+
+    def test_identical_samples_zero_width(self):
+        stats = Replicated.from_samples([5.0, 5.0, 5.0, 5.0])
+        assert stats.half_width_95 == 0.0
+        assert stats.relative_half_width == 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(WorkloadError):
+            Replicated.from_samples([1.0])
+
+    def test_wider_spread_wider_interval(self):
+        tight = Replicated.from_samples([10.0, 10.1, 9.9])
+        loose = Replicated.from_samples([5.0, 15.0, 10.0])
+        assert loose.half_width_95 > tight.half_width_95
+
+    def test_more_samples_narrow_interval(self):
+        few = Replicated.from_samples([9.0, 11.0])
+        many = Replicated.from_samples([9.0, 11.0, 9.0, 11.0, 9.0, 11.0,
+                                        9.0, 11.0])
+        assert many.half_width_95 < few.half_width_95
+
+
+class TestReplicate:
+    def _config(self):
+        return BenchConfig(rate_per_sec=10_000.0, warmup_ns=msecs(5),
+                           measure_ns=msecs(25))
+
+    def test_replicates_across_seeds(self):
+        stats = replicate(self._config(), seeds=(1, 2, 3))
+        assert len(stats.samples) == 3
+        # Different seeds give different (but close) latencies.
+        assert len(set(stats.samples)) > 1
+        assert stats.relative_half_width < 0.5
+
+    def test_custom_metric(self):
+        stats = replicate(
+            self._config(), seeds=(1, 2),
+            metric=lambda result: result.achieved_rate,
+        )
+        assert stats.mean == pytest.approx(10_000, rel=0.2)
+
+    def test_sweep_shape(self):
+        points = replicated_sweep(
+            self._config(), rates=[8_000.0, 20_000.0], seeds=(1, 2)
+        )
+        assert [p.rate_per_sec for p in points] == [8_000.0, 20_000.0]
+        assert points[1].latency.mean > points[0].latency.mean

@@ -1,0 +1,61 @@
+"""Tests for latency statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadgen.stats import LatencySummary, percentile, summarize, throughput_per_sec
+from repro.units import SEC
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+        assert percentile(values, 0.0) == 1
+
+    def test_single_sample(self):
+        assert percentile([7], 0.5) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            percentile([], 0.5)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            percentile([1], 1.5)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([10, 20, 30, 40])
+        assert summary.count == 4
+        assert summary.mean_ns == 25
+        assert summary.max_ns == 40
+        assert summary.p50_ns == 20
+
+    def test_empty_summary_is_nan(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean_ns)
+
+    def test_stddev(self):
+        summary = summarize([10, 10, 10])
+        assert summary.stddev_ns == 0
+        spread = summarize([0, 20])
+        assert spread.stddev_ns == pytest.approx(10)
+
+
+class TestThroughput:
+    def test_per_second(self):
+        assert throughput_per_sec(500, SEC) == 500
+        assert throughput_per_sec(500, SEC // 2) == 1000
+
+    def test_invalid_window(self):
+        with pytest.raises(WorkloadError):
+            throughput_per_sec(1, 0)

@@ -1,0 +1,118 @@
+"""Tests for trace record/replay and distributed value sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadgen.arrivals import Workload, poisson_schedule
+from repro.loadgen.trace import (
+    TraceEntry,
+    load_trace,
+    record_schedule,
+    save_trace,
+    trace_schedule,
+)
+from repro.sim.rng import RngRegistry
+from repro.units import SEC
+
+
+@pytest.fixture
+def stream():
+    return RngRegistry(3).stream("trace")
+
+
+class TestTraceRoundtrip:
+    def test_record_save_load_replay(self, stream, tmp_path):
+        workload = Workload(set_ratio=0.9)
+        original = record_schedule(
+            poisson_schedule(stream, workload, 5_000.0, 0, SEC // 20)
+        )
+        path = tmp_path / "load.jsonl"
+        count = save_trace(original, path)
+        assert count == len(original)
+
+        loaded = load_trace(path)
+        assert loaded == original
+
+        replayed = list(trace_schedule(loaded))
+        assert len(replayed) == len(original)
+        for entry, (when, request) in zip(original, replayed):
+            assert when == entry.time_ns
+            assert request.kind == entry.kind
+            assert request.key == entry.key
+            assert request.value_bytes == entry.value_bytes
+
+    def test_time_shift_and_scale(self):
+        entries = [
+            TraceEntry(1000, "SET", "k", 10),
+            TraceEntry(3000, "GET", "k", 10),
+        ]
+        replayed = list(trace_schedule(entries, start_ns=500, time_scale=0.5))
+        assert [when for when, _ in replayed] == [1000, 2000]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(trace_schedule([], time_scale=0))
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1, "kind": "SET"}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_backwards_time_rejected(self, tmp_path):
+        path = tmp_path / "back.jsonl"
+        save_trace(
+            [TraceEntry(100, "SET", "k", 1), TraceEntry(50, "SET", "k", 1)],
+            path,
+        )
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_replay_through_full_benchmark(self, stream, tmp_path):
+        """A recorded trace drives a real run via the tweak hook."""
+        from repro.loadgen.lancet import BenchConfig, build_testbed
+        from repro.units import msecs
+
+        workload = Workload()
+        entries = record_schedule(
+            poisson_schedule(stream, workload, 8_000.0, msecs(1), msecs(40))
+        )
+        config = BenchConfig(rate_per_sec=8_000.0, warmup_ns=msecs(5),
+                             measure_ns=msecs(50))
+        bed = build_testbed(config)
+        for index in range(workload.keyspace):
+            bed.server.store.set(workload.make_key(index), workload.value_bytes)
+        bed.server.start()
+        bed.client.start(trace_schedule(entries))
+        bed.sim.run(until=msecs(60))
+        assert bed.client.responses_received == len(entries)
+
+
+class TestValueDistribution:
+    def test_sampling_follows_weights(self, stream):
+        workload = Workload(value_dist=((100, 0.75), (10_000, 0.25)))
+        sizes = [
+            workload.make_request(stream, 0).value_bytes for _ in range(4000)
+        ]
+        small_fraction = sizes.count(100) / len(sizes)
+        assert 0.70 < small_fraction < 0.80
+        assert set(sizes) == {100, 10_000}
+
+    def test_mean_value_bytes(self):
+        workload = Workload(value_dist=((100, 1.0), (300, 1.0)))
+        assert workload.mean_value_bytes() == 200
+
+    def test_fixed_size_unchanged(self, stream):
+        workload = Workload(value_bytes=512)
+        assert workload.make_request(stream, 0).value_bytes == 512
+        assert workload.mean_value_bytes() == 512
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Workload(value_dist=()).validate()
+        with pytest.raises(WorkloadError):
+            Workload(value_dist=((100, 0.0),)).validate()
+        with pytest.raises(WorkloadError):
+            Workload(value_dist=((-1, 1.0),)).validate()

@@ -1,0 +1,73 @@
+"""Tests for the link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.rng import RngRegistry
+from repro.units import SEC
+
+
+def make_link(sim, bandwidth_bps=8e9, delay=1000, **kwargs):
+    link = Link(sim, bandwidth_bps, delay, **kwargs)
+    arrived = []
+    link.attach_receiver(lambda p: arrived.append((sim.now, p)))
+    return link, arrived
+
+
+class TestLink:
+    def test_delivery_after_serialization_plus_propagation(self, sim):
+        # 8 Gbps = 1 byte/ns. 910B payload -> 1000 wire bytes -> 1000ns.
+        link, arrived = make_link(sim, bandwidth_bps=8e9, delay=500)
+        link.send(Packet(src="a", dst="b", payload_bytes=910))
+        sim.run()
+        assert len(arrived) == 1
+        assert arrived[0][0] == 1000 + 500
+
+    def test_fifo_pacing(self, sim):
+        link, arrived = make_link(sim, bandwidth_bps=8e9, delay=0)
+        for _ in range(3):
+            link.send(Packet(src="a", dst="b", payload_bytes=910))
+        sim.run()
+        times = [t for t, _ in arrived]
+        assert times == [1000, 2000, 3000]
+
+    def test_statistics(self, sim):
+        link, arrived = make_link(sim)
+        link.send(Packet(src="a", dst="b", payload_bytes=910))
+        sim.run()
+        assert link.packets_sent == 1
+        assert link.bytes_sent == 1000
+        assert link.busy_ns == 1000
+
+    def test_send_without_receiver_rejected(self, sim):
+        link = Link(sim, 1e9, 0)
+        with pytest.raises(NetworkError):
+            link.send(Packet(src="a", dst="b", payload_bytes=1))
+
+    def test_double_receiver_rejected(self, sim):
+        link, _ = make_link(sim)
+        with pytest.raises(NetworkError):
+            link.attach_receiver(lambda p: None)
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(NetworkError):
+            Link(sim, 0, 0)
+        with pytest.raises(NetworkError):
+            Link(sim, 1e9, -1)
+        with pytest.raises(NetworkError):
+            Link(sim, 1e9, 0, loss_probability=0.5)  # no RNG
+
+    def test_loss_drops_packets(self, sim):
+        rng = RngRegistry(1).stream("loss")
+        link = Link(sim, 8e9, 0, loss_probability=0.5, loss_rng=rng)
+        arrived = []
+        link.attach_receiver(lambda p: arrived.append(p))
+        for _ in range(200):
+            link.send(Packet(src="a", dst="b", payload_bytes=100))
+        sim.run()
+        assert 60 < len(arrived) < 140
+        assert link.packets_dropped == 200 - len(arrived)

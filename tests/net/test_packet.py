@@ -1,0 +1,24 @@
+"""Tests for wire packets."""
+
+from __future__ import annotations
+
+from repro.net.packet import ETHERNET_OVERHEAD, TCPIP_HEADER, Packet
+
+
+class TestPacket:
+    def test_wire_bytes_adds_overheads(self):
+        packet = Packet(src="a", dst="b", payload_bytes=1000)
+        assert packet.wire_bytes == 1000 + TCPIP_HEADER + ETHERNET_OVERHEAD
+
+    def test_options_count_toward_wire_bytes(self):
+        packet = Packet(src="a", dst="b", payload_bytes=100, options_bytes=36)
+        assert packet.wire_bytes == 100 + 36 + TCPIP_HEADER + ETHERNET_OVERHEAD
+
+    def test_gro_merged_counts_every_header(self):
+        packet = Packet(src="a", dst="b", payload_bytes=2896, wire_count=2)
+        assert packet.wire_bytes == 2896 + 2 * (TCPIP_HEADER + ETHERNET_OVERHEAD)
+
+    def test_ids_are_unique(self):
+        a = Packet(src="a", dst="b", payload_bytes=1)
+        b = Packet(src="a", dst="b", payload_bytes=1)
+        assert a.packet_id != b.packet_id

@@ -1,0 +1,93 @@
+"""Tests for the switch and star topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.nic import Nic, NicConfig
+from repro.net.packet import Packet
+from repro.net.switch import Star, Switch
+from repro.tcp.segment import Segment
+
+
+def make_nic(sim, name):
+    nic = Nic(sim, NicConfig(gro_flush_ns=0), name=name)
+    received = []
+    nic.attach_rx_handler(lambda batch: received.extend(batch))
+    return nic, received
+
+
+def data_packet(src, dst, conn=1, length=100, seq=0):
+    segment = Segment(conn_id=conn, src=src, dst=dst, seq=seq,
+                      payload_len=length, ack=0, wnd=1 << 20)
+    return Packet(src=src, dst=dst, payload_bytes=length, payload=segment)
+
+
+class TestStar:
+    def test_forwards_between_any_pair(self, sim):
+        nic_a, got_a = make_nic(sim, "a")
+        nic_b, got_b = make_nic(sim, "b")
+        nic_c, got_c = make_nic(sim, "c")
+        Star.connect(sim, {"a": nic_a, "b": nic_b, "c": nic_c})
+        nic_a.post(data_packet("a", "c"))
+        nic_b.post(data_packet("b", "a", conn=2))
+        sim.run()
+        assert len(got_c) == 1 and got_c[0].src == "a"
+        assert len(got_a) == 1 and got_a[0].src == "b"
+        assert got_b == []
+
+    def test_latency_includes_both_hops_and_forwarding(self, sim):
+        nic_a, _ = make_nic(sim, "a")
+        nic_b, got_b = make_nic(sim, "b")
+        times = []
+        nic_b._rx_handler = lambda batch: times.append(sim.now)
+        star = Star.connect(
+            sim, {"a": nic_a, "b": nic_b},
+            bandwidth_bps=8e9, propagation_delay_ns=1000,
+            forwarding_delay_ns=500,
+        )
+        nic_a.post(data_packet("a", "b", length=910))  # 1000 wire bytes
+        sim.run()
+        # serialize(1000ns) + prop(1000) + fwd(500) + serialize(1000) + prop(1000)
+        assert times == [4500]
+
+    def test_unknown_destination_raises(self, sim):
+        nic_a, _ = make_nic(sim, "a")
+        nic_b, _ = make_nic(sim, "b")
+        Star.connect(sim, {"a": nic_a, "b": nic_b})
+        nic_a.post(data_packet("a", "nowhere"))
+        with pytest.raises(NetworkError):
+            sim.run()
+
+    def test_needs_two_hosts(self, sim):
+        nic_a, _ = make_nic(sim, "a")
+        with pytest.raises(NetworkError):
+            Star.connect(sim, {"a": nic_a})
+
+    def test_duplicate_port_rejected(self, sim):
+        switch = Switch(sim)
+        from repro.net.link import Link
+
+        link = Link(sim, 1e9, 0)
+        switch.attach_port("a", link)
+        with pytest.raises(NetworkError):
+            switch.attach_port("a", link)
+
+    def test_fan_in_shares_server_downlink(self, sim):
+        """Two clients bursting at one server serialize on its downlink."""
+        nic_a, _ = make_nic(sim, "a")
+        nic_b, _ = make_nic(sim, "b")
+        nic_srv, _ = make_nic(sim, "server")
+        times = []
+        nic_srv._rx_handler = lambda batch: times.append(sim.now)
+        Star.connect(
+            sim, {"a": nic_a, "b": nic_b, "server": nic_srv},
+            bandwidth_bps=8e9, propagation_delay_ns=0, forwarding_delay_ns=0,
+        )
+        nic_a.post(data_packet("a", "server", conn=1, length=910))
+        nic_b.post(data_packet("b", "server", conn=2, length=910))
+        sim.run()
+        # Both uplinks serialize in parallel (1000ns each), but the
+        # shared downlink serializes them back to back.
+        assert times == [2000, 3000]

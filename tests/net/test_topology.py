@@ -1,0 +1,29 @@
+"""Tests for the point-to-point topology helper."""
+
+from __future__ import annotations
+
+from repro.net.nic import Nic, NicConfig
+from repro.net.packet import Packet
+from repro.net.topology import PointToPoint
+from repro.tcp.segment import Segment
+
+
+def test_bidirectional_wiring(sim):
+    nic_a = Nic(sim, NicConfig(gro_flush_ns=0), name="a")
+    nic_b = Nic(sim, NicConfig(gro_flush_ns=0), name="b")
+    got_a, got_b = [], []
+    nic_a.attach_rx_handler(lambda batch: got_a.extend(batch))
+    nic_b.attach_rx_handler(lambda batch: got_b.extend(batch))
+    wire = PointToPoint.connect(sim, nic_a, nic_b, propagation_delay_ns=100)
+
+    seg_ab = Segment(conn_id=1, src="a", dst="b", seq=0, payload_len=100,
+                     ack=0, wnd=1000)
+    seg_ba = Segment(conn_id=1, src="b", dst="a", seq=0, payload_len=200,
+                     ack=0, wnd=1000)
+    nic_a.post(Packet(src="a", dst="b", payload_bytes=100, payload=seg_ab))
+    nic_b.post(Packet(src="b", dst="a", payload_bytes=200, payload=seg_ba))
+    sim.run()
+    assert len(got_b) == 1 and got_b[0].payload_bytes == 100
+    assert len(got_a) == 1 and got_a[0].payload_bytes == 200
+    assert wire.forward.packets_sent == 1
+    assert wire.backward.packets_sent == 1

@@ -1,0 +1,47 @@
+"""Tests for RPC framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.rpc.framing import FRAME_HEADER_BYTES, FrameHeader, frame_bytes
+
+
+class TestFrameBytes:
+    def test_header_is_16_bytes(self):
+        assert FRAME_HEADER_BYTES == 16
+
+    def test_frame_size(self):
+        assert frame_bytes(100) == 116
+        assert frame_bytes(0) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            frame_bytes(-1)
+
+
+class TestFrameHeader:
+    def test_roundtrip(self):
+        header = FrameHeader(payload_bytes=1234, call_id=99,
+                             method_id=7, flags=FrameHeader.REPLY_FLAG)
+        decoded = FrameHeader.decode(header.encode())
+        assert decoded == header
+        assert decoded.is_reply
+        assert not decoded.is_error
+
+    def test_error_flag(self):
+        header = FrameHeader(0, 1, 1,
+                             flags=FrameHeader.REPLY_FLAG | FrameHeader.ERROR_FLAG)
+        assert header.is_error
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            FrameHeader.decode(b"\x00" * 15)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**64 - 1),
+           st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_roundtrip_any_values(self, payload, call_id, method, flags):
+        header = FrameHeader(payload, call_id, method, flags)
+        assert FrameHeader.decode(header.encode()) == header

@@ -1,0 +1,158 @@
+"""Integration tests for the RPC framework over the simulated stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hints import RemoteHintEstimator
+from repro.core.exchange import MetadataExchange
+from repro.errors import ProtocolError
+from repro.rpc import RpcChannel, RpcMethod, RpcServer
+from repro.sim.process import Timeout
+
+SECOND = 10**9
+
+ECHO = RpcMethod(method_id=1, name="echo", reply_bytes_fn=lambda n: n)
+SHRINK = RpcMethod(method_id=2, name="ack", reply_bytes_fn=lambda n: 8)
+
+
+def build_rpc(sim, pair_factory, methods=(ECHO, SHRINK), with_exchange=False):
+    client_host, server_host, sock_a, sock_b = pair_factory.build()
+    client_exchange = server_exchange = None
+    if with_exchange:
+        client_exchange = MetadataExchange(sim, sock_a, period_ns=1_000_000)
+        server_exchange = MetadataExchange(sim, sock_b, period_ns=1_000_000)
+    channel = RpcChannel(sim, client_host, sock_a, exchange=client_exchange)
+    server = RpcServer(sim, server_host, [sock_b])
+    for method in methods:
+        server.register(method)
+    server.start()
+    return channel, server, server_exchange
+
+
+class TestCalls:
+    def test_single_call_roundtrip(self, sim, pair_factory):
+        channel, server, _ = build_rpc(sim, pair_factory)
+        outcome = {}
+
+        def caller():
+            future = channel.call(ECHO.method_id, 1000)
+            reply = yield future
+            outcome["reply"] = reply
+            outcome["time"] = sim.now
+
+        sim.spawn(caller())
+        sim.run(until=SECOND)
+        assert outcome["reply"].payload_bytes == 1000
+        assert not outcome["reply"].is_error
+        assert outcome["time"] > 0
+        assert server.calls_served == 1
+
+    def test_concurrent_calls_matched_by_id(self, sim, pair_factory):
+        channel, server, _ = build_rpc(sim, pair_factory)
+        replies = {}
+
+        def caller():
+            futures = [
+                channel.call(ECHO.method_id, (index + 1) * 100)
+                for index in range(5)
+            ]
+            for future in futures:
+                reply = yield future
+                replies[reply.call_id] = reply.payload_bytes
+
+        sim.spawn(caller())
+        sim.run(until=SECOND)
+        assert len(replies) == 5
+        assert sorted(replies.values()) == [100, 200, 300, 400, 500]
+
+    def test_unknown_method_returns_error(self, sim, pair_factory):
+        channel, server, _ = build_rpc(sim, pair_factory)
+        outcome = {}
+
+        def caller():
+            reply = yield channel.call(method_id=999, payload_bytes=10)
+            outcome["reply"] = reply
+
+        sim.spawn(caller())
+        sim.run(until=SECOND)
+        assert outcome["reply"].is_error
+        assert channel.errors_received == 1
+        assert server.errors_returned == 1
+
+    def test_mixed_methods(self, sim, pair_factory):
+        channel, server, _ = build_rpc(sim, pair_factory)
+        sizes = {}
+
+        def caller():
+            echo = channel.call(ECHO.method_id, 5000)
+            shrink = channel.call(SHRINK.method_id, 5000)
+            reply_a = yield echo
+            reply_b = yield shrink
+            sizes["echo"] = reply_a.payload_bytes
+            sizes["shrink"] = reply_b.payload_bytes
+
+        sim.spawn(caller())
+        sim.run(until=SECOND)
+        assert sizes == {"echo": 5000, "shrink": 8}
+
+
+class TestHintsIntegration:
+    def test_channel_drives_hints_transparently(self, sim, pair_factory):
+        channel, server, _ = build_rpc(sim, pair_factory)
+
+        def caller():
+            for _ in range(10):
+                reply = yield channel.call(SHRINK.method_id, 2000)
+                yield Timeout(100_000)
+
+        sim.spawn(caller())
+        sim.run(until=SECOND)
+        assert channel.hints.state.total == 10
+        assert channel.hints.outstanding == 0
+
+    def test_server_estimates_latency_from_hints(self, sim, pair_factory):
+        """The paper's full §3.3 loop over RPC: the channel's hints ride
+        the exchange; the server recovers call latency via Little's law."""
+        channel, server, server_exchange = build_rpc(
+            sim, pair_factory, with_exchange=True
+        )
+        latencies = []
+
+        def caller():
+            while sim.now < SECOND // 10:
+                start = sim.now
+                yield channel.call(SHRINK.method_id, 2000)
+                latencies.append(sim.now - start)
+                yield Timeout(200_000)
+
+        sim.spawn(caller())
+        sim.run(until=SECOND // 8)
+        estimator = RemoteHintEstimator(server_exchange)
+        # Prime with the earliest snapshot then read the latest interval.
+        averages = estimator.sample()
+        assert averages is not None and averages.defined
+        measured_mean = sum(latencies) / len(latencies)
+        assert averages.latency_ns == pytest.approx(measured_mean, rel=0.5)
+
+
+class TestServerValidation:
+    def test_needs_sockets_and_methods(self, sim, pair_factory):
+        _, server_host, _, sock_b = pair_factory.build()
+        with pytest.raises(ProtocolError):
+            RpcServer(sim, server_host, [])
+        server = RpcServer(sim, server_host, [sock_b])
+        with pytest.raises(ProtocolError):
+            server.start()
+
+    def test_duplicate_method_rejected(self, sim, pair_factory):
+        _, server_host, _, sock_b = pair_factory.build()
+        server = RpcServer(sim, server_host, [sock_b])
+        server.register(ECHO)
+        with pytest.raises(ProtocolError):
+            server.register(ECHO)
+
+    def test_negative_payload_rejected(self, sim, pair_factory):
+        channel, _, _ = build_rpc(sim, pair_factory)
+        with pytest.raises(ProtocolError):
+            channel.call(ECHO.method_id, -1)

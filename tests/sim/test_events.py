@@ -1,0 +1,60 @@
+"""Tests for one-shot events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class TestEvent:
+    def test_trigger_delivers_value_to_callbacks(self, sim):
+        event = Event(sim, name="e")
+        seen = []
+        event.add_callback(seen.append)
+        event.trigger("payload")
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_multiple_waiters_all_resumed(self, sim):
+        event = Event(sim)
+        seen = []
+        for index in range(3):
+            event.add_callback(lambda value, i=index: seen.append((i, value)))
+        event.trigger(7)
+        sim.run()
+        assert seen == [(0, 7), (1, 7), (2, 7)]
+
+    def test_late_subscriber_gets_stored_value(self, sim):
+        event = Event(sim)
+        event.trigger("early")
+        seen = []
+        event.add_callback(seen.append)
+        sim.run()
+        assert seen == ["early"]
+
+    def test_double_trigger_rejected(self, sim):
+        event = Event(sim)
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+    def test_triggered_flag_and_value(self, sim):
+        event = Event(sim)
+        assert not event.triggered
+        assert event.value is None
+        event.trigger(3)
+        assert event.triggered
+        assert event.value == 3
+
+    def test_delivery_is_asynchronous(self, sim):
+        """Callbacks run at the same instant but not synchronously
+        inside trigger()."""
+        event = Event(sim)
+        seen = []
+        event.add_callback(lambda _: seen.append("cb"))
+        event.trigger()
+        assert seen == []  # not yet
+        sim.run()
+        assert seen == ["cb"]

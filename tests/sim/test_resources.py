@@ -1,0 +1,135 @@
+"""Tests for stores and resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Timeout
+from repro.sim.resources import Resource, Store
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        sim.spawn(consumer())
+        store.put("x")
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        sim.spawn(consumer())
+        sim.call_at(100, lambda: store.put("late"))
+        sim.run()
+        assert got == [("late", 100)]
+
+    def test_fifo_ordering_of_items_and_waiters(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.spawn(consumer("first"))
+        sim.spawn(consumer("second"))
+        sim.call_at(10, lambda: store.put(1))
+        sim.call_at(20, lambda: store.put(2))
+        sim.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    def test_capacity_overflow_raises(self, sim):
+        store = Store(sim, capacity=1)
+        store.put("a")
+        with pytest.raises(SimulationError):
+            store.put("b")
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put("x")
+        assert store.try_get() == "x"
+        assert len(store) == 0
+
+    def test_try_get_with_waiters_rejected(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            yield store.get()
+
+        sim.spawn(consumer())
+        sim.run(until=10)
+        with pytest.raises(SimulationError):
+            store.try_get()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestResource:
+    def test_acquire_release(self, sim):
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield resource.acquire()
+            log.append((name, "in", sim.now))
+            yield Timeout(hold)
+            resource.release()
+            log.append((name, "out", sim.now))
+
+        sim.spawn(worker("a", 100))
+        sim.spawn(worker("b", 50))
+        sim.run()
+        assert log == [
+            ("a", "in", 0),
+            ("a", "out", 100),
+            ("b", "in", 100),
+            ("b", "out", 150),
+        ]
+
+    def test_capacity_two_admits_two(self, sim):
+        resource = Resource(sim, capacity=2)
+        entries = []
+
+        def worker(name):
+            yield resource.acquire()
+            entries.append((name, sim.now))
+            yield Timeout(100)
+            resource.release()
+
+        for name in ("a", "b", "c"):
+            sim.spawn(worker(name))
+        sim.run()
+        assert entries == [("a", 0), ("b", 0), ("c", 100)]
+
+    def test_release_without_acquire_rejected(self, sim):
+        resource = Resource(sim)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_counters(self, sim):
+        resource = Resource(sim, capacity=3)
+
+        def worker():
+            yield resource.acquire()
+            yield Timeout(10)
+
+        sim.spawn(worker())
+        sim.run(until=5)
+        assert resource.in_use == 1
+        assert resource.available == 2

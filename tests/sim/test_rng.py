@@ -1,0 +1,82 @@
+"""Tests for seeded random streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RngRegistry, RngStream
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_different_names_independent(self):
+        registry = RngRegistry(1)
+        a = [registry.stream("a").random() for _ in range(5)]
+        b = [registry.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_same_seed_reproducible(self):
+        first = [RngRegistry(9).stream("x").random() for _ in range(3)]
+        second = [RngRegistry(9).stream("x").random() for _ in range(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert (
+            RngRegistry(1).stream("x").random()
+            != RngRegistry(2).stream("x").random()
+        )
+
+    def test_adding_a_stream_does_not_perturb_others(self):
+        """The whole point of named streams: a new consumer must not
+        change existing draw sequences."""
+        registry_a = RngRegistry(5)
+        s = registry_a.stream("arrivals")
+        first = [s.random() for _ in range(3)]
+
+        registry_b = RngRegistry(5)
+        registry_b.stream("some-new-consumer").random()
+        s2 = registry_b.stream("arrivals")
+        second = [s2.random() for _ in range(3)]
+        assert first == second
+
+    def test_contains(self):
+        registry = RngRegistry(1)
+        assert "x" not in registry
+        registry.stream("x")
+        assert "x" in registry
+
+
+class TestRngStream:
+    def test_exponential_mean(self):
+        stream = RngRegistry(3).stream("exp")
+        samples = [stream.exponential_ns(1000.0) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert 950 < mean < 1050
+
+    def test_exponential_rejects_bad_mean(self):
+        stream = RngRegistry(3).stream("exp")
+        with pytest.raises(ValueError):
+            stream.exponential_ns(0)
+
+    def test_uniform_range(self):
+        stream = RngRegistry(3).stream("uni")
+        for _ in range(100):
+            value = stream.uniform_ns(10, 20)
+            assert 10 <= value <= 20
+        with pytest.raises(ValueError):
+            stream.uniform_ns(20, 10)
+
+    def test_bernoulli_bounds(self):
+        stream = RngRegistry(3).stream("bern")
+        assert not any(stream.bernoulli(0.0) for _ in range(100))
+        assert all(stream.bernoulli(1.0) for _ in range(100))
+        with pytest.raises(ValueError):
+            stream.bernoulli(1.5)
+
+    def test_bernoulli_rate(self):
+        stream = RngRegistry(3).stream("bern2")
+        hits = sum(stream.bernoulli(0.3) for _ in range(20000))
+        assert 0.27 < hits / 20000 < 0.33

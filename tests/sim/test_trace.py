@@ -1,0 +1,38 @@
+"""Tests for trace recording."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_disabled_by_default(self, sim):
+        recorder = TraceRecorder(sim)
+        recorder.emit("src", "event")
+        assert len(recorder) == 0
+
+    def test_records_when_enabled(self, sim):
+        recorder = TraceRecorder(sim, enabled=True)
+        sim.call_at(42, lambda: recorder.emit("nic", "tx", {"n": 1}))
+        sim.run()
+        assert len(recorder) == 1
+        record = recorder.records[0]
+        assert record.time == 42
+        assert record.source == "nic"
+        assert record.event == "tx"
+        assert record.detail == {"n": 1}
+
+    def test_filter_by_source_and_event(self, sim):
+        recorder = TraceRecorder(sim, enabled=True)
+        recorder.emit("nic", "tx")
+        recorder.emit("nic", "rx")
+        recorder.emit("tcp", "tx")
+        assert len(list(recorder.filter(source="nic"))) == 2
+        assert len(list(recorder.filter(event="tx"))) == 2
+        assert len(list(recorder.filter(source="nic", event="tx"))) == 1
+
+    def test_clear(self, sim):
+        recorder = TraceRecorder(sim, enabled=True)
+        recorder.emit("a", "b")
+        recorder.clear()
+        assert len(recorder) == 0

@@ -1,0 +1,112 @@
+"""Tests for stream bookkeeping and reassembly."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TcpError
+from repro.tcp.buffers import ByteStream, ReassemblyQueue
+
+
+class TestByteStream:
+    def test_append_advances_offsets(self):
+        stream = ByteStream()
+        assert stream.append(100, "a") == (0, 100)
+        assert stream.append(50, "b") == (100, 150)
+        assert stream.write_seq == 150
+
+    def test_pop_completed_by_read_offset(self):
+        stream = ByteStream()
+        stream.append(100, "a")
+        stream.append(50, "b")
+        assert stream.pop_completed(99) == []
+        assert stream.pop_completed(100) == ["a"]
+        assert stream.pop_completed(150) == ["b"]
+        assert stream.pop_completed(150) == []
+
+    def test_pop_multiple_at_once(self):
+        stream = ByteStream()
+        for name in "abc":
+            stream.append(10, name)
+        assert stream.pop_completed(30) == ["a", "b", "c"]
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(TcpError):
+            ByteStream().append(0, "x")
+
+    def test_boundaries_in_range(self):
+        stream = ByteStream()
+        stream.append(10, "a")
+        stream.append(10, "b")
+        stream.append(10, "c")
+        assert stream.boundaries_in(0, 30) == 3
+        assert stream.boundaries_in(10, 20) == 1
+        assert stream.boundaries_in(25, 30) == 1
+
+    def test_pending_messages(self):
+        stream = ByteStream()
+        stream.append(10, "a")
+        stream.append(10, "b")
+        assert stream.pending_messages() == 2
+        stream.pop_completed(10)
+        assert stream.pending_messages() == 1
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=50))
+    def test_all_messages_recovered_in_order(self, sizes):
+        stream = ByteStream()
+        for index, size in enumerate(sizes):
+            stream.append(size, index)
+        recovered = stream.pop_completed(sum(sizes))
+        assert recovered == list(range(len(sizes)))
+
+
+class TestReassemblyQueue:
+    def test_in_order_passthrough(self):
+        queue = ReassemblyQueue()
+        assert queue.advance(100) == 100
+
+    def test_hole_then_fill(self):
+        queue = ReassemblyQueue()
+        queue.add(100, 200)           # out of order
+        assert queue.advance(50) == 50
+        assert queue.advance(100) == 200
+
+    def test_multiple_ranges_merge(self):
+        queue = ReassemblyQueue()
+        queue.add(200, 300)
+        queue.add(100, 200)
+        assert queue.advance(100) == 300
+        assert len(queue) == 0
+
+    def test_duplicates_dropped(self):
+        queue = ReassemblyQueue()
+        queue.add(100, 200)
+        queue.add(100, 200)
+        assert queue.advance(100) == 200
+        assert len(queue) == 0
+
+    def test_overlap_tolerated(self):
+        queue = ReassemblyQueue()
+        queue.add(100, 250)
+        queue.add(200, 300)
+        assert queue.advance(100) == 300
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(TcpError):
+            ReassemblyQueue().add(10, 10)
+
+    @given(st.permutations(list(range(10))))
+    def test_any_arrival_order_reassembles(self, order):
+        """Segments [k*100,(k+1)*100) arriving in any order end at 1000."""
+        queue = ReassemblyQueue()
+        rcv_nxt = 0
+        for index in order:
+            lo, hi = index * 100, (index + 1) * 100
+            if lo == rcv_nxt:
+                rcv_nxt = queue.advance(hi)
+            elif lo > rcv_nxt:
+                queue.add(lo, hi)
+            else:
+                rcv_nxt = queue.advance(max(rcv_nxt, hi))
+        assert rcv_nxt == 1000

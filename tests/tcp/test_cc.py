@@ -1,0 +1,63 @@
+"""Tests for Reno congestion control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcp.cc import RenoCongestionControl
+
+
+class TestReno:
+    def test_initial_window(self):
+        cc = RenoCongestionControl(mss=1448)
+        assert cc.cwnd == 10 * 1448
+        assert cc.in_slow_start
+
+    def test_slow_start_doubles_per_window(self):
+        cc = RenoCongestionControl(mss=1000, initial_window_segments=2)
+        cc.on_ack(2000)
+        assert cc.cwnd == 4000
+
+    def test_congestion_avoidance_linear(self):
+        cc = RenoCongestionControl(mss=1000, initial_window_segments=10)
+        cc.ssthresh = 5000  # below cwnd: CA mode
+        assert not cc.in_slow_start
+        before = cc.cwnd
+        cc.on_ack(before)  # a full window of acks
+        assert cc.cwnd == pytest.approx(before + 1000, abs=10)
+
+    def test_loss_halves(self):
+        cc = RenoCongestionControl(mss=1000)
+        cc.cwnd = 20_000
+        cc.on_loss()
+        assert cc.cwnd == 10_000
+        assert cc.ssthresh == 10_000
+        assert cc.losses == 1
+
+    def test_timeout_collapses_to_one_mss(self):
+        cc = RenoCongestionControl(mss=1000)
+        cc.cwnd = 20_000
+        cc.on_timeout()
+        assert cc.cwnd == 1000
+        assert cc.ssthresh == 10_000
+
+    def test_floor_of_two_mss(self):
+        cc = RenoCongestionControl(mss=1000)
+        cc.cwnd = 1000
+        cc.on_loss()
+        assert cc.ssthresh == 2000
+
+    def test_zero_ack_noop(self):
+        cc = RenoCongestionControl(mss=1000)
+        before = cc.cwnd
+        cc.on_ack(0)
+        assert cc.cwnd == before
+
+    def test_negative_ack_rejected(self):
+        with pytest.raises(TcpError):
+            RenoCongestionControl(mss=1000).on_ack(-1)
+
+    def test_invalid_mss_rejected(self):
+        with pytest.raises(TcpError):
+            RenoCongestionControl(mss=0)

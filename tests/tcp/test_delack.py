@@ -1,0 +1,147 @@
+"""Tests for delayed-ack management."""
+
+from __future__ import annotations
+
+from repro.tcp.delack import DelayedAckManager
+from repro.units import msecs
+
+MSS = 1448
+
+
+def make(sim, delay_ns=msecs(40)):
+    acks = []
+    manager = DelayedAckManager(
+        sim, MSS, ack_now=lambda: acks.append(sim.now), delay_ns=delay_ns
+    )
+    return manager, acks
+
+
+class TestDelayedAcks:
+    def test_small_data_arms_timer(self, sim):
+        manager, acks = make(sim, delay_ns=1000)
+        manager.on_data_received(100)
+        assert manager.timer_armed
+        sim.run()
+        assert acks == [1000]
+        assert manager.timer_fires == 1
+
+    def test_two_full_segments_ack_immediately(self, sim):
+        manager, acks = make(sim)
+        manager.on_data_received(2 * MSS)
+        assert acks == [0]
+        assert not manager.timer_armed
+        assert manager.quick_acks == 1
+
+    def test_accumulation_crosses_threshold(self, sim):
+        manager, acks = make(sim)
+        manager.on_data_received(MSS)
+        assert acks == []
+        manager.on_data_received(MSS)
+        assert acks == [0]
+
+    def test_piggyback_cancels_timer(self, sim):
+        manager, acks = make(sim, delay_ns=1000)
+        manager.on_data_received(100)
+        manager.on_ack_piggybacked()
+        assert not manager.timer_armed
+        sim.run()
+        assert acks == []
+
+    def test_piggyback_resets_accumulator(self, sim):
+        manager, acks = make(sim)
+        manager.on_data_received(MSS)
+        manager.on_ack_piggybacked()
+        manager.on_data_received(MSS)  # only one since last ack
+        assert acks == []
+
+    def test_out_of_order_acks_immediately(self, sim):
+        manager, acks = make(sim)
+        manager.on_out_of_order()
+        assert acks == [0]
+
+    def test_timer_not_rearmed_while_pending(self, sim):
+        manager, acks = make(sim, delay_ns=1000)
+        manager.on_data_received(100)
+        sim.run(until=500)
+        manager.on_data_received(100)
+        sim.run()
+        assert acks == [1000]  # original deadline, not pushed out
+
+
+class TestAdaptiveDelack:
+    def _make(self, sim, **kwargs):
+        acks = []
+        manager = DelayedAckManager(
+            sim, MSS, ack_now=lambda: acks.append(sim.now),
+            adaptive=True, min_delay_ns=1000, **kwargs,
+        )
+        return manager, acks
+
+    def test_starts_at_ceiling(self, sim):
+        manager, _ = self._make(sim)
+        assert manager.current_delay_ns == manager.delay_ns
+
+    def test_fast_arrivals_shrink_the_delay(self, sim):
+        manager, _ = self._make(sim)
+
+        def arrivals():
+            from repro.sim.process import Timeout
+
+            for _ in range(20):
+                manager.on_data_received(100)
+                manager.on_ack_piggybacked()  # keep the timer clear
+                yield Timeout(10_000)  # 10 us gaps
+
+        sim.spawn(arrivals())
+        sim.run()
+        assert manager.current_delay_ns < msecs(1)
+
+    def test_delay_floor(self, sim):
+        manager, _ = self._make(sim)
+
+        def arrivals():
+            from repro.sim.process import Timeout
+
+            for _ in range(50):
+                manager.on_data_received(10)
+                manager.on_ack_piggybacked()
+                yield Timeout(10)
+
+        sim.spawn(arrivals())
+        sim.run()
+        assert manager.current_delay_ns >= manager.min_delay_ns
+
+    def test_slow_arrivals_recover_toward_ceiling(self, sim):
+        manager, _ = self._make(sim)
+
+        def arrivals():
+            from repro.sim.process import Timeout
+
+            for _ in range(10):  # fast phase
+                manager.on_data_received(10)
+                manager.on_ack_piggybacked()
+                yield Timeout(1000)
+            for _ in range(40):  # slow phase
+                manager.on_data_received(10)
+                manager.on_ack_piggybacked()
+                yield Timeout(msecs(100))
+
+        sim.spawn(arrivals())
+        sim.run()
+        # Asymptotic recovery toward (not exactly to) the ceiling.
+        assert manager.current_delay_ns > 0.9 * manager.delay_ns
+
+    def test_non_adaptive_ignores_gaps(self, sim):
+        manager, _ = make(sim, delay_ns=5000)
+
+        def arrivals():
+            from repro.sim.process import Timeout
+
+            for _ in range(10):
+                manager.on_data_received(10)
+                manager.on_ack_piggybacked()
+                yield Timeout(10)
+
+        sim.spawn(arrivals())
+        sim.run()
+        assert manager.current_delay_ns == 5000

@@ -1,0 +1,110 @@
+"""Tests for the batching heuristics decision function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcp.nagle import NAGLE_MINSHALL, BatchingHeuristics
+
+
+class TestNagleDecision:
+    def test_nagle_holds_partial_with_unacked_data(self):
+        h = BatchingHeuristics(nagle=True, autocork=False)
+        assert not h.may_send_partial(
+            queued_bytes=500, unacked_bytes=1000, tx_ring_occupancy=0
+        )
+
+    def test_nagle_allows_partial_when_all_acked(self):
+        h = BatchingHeuristics(nagle=True, autocork=False)
+        assert h.may_send_partial(
+            queued_bytes=500, unacked_bytes=0, tx_ring_occupancy=0
+        )
+
+    def test_nodelay_always_sends(self):
+        h = BatchingHeuristics(nagle=False, autocork=False)
+        assert h.may_send_partial(
+            queued_bytes=1, unacked_bytes=10**6, tx_ring_occupancy=10
+        )
+
+    def test_autocork_holds_while_ring_busy(self):
+        h = BatchingHeuristics(nagle=False, autocork=True)
+        assert not h.may_send_partial(
+            queued_bytes=500, unacked_bytes=0, tx_ring_occupancy=3
+        )
+        assert h.may_send_partial(
+            queued_bytes=500, unacked_bytes=0, tx_ring_occupancy=0
+        )
+
+    def test_batch_floor_holds_below_threshold(self):
+        h = BatchingHeuristics(nagle=False, autocork=False, min_batch_bytes=1000)
+        assert not h.may_send_partial(
+            queued_bytes=999, unacked_bytes=0, tx_ring_occupancy=0
+        )
+        assert h.may_send_partial(
+            queued_bytes=1000, unacked_bytes=0, tx_ring_occupancy=0
+        )
+
+    def test_heuristics_compose(self):
+        h = BatchingHeuristics(nagle=True, autocork=True, min_batch_bytes=100)
+        # All three must pass.
+        assert h.may_send_partial(100, 0, 0)
+        assert not h.may_send_partial(99, 0, 0)
+        assert not h.may_send_partial(100, 1, 0)
+        assert not h.may_send_partial(100, 0, 1)
+
+
+class TestMinshallVariant:
+    def test_allows_partial_behind_full_segments(self):
+        """Minshall's point: a large write's tail is not held back by
+        the full-MSS segments in flight ahead of it."""
+        h = BatchingHeuristics(nagle=True, nagle_mode=NAGLE_MINSHALL,
+                               autocork=False)
+        assert h.may_send_partial(
+            queued_bytes=500, unacked_bytes=100_000, tx_ring_occupancy=0,
+            small_packet_outstanding=False,
+        )
+
+    def test_holds_partial_behind_small_packet(self):
+        h = BatchingHeuristics(nagle=True, nagle_mode=NAGLE_MINSHALL,
+                               autocork=False)
+        assert not h.may_send_partial(
+            queued_bytes=500, unacked_bytes=600, tx_ring_occupancy=0,
+            small_packet_outstanding=True,
+        )
+
+    def test_classic_ignores_small_packet_flag(self):
+        h = BatchingHeuristics(nagle=True, autocork=False)
+        assert not h.may_send_partial(
+            queued_bytes=500, unacked_bytes=100_000, tx_ring_occupancy=0,
+            small_packet_outstanding=False,
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TcpError):
+            BatchingHeuristics(nagle_mode="bogus")
+
+
+class TestMinshallOnSocket:
+    def test_large_write_tail_flows_immediately(self, sim, pair_factory):
+        _, _, a, b = pair_factory.build(
+            nagle=True,
+            tcp_kwargs={"nagle_mode": "minshall",
+                        "initial_cwnd_segments": 40},
+        )
+        mss = a.config.mss
+        size = 11 * mss + 516
+        a.send("req", size)
+        # Unlike classic Nagle, the tail goes out at once.
+        assert a.snd_nxt == size
+
+    def test_back_to_back_small_writes_still_coalesce(self, sim, pair_factory):
+        _, _, a, b = pair_factory.build(
+            nagle=True, tcp_kwargs={"nagle_mode": "minshall"}
+        )
+        a.send("m1", 500)
+        assert a.snd_nxt == 500    # first small packet goes
+        a.send("m2", 400)
+        assert a.snd_nxt == 500    # held: a small packet is outstanding
+        sim.run(until=10**9)
+        assert a.snd_nxt == 900

@@ -1,0 +1,57 @@
+"""Tests for SRTT/RTO estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcp.rtt import RttEstimator
+from repro.units import msecs, usecs
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator(min_rto_ns=usecs(1))
+        est.sample(usecs(100))
+        assert est.srtt_ns == usecs(100)
+        assert est.rttvar_ns == usecs(50)
+        assert est.rto_ns == usecs(100) + 4 * usecs(50)
+
+    def test_smoothing_follows_jacobson(self):
+        est = RttEstimator(min_rto_ns=usecs(1))
+        est.sample(100_000)
+        est.sample(200_000)
+        assert est.srtt_ns == pytest.approx(0.875 * 100_000 + 0.125 * 200_000)
+
+    def test_converges_to_constant_rtt(self):
+        est = RttEstimator(min_rto_ns=usecs(1))
+        for _ in range(100):
+            est.sample(usecs(50))
+        assert est.srtt_ns == pytest.approx(usecs(50), rel=0.01)
+        assert est.rttvar_ns == pytest.approx(0, abs=usecs(1))
+
+    def test_rto_floor(self):
+        est = RttEstimator(min_rto_ns=msecs(200))
+        for _ in range(10):
+            est.sample(usecs(10))
+        assert est.rto_ns == msecs(200)
+
+    def test_backoff_doubles(self):
+        est = RttEstimator()
+        before = est.rto_ns
+        est.backoff()
+        assert est.rto_ns == 2 * before
+
+    def test_backoff_capped(self):
+        est = RttEstimator()
+        for _ in range(30):
+            est.backoff()
+        assert est.rto_ns <= msecs(120_000)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(TcpError):
+            RttEstimator().sample(-1)
+
+    def test_invalid_min_rto_rejected(self):
+        with pytest.raises(TcpError):
+            RttEstimator(min_rto_ns=0)

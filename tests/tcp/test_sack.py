@@ -1,0 +1,162 @@
+"""Tests for selective acknowledgments (RFC 2018)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.loop import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.buffers import ReassemblyQueue
+from repro.tcp.segment import Segment
+from tests.conftest import PairFactory, drain_reader
+
+SECOND = 10**9
+
+
+class TestReassemblyBlocks:
+    def test_no_holdings_no_blocks(self):
+        assert ReassemblyQueue().blocks() == ()
+
+    def test_blocks_report_held_ranges(self):
+        queue = ReassemblyQueue()
+        queue.add(100, 200)
+        queue.add(400, 500)
+        assert queue.blocks() == ((100, 200), (400, 500))
+
+    def test_adjacent_ranges_coalesce(self):
+        queue = ReassemblyQueue()
+        queue.add(200, 300)
+        queue.add(100, 200)
+        assert queue.blocks() == ((100, 300),)
+
+    def test_limit(self):
+        queue = ReassemblyQueue()
+        for index in range(5):
+            queue.add(index * 1000, index * 1000 + 100)
+        assert len(queue.blocks(limit=3)) == 3
+
+
+class TestScoreboard:
+    def _sock(self, sim):
+        factory = PairFactory(sim)
+        _, _, a, b = factory.build(tcp_kwargs={"sack": True})
+        return a, b
+
+    def test_record_and_holes(self, sim):
+        a, b = self._sock(sim)
+        a.send("bulk", 10 * a.config.mss)
+        mss = a.config.mss
+        a._record_sacked([(2 * mss, 4 * mss), (6 * mss, 7 * mss)])
+        hole = a._next_hole(0)
+        assert hole == (0, mss)
+        hole = a._next_hole(4 * mss)
+        assert hole == (4 * mss, 5 * mss)
+
+    def test_cumulative_ack_clears_scoreboard(self, sim):
+        a, b = self._sock(sim)
+        a.send("bulk", 10 * a.config.mss)
+        mss = a.config.mss
+        a._record_sacked([(2 * mss, 4 * mss)])
+        a._process_ack(5 * mss)
+        assert a._sacked == []
+
+    def test_overlapping_blocks_merge(self, sim):
+        a, b = self._sock(sim)
+        a.send("bulk", 10 * a.config.mss)
+        a._record_sacked([(1000, 3000)])
+        a._record_sacked([(2000, 5000)])
+        assert a._sacked == [(1000, 5000)]
+
+
+class TestSackRecovery:
+    def test_dupacks_with_blocks_repair_holes(self, sim):
+        factory = PairFactory(sim)
+        _, _, a, b = factory.build(tcp_kwargs={"sack": True})
+        mss = a.config.mss
+        a.send("bulk", 10 * mss)
+
+        def dupack(blocks):
+            return Segment(
+                conn_id=a.conn_id, src=b.host.name, dst=a.host.name,
+                seq=0, payload_len=0, ack=a.snd_una,
+                wnd=b.config.recv_buffer_bytes, sack_blocks=blocks,
+            )
+
+        # The receiver reports holding [2mss, 5mss): segments 0-1 lost.
+        for _ in range(3):
+            a.segment_arrived(dupack(((2 * mss, 5 * mss),)))
+        assert a.sack_retransmits == 1
+        # Further dupacks repair the next hole instead of re-sending
+        # the same one.
+        a.segment_arrived(dupack(((2 * mss, 5 * mss),)))
+        assert a.sack_retransmits == 2
+        assert a._recovery_rtx_upto == 2 * mss
+
+    def test_sack_delivery_under_loss(self, sim):
+        rng = RngRegistry(13).stream("loss")
+        factory = PairFactory(sim)
+        _, _, a, b = factory.build(
+            loss_probability=0.08, loss_rng=rng,
+            tcp_kwargs={"sack": True, "min_rto_ns": 2_000_000},
+        )
+        total = 200_000
+        a.send("bulk", total)
+        results = {}
+        drain_reader(sim, b, total, results)
+        sim.run(until=60 * SECOND)
+        assert results["bytes"] == total
+        assert a.sack_retransmits > 0
+
+    def test_sack_recovers_faster_than_newreno(self):
+        """Same loss pattern: SACK completes the transfer sooner."""
+        times = {}
+        for sack in (False, True):
+            sim = Simulator()
+            rng = RngRegistry(17).stream("loss")
+            factory = PairFactory(sim)
+            _, _, a, b = factory.build(
+                loss_probability=0.06, loss_rng=rng,
+                tcp_kwargs={"sack": sack, "min_rto_ns": 5_000_000},
+            )
+            total = 400_000
+            a.send("bulk", total)
+            results = {}
+            drain_reader(sim, b, total, results)
+            sim.run(until=120 * SECOND)
+            assert results["bytes"] == total
+            times[sack] = results["time"]
+        assert times[True] < times[False]
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 50), loss=st.floats(0.02, 0.12))
+    def test_sack_never_breaks_delivery(self, seed, loss):
+        sim = Simulator()
+        rng = RngRegistry(seed).stream("loss")
+        factory = PairFactory(sim)
+        _, _, a, b = factory.build(
+            loss_probability=loss, loss_rng=rng,
+            tcp_kwargs={"sack": True, "min_rto_ns": 2_000_000},
+        )
+        total = 80_000
+        a.send("bulk", total)
+        results = {}
+        drain_reader(sim, b, total, results)
+        sim.run(until=120 * SECOND)
+        assert results["bytes"] == total
+
+
+class TestSackWireAccounting:
+    def test_blocks_cost_option_bytes(self):
+        segment = Segment(
+            conn_id=1, src="a", dst="b", seq=0, payload_len=0,
+            ack=0, wnd=0, sack_blocks=((100, 200), (400, 500)),
+        )
+        assert segment.options_bytes() == 2 + 8 * 2
+
+    def test_merge_keeps_freshest_blocks(self):
+        a = Segment(conn_id=1, src="a", dst="b", seq=0, payload_len=1448,
+                    ack=0, wnd=0, sack_blocks=((1, 2),))
+        b = Segment(conn_id=1, src="a", dst="b", seq=1448, payload_len=1448,
+                    ack=0, wnd=0, sack_blocks=((3, 4),))
+        assert a.merge(b).sack_blocks == ((3, 4),)

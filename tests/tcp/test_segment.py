@@ -1,0 +1,94 @@
+"""Tests for TCP segments: slicing and merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcp.segment import Segment
+
+
+def seg(seq=0, length=1000, ack=0, psh=False, retransmit=False, options=None):
+    return Segment(
+        conn_id=1, src="a", dst="b", seq=seq, payload_len=length,
+        ack=ack, wnd=4096, psh=psh, is_retransmit=retransmit,
+        options=options or {},
+    )
+
+
+class TestSplit:
+    def test_no_split_needed(self):
+        segment = seg(length=100)
+        head, rest = segment.split_at(1448)
+        assert head is segment
+        assert rest is None
+
+    def test_split_partitions_payload(self):
+        head, rest = seg(seq=1000, length=2000).split_at(1448)
+        assert head.seq == 1000 and head.payload_len == 1448
+        assert rest.seq == 2448 and rest.payload_len == 552
+        assert head.end_seq == rest.seq
+
+    def test_options_stay_on_tail(self):
+        segment = seg(length=2000, options={"e2e": object()})
+        head, rest = segment.split_at(1448)
+        assert head.options == {}
+        assert "e2e" in rest.options
+
+    def test_psh_stays_on_tail(self):
+        head, rest = seg(length=2000, psh=True).split_at(1448)
+        assert not head.psh
+        assert rest.psh
+
+    def test_invalid_split_size(self):
+        with pytest.raises(TcpError):
+            seg().split_at(0)
+
+
+class TestMerge:
+    def test_contiguous_merge(self):
+        merged = seg(seq=0, length=1448, ack=5).merge(seg(seq=1448, length=1448, ack=9))
+        assert merged.payload_len == 2896
+        assert merged.ack == 9
+        assert merged.wire_count == 2
+
+    def test_merge_requires_contiguity(self):
+        a = seg(seq=0, length=1448)
+        assert not a.can_merge(seg(seq=2000))
+        with pytest.raises(TcpError):
+            a.merge(seg(seq=2000))
+
+    def test_merge_rejects_pure_acks_and_retransmits(self):
+        a = seg(seq=0, length=1448)
+        assert not a.can_merge(seg(seq=1448, length=0))
+        assert not a.can_merge(seg(seq=1448, retransmit=True))
+
+    def test_freshest_options_win(self):
+        a = seg(seq=0, length=1448, options={"e2e": "old"})
+        b = seg(seq=1448, length=1448, options={"e2e": "new"})
+        assert a.merge(b).options["e2e"] == "new"
+
+    def test_psh_survives_merge(self):
+        merged = seg(seq=0, length=1448).merge(seg(seq=1448, length=1448, psh=True))
+        assert merged.psh
+
+    def test_split_then_merge_roundtrip(self):
+        original = seg(length=3000, ack=7, psh=True)
+        head, rest = original.split_at(1448)
+        rebuilt = head.merge(rest)
+        assert rebuilt.payload_len == original.payload_len
+        assert rebuilt.seq == original.seq
+        assert rebuilt.psh == original.psh
+
+
+class TestProperties:
+    def test_pure_ack(self):
+        assert seg(length=0).is_pure_ack
+        assert not seg(length=1).is_pure_ack
+
+    def test_options_bytes(self):
+        class Opt:
+            WIRE_BYTES = 36
+
+        assert seg(options={"e2e": Opt()}).options_bytes() == 36
+        assert seg().options_bytes() == 0

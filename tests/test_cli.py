@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.c == [1.0, 3.0, 5.0]
+
+    def test_run_options(self):
+        args = build_parser().parse_args([
+            "run", "--rate", "5000", "--nagle", "--nagle-mode", "minshall",
+            "--value-bytes", "1024",
+        ])
+        assert args.rate == 5000
+        assert args.nagle
+        assert args.nagle_mode == "minshall"
+
+    def test_ablation_choices(self):
+        args = build_parser().parse_args(["ablation", "units"])
+        assert args.which == "units"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nonsense"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_fig1_prints_table(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "improves" in out
+
+    def test_run_prints_metrics(self, capsys):
+        code = main([
+            "run", "--rate", "8000", "--measure-ms", "30",
+            "--warmup-ms", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out
+        assert "latency mean/p50/p99" in out
+        assert "hint estimate" in out
+
+    def test_run_with_nagle_and_mix(self, capsys):
+        code = main([
+            "run", "--rate", "8000", "--nagle", "--set-ratio", "0.9",
+            "--measure-ms", "30", "--warmup-ms", "10",
+        ])
+        assert code == 0
+        assert "byte-queue estimate" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_constants(self):
+        assert units.USEC == 1_000
+        assert units.MSEC == 1_000_000
+        assert units.SEC == 1_000_000_000
+
+    def test_conversions_roundtrip(self):
+        assert units.usecs(1.5) == 1500
+        assert units.msecs(2) == 2_000_000
+        assert units.secs(0.001) == 1_000_000
+        assert units.to_usecs(1500) == 1.5
+        assert units.to_msecs(2_000_000) == 2.0
+        assert units.to_secs(500_000_000) == 0.5
+
+
+class TestRates:
+    def test_interarrival(self):
+        assert units.interarrival_ns(1000.0) == pytest.approx(1_000_000)
+        with pytest.raises(ValueError):
+            units.interarrival_ns(0)
+
+    def test_serialization_delay(self):
+        # 1000 bytes at 8 Gbps = 1000 ns.
+        assert units.serialization_delay_ns(1000, 8e9) == 1000
+        with pytest.raises(ValueError):
+            units.serialization_delay_ns(1, 0)
+
+    def test_rate_per_sec(self):
+        assert units.rate_per_sec(500, units.SEC) == 500
+        with pytest.raises(ValueError):
+            units.rate_per_sec(1, 0)
