@@ -31,6 +31,14 @@ def _add_measure(parser: argparse.ArgumentParser, default_ms: int) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for independent runs (default 1 = serial, "
+             "0 = one per CPU); results are identical to serial",
+    )
+
+
 def _cmd_fig1(args) -> int:
     from repro.experiments import run_fig1
 
@@ -42,7 +50,8 @@ def _cmd_fig2(args) -> int:
     from repro.experiments import run_fig2
 
     result = run_fig2(seeds=tuple(args.seeds),
-                      measure_ns=msecs(args.measure_ms))
+                      measure_ns=msecs(args.measure_ms),
+                      workers=args.workers)
     print(result.render())
     return 0
 
@@ -53,7 +62,8 @@ def _cmd_fig4a(args) -> int:
     rates = args.rates or ([10_000.0, 35_000.0, 55_000.0, 75_000.0]
                            if args.quick else DEFAULT_RATES)
     result = run_fig4a(
-        rates=rates, base=default_config(measure_ns=msecs(args.measure_ms))
+        rates=rates, base=default_config(measure_ns=msecs(args.measure_ms)),
+        workers=args.workers,
     )
     print(result.render())
     return 0
@@ -66,7 +76,7 @@ def _cmd_fig4b(args) -> int:
                            if args.quick else DEFAULT_RATES)
     base = mixed_config()
     base = replace(base, measure_ns=msecs(args.measure_ms))
-    result = run_fig4b(rates=rates, base=base)
+    result = run_fig4b(rates=rates, base=base, workers=args.workers)
     print(result.render())
     return 0
 
@@ -120,7 +130,8 @@ def _cmd_ablation(args) -> int:
     if args.which == "units":
         print(ablations.run_units_ablation(measure_ns=measure).render())
     elif args.which == "toggler":
-        print(ablations.run_toggler_ablation(measure_ns=measure).render())
+        print(ablations.run_toggler_ablation(
+            measure_ns=measure, workers=args.workers).render())
     elif args.which == "exchange":
         print(ablations.run_exchange_ablation(measure_ns=measure).render())
     elif args.which == "ewma":
@@ -128,7 +139,8 @@ def _cmd_ablation(args) -> int:
     elif args.which == "aimd":
         print(ablations.run_aimd_ablation(measure_ns=measure).render())
     elif args.which == "variants":
-        print(ablations.run_variant_ablation(measure_ns=measure).render())
+        print(ablations.run_variant_ablation(
+            measure_ns=measure, workers=args.workers).render())
     elif args.which == "timevarying":
         from repro.experiments.timevarying import run_timevarying
 
@@ -155,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig2 = sub.add_parser("fig2", help="Figure 2: VM client flip at 20 kRPS")
     p_fig2.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     _add_measure(p_fig2, 150)
+    _add_workers(p_fig2)
     p_fig2.set_defaults(func=_cmd_fig2)
 
     for name, helptext, fn in (
@@ -166,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--quick", action="store_true",
                        help="coarse grid for a fast look")
         _add_measure(p, 100)
+        _add_workers(p)
         p.set_defaults(func=fn)
 
     p_run = sub.add_parser("run", help="one benchmark run")
@@ -193,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "timevarying"],
     )
     _add_measure(p_ablation, 150)
+    _add_workers(p_ablation)
     p_ablation.set_defaults(func=_cmd_ablation)
 
     return parser

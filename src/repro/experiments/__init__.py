@@ -7,7 +7,12 @@ index (E1-E5, A1-A6).
 """
 
 from repro.experiments.decomposition import DecompositionResult, run_decomposition
-from repro.experiments.fanin import FaninConfig, FaninResult, run_fanin
+from repro.experiments.fanin import (
+    FaninConfig,
+    FaninResult,
+    run_fanin,
+    run_fanin_many,
+)
 from repro.experiments.fig1 import Fig1Result, run_fig1
 from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig4a import Fig4aResult, run_fig4a
@@ -28,6 +33,7 @@ __all__ = [
     "TimeVaryingResult",
     "run_decomposition",
     "run_fanin",
+    "run_fanin_many",
     "run_fig1",
     "run_fig2",
     "run_fig4a",

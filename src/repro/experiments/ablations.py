@@ -37,6 +37,7 @@ from repro.core.toggler import NagleToggler, TogglerConfig
 from repro.experiments.fig4a import default_config
 from repro.loadgen.lancet import run_benchmark
 from repro.loadgen.arrivals import Workload
+from repro.parallel import run_campaign
 from repro.units import KIB, msecs, to_usecs, usecs
 
 
@@ -284,22 +285,35 @@ def run_toggler_ablation(
     rates: tuple[float, ...] = (10_000.0, 30_000.0, 50_000.0, 65_000.0),
     measure_ns: int = msecs(300),
     toggler_config: TogglerConfig | None = None,
+    workers: int = 1,
 ) -> TogglerAblationResult:
     """A2: dynamic toggling vs static settings across loads.
 
     The default tick is 16 ms: mode attribution needs the transition
     backlog to drain, and on this substrate the drain timescale near
     the knee is ~20 ms (A4 sweeps the granularity explicitly).
+
+    ``workers > 1`` parallelizes the static off/on reference runs; the
+    dynamic runs stay serial because the toggler attaches through an
+    in-process tweak whose controller state is inspected afterwards.
     """
     if toggler_config is None:
         toggler_config = TogglerConfig(
             tick_ns=msecs(16), settle_ticks=1, min_samples=2
         )
+    bases = [
+        replace(default_config(measure_ns=measure_ns), rate_per_sec=rate)
+        for rate in rates
+    ]
+    statics = run_campaign(
+        [replace(base, nagle=False) for base in bases]
+        + [replace(base, nagle=True) for base in bases],
+        workers=workers,
+    )
     rows = []
-    for rate in rates:
-        base = replace(default_config(measure_ns=measure_ns), rate_per_sec=rate)
-        off = run_benchmark(replace(base, nagle=False))
-        on = run_benchmark(replace(base, nagle=True))
+    for index, (rate, base) in enumerate(zip(rates, bases)):
+        off = statics[index]
+        on = statics[len(bases) + index]
         holder: dict = {}
 
         def tweak(bed, holder=holder, toggler_config=toggler_config):
@@ -561,6 +575,7 @@ VARIANTS = {
 def run_variant_ablation(
     rates: tuple[float, ...] = (8_000.0, 50_000.0),
     measure_ns: int = msecs(120),
+    workers: int = 1,
 ) -> VariantAblationResult:
     """A7: compare the stack's static batching heuristics head-to-head.
 
@@ -569,23 +584,30 @@ def run_variant_ablation(
     produce the request coalescing that rescues the overloaded receive
     path — the §2 point that *every* static policy embeds assumptions
     that hold only sometimes.
+
+    The variants x rates grid is one campaign; ``workers > 1`` fans it
+    over a process pool with results identical to serial.
     """
-    rows = []
-    for variant, overrides in VARIANTS.items():
-        for rate in rates:
-            config = replace(
+    cells = [
+        (variant, overrides, rate)
+        for variant, overrides in VARIANTS.items()
+        for rate in rates
+    ]
+    results = run_campaign(
+        [
+            replace(
                 default_config(measure_ns=measure_ns),
                 rate_per_sec=rate,
                 **overrides,
             )
-            result = run_benchmark(config)
-            rows.append(
-                VariantRow(
-                    variant=variant, rate=rate,
-                    latency_ns=result.latency.mean_ns,
-                )
-            )
-    return VariantAblationResult(rows=rows)
+            for _, overrides, rate in cells
+        ],
+        workers=workers,
+    )
+    return VariantAblationResult(rows=[
+        VariantRow(variant=variant, rate=rate, latency_ns=result.latency.mean_ns)
+        for (variant, _, rate), result in zip(cells, results)
+    ])
 
 
 # ---------------------------------------------------------------------------

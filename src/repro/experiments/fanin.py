@@ -201,6 +201,23 @@ def run_fanin(
     )
 
 
+def run_fanin_many(
+    configs: list[FaninConfig],
+    with_toggler: bool = False,
+    workers: int = 1,
+) -> list[FaninResult]:
+    """Run several fan-in scenarios, optionally over a worker pool.
+
+    Each scenario is an independent deterministic simulation, so the
+    results are identical to running :func:`run_fanin` serially over
+    ``configs`` (and come back in the same order).
+    """
+    from repro.parallel import ParallelRunner
+
+    runner = ParallelRunner(workers)
+    return runner.map(run_fanin, [(config, with_toggler) for config in configs])
+
+
 def _attach_spanning_toggler(bed: FaninBed) -> NagleToggler:
     """One controller governing every connection (§3.2 averaging)."""
     estimators = [

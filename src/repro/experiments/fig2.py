@@ -21,8 +21,9 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.apps.redis_client import ClientConfig
 from repro.host.host import HostCosts
-from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+from repro.loadgen.lancet import BenchConfig, RunResult
 from repro.loadgen.stats import summarize
+from repro.parallel import run_campaign
 from repro.units import msecs, to_usecs
 
 FIXED_RATE = 20_000.0
@@ -128,23 +129,31 @@ class Fig2Result:
 
 
 def run_fig2(seeds: tuple[int, ...] = DEFAULT_SEEDS,
-             measure_ns: int = msecs(150)) -> Fig2Result:
-    """Run all four cells, averaging each over the given seeds."""
+             measure_ns: int = msecs(150),
+             workers: int = 1) -> Fig2Result:
+    """Run all four cells, averaging each over the given seeds.
+
+    The 4 x len(seeds) grid is one campaign, so ``workers > 1`` keeps a
+    process pool busy across every cell; results equal the serial run.
+    """
+    grid = [(vm, nagle) for vm in (False, True) for nagle in (False, True)]
+    configs = [
+        fig2_config(vm, nagle, seed, measure_ns)
+        for vm, nagle in grid
+        for seed in seeds
+    ]
+    results = run_campaign(configs, workers=workers)
     cells = {}
-    for vm in (False, True):
-        for nagle in (False, True):
-            runs = [
-                run_benchmark(fig2_config(vm, nagle, seed, measure_ns))
-                for seed in seeds
-            ]
-            cells[(vm, nagle)] = Fig2Cell(
-                vm=vm,
-                nagle=nagle,
-                mean_latency_ns=summarize(
-                    [r.latency.mean_ns for r in runs]
-                ).mean_ns,
-                client_cpu=sum(r.client_cpu for r in runs) / len(runs),
-                server_cpu=sum(r.server_cpu for r in runs) / len(runs),
-                runs=runs,
-            )
+    for i, (vm, nagle) in enumerate(grid):
+        runs = results[i * len(seeds):(i + 1) * len(seeds)]
+        cells[(vm, nagle)] = Fig2Cell(
+            vm=vm,
+            nagle=nagle,
+            mean_latency_ns=summarize(
+                [r.latency.mean_ns for r in runs]
+            ).mean_ns,
+            client_cpu=sum(r.client_cpu for r in runs) / len(runs),
+            server_cpu=sum(r.server_cpu for r in runs) / len(runs),
+            runs=runs,
+        )
     return Fig2Result(cells=cells)

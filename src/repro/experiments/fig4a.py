@@ -14,7 +14,7 @@ curves and identify the same cutoff.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.analysis.cutoff import (
     crossover_rate,
@@ -24,7 +24,12 @@ from repro.analysis.cutoff import (
 from repro.analysis.report import format_table
 from repro.loadgen.arrivals import Workload
 from repro.loadgen.lancet import BenchConfig
-from repro.loadgen.sweep import SweepPoint, estimated_curve, measured_curve, sweep_rates
+from repro.loadgen.sweep import (
+    SweepPoint,
+    estimated_curve,
+    measured_curve,
+    sweep_nagle_pair,
+)
 from repro.units import KIB, msecs, to_usecs, usecs
 
 DEFAULT_RATES = [
@@ -98,12 +103,16 @@ class Fig4aResult:
 def run_fig4a(
     rates: list[float] | None = None,
     base: BenchConfig | None = None,
+    workers: int = 1,
 ) -> Fig4aResult:
-    """Run the full Figure 4a sweep (both configurations)."""
+    """Run the full Figure 4a sweep (both configurations).
+
+    ``workers > 1`` fans the 2 x len(rates) grid over a process pool;
+    the result is identical to the serial sweep.
+    """
     rates = rates or DEFAULT_RATES
     base = base or default_config()
-    off_points = sweep_rates(replace(base, nagle=False), rates)
-    on_points = sweep_rates(replace(base, nagle=True), rates)
+    off_points, on_points = sweep_nagle_pair(base, rates, workers=workers)
 
     off_curve = measured_curve(off_points)
     on_curve = measured_curve(on_points)

@@ -19,7 +19,12 @@ from repro.analysis.report import format_table
 from repro.experiments.fig4a import default_config
 from repro.loadgen.arrivals import Workload
 from repro.loadgen.lancet import BenchConfig
-from repro.loadgen.sweep import SweepPoint, estimated_curve, measured_curve, sweep_rates
+from repro.loadgen.sweep import (
+    SweepPoint,
+    estimated_curve,
+    measured_curve,
+    sweep_nagle_pair,
+)
 from repro.units import KIB, to_usecs
 
 DEFAULT_RATES = [
@@ -98,12 +103,16 @@ def _mean_abs_error(points: list[SweepPoint], use_hint: bool) -> float:
 def run_fig4b(
     rates: list[float] | None = None,
     base: BenchConfig | None = None,
+    workers: int = 1,
 ) -> Fig4bResult:
-    """Run the full Figure 4b sweep (both configurations)."""
+    """Run the full Figure 4b sweep (both configurations).
+
+    ``workers > 1`` fans the 2 x len(rates) grid over a process pool;
+    the result is identical to the serial sweep.
+    """
     rates = rates or DEFAULT_RATES
     base = base or mixed_config()
-    off_points = sweep_rates(replace(base, nagle=False), rates)
-    on_points = sweep_rates(replace(base, nagle=True), rates)
+    off_points, on_points = sweep_nagle_pair(base, rates, workers=workers)
 
     result = Fig4bResult(off_points=off_points, on_points=on_points)
     off_curve = measured_curve(off_points)

@@ -10,13 +10,13 @@ IX/ZygOS state theirs on the 99th percentile.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.analysis.cutoff import CurvePoint, range_extension
 from repro.analysis.report import format_table
 from repro.experiments.fig4a import SLO_NS, default_config
 from repro.loadgen.lancet import BenchConfig
-from repro.loadgen.sweep import SweepPoint, sweep_rates
+from repro.loadgen.sweep import SweepPoint, sweep_nagle_pair
 from repro.units import msecs, to_usecs
 
 DEFAULT_RATES = [5_000.0, 20_000.0, 30_000.0, 35_000.0, 45_000.0,
@@ -89,13 +89,18 @@ def _oracle_curve(
 
 
 def run_tail(
-    rates: list[float] | None = None, base: BenchConfig | None = None
+    rates: list[float] | None = None,
+    base: BenchConfig | None = None,
+    workers: int = 1,
 ) -> TailResult:
-    """Sweep both configurations; compare mean- and p99-based headlines."""
+    """Sweep both configurations; compare mean- and p99-based headlines.
+
+    ``workers > 1`` fans the 2 x len(rates) grid over a process pool;
+    the result is identical to the serial sweep.
+    """
     rates = rates or DEFAULT_RATES
     base = base or default_config(measure_ns=msecs(150))
-    off_points = sweep_rates(replace(base, nagle=False), rates)
-    on_points = sweep_rates(replace(base, nagle=True), rates)
+    off_points, on_points = sweep_nagle_pair(base, rates, workers=workers)
     result = TailResult(off_points=off_points, on_points=on_points)
 
     from repro.analysis.cutoff import max_sustainable_rate

@@ -14,7 +14,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.errors import WorkloadError
-from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+from repro.loadgen.lancet import BenchConfig, RunResult
+from repro.parallel import run_campaign
 
 # Two-sided 95% Student-t critical values by degrees of freedom.
 _T95 = {
@@ -25,14 +26,12 @@ _T95 = {
 
 
 def _t95(dof: int) -> float:
+    """Critical value at the largest tabulated dof not exceeding ``dof``."""
     if dof <= 0:
         raise WorkloadError("confidence interval needs at least two samples")
-    best = max(k for k in _T95 if k <= dof) if dof >= 1 else 1
-    if dof in _T95:
-        return _T95[dof]
     if dof > max(_T95):
         return 1.96
-    return _T95[best]
+    return _T95[max(k for k in _T95 if k <= dof)]
 
 
 @dataclass(frozen=True)
@@ -76,12 +75,21 @@ def replicate(
     config: BenchConfig,
     seeds: Sequence[int],
     metric: Callable[[RunResult], float] = lambda r: r.latency.mean_ns,
+    tweak: Callable | None = None,
+    workers: int = 1,
 ) -> Replicated:
-    """Run ``config`` under each seed; summarize ``metric``."""
-    samples = [
-        metric(run_benchmark(replace(config, seed=seed))) for seed in seeds
-    ]
-    return Replicated.from_samples(samples)
+    """Run ``config`` under each seed; summarize ``metric``.
+
+    ``tweak`` is forwarded to every run (as in
+    :func:`~repro.loadgen.sweep.sweep_rates`); ``workers > 1`` fans the
+    seeds over a process pool with results identical to serial.
+    """
+    runs = run_campaign(
+        [replace(config, seed=seed) for seed in seeds],
+        tweak=tweak,
+        workers=workers,
+    )
+    return Replicated.from_samples([metric(run) for run in runs])
 
 
 @dataclass(frozen=True)
@@ -96,12 +104,29 @@ def replicated_sweep(
     base: BenchConfig,
     rates: Sequence[float],
     seeds: Sequence[int],
+    metric: Callable[[RunResult], float] = lambda r: r.latency.mean_ns,
+    tweak: Callable | None = None,
+    workers: int = 1,
 ) -> list[ReplicatedPoint]:
-    """A latency-vs-load curve with per-point confidence intervals."""
+    """A latency-vs-load curve with per-point confidence intervals.
+
+    The full rates x seeds cross product is one campaign, so a single
+    worker pool covers every run; results are grouped back per rate and
+    are identical to the serial double loop.
+    """
+    configs = [
+        replace(base, rate_per_sec=rate, seed=seed)
+        for rate in rates
+        for seed in seeds
+    ]
+    runs = run_campaign(configs, tweak=tweak, workers=workers)
+    width = len(seeds)
     return [
         ReplicatedPoint(
             rate_per_sec=rate,
-            latency=replicate(replace(base, rate_per_sec=rate), seeds),
+            latency=Replicated.from_samples(
+                [metric(run) for run in runs[i * width:(i + 1) * width]]
+            ),
         )
-        for rate in rates
+        for i, rate in enumerate(rates)
     ]

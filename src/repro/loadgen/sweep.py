@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.analysis.cutoff import CurvePoint
-from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+from repro.loadgen.lancet import BenchConfig, RunResult
+from repro.parallel import run_campaign
 
 
 @dataclass(frozen=True)
@@ -28,19 +30,51 @@ class SweepPoint:
 
 
 def sweep_rates(
-    base: BenchConfig, rates: list[float], tweak=None
+    base: BenchConfig,
+    rates: Sequence[float],
+    tweak: Callable | None = None,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """Run ``base`` at each offered rate; identical seeds across rates.
 
     Because every random stream is derived from the config's seed, a
     sweep over rates with Nagle on sees exactly the same request
     sequences as the matching sweep with Nagle off.
+
+    ``workers > 1`` fans the runs over a process pool (see
+    :mod:`repro.parallel`); the returned points are byte-identical to a
+    serial sweep and in the same rate order.
     """
-    points = []
-    for rate in rates:
-        config = replace(base, rate_per_sec=rate)
-        points.append(SweepPoint(rate, run_benchmark(config, tweak=tweak)))
-    return points
+    configs = [replace(base, rate_per_sec=rate) for rate in rates]
+    results = run_campaign(configs, tweak=tweak, workers=workers)
+    return [
+        SweepPoint(rate, result) for rate, result in zip(rates, results)
+    ]
+
+
+def sweep_nagle_pair(
+    base: BenchConfig,
+    rates: Sequence[float],
+    workers: int = 1,
+) -> tuple[list[SweepPoint], list[SweepPoint]]:
+    """Nagle-off and Nagle-on sweeps over ``rates`` as one campaign.
+
+    Both configurations' runs share a single worker pool, so a parallel
+    figure reproduction keeps every worker busy across the whole
+    2 x len(rates) grid instead of draining per sweep.  Returns
+    ``(off_points, on_points)``.
+    """
+    rates = list(rates)
+    configs = [
+        replace(base, nagle=nagle, rate_per_sec=rate)
+        for nagle in (False, True)
+        for rate in rates
+    ]
+    results = run_campaign(configs, workers=workers)
+    n = len(rates)
+    off = [SweepPoint(rate, res) for rate, res in zip(rates, results[:n])]
+    on = [SweepPoint(rate, res) for rate, res in zip(rates, results[n:])]
+    return off, on
 
 
 def measured_curve(points: list[SweepPoint]) -> list[CurvePoint]:

@@ -1,0 +1,148 @@
+"""Campaign-level parallelism: fan independent runs over worker processes.
+
+Every figure in the reproduction is a sweep of independent deterministic
+simulations — rates x seeds x configurations — yet each simulation is
+single-threaded.  :class:`ParallelRunner` fans a campaign of
+:class:`~repro.loadgen.lancet.BenchConfig` runs (or any picklable
+function over picklable items) across a ``multiprocessing`` pool and
+merges the results back **in submission order**, so a parallel campaign
+is byte-identical to the serial one: each run's output depends only on
+its config (all randomness flows through the config's seed), and the
+merge order is deterministic regardless of which worker finishes first.
+
+Spawn-safety: the worker entry points are module-level functions and
+everything shipped to workers (configs, tweaks, results) must pickle, so
+the runner works under the ``fork``, ``spawn``, and ``forkserver`` start
+methods alike.  ``tweak`` hooks that smuggle state back through closures
+(the ``holder`` pattern the ablations use) cannot cross a process
+boundary — an unpicklable tweak therefore falls back to serial in-process
+execution with a warning, and even a picklable tweak's side effects stay
+in the worker.  Campaigns that need to *inspect* testbed state should run
+with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import warnings
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import WorkloadError
+from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker count: ``None``/``0`` means one per CPU."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise WorkloadError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _run_config(job: tuple[int, BenchConfig, Callable | None]):
+    """Worker entry point for benchmark campaigns (must be top-level)."""
+    index, config, tweak = job
+    return index, run_benchmark(config, tweak=tweak)
+
+
+def _apply(job: tuple[int, Callable, tuple]):
+    """Worker entry point for generic campaigns (must be top-level)."""
+    index, fn, args = job
+    return index, fn(*args)
+
+
+class ParallelRunner:
+    """Run independent jobs over a worker pool, results in input order.
+
+    ``workers=1`` (the default) executes serially in-process — no pool,
+    no pickling, tweak closures fully functional.  ``workers=0`` uses
+    one worker per CPU.  ``start_method`` selects the multiprocessing
+    start method (``None`` uses the platform default; everything shipped
+    is spawn-safe, so ``"spawn"`` works where ``fork`` is unavailable).
+    """
+
+    def __init__(self, workers: int = 1, start_method: str | None = None):
+        self.workers = resolve_workers(workers)
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    # Benchmark campaigns.
+    # ------------------------------------------------------------------
+
+    def run_many(
+        self,
+        configs: Sequence[BenchConfig],
+        tweak: Callable | None = None,
+    ) -> list[RunResult]:
+        """Run every config; results align index-for-index with ``configs``.
+
+        Output is identical to ``[run_benchmark(c, tweak=tweak) for c in
+        configs]`` — runs are deterministic given their config, and the
+        merge preserves input order.
+        """
+        if tweak is not None and self.workers > 1 and not _picklable(tweak):
+            warnings.warn(
+                "tweak is not picklable; running the campaign serially "
+                "(use a module-level tweak function, or workers=1)",
+                stacklevel=2,
+            )
+            return [run_benchmark(c, tweak=tweak) for c in configs]
+        jobs = [(i, config, tweak) for i, config in enumerate(configs)]
+        return self._collect(_run_config, jobs, len(configs))
+
+    # ------------------------------------------------------------------
+    # Generic campaigns (e.g. fan-in scenarios, custom drivers).
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[..., _R], items: Sequence) -> list[_R]:
+        """Apply a module-level function to each item, in input order.
+
+        Each item is passed as positional arguments if it is a tuple,
+        else as a single argument.
+        """
+        jobs = [
+            (i, fn, item if isinstance(item, tuple) else (item,))
+            for i, item in enumerate(items)
+        ]
+        return self._collect(_apply, jobs, len(items))
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _collect(self, worker: Callable, jobs: list, n: int) -> list:
+        workers = min(self.workers, n)
+        if workers <= 1:
+            return [worker(job)[1] for job in jobs]
+        ctx = multiprocessing.get_context(self.start_method)
+        results: list = [None] * n
+        with ctx.Pool(processes=workers) as pool:
+            for index, result in pool.imap_unordered(worker, jobs):
+                results[index] = result
+        return results
+
+
+def run_campaign(
+    configs: Sequence[BenchConfig],
+    tweak: Callable | None = None,
+    workers: int = 1,
+    start_method: str | None = None,
+) -> list[RunResult]:
+    """One-shot convenience: ``ParallelRunner(workers).run_many(configs)``."""
+    return ParallelRunner(workers, start_method=start_method).run_many(
+        configs, tweak=tweak
+    )

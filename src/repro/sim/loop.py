@@ -4,38 +4,56 @@
 never moves backwards; callbacks scheduled for the same instant run in the
 order they were scheduled (FIFO within a timestamp), which keeps runs
 deterministic regardless of heap internals.
+
+Hot-path layout: heap entries are plain ``(time, seq, callback, handle)``
+tuples, so every sift compares ``(time, seq)`` at C speed instead of
+calling a Python ``__lt__`` (``seq`` is unique, so the callback and handle
+are never compared).  Cancellation flips a flag on the lightweight
+:class:`ScheduleHandle`; cancelled entries are skipped lazily on pop, and
+the heap is compacted in place once dead entries outnumber live ones, so
+cancel-heavy workloads (TCP retransmit/delack timers are armed and
+disarmed per segment) cannot bloat the heap.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
+from itertools import count
 from typing import Callable
 
 from repro.errors import SimulationError
 
+# Compact once at least this many cancelled entries linger in the heap
+# *and* they outnumber the live ones.  The floor keeps tiny heaps from
+# compacting constantly; the ratio bounds wasted heap memory and pop
+# work at 2x regardless of workload.
+_COMPACT_MIN_DEAD = 64
 
-class _Scheduled:
-    """A heap entry: (time, sequence number, callback).
 
-    The sequence number breaks ties so same-time callbacks preserve
-    scheduling order, and entries can be cancelled in O(1) by flipping
-    :attr:`cancelled` rather than rebuilding the heap.
+class ScheduleHandle:
+    """Cancellation handle for one scheduled callback.
+
+    ``_done`` doubles as "consumed": the loop flips it just before the
+    callback runs, so ``cancel()`` after execution is a no-op and a
+    double ``cancel()`` cannot double-decrement the live-entry count.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("_sim", "_done")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._done = False
 
-    def __lt__(self, other: "_Scheduled") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    @property
+    def cancelled(self) -> bool:
+        """Whether this entry will no longer fire (cancelled or already ran)."""
+        return self._done
 
     def cancel(self) -> None:
-        """Mark this entry so the loop skips it when popped."""
-        self.cancelled = True
+        """Prevent the callback from running (no-op if it already did)."""
+        if not self._done:
+            self._done = True
+            self._sim._note_cancel()
 
 
 class Simulator:
@@ -54,8 +72,10 @@ class Simulator:
 
     def __init__(self, start_time: int = 0):
         self._now = start_time
-        self._heap: list[_Scheduled] = []
-        self._seq = 0
+        # Entries: (time, seq, callback, handle).
+        self._heap: list[tuple[int, int, Callable[[], None], ScheduleHandle]] = []
+        self._seq = count()  # FIFO tie-breaker within a timestamp
+        self._dead = 0  # cancelled entries still sitting in the heap
         self._running = False
         self._stopped = False
 
@@ -72,7 +92,7 @@ class Simulator:
     # Scheduling.
     # ------------------------------------------------------------------
 
-    def call_at(self, time: int, callback: Callable[[], None]) -> _Scheduled:
+    def call_at(self, time: int, callback: Callable[[], None]) -> ScheduleHandle:
         """Schedule ``callback`` to run at absolute simulated ``time``.
 
         Returns a handle whose ``cancel()`` prevents the callback from
@@ -82,16 +102,31 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
-        entry = _Scheduled(time, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
-        return entry
+        handle = ScheduleHandle.__new__(ScheduleHandle)
+        handle._sim = self
+        handle._done = False
+        heappush(self._heap, (time, next(self._seq), callback, handle))
+        return handle
 
-    def call_after(self, delay: int, callback: Callable[[], None]) -> _Scheduled:
+    def call_after(self, delay: int, callback: Callable[[], None]) -> ScheduleHandle:
         """Schedule ``callback`` to run ``delay`` nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback)
+        handle = ScheduleHandle.__new__(ScheduleHandle)
+        handle._sim = self
+        handle._done = False
+        heappush(self._heap, (self._now + delay, next(self._seq), callback, handle))
+        return handle
+
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact the heap when mostly dead."""
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 >= len(self._heap):
+            # In-place so loops holding a reference to the list see the
+            # compacted heap (run() aliases it locally).
+            self._heap[:] = [e for e in self._heap if not e[3]._done]
+            heapify(self._heap)
+            self._dead = 0
 
     # ------------------------------------------------------------------
     # Execution.
@@ -102,12 +137,15 @@ class Simulator:
 
         Returns False when the heap is exhausted (nothing ran).
         """
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+        heap = self._heap
+        while heap:
+            time, _, callback, handle = heappop(heap)
+            if handle._done:
+                self._dead -= 1
                 continue
-            self._now = entry.time
-            entry.callback()
+            handle._done = True
+            self._now = time
+            callback()
             return True
         return False
 
@@ -119,19 +157,33 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heappop
         try:
-            while self._heap and not self._stopped:
-                entry = self._heap[0]
-                if entry.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and entry.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = entry.time
-                entry.callback()
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+            if until is None:
+                while heap and not self._stopped:
+                    time, _, callback, handle = pop(heap)
+                    if handle._done:
+                        self._dead -= 1
+                        continue
+                    handle._done = True
+                    self._now = time
+                    callback()
+            else:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    if entry[3]._done:
+                        pop(heap)
+                        self._dead -= 1
+                        continue
+                    if entry[0] > until:
+                        break
+                    pop(heap)
+                    entry[3]._done = True
+                    self._now = entry[0]
+                    entry[2]()
+                if not self._stopped and self._now < until:
+                    self._now = until
         finally:
             self._running = False
 
@@ -142,7 +194,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) scheduled entries."""
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        return len(self._heap) - self._dead
 
     # ------------------------------------------------------------------
     # Process convenience.

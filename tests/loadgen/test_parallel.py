@@ -1,0 +1,90 @@
+"""Tests for the campaign parallel runner."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.parallel import ParallelRunner, resolve_workers, run_campaign
+from repro.units import msecs
+
+
+def _double(x):
+    return 2 * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _configs(rates):
+    return [
+        BenchConfig(rate_per_sec=rate, warmup_ns=msecs(2), measure_ns=msecs(5))
+        for rate in rates
+    ]
+
+
+class TestResolveWorkers:
+    def test_zero_means_one_per_cpu(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_none_means_one_per_cpu(self):
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_positive_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            resolve_workers(-1)
+
+
+class TestRunMany:
+    def test_matches_serial_in_order(self):
+        configs = _configs([8_000.0, 15_000.0, 25_000.0])
+        serial = [run_benchmark(config) for config in configs]
+        pooled = ParallelRunner(workers=2).run_many(configs)
+        assert pooled == serial
+
+    def test_more_workers_than_jobs(self):
+        configs = _configs([8_000.0, 15_000.0])
+        serial = [run_benchmark(config) for config in configs]
+        assert ParallelRunner(workers=8).run_many(configs) == serial
+
+    def test_unpicklable_tweak_falls_back_to_serial(self):
+        configs = _configs([8_000.0, 15_000.0])
+        seen = []
+        with pytest.warns(UserWarning, match="not picklable"):
+            results = ParallelRunner(workers=2).run_many(
+                configs, tweak=lambda bed: seen.append(bed)
+            )
+        # The fallback runs in-process, so the closure still fires.
+        assert len(seen) == 2
+        assert len(results) == 2
+
+    def test_serial_runner_keeps_tweak_side_effects(self):
+        configs = _configs([8_000.0])
+        seen = []
+        ParallelRunner(workers=1).run_many(
+            configs, tweak=lambda bed: seen.append(bed)
+        )
+        assert len(seen) == 1
+
+    def test_run_campaign_convenience(self):
+        configs = _configs([8_000.0, 15_000.0])
+        assert run_campaign(configs, workers=2) == run_campaign(configs)
+
+
+class TestMap:
+    def test_single_argument_items(self):
+        assert ParallelRunner(workers=2).map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_tuple_items_unpack_as_positional_args(self):
+        items = [(1, 10), (2, 20), (3, 30)]
+        assert ParallelRunner(workers=2).map(_add, items) == [11, 22, 33]
+
+    def test_serial_map(self):
+        assert ParallelRunner(workers=1).map(_double, [4, 5]) == [8, 10]

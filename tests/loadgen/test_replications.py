@@ -8,10 +8,27 @@ from repro.errors import WorkloadError
 from repro.loadgen.lancet import BenchConfig
 from repro.loadgen.replications import (
     Replicated,
+    _t95,
     replicate,
     replicated_sweep,
 )
 from repro.units import msecs
+
+
+class TestT95:
+    def test_exact_dof(self):
+        assert _t95(1) == 12.706
+
+    def test_floors_to_largest_tabulated(self):
+        # dof=12 is not in the table; the lookup floors to dof=10.
+        assert _t95(12) == 2.228
+
+    def test_beyond_table_uses_normal(self):
+        assert _t95(61) == 1.96
+
+    def test_nonpositive_dof_rejected(self):
+        with pytest.raises(WorkloadError):
+            _t95(0)
 
 
 class TestReplicated:
@@ -67,3 +84,29 @@ class TestReplicate:
         )
         assert [p.rate_per_sec for p in points] == [8_000.0, 20_000.0]
         assert points[1].latency.mean > points[0].latency.mean
+
+    def test_tweak_threads_through(self):
+        seen = []
+        replicate(self._config(), seeds=(1, 2),
+                  tweak=lambda bed: seen.append(bed))
+        assert len(seen) == 2
+
+    def test_sweep_tweak_threads_through(self):
+        seen = []
+        replicated_sweep(
+            self._config(), rates=[8_000.0, 20_000.0], seeds=(1, 2),
+            tweak=lambda bed: seen.append(bed),
+        )
+        assert len(seen) == 4  # 2 rates x 2 seeds
+
+
+class TestParallelDeterminism:
+    def test_workers_identical_to_serial(self):
+        base = BenchConfig(rate_per_sec=10_000.0, warmup_ns=msecs(2),
+                           measure_ns=msecs(10))
+        rates = [8_000.0, 20_000.0]
+        seeds = (1, 2)
+        serial = replicated_sweep(base, rates, seeds, workers=1)
+        parallel = replicated_sweep(base, rates, seeds, workers=4)
+        # Exact equality, not approx: same configs -> same bits.
+        assert parallel == serial
