@@ -1,0 +1,44 @@
+"""Robustness artifact: the chaos sweep at CI scale.
+
+Runs the fault experiment small-scale and writes the machine-readable
+robustness metrics to ``benchmarks/results/robustness.json``, the
+chaos-engineering counterpart of perf.json: estimator error and
+toggler-decision stability per fault intensity, accumulated across PRs
+by CI (the workflow uploads it next to perf.json).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments.faults import run_faults
+from repro.units import msecs
+
+ROBUSTNESS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "robustness.json"
+)
+
+
+def test_faults_robustness_artifact():
+    result = run_faults(
+        plan_name="mixed",
+        intensities=(0.0, 0.5, 1.0),
+        rate=10_000.0,
+        measure_ns=msecs(100),
+        seed=1,
+    )
+    for point in result.points:
+        # The headline robustness guarantees, enforced at artifact time:
+        # no negative latency estimates, and no mode changes inside the
+        # toggler's freeze window.
+        assert point.negative_estimates == 0
+        if point.min_toggle_gap_ticks is not None:
+            assert point.min_toggle_gap_ticks >= result.freeze_ticks
+    baseline, worst = result.points[0], result.points[-1]
+    assert baseline.fault_summary is None
+    assert worst.fault_summary is not None
+    result.write_json(ROBUSTNESS_PATH)
+    payload = json.loads(ROBUSTNESS_PATH.read_text())
+    assert payload["schema"] == "repro-robustness-v1"
+    assert len(payload["points"]) == 3

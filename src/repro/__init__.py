@@ -46,6 +46,7 @@ from repro.core import (
     ThroughputUnderSloPolicy,
     TogglerConfig,
     get_avgs,
+    try_get_avgs,
 )
 from repro.sim import Simulator
 
@@ -68,5 +69,6 @@ __all__ = [
     "ThroughputUnderSloPolicy",
     "TogglerConfig",
     "get_avgs",
+    "try_get_avgs",
     "__version__",
 ]

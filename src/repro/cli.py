@@ -81,6 +81,18 @@ def _cmd_fig4b(args) -> int:
     return 0
 
 
+def _fault_plan_from(args):
+    if not getattr(args, "fault_plan", None):
+        return None
+    from repro.faults import named_plan
+
+    plan = named_plan(args.fault_plan)
+    intensity = getattr(args, "fault_intensity", 1.0)
+    if intensity != 1.0:
+        plan = plan.scaled(intensity)
+    return None if plan.is_noop else plan
+
+
 def _cmd_run(args) -> int:
     config = BenchConfig(
         rate_per_sec=args.rate,
@@ -96,9 +108,12 @@ def _cmd_run(args) -> int:
         warmup_ns=msecs(args.warmup_ms),
         measure_ns=msecs(args.measure_ms),
         client_cpu_factor=args.client_cpu_factor,
+        min_rto_ns=msecs(args.min_rto_ms),
+        fault_plan=_fault_plan_from(args),
     )
     holder: dict = {}
-    tweak = (lambda bed: holder.update(bed=bed)) if args.dump_counters else None
+    want_bed = args.dump_counters or config.fault_plan is not None
+    tweak = (lambda bed: holder.update(bed=bed)) if want_bed else None
     result = run_benchmark(config, tweak=tweak)
     print(f"offered: {result.offered_rate:,.0f} RPS   "
           f"achieved: {result.achieved_rate:,.0f} RPS")
@@ -115,11 +130,37 @@ def _cmd_run(args) -> int:
     print(f"CPU: client app/net {result.client_app_util:.0%}/"
           f"{result.client_net_util:.0%}   server app/net "
           f"{result.server_app_util:.0%}/{result.server_net_util:.0%}")
+    if config.fault_plan is not None and holder["bed"].faults is not None:
+        import json as _json
+
+        print(f"injected faults ({config.fault_plan.name}): "
+              f"{_json.dumps(holder['bed'].faults.summary())}")
     if args.dump_counters:
         from repro.analysis.dump import dump_testbed, render_stats
 
         print()
         print(render_stats(dump_testbed(holder["bed"])))
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.experiments.faults import DEFAULT_INTENSITIES, run_faults
+
+    intensities = (
+        tuple(args.intensities) if args.intensities
+        else ((0.0, 1.0) if args.quick else DEFAULT_INTENSITIES)
+    )
+    result = run_faults(
+        plan_name=args.plan,
+        intensities=intensities,
+        rate=args.rate,
+        measure_ns=msecs(args.measure_ms),
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.json:
+        result.write_json(args.json)
+        print(f"robustness metrics written to {args.json}")
     return 0
 
 
@@ -197,8 +238,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--connections", type=int, default=1)
     p_run.add_argument("--dump-counters", action="store_true",
                        help="print the full counter dump (ethtool analogue)")
+    p_run.add_argument("--fault-plan", default=None,
+                       help="inject a named fault plan (see `repro faults`)")
+    p_run.add_argument("--fault-intensity", type=float, default=1.0,
+                       help="intensity multiplier for --fault-plan "
+                            "(default 1.0; 0 disables)")
+    p_run.add_argument("--min-rto-ms", type=int, default=200,
+                       help="TCP retransmission-timeout floor (default "
+                            "200, Linux-like; lossy fault plans want ~5 "
+                            "or one burst stalls past the whole window)")
     _add_measure(p_run, 120)
     p_run.set_defaults(func=_cmd_run)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="chaos sweep: estimator/toggler robustness vs fault intensity",
+    )
+    from repro.faults import FAULT_PLANS
+
+    p_faults.add_argument("--plan", choices=sorted(FAULT_PLANS),
+                          default="mixed")
+    p_faults.add_argument("--intensities", type=float, nargs="+", default=None,
+                          help="intensity multipliers (0 = fault-free)")
+    p_faults.add_argument("--rate", type=float, default=15_000.0)
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument("--json", default=None,
+                          help="write robustness metrics JSON to this path")
+    p_faults.add_argument("--quick", action="store_true",
+                          help="two intensities only, for CI smoke")
+    _add_measure(p_faults, 300)
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_ablation = sub.add_parser("ablation", help="run one ablation by name")
     p_ablation.add_argument(

@@ -26,7 +26,7 @@ from repro.core.estimator import E2EEstimator, EstimateSample, QueueDelays
 from repro.core.ewma import Ewma
 from repro.core.exchange import MetadataExchange, WirePeerState, WireQueueState
 from repro.core.hints import HintSession
-from repro.core.littles_law import QueueAverages, get_avgs
+from repro.core.littles_law import QueueAverages, get_avgs, try_get_avgs
 from repro.core.policy import (
     BatchingPolicy,
     LatencyFirstPolicy,
@@ -68,4 +68,5 @@ __all__ = [
     "WirePeerState",
     "WireQueueState",
     "get_avgs",
+    "try_get_avgs",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.littles_law import get_avgs
+from repro.core.littles_law import try_get_avgs
 from repro.core.qstate import QueueSnapshot
 from repro.errors import EstimationError
 from repro.units import SEC
@@ -73,9 +73,10 @@ class _Tripple:
 
 
 def _delay(prev: QueueSnapshot, now: QueueSnapshot) -> float | None:
-    if now.time <= prev.time:
-        return None
-    return get_avgs(prev, now).latency_ns
+    # try_get_avgs: a stale or corrupted snapshot pair degrades to "no
+    # estimate for this queue" instead of raising mid-sample.
+    avgs = try_get_avgs(prev, now)
+    return None if avgs is None else avgs.latency_ns
 
 
 class E2EEstimator:
@@ -87,16 +88,50 @@ class E2EEstimator:
     ``remote`` (oracle mode: the peer's same-shaped object) or
     ``exchange`` (wire mode: this endpoint's metadata exchange) must be
     given.
+
+    Graceful degradation (wire mode is a network consumer, so it must
+    tolerate a misbehaving network):
+
+    - ``max_staleness_ns`` — when set, a remote view whose freshest
+      accepted exchange is older than this is discarded for the sample
+      (counted in :attr:`stale_rejections`) rather than trusted.
+    - non-monotonic remote intervals (a rebaselined or corrupt pair)
+      yield no remote view and count in :attr:`nonmonotonic_rejections`.
+    - the combined latency is clamped at zero (a corrupt remote ackdelay
+      can otherwise push it negative; :attr:`negative_clamps`) and, when
+      ``max_latency_ns`` is set, at that ceiling
+      (:attr:`absurd_clamps`).
     """
 
-    def __init__(self, local, remote=None, exchange=None):
+    def __init__(
+        self,
+        local,
+        remote=None,
+        exchange=None,
+        max_staleness_ns: int | None = None,
+        max_latency_ns: float | None = None,
+    ):
         if (remote is None) == (exchange is None):
             raise EstimationError("provide exactly one of remote= or exchange=")
+        if max_staleness_ns is not None and max_staleness_ns <= 0:
+            raise EstimationError(
+                f"max staleness must be positive: {max_staleness_ns}"
+            )
+        if max_latency_ns is not None and max_latency_ns <= 0:
+            raise EstimationError(
+                f"max latency must be positive: {max_latency_ns}"
+            )
         self._local = local
         self._remote = remote
         self._exchange = exchange
+        self._max_staleness_ns = max_staleness_ns
+        self._max_latency_ns = max_latency_ns
         self._prev_local: _Tripple | None = None
         self._prev_remote: _Tripple | None = None
+        self.stale_rejections = 0
+        self.nonmonotonic_rejections = 0
+        self.negative_clamps = 0
+        self.absurd_clamps = 0
 
     def sample(self) -> EstimateSample | None:
         """Estimate over the interval since the previous call.
@@ -135,6 +170,18 @@ class E2EEstimator:
         )
 
         latency, complete = self._combine(d_local, d_remote)
+        if latency is not None:
+            if latency < 0:
+                # A corrupt or unlucky remote ackdelay exceeded the whole
+                # round trip; a negative latency is never meaningful.
+                self.negative_clamps += 1
+                latency = 0.0
+            elif (
+                self._max_latency_ns is not None
+                and latency > self._max_latency_ns
+            ):
+                self.absurd_clamps += 1
+                latency = self._max_latency_ns
         return EstimateSample(
             latency_ns=latency,
             throughput_per_sec=throughput,
@@ -159,10 +206,35 @@ class E2EEstimator:
         cur = self._exchange.remote_cur
         if prev is None or cur is None or cur.unacked.time <= prev.unacked.time:
             return None
+        if not self._monotone(prev, cur):
+            self.nonmonotonic_rejections += 1
+            return None
+        if self._max_staleness_ns is not None:
+            age = self._exchange.staleness_ns()
+            if age is None or age > self._max_staleness_ns:
+                # The freshest accepted exchange predates the staleness
+                # budget: the remote view describes a network that no
+                # longer exists (blackout, exchange drops), so fall back
+                # to a local-only (undefined) sample.
+                self.stale_rejections += 1
+                return None
         return (
             _Tripple(prev.unacked, prev.unread, prev.ackdelay),
             _Tripple(cur.unacked, cur.unread, cur.ackdelay),
         )
+
+    @staticmethod
+    def _monotone(prev, cur) -> bool:
+        for queue in ("unacked", "unread", "ackdelay"):
+            earlier = getattr(prev, queue)
+            later = getattr(cur, queue)
+            if (
+                later.time < earlier.time
+                or later.total < earlier.total
+                or later.integral < earlier.integral
+            ):
+                return False
+        return True
 
     @staticmethod
     def _combine(

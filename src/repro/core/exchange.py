@@ -147,11 +147,14 @@ class _CounterUnwrapper:
         self._last32: int | None = None
         self.value = 0
 
-    def update(self, observed32: int) -> int:
+    def preview(self, observed32: int) -> int:
+        """The unwrapped value ``observed32`` would commit to."""
         if self._last32 is None:
-            self.value = observed32
-        else:
-            self.value += (observed32 - self._last32) % _WIRE_MOD
+            return observed32
+        return self.value + (observed32 - self._last32) % _WIRE_MOD
+
+    def update(self, observed32: int) -> int:
+        self.value = self.preview(observed32)
         self._last32 = observed32
         return self.value
 
@@ -165,15 +168,27 @@ class _QueueUnwrapper:
         self._total = _CounterUnwrapper()
         self._integral = _CounterUnwrapper()
 
-    def update(self, wire: WireQueueState) -> QueueSnapshot:
+    def _snapshot(self, time_c: int, total_c: int, integral_c: int) -> QueueSnapshot:
         return QueueSnapshot(
-            time=self._time.update(wire.time32) * self._scale.time_unit_ns,
-            total=self._total.update(wire.total32),
-            integral=(
-                self._integral.update(wire.integral32)
-                << self._scale.integral_shift
-            )
+            time=time_c * self._scale.time_unit_ns,
+            total=total_c,
+            integral=(integral_c << self._scale.integral_shift)
             * self._scale.time_unit_ns,
+        )
+
+    def preview(self, wire: WireQueueState) -> QueueSnapshot:
+        """What :meth:`update` would yield, without committing state."""
+        return self._snapshot(
+            self._time.preview(wire.time32),
+            self._total.preview(wire.total32),
+            self._integral.preview(wire.integral32),
+        )
+
+    def update(self, wire: WireQueueState) -> QueueSnapshot:
+        return self._snapshot(
+            self._time.update(wire.time32),
+            self._total.update(wire.total32),
+            self._integral.update(wire.integral32),
         )
 
 
@@ -194,7 +209,21 @@ class MetadataExchange:
     When a :class:`~repro.core.hints.HintSession` is supplied, its
     userspace queue state rides along as the hint option (§3.3's
     ancillary-data path).
+
+    Robustness: incoming states are sanity-checked before they replace
+    the prev/cur pair.  A state whose unwrapped counters jump implausibly
+    (a corrupted or replayed exchange — with modular unwrapping, any
+    regression surfaces as a huge forward jump) is rejected and counted
+    in :attr:`states_rejected` without touching the unwrap state, so one
+    bad exchange costs exactly one sample.  ``max_gap_ns`` bounds the
+    believable time progress between consecutive states (None disables
+    the gap check — the default, since a clean testbed never needs it).
+    After :attr:`REBASELINE_AFTER` consecutive rejections the incoming
+    state is adopted as a fresh baseline: at that point the persistent
+    implausibility means *our* retained baseline is the corrupt side.
     """
+
+    REBASELINE_AFTER = 3
 
     def __init__(
         self,
@@ -203,14 +232,18 @@ class MetadataExchange:
         period_ns: int = msecs(10),
         scale: WireScale | None = None,
         hint_session=None,
+        max_gap_ns: int | None = None,
     ):
         if period_ns <= 0:
             raise EstimationError(f"exchange period must be positive: {period_ns}")
+        if max_gap_ns is not None and max_gap_ns <= 0:
+            raise EstimationError(f"max gap must be positive: {max_gap_ns}")
         self._sim = sim
         self._socket = socket
         self.period_ns = period_ns
         self.scale = scale or WireScale()
         self.hint_session = hint_session
+        self.max_gap_ns = max_gap_ns
         socket.exchange = self
         self._next_due = sim.now
         self._demand = False
@@ -224,8 +257,13 @@ class MetadataExchange:
         self.remote_cur: PeerSnapshots | None = None
         self.remote_hint_prev: QueueSnapshot | None = None
         self.remote_hint_cur: QueueSnapshot | None = None
+        self.fault_hook = None  # attached by repro.faults
+        self.last_received_ns: int | None = None
         self.states_sent = 0
         self.states_received = 0
+        self.states_rejected = 0
+        self.rebaselines = 0
+        self._consecutive_rejections = 0
         self.option_bytes_sent = 0
         self.carrier_acks_sent = 0
         self._carrier_timer = None
@@ -308,15 +346,14 @@ class MetadataExchange:
 
     def on_receive(self, options: dict) -> None:
         """Called for incoming segments carrying options."""
+        if self.fault_hook is not None:
+            options = self.fault_hook(options)
+            if not options:
+                return
         state = options.get(OPTION_E2E)
         if state is not None:
             self.states_received += 1
-            snapshots = PeerSnapshots(
-                unacked=self._unwrap_unacked.update(state.unacked),
-                unread=self._unwrap_unread.update(state.unread),
-                ackdelay=self._unwrap_ackdelay.update(state.ackdelay),
-            )
-            self.remote_prev, self.remote_cur = self.remote_cur, snapshots
+            self._receive_state(state)
         hint = options.get(OPTION_HINT)
         if hint is not None:
             snapshot = self._unwrap_hint.update(hint)
@@ -324,3 +361,61 @@ class MetadataExchange:
                 self.remote_hint_cur,
                 snapshot,
             )
+
+    def _receive_state(self, state: WirePeerState) -> None:
+        candidate = PeerSnapshots(
+            unacked=self._unwrap_unacked.preview(state.unacked),
+            unread=self._unwrap_unread.preview(state.unread),
+            ackdelay=self._unwrap_ackdelay.preview(state.ackdelay),
+        )
+        rebaseline = False
+        if self._implausible(candidate):
+            self.states_rejected += 1
+            self._consecutive_rejections += 1
+            if self._consecutive_rejections < self.REBASELINE_AFTER:
+                return  # one bad exchange costs exactly one sample
+            rebaseline = True
+            self.rebaselines += 1
+        self._consecutive_rejections = 0
+        snapshots = PeerSnapshots(
+            unacked=self._unwrap_unacked.update(state.unacked),
+            unread=self._unwrap_unread.update(state.unread),
+            ackdelay=self._unwrap_ackdelay.update(state.ackdelay),
+        )
+        # A rebaseline must not leave an interval spanning the bad jump.
+        self.remote_prev = None if rebaseline else self.remote_cur
+        self.remote_cur = snapshots
+        self.last_received_ns = self._sim.now
+
+    #: Counter movement (wire units) believable within one wire time
+    #: tick.  Wire time has microsecond resolution, so two states in the
+    #: same microsecond legitimately move a little; a corrupted counter
+    #: (a random 32-bit flip) jumps by ~2³¹ and sails past this.
+    ZERO_DT_JUMP = 1 << 24
+
+    def _implausible(self, candidate: PeerSnapshots) -> bool:
+        """Whether a candidate state cannot follow the current one."""
+        cur = self.remote_cur
+        if cur is None:
+            return False
+        max_integral_jump = (
+            self.ZERO_DT_JUMP << self.scale.integral_shift
+        ) * self.scale.time_unit_ns
+        for queue in ("unacked", "unread", "ackdelay"):
+            new = getattr(candidate, queue)
+            old = getattr(cur, queue)
+            dt = new.time - old.time  # >= 0 by modular unwrapping
+            if dt == 0 and (
+                new.total - old.total > self.ZERO_DT_JUMP
+                or new.integral - old.integral > max_integral_jump
+            ):
+                return True  # huge movement with zero time progress
+            if self.max_gap_ns is not None and dt > self.max_gap_ns:
+                return True
+        return False
+
+    def staleness_ns(self) -> int | None:
+        """Age of the freshest accepted peer state; None before any."""
+        if self.last_received_ns is None:
+            return None
+        return self._sim.now - self.last_received_ns

@@ -41,22 +41,7 @@ class QueueAverages:
         return self.latency_ns is not None
 
 
-def get_avgs(prev: QueueSnapshot, now: QueueSnapshot) -> QueueAverages:
-    """Algorithm 2: averages for the interval between two snapshots.
-
-    ``prev`` must be the earlier snapshot of the same queue state; a
-    non-positive interval or negative counter deltas indicate misuse.
-    """
-    delta = now - prev
-    if delta.time <= 0:
-        raise EstimationError(
-            f"snapshot interval must be positive, got {delta.time} ns"
-        )
-    if delta.total < 0 or delta.integral < 0:
-        raise EstimationError(
-            f"counter deltas went backwards (total {delta.total}, "
-            f"integral {delta.integral}); snapshots from different queues?"
-        )
+def _averages(delta: QueueSnapshot) -> QueueAverages:
     occupancy = delta.integral / delta.time
     throughput = delta.total * SEC / delta.time
     latency = delta.integral / delta.total if delta.total > 0 else None
@@ -66,3 +51,49 @@ def get_avgs(prev: QueueSnapshot, now: QueueSnapshot) -> QueueAverages:
         latency_ns=latency,
         interval_ns=delta.time,
     )
+
+
+def get_avgs(prev: QueueSnapshot, now: QueueSnapshot) -> QueueAverages:
+    """Algorithm 2: averages for the interval between two snapshots.
+
+    ``prev`` must be the earlier snapshot of the same queue state; a
+    zero or negative interval and backwards counters both indicate
+    misuse and raise :class:`EstimationError` here — never a
+    ``ZeroDivisionError`` or a negative latency from the division below.
+    Callers that face snapshots of *uncertain* provenance (a metadata
+    exchange under faults) should use :func:`try_get_avgs` instead.
+    """
+    delta = now - prev
+    if delta.time == 0:
+        raise EstimationError(
+            "snapshots are from the same instant (Δt = 0); Little's law "
+            "needs a positive interval"
+        )
+    if delta.time < 0:
+        raise EstimationError(
+            f"snapshots are not in order (Δt = {delta.time} ns); pass the "
+            "earlier snapshot first"
+        )
+    if delta.total < 0 or delta.integral < 0:
+        raise EstimationError(
+            f"counter deltas went backwards (total {delta.total}, "
+            f"integral {delta.integral}); snapshots from different queues?"
+        )
+    return _averages(delta)
+
+
+def try_get_avgs(
+    prev: QueueSnapshot, now: QueueSnapshot
+) -> QueueAverages | None:
+    """Graceful :func:`get_avgs`: None instead of raising.
+
+    Returns None for every interval :func:`get_avgs` would reject —
+    zero or negative time progress, or counters that went backwards.
+    This is the entry point for snapshots that crossed a network: a
+    stale, duplicated, or corrupted exchange yields "no estimate", not
+    an exception in the estimator's sampling path.
+    """
+    delta = now - prev
+    if delta.time <= 0 or delta.total < 0 or delta.integral < 0:
+        return None
+    return _averages(delta)

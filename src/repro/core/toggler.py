@@ -38,6 +38,14 @@ class TogglerConfig:
     queues built under the old mode must drain, or the new mode gets
     blamed for the old one's backlog (most visible when exploring the
     good mode while the bad one is collapsing).
+
+    Robustness knobs (both default to the legacy behavior):
+    ``freeze_ticks`` is the minimum dwell — at least that many ticks
+    between consecutive mode changes, bounding how fast the controller
+    can oscillate when its estimates turn noisy.  ``loss_freeze_ticks``
+    is how long a detected loss episode (see ``loss_signal_fn`` on the
+    toggler) holds the controller: mode frozen, EWMAs untouched, so
+    retransmission stalls are never attributed to the running mode.
     """
 
     tick_ns: int = msecs(1)
@@ -45,6 +53,8 @@ class TogglerConfig:
     alpha: float = 0.3
     min_samples: int = 3
     settle_ticks: int = 3
+    freeze_ticks: int = 0
+    loss_freeze_ticks: int = 4
 
     def validate(self) -> None:
         """Raise on out-of-range parameters."""
@@ -56,6 +66,12 @@ class TogglerConfig:
             raise EstimationError(f"min_samples must be >= 1: {self.min_samples}")
         if self.settle_ticks < 0:
             raise EstimationError(f"settle_ticks must be >= 0: {self.settle_ticks}")
+        if self.freeze_ticks < 0:
+            raise EstimationError(f"freeze_ticks must be >= 0: {self.freeze_ticks}")
+        if self.loss_freeze_ticks < 0:
+            raise EstimationError(
+                f"loss_freeze_ticks must be >= 0: {self.loss_freeze_ticks}"
+            )
 
 
 @dataclass
@@ -84,6 +100,15 @@ class NagleToggler:
     ``apply_fn`` receives the chosen mode (True = Nagle on) and flips it
     on every connection the policy governs; per §3.2, a policy spanning
     multiple connections averages their estimates inside ``sample_fn``.
+
+    ``loss_signal_fn``, when given, is polled every tick and returns
+    True while the network is visibly losing segments (e.g. a closure
+    diffing the sockets' retransmit counters).  A True reading opens a
+    loss episode: for ``config.loss_freeze_ticks`` ticks the controller
+    holds its mode and leaves both EWMAs at their last-known-good
+    values — samples taken during recovery measure the loss, not the
+    batching mode, and folding them in would make the controller flap
+    between two arms it is mis-scoring.
     """
 
     def __init__(
@@ -95,12 +120,14 @@ class NagleToggler:
         rng,
         config: TogglerConfig | None = None,
         initial_mode: bool = False,
+        loss_signal_fn: Callable[[], bool] | None = None,
     ):
         self._sim = sim
         self._sample_fn = sample_fn
         self._apply_fn = apply_fn
         self._policy = policy
         self._rng = rng
+        self._loss_signal_fn = loss_signal_fn
         self.config = config or TogglerConfig()
         self.config.validate()
         self.mode = initial_mode
@@ -115,6 +142,11 @@ class NagleToggler:
         self.toggles = 0
         self._timer = None
         self._settling = 0
+        self._loss_freeze = 0
+        self._ticks_since_toggle = self.config.freeze_ticks
+        self.loss_episodes = 0
+        self.frozen_ticks = 0
+        self.freeze_holds = 0
 
     def start(self) -> None:
         """Apply the initial mode and begin ticking."""
@@ -140,6 +172,18 @@ class NagleToggler:
         self._timer = self._sim.call_after(self.config.tick_ns, self._tick)
 
     def _observe_and_choose(self, sample: PerfSample | None) -> bool:
+        self._ticks_since_toggle += 1
+        if self._loss_signal_fn is not None and self._loss_signal_fn():
+            if self._loss_freeze == 0:
+                self.loss_episodes += 1
+            self._loss_freeze = self.config.loss_freeze_ticks
+        if self._loss_freeze > 0:
+            # Loss episode: the sample measures retransmission stalls,
+            # not the batching mode.  Hold the mode and keep the
+            # last-known-good EWMAs untouched until the episode clears.
+            self._loss_freeze -= 1
+            self.frozen_ticks += 1
+            return False
         if self._settling > 0:
             # The intervals right after a mode change straddle the
             # transition — queues built under the old mode drain under
@@ -154,9 +198,15 @@ class NagleToggler:
             stats.throughput.update(sample.throughput_per_sec)
         next_mode, explored = self._select()
         if next_mode != self.mode:
+            if self._ticks_since_toggle < self.config.freeze_ticks:
+                # Inside the freeze window: the last change is too
+                # recent for another to be evidence rather than noise.
+                self.freeze_holds += 1
+                return explored
             self.mode = next_mode
             self.toggles += 1
             self._settling = self.config.settle_ticks
+            self._ticks_since_toggle = 0
             self._apply_fn(next_mode)
         return explored
 

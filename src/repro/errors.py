@@ -43,3 +43,9 @@ class EstimationError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload or load-generator configuration."""
+
+
+class FaultError(ReproError):
+    """Invalid fault plan or fault-injector misuse (e.g. out-of-range
+    probabilities, a blackout longer than its flap period, or attaching
+    two fault hooks to one link)."""

@@ -13,6 +13,7 @@ from repro.experiments.fanin import (
     run_fanin,
     run_fanin_many,
 )
+from repro.experiments.faults import ChaosPoint, ChaosResult, run_faults
 from repro.experiments.fig1 import Fig1Result, run_fig1
 from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig4a import Fig4aResult, run_fig4a
@@ -21,6 +22,8 @@ from repro.experiments.tail import TailResult, run_tail
 from repro.experiments.timevarying import PhasePlan, TimeVaryingResult, run_timevarying
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosResult",
     "DecompositionResult",
     "FaninConfig",
     "FaninResult",
@@ -34,6 +37,7 @@ __all__ = [
     "run_decomposition",
     "run_fanin",
     "run_fanin_many",
+    "run_faults",
     "run_fig1",
     "run_fig2",
     "run_fig4a",

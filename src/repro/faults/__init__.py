@@ -1,0 +1,47 @@
+"""Deterministic fault injection and the vocabulary to describe it.
+
+``repro.faults`` makes the clean-testbed assumption explicit and
+optional: a :class:`FaultPlan` describes a network-misbehavior scenario
+(bursty loss, jitter/reordering, link flaps, receiver stalls, metadata
+corruption), and a :class:`FaultInjector` wires it into a simulation at
+the link, NIC, socket, and metadata-exchange layers.  With no plan
+attached every injection point is a single ``is None`` check — fault
+support is zero-cost when off, and runs without faults are byte-
+identical to builds without this package.
+"""
+
+from repro.faults.injector import (
+    DROP,
+    ExchangeFaultHook,
+    FaultInjector,
+    LinkFaultHook,
+    NicFaultHook,
+)
+from repro.faults.plan import (
+    FAULT_PLANS,
+    DelayJitter,
+    ExchangeFaults,
+    FaultPlan,
+    GilbertElliott,
+    LinkFlap,
+    NicFaults,
+    ReceiverStall,
+    named_plan,
+)
+
+__all__ = [
+    "DROP",
+    "DelayJitter",
+    "ExchangeFaultHook",
+    "ExchangeFaults",
+    "FAULT_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
+    "LinkFaultHook",
+    "LinkFlap",
+    "NicFaultHook",
+    "NicFaults",
+    "ReceiverStall",
+    "named_plan",
+]

@@ -1,0 +1,316 @@
+"""The fault injector: binds a :class:`~repro.faults.plan.FaultPlan` to
+one simulation and wires its hooks into the layers it targets.
+
+Injection points (all zero-cost when no hook is attached):
+
+- ``net/link.py`` — :meth:`FaultInjector.attach_link` installs a
+  per-packet hook consulted after serialization: Gilbert–Elliott loss,
+  blackout windows, and delay jitter (which reorders, because each
+  packet's extra delay is independent).
+- ``net/nic.py`` — :meth:`FaultInjector.attach_nic` installs an ingress
+  hook: ring-overrun drops and deferred interrupt processing.
+- ``tcp/socket.py`` — :meth:`FaultInjector.attach_receiver` schedules
+  read-stall windows on a socket via ``set_read_stall``.
+- ``core/exchange.py`` — :meth:`FaultInjector.attach_exchange` installs
+  an option filter that drops, corrupts, or replays peer states.
+
+Determinism: every hook draws from its own named stream of the
+simulation's :class:`~repro.sim.rng.RngRegistry`, so a (seed, plan)
+pair replays exactly and adding a fault stream never perturbs the
+draws existing consumers see.
+"""
+
+from __future__ import annotations
+
+from repro.core.exchange import OPTION_E2E, WirePeerState, WireQueueState
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan
+
+#: Verdict constant for per-packet hooks: drop the packet.  Any
+#: non-negative verdict is an extra delay in nanoseconds (0 = deliver
+#: untouched).
+DROP = -1
+
+
+class _GilbertElliottChain:
+    """The per-direction two-state loss chain."""
+
+    __slots__ = ("_spec", "_rng", "bad", "bursts")
+
+    def __init__(self, spec, rng):
+        self._spec = spec
+        self._rng = rng
+        self.bad = False
+        self.bursts = 0  # good->bad transitions taken
+
+    def lost(self) -> bool:
+        """Advance the chain one packet; True if that packet is lost."""
+        spec = self._spec
+        if self.bad:
+            if self._rng.bernoulli(spec.p_bad_good):
+                self.bad = False
+        elif self._rng.bernoulli(spec.p_good_bad):
+            self.bad = True
+            self.bursts += 1
+        return self._rng.bernoulli(
+            spec.loss_bad if self.bad else spec.loss_good
+        )
+
+
+class LinkFaultHook:
+    """Per-packet link verdicts: blackout, bursty loss, then jitter."""
+
+    def __init__(self, sim, plan: FaultPlan, rng):
+        self._sim = sim
+        self._rng = rng
+        self._flap = plan.flap
+        self._jitter = plan.jitter
+        self._chain = (
+            _GilbertElliottChain(plan.loss, rng) if plan.loss else None
+        )
+        self.loss_drops = 0
+        self.blackout_drops = 0
+        self.jittered = 0
+
+    def _in_blackout(self) -> bool:
+        flap = self._flap
+        now = self._sim.now
+        if now < flap.start_ns:
+            return False
+        return (now - flap.start_ns) % flap.period_ns < flap.down_ns
+
+    def __call__(self, packet) -> int:
+        if self._flap is not None and self._in_blackout():
+            self.blackout_drops += 1
+            return DROP
+        if self._chain is not None and self._chain.lost():
+            self.loss_drops += 1
+            return DROP
+        jitter = self._jitter
+        if (
+            jitter is not None
+            and jitter.jitter_ns > 0
+            and self._rng.bernoulli(jitter.probability)
+        ):
+            self.jittered += 1
+            return self._rng.uniform_ns(0, jitter.jitter_ns)
+        return 0
+
+    @property
+    def drops(self) -> int:
+        """Packets this hook dropped, all causes."""
+        return self.loss_drops + self.blackout_drops
+
+
+class NicFaultHook:
+    """Ingress NIC verdicts: ring-overrun drops and deferred IRQs."""
+
+    def __init__(self, plan: FaultPlan, rng):
+        self._spec = plan.nic
+        self._rng = rng
+        self.drops = 0
+        self.deferred = 0
+
+    def __call__(self, packet) -> int:
+        spec = self._spec
+        if spec.rx_drop_probability > 0 and self._rng.bernoulli(
+            spec.rx_drop_probability
+        ):
+            self.drops += 1
+            return DROP
+        if (
+            spec.rx_defer_ns > 0
+            and spec.rx_defer_probability > 0
+            and self._rng.bernoulli(spec.rx_defer_probability)
+        ):
+            self.deferred += 1
+            return self._rng.uniform_ns(0, spec.rx_defer_ns)
+        return 0
+
+
+def _corrupt_state(state: WirePeerState, rng) -> WirePeerState:
+    """Flip random bits in one randomly chosen wire counter."""
+    queues = {
+        "unacked": state.unacked,
+        "unread": state.unread,
+        "ackdelay": state.ackdelay,
+    }
+    victim = rng.choice(sorted(queues))
+    wire = queues[victim]
+    field = rng.choice(("time32", "total32", "integral32"))
+    mangled = WireQueueState(wire.time32, wire.total32, wire.integral32)
+    setattr(
+        mangled, field, getattr(wire, field) ^ rng.getrandbits(32)
+    )
+    queues[victim] = mangled
+    return WirePeerState(
+        unacked=queues["unacked"],
+        unread=queues["unread"],
+        ackdelay=queues["ackdelay"],
+    )
+
+
+class ExchangeFaultHook:
+    """Option filter for :meth:`MetadataExchange.on_receive`.
+
+    Returns the (possibly rewritten) options dict, or None to drop the
+    segment's options entirely.  The incoming dict is never mutated —
+    a fresh dict is built for any rewrite, since the same dict object
+    belongs to the segment.
+    """
+
+    def __init__(self, plan: FaultPlan, rng):
+        self._spec = plan.exchange
+        self._rng = rng
+        self._last_state: WirePeerState | None = None
+        self.dropped = 0
+        self.corrupted = 0
+        self.staled = 0
+
+    def __call__(self, options: dict) -> dict | None:
+        state = options.get(OPTION_E2E)
+        if state is None:
+            return options
+        spec = self._spec
+        if spec.drop_probability > 0 and self._rng.bernoulli(
+            spec.drop_probability
+        ):
+            self.dropped += 1
+            rewritten = {
+                key: value
+                for key, value in options.items()
+                if key != OPTION_E2E
+            }
+            return rewritten or None
+        if (
+            spec.stale_probability > 0
+            and self._last_state is not None
+            and self._rng.bernoulli(spec.stale_probability)
+        ):
+            self.staled += 1
+            rewritten = dict(options)
+            rewritten[OPTION_E2E] = self._last_state
+            return rewritten
+        if spec.corrupt_probability > 0 and self._rng.bernoulli(
+            spec.corrupt_probability
+        ):
+            self.corrupted += 1
+            rewritten = dict(options)
+            rewritten[OPTION_E2E] = _corrupt_state(state, self._rng)
+            return rewritten
+        self._last_state = state
+        return options
+
+
+class FaultInjector:
+    """Binds one plan to one simulation; attaches hooks layer by layer.
+
+    Construction validates the plan.  Attach methods are no-ops when the
+    plan has nothing for that layer, so callers can attach uniformly.
+    """
+
+    def __init__(self, sim, plan: FaultPlan, rng):
+        if plan.is_noop:
+            raise FaultError(
+                "refusing to build an injector for a no-op plan; "
+                "pass fault_plan=None instead"
+            )
+        plan.validate()
+        self.sim = sim
+        self.plan = plan
+        self._rng = rng
+        self.link_hooks: dict[str, LinkFaultHook] = {}
+        self.nic_hooks: dict[str, NicFaultHook] = {}
+        self.exchange_hooks: dict[str, ExchangeFaultHook] = {}
+        self.stall_windows = 0
+        self._stalled_sockets: list = []
+
+    # ------------------------------------------------------------------
+    # Layer attachment.
+    # ------------------------------------------------------------------
+
+    def _wire_faults_for(self, direction: str) -> bool:
+        return direction in self.plan.directions
+
+    def attach_link(self, link, direction: str) -> None:
+        """Install the wire-fault hook on one link direction."""
+        if not self._wire_faults_for(direction):
+            return
+        plan = self.plan
+        if plan.loss is None and plan.jitter is None and plan.flap is None:
+            return
+        hook = LinkFaultHook(
+            self.sim, plan, self._rng.stream(f"faults.link.{direction}")
+        )
+        link.set_fault_hook(hook)
+        self.link_hooks[direction] = hook
+
+    def attach_nic(self, nic, direction: str) -> None:
+        """Install the ingress-fault hook on the NIC receiving
+        ``direction`` traffic."""
+        if self.plan.nic is None or not self._wire_faults_for(direction):
+            return
+        hook = NicFaultHook(
+            self.plan, self._rng.stream(f"faults.nic.{direction}")
+        )
+        nic.set_rx_fault_hook(hook)
+        self.nic_hooks[direction] = hook
+
+    def attach_exchange(self, exchange, name: str) -> None:
+        """Install the metadata-fault filter on one endpoint's exchange."""
+        if self.plan.exchange is None:
+            return
+        hook = ExchangeFaultHook(
+            self.plan, self._rng.stream(f"faults.exchange.{name}")
+        )
+        exchange.fault_hook = hook
+        self.exchange_hooks[name] = hook
+
+    def attach_receiver(self, socket) -> None:
+        """Schedule periodic read-stall windows on a receiving socket."""
+        spec = self.plan.stall
+        if spec is None or spec.stall_ns == 0:
+            return
+        self._stalled_sockets.append(socket)
+
+        def stall_on() -> None:
+            self.stall_windows += 1
+            socket.set_read_stall(True)
+            self.sim.call_after(spec.stall_ns, stall_off)
+
+        def stall_off() -> None:
+            socket.set_read_stall(False)
+            self.sim.call_after(spec.period_ns - spec.stall_ns, stall_on)
+
+        self.sim.call_at(max(self.sim.now, spec.start_ns), stall_on)
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Machine-readable injected-fault counters."""
+        return {
+            "plan": self.plan.name,
+            "link": {
+                direction: {
+                    "loss_drops": hook.loss_drops,
+                    "blackout_drops": hook.blackout_drops,
+                    "jittered": hook.jittered,
+                }
+                for direction, hook in sorted(self.link_hooks.items())
+            },
+            "nic": {
+                direction: {"drops": hook.drops, "deferred": hook.deferred}
+                for direction, hook in sorted(self.nic_hooks.items())
+            },
+            "exchange": {
+                name: {
+                    "dropped": hook.dropped,
+                    "corrupted": hook.corrupted,
+                    "staled": hook.staled,
+                }
+                for name, hook in sorted(self.exchange_hooks.items())
+            },
+            "stall_windows": self.stall_windows,
+        }

@@ -1,0 +1,336 @@
+"""Fault plans: declarative, seed-deterministic network misbehavior.
+
+The paper's testbed is lossless, and the reproduction inherited that
+assumption everywhere above the link: the estimator trusted every
+metadata exchange and the toggler trusted every sample.  A
+:class:`FaultPlan` is the declarative half of the chaos story — it
+*describes* a misbehavior scenario; :class:`repro.faults.injector
+.FaultInjector` binds it to a simulator plus RNG registry and injects it
+at the link, NIC, socket and exchange layers.
+
+Every component is an immutable dataclass, so plans are hashable,
+picklable (they ride inside ``BenchConfig`` through the parallel
+runner), and cheap to scale: :meth:`FaultPlan.scaled` multiplies every
+intensity-like knob by a factor, which is how the chaos driver sweeps
+fault intensity with one preset.
+
+Components:
+
+- :class:`GilbertElliott` — the classic two-state bursty loss chain:
+  mostly-clean *good* state, lossy *bad* state, per-packet transitions.
+- :class:`DelayJitter` — random extra propagation delay; because each
+  packet is delayed independently, jitter also reorders.
+- :class:`LinkFlap` — periodic blackout windows in which the link drops
+  every packet (a flapping port or a rerouting transient).
+- :class:`ReceiverStall` — the receiving application stops reading for a
+  window, so the unread queue grows and the receive window slams shut.
+- :class:`NicFaults` — ingress-side drops (ring overrun) and deferred
+  interrupt processing (IRQ starvation).
+- :class:`ExchangeFaults` — the metadata exchange's own failure modes:
+  dropped, corrupted, or stale (replayed) peer states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import FaultError
+from repro.units import msecs, usecs
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{name} must be a probability in [0, 1]: {value}")
+
+
+def _scale_probability(value: float, factor: float) -> float:
+    return min(1.0, value * factor)
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state bursty loss (Gilbert–Elliott).
+
+    Each packet first advances the chain — with probability
+    ``p_good_bad`` a good link turns bad, with ``p_bad_good`` a bad link
+    recovers — then is dropped with the current state's loss
+    probability.  Mean burst length is ``1 / p_bad_good`` packets.
+    """
+
+    p_good_bad: float = 0.02
+    p_bad_good: float = 0.25
+    loss_good: float = 0.0005
+    loss_bad: float = 0.3
+
+    def validate(self) -> None:
+        """Raise on out-of-range probabilities."""
+        for name in ("p_good_bad", "p_bad_good", "loss_good", "loss_bad"):
+            _check_probability(name, getattr(self, name))
+
+    def scaled(self, factor: float) -> "GilbertElliott":
+        """Scale burst frequency and in-burst loss by ``factor``."""
+        return replace(
+            self,
+            p_good_bad=_scale_probability(self.p_good_bad, factor),
+            loss_good=_scale_probability(self.loss_good, factor),
+            loss_bad=_scale_probability(self.loss_bad, factor),
+        )
+
+
+@dataclass(frozen=True)
+class DelayJitter:
+    """Random extra one-way delay, uniform in [0, ``jitter_ns``].
+
+    ``probability`` is the fraction of packets jittered; a jittered
+    packet can arrive after packets serialized later, so this is also
+    the reordering fault.
+    """
+
+    jitter_ns: int = usecs(200)
+    probability: float = 0.3
+
+    def validate(self) -> None:
+        """Raise on negative jitter or bad probability."""
+        if self.jitter_ns < 0:
+            raise FaultError(f"jitter must be >= 0 ns: {self.jitter_ns}")
+        _check_probability("probability", self.probability)
+
+    def scaled(self, factor: float) -> "DelayJitter":
+        """Scale the jitter magnitude by ``factor``."""
+        return replace(self, jitter_ns=round(self.jitter_ns * factor))
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Periodic total blackout: every ``period_ns`` the link goes dark
+    for ``down_ns`` (drops everything), starting at ``start_ns``."""
+
+    period_ns: int = msecs(50)
+    down_ns: int = msecs(5)
+    start_ns: int = 0
+
+    def validate(self) -> None:
+        """Raise on an impossible flap schedule."""
+        if self.period_ns <= 0:
+            raise FaultError(f"flap period must be positive: {self.period_ns}")
+        if not 0 <= self.down_ns <= self.period_ns:
+            raise FaultError(
+                f"blackout {self.down_ns} ns must fit the period "
+                f"{self.period_ns} ns"
+            )
+        if self.start_ns < 0:
+            raise FaultError(f"flap start must be >= 0: {self.start_ns}")
+
+    def scaled(self, factor: float) -> "LinkFlap":
+        """Scale the blackout fraction of each period by ``factor``."""
+        return replace(
+            self, down_ns=min(self.period_ns, round(self.down_ns * factor))
+        )
+
+
+@dataclass(frozen=True)
+class ReceiverStall:
+    """The receiving application stops calling ``read()`` for
+    ``stall_ns`` out of every ``period_ns`` (GC pause, page fault storm,
+    noisy neighbor).  Unread bytes pile up and the advertised window
+    closes — the failure mode Dapper calls a receiver-limited flow."""
+
+    period_ns: int = msecs(40)
+    stall_ns: int = msecs(8)
+    start_ns: int = 0
+
+    def validate(self) -> None:
+        """Raise on an impossible stall schedule."""
+        if self.period_ns <= 0:
+            raise FaultError(f"stall period must be positive: {self.period_ns}")
+        if not 0 <= self.stall_ns <= self.period_ns:
+            raise FaultError(
+                f"stall {self.stall_ns} ns must fit the period "
+                f"{self.period_ns} ns"
+            )
+        if self.start_ns < 0:
+            raise FaultError(f"stall start must be >= 0: {self.start_ns}")
+
+    def scaled(self, factor: float) -> "ReceiverStall":
+        """Scale the stalled fraction of each period by ``factor``."""
+        return replace(
+            self, stall_ns=min(self.period_ns, round(self.stall_ns * factor))
+        )
+
+
+@dataclass(frozen=True)
+class NicFaults:
+    """Ingress NIC misbehavior: ``rx_drop_probability`` models ring
+    overrun (the packet made it over the wire and dies in the host),
+    ``rx_defer_ns`` defers ingress processing by up to that long
+    (interrupt starvation under host overload)."""
+
+    rx_drop_probability: float = 0.0
+    rx_defer_ns: int = 0
+    rx_defer_probability: float = 0.0
+
+    def validate(self) -> None:
+        """Raise on out-of-range knobs."""
+        _check_probability("rx_drop_probability", self.rx_drop_probability)
+        _check_probability("rx_defer_probability", self.rx_defer_probability)
+        if self.rx_defer_ns < 0:
+            raise FaultError(f"rx defer must be >= 0 ns: {self.rx_defer_ns}")
+
+    def scaled(self, factor: float) -> "NicFaults":
+        """Scale drop/defer intensity by ``factor``."""
+        return replace(
+            self,
+            rx_drop_probability=_scale_probability(
+                self.rx_drop_probability, factor
+            ),
+            rx_defer_ns=round(self.rx_defer_ns * factor),
+        )
+
+
+@dataclass(frozen=True)
+class ExchangeFaults:
+    """Metadata-exchange failure modes, applied per received state:
+    dropped outright, corrupted (random counter bit-flips), or replaced
+    with a stale replay of an earlier state."""
+
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    stale_probability: float = 0.0
+
+    def validate(self) -> None:
+        """Raise on out-of-range probabilities."""
+        for name in (
+            "drop_probability", "corrupt_probability", "stale_probability"
+        ):
+            _check_probability(name, getattr(self, name))
+
+    def scaled(self, factor: float) -> "ExchangeFaults":
+        """Scale every probability by ``factor``."""
+        return replace(
+            self,
+            drop_probability=_scale_probability(self.drop_probability, factor),
+            corrupt_probability=_scale_probability(
+                self.corrupt_probability, factor
+            ),
+            stale_probability=_scale_probability(
+                self.stale_probability, factor
+            ),
+        )
+
+
+_DIRECTIONS = ("forward", "backward")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One complete misbehavior scenario.
+
+    Every component is optional; ``directions`` restricts the wire-level
+    faults (loss, jitter, flap, NIC) to one direction of the
+    point-to-point pair ("forward" is client→server).  Receiver stalls
+    and exchange faults are attached per endpoint by the injector
+    regardless of direction.
+    """
+
+    name: str = "custom"
+    loss: GilbertElliott | None = None
+    jitter: DelayJitter | None = None
+    flap: LinkFlap | None = None
+    stall: ReceiverStall | None = None
+    nic: NicFaults | None = None
+    exchange: ExchangeFaults | None = None
+    directions: tuple[str, ...] = _DIRECTIONS
+
+    def validate(self) -> None:
+        """Validate every present component and the direction set."""
+        for direction in self.directions:
+            if direction not in _DIRECTIONS:
+                raise FaultError(
+                    f"unknown direction {direction!r}; pick from {_DIRECTIONS}"
+                )
+        for component in (
+            self.loss, self.jitter, self.flap, self.stall, self.nic,
+            self.exchange,
+        ):
+            if component is not None:
+                component.validate()
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the plan injects nothing (every component absent)."""
+        return all(
+            component is None
+            for component in (
+                self.loss, self.jitter, self.flap, self.stall, self.nic,
+                self.exchange,
+            )
+        )
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """Scale fault intensity; ``factor == 0`` yields a no-op plan.
+
+        Probabilities and durations scale linearly (capped at their
+        natural maxima); a zero factor drops every component so the
+        chaos driver's intensity-0 point is *exactly* the fault-free
+        configuration.
+        """
+        if factor < 0:
+            raise FaultError(f"intensity factor must be >= 0: {factor}")
+        if factor == 0:
+            return FaultPlan(name=self.name, directions=self.directions)
+        return replace(
+            self,
+            loss=self.loss.scaled(factor) if self.loss else None,
+            jitter=self.jitter.scaled(factor) if self.jitter else None,
+            flap=self.flap.scaled(factor) if self.flap else None,
+            stall=self.stall.scaled(factor) if self.stall else None,
+            nic=self.nic.scaled(factor) if self.nic else None,
+            exchange=self.exchange.scaled(factor) if self.exchange else None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Presets: the scenarios the chaos driver and CLI expose by name.
+# ---------------------------------------------------------------------------
+
+FAULT_PLANS: dict[str, FaultPlan] = {
+    "bursty-loss": FaultPlan(name="bursty-loss", loss=GilbertElliott()),
+    "jitter": FaultPlan(name="jitter", jitter=DelayJitter()),
+    "blackout": FaultPlan(name="blackout", flap=LinkFlap()),
+    "slow-receiver": FaultPlan(name="slow-receiver", stall=ReceiverStall()),
+    "nic-overrun": FaultPlan(
+        name="nic-overrun",
+        nic=NicFaults(
+            rx_drop_probability=0.01,
+            rx_defer_ns=usecs(50),
+            rx_defer_probability=0.05,
+        ),
+    ),
+    "exchange-chaos": FaultPlan(
+        name="exchange-chaos",
+        exchange=ExchangeFaults(
+            drop_probability=0.3,
+            corrupt_probability=0.1,
+            stale_probability=0.1,
+        ),
+    ),
+    "mixed": FaultPlan(
+        name="mixed",
+        loss=GilbertElliott(p_good_bad=0.01, loss_bad=0.2),
+        jitter=DelayJitter(jitter_ns=usecs(100), probability=0.2),
+        stall=ReceiverStall(stall_ns=msecs(4)),
+        exchange=ExchangeFaults(drop_probability=0.15,
+                                corrupt_probability=0.05),
+    ),
+}
+
+
+def named_plan(name: str) -> FaultPlan:
+    """Look up a preset plan; raise :class:`FaultError` on unknown names."""
+    plan = FAULT_PLANS.get(name)
+    if plan is None:
+        raise FaultError(
+            f"unknown fault plan {name!r}; choose from "
+            f"{sorted(FAULT_PLANS)}"
+        )
+    return plan

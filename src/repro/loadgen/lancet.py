@@ -25,6 +25,7 @@ from repro.apps.redis_server import RedisServer, ServerConfig
 from repro.core.exchange import MetadataExchange
 from repro.core.hints import HintSession
 from repro.errors import WorkloadError
+from repro.faults import FaultInjector, FaultPlan
 from repro.host.host import Host, HostCosts
 from repro.loadgen.arrivals import Workload, poisson_schedule, uniform_schedule
 from repro.loadgen.stats import LatencySummary, summarize, throughput_per_sec
@@ -34,7 +35,7 @@ from repro.sim.loop import Simulator
 from repro.sim.rng import RngRegistry
 from repro.tcp.connect import connect_pair
 from repro.tcp.socket import TcpConfig
-from repro.units import msecs, usecs
+from repro.units import SEC, msecs, usecs
 
 
 @dataclass(frozen=True)
@@ -63,9 +64,13 @@ class BenchConfig:
     exchange_period_ns: int = msecs(10)
     use_hints: bool = True
     recv_buffer_bytes: int = 4 * 1024 * 1024
+    min_rto_ns: int = msecs(200)
+    fault_plan: FaultPlan | None = None
 
     def validate(self) -> None:
         """Raise on nonsensical parameters."""
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
         if self.rate_per_sec <= 0:
             raise WorkloadError(f"rate must be positive: {self.rate_per_sec}")
         if self.arrival not in ("poisson", "uniform"):
@@ -106,6 +111,7 @@ class Testbed:
     server_host: Host
     server: RedisServer
     conns: list[Connection]
+    faults: FaultInjector | None = None
 
     @property
     def client_sock(self):
@@ -207,12 +213,19 @@ def build_testbed(config: BenchConfig) -> Testbed:
     server_host = Host(
         sim, "server", costs=config.server_costs, nic_config=config.nic_config
     )
+    # The fault layer is strictly opt-in: without a (non-no-op) plan no
+    # injector exists, no hook is installed anywhere, and no fault RNG
+    # stream is ever created — runs without faults stay byte-identical.
+    faults = None
+    if config.fault_plan is not None and not config.fault_plan.is_noop:
+        faults = FaultInjector(sim, config.fault_plan, rng)
     PointToPoint.connect(
         sim,
         client_host.nic,
         server_host.nic,
         bandwidth_bps=config.bandwidth_bps,
         propagation_delay_ns=config.propagation_delay_ns,
+        fault_injector=faults,
     )
     tcp_config = TcpConfig(
         nagle=config.nagle,
@@ -220,6 +233,14 @@ def build_testbed(config: BenchConfig) -> Testbed:
         autocork=config.autocork,
         recv_buffer_bytes=config.recv_buffer_bytes,
         tso_max_bytes=config.nic_config.tso_max_bytes,
+        min_rto_ns=config.min_rto_ns,
+    )
+    # Under faults the exchanges get their gap sanity check: a corrupt
+    # time32 unwraps to a jump of minutes, so a one-second ceiling never
+    # rejects a legitimate state (blackouts here last milliseconds) while
+    # catching every time-counter corruption.
+    exchange_gap = (
+        max(64 * config.exchange_period_ns, SEC) if faults is not None else None
     )
     conns: list[Connection] = []
     for index in range(config.connections):
@@ -232,11 +253,16 @@ def build_testbed(config: BenchConfig) -> Testbed:
         )
         client_exchange = MetadataExchange(
             sim, client_sock, period_ns=config.exchange_period_ns,
-            hint_session=hint_session,
+            hint_session=hint_session, max_gap_ns=exchange_gap,
         )
         server_exchange = MetadataExchange(
-            sim, server_sock, period_ns=config.exchange_period_ns
+            sim, server_sock, period_ns=config.exchange_period_ns,
+            max_gap_ns=exchange_gap,
         )
+        if faults is not None:
+            faults.attach_exchange(client_exchange, f"client.{index}")
+            faults.attach_exchange(server_exchange, f"server.{index}")
+            faults.attach_receiver(server_sock)
         client = RedisClient(
             sim, client_host, client_sock, config=config.client_config,
             hint_session=hint_session, name=f"lancet.{index}",
@@ -268,6 +294,7 @@ def build_testbed(config: BenchConfig) -> Testbed:
         server_host=server_host,
         server=server,
         conns=conns,
+        faults=faults,
     )
 
 

@@ -8,16 +8,35 @@ its serialization completes (store-and-forward).
 
 Loss is opt-in (``loss_probability``) and exists mainly to exercise the TCP
 retransmission machinery in tests; the paper's testbed is lossless.
+Richer misbehavior (bursty loss, jitter/reordering, blackouts) is
+injected through an optional per-packet fault hook — see
+:mod:`repro.faults` — consulted only when attached, so a clean link
+pays one ``is None`` check per packet.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Callable
 
 from repro.errors import NetworkError
 from repro.net.packet import Packet
+from repro.sim.rng import RngStream
 from repro.units import serialization_delay_ns
+
+
+def default_loss_rng(name: str, seed: int = 0) -> RngStream:
+    """A deterministic loss stream derived from (seed, link name).
+
+    Mirrors :class:`~repro.sim.rng.RngRegistry`'s derivation, so a lossy
+    link built without an explicit stream is still reproducible: the
+    same name and seed always yield the same drop sequence.  Topology
+    helpers pass the simulation registry's seed; a bare :class:`Link`
+    falls back to seed 0.
+    """
+    digest = hashlib.sha256(f"{seed}/link-loss/{name}".encode()).digest()
+    return RngStream(int.from_bytes(digest[:8], "big"))
 
 
 class Link:
@@ -39,21 +58,36 @@ class Link:
         if not 0.0 <= loss_probability < 1.0:
             raise NetworkError(f"loss probability out of range: {loss_probability}")
         if loss_probability > 0.0 and loss_rng is None:
-            raise NetworkError("loss requires an RNG stream for determinism")
+            # Deterministic by construction: lossy runs stay reproducible
+            # even when the caller forgets to supply a stream.
+            loss_rng = default_loss_rng(name)
         self._sim = sim
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.propagation_delay_ns = propagation_delay_ns
         self.loss_probability = loss_probability
         self._loss_rng = loss_rng
+        self._fault_hook: Callable[[Packet], int] | None = None
         self._receiver: Callable[[Packet], None] | None = None
         self._queue: deque[Packet] = deque()
         self._serializing = False
         # Statistics.
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.fault_drops = 0
         self.bytes_sent = 0
         self.busy_ns = 0
+
+    def set_fault_hook(self, hook: Callable[[Packet], int] | None) -> None:
+        """Attach a per-packet fault hook (see :mod:`repro.faults`).
+
+        The hook is consulted once per serialized packet and returns a
+        verdict: negative = drop, otherwise extra delivery delay in ns
+        (independent per packet, so positive verdicts reorder).
+        """
+        if hook is not None and self._fault_hook is not None:
+            raise NetworkError(f"link {self.name!r} already has a fault hook")
+        self._fault_hook = hook
 
     def attach_receiver(self, receiver: Callable[[Packet], None]) -> None:
         """Set the callback invoked on packet arrival at the far end."""
@@ -85,7 +119,13 @@ class Link:
         self._sim.call_after(delay, lambda: self._finish_serialization(packet))
 
     def _finish_serialization(self, packet: Packet) -> None:
-        if self._loss_rng is not None and self._loss_rng.bernoulli(
+        verdict = 0
+        if self._fault_hook is not None:
+            verdict = self._fault_hook(packet)
+        if verdict < 0:
+            self.packets_dropped += 1
+            self.fault_drops += 1
+        elif self._loss_rng is not None and self._loss_rng.bernoulli(
             self.loss_probability
         ):
             self.packets_dropped += 1
@@ -93,7 +133,7 @@ class Link:
             self.packets_sent += 1
             self.bytes_sent += packet.wire_bytes
             self._sim.call_after(
-                self.propagation_delay_ns,
+                self.propagation_delay_ns + verdict,
                 lambda: self._receiver(packet),
             )
         self._serialize_next()

@@ -80,6 +80,7 @@ class Nic:
         self._tx_ring: deque[Packet] = deque()
         self._tx_active = False
         self._rx_handler: Callable[[list[Packet]], None] | None = None
+        self._rx_fault_hook: Callable[[Packet], int] | None = None
         self._gro_flows: dict[tuple[int, str], _GroFlow] = {}
         self._irq_pending: list[Packet] = []
         self._irq_timer = None
@@ -88,6 +89,7 @@ class Nic:
         self.tx_descriptors = 0
         self.tx_wire_packets = 0
         self.rx_wire_packets = 0
+        self.rx_fault_drops = 0
         self.rx_deliveries = 0
         self.rx_interrupts = 0
 
@@ -106,6 +108,17 @@ class Nic:
         if self._rx_handler is not None:
             raise NetworkError(f"NIC {self.name!r} already has an RX handler")
         self._rx_handler = handler
+
+    def set_rx_fault_hook(self, hook: Callable[[Packet], int] | None) -> None:
+        """Attach an ingress fault hook (see :mod:`repro.faults`).
+
+        Consulted per wire packet before GRO: a negative verdict drops
+        the packet (ring overrun), a positive one defers its processing
+        by that many ns (interrupt starvation), zero passes it through.
+        """
+        if hook is not None and self._rx_fault_hook is not None:
+            raise NetworkError(f"NIC {self.name!r} already has an RX fault hook")
+        self._rx_fault_hook = hook
 
     # ------------------------------------------------------------------
     # Transmit.
@@ -191,6 +204,17 @@ class Nic:
         if self._rx_handler is None:
             raise NetworkError(f"NIC {self.name!r} has no RX handler")
         self.rx_wire_packets += 1
+        if self._rx_fault_hook is not None:
+            verdict = self._rx_fault_hook(packet)
+            if verdict < 0:
+                self.rx_fault_drops += 1
+                return
+            if verdict > 0:
+                self._sim.call_after(verdict, lambda: self._ingress(packet))
+                return
+        self._ingress(packet)
+
+    def _ingress(self, packet: Packet) -> None:
         if self.config.gro_flush_ns <= 0:
             self._deliver(packet)
             return

@@ -31,19 +31,32 @@ class PointToPoint:
         propagation_delay_ns: int = usecs(5),
         loss_probability: float = 0.0,
         loss_rng=None,
+        rng=None,
+        fault_injector=None,
     ) -> "PointToPoint":
         """Wire ``nic_a`` and ``nic_b`` together.
 
         Defaults model the paper's testbed: 100 Gbps NICs and a few
         microseconds of one-way wire-plus-switch delay.
+
+        A lossy wire wants distinct loss draws per direction: when
+        ``rng`` (an :class:`~repro.sim.rng.RngRegistry`) is given and no
+        explicit ``loss_rng``, each link gets its own named stream.  An
+        explicit ``loss_rng`` is shared by both directions (the legacy
+        behavior some tests rely on).  ``fault_injector``, when given,
+        attaches its link and NIC fault hooks to both directions.
         """
+        forward_rng = backward_rng = loss_rng
+        if loss_probability > 0.0 and loss_rng is None and rng is not None:
+            forward_rng = rng.stream(f"link-loss.{nic_a.name}->{nic_b.name}")
+            backward_rng = rng.stream(f"link-loss.{nic_b.name}->{nic_a.name}")
         forward = Link(
             sim,
             bandwidth_bps,
             propagation_delay_ns,
             name=f"{nic_a.name}->{nic_b.name}",
             loss_probability=loss_probability,
-            loss_rng=loss_rng,
+            loss_rng=forward_rng,
         )
         backward = Link(
             sim,
@@ -51,10 +64,15 @@ class PointToPoint:
             propagation_delay_ns,
             name=f"{nic_b.name}->{nic_a.name}",
             loss_probability=loss_probability,
-            loss_rng=loss_rng,
+            loss_rng=backward_rng,
         )
         nic_a.attach_egress(forward)
         forward.attach_receiver(nic_b.receive)
         nic_b.attach_egress(backward)
         backward.attach_receiver(nic_a.receive)
+        if fault_injector is not None:
+            fault_injector.attach_link(forward, "forward")
+            fault_injector.attach_link(backward, "backward")
+            fault_injector.attach_nic(nic_b, "forward")
+            fault_injector.attach_nic(nic_a, "backward")
         return cls(forward=forward, backward=backward)

@@ -140,6 +140,8 @@ class TcpSocket:
         self.exchange = None  # attached by repro.core.exchange
 
         self._corked = False
+        self._read_stalled = False
+        self.read_stalls = 0
 
         # --- statistics ------------------------------------------------------
         self.segments_sent = 0
@@ -167,7 +169,14 @@ class TcpSocket:
 
     @property
     def readable_bytes(self) -> int:
-        """In-order received bytes not yet read by the application."""
+        """In-order received bytes not yet read by the application.
+
+        Zero while a read stall is injected — the stalled application
+        cannot make progress — though the backlog still shrinks the
+        advertised window (see :meth:`_advertised_window`).
+        """
+        if self._read_stalled:
+            return 0
         return self.rcv_nxt - self.read_seq
 
     def read(self, max_bytes: int | None = None) -> tuple[int, list[Any]]:
@@ -225,6 +234,24 @@ class TcpSocket:
         self.heuristics.nagle = enabled
         if not enabled:
             self._push()  # release anything currently held
+
+    def set_read_stall(self, stalled: bool) -> None:
+        """Fault hook: freeze/unfreeze the application read path.
+
+        While stalled, :meth:`read` consumes nothing and
+        :meth:`wait_readable` events stay pending, so unread bytes
+        accumulate and the receive window closes — a slow receiver as
+        the peer observes it.  Unstalling wakes any waiting readers.
+        """
+        if self._read_stalled == stalled:
+            return
+        self._read_stalled = stalled
+        if stalled:
+            self.read_stalls += 1
+        elif self.readable_bytes > 0 and self._readers:
+            readers, self._readers = self._readers, []
+            for event in readers:
+                event.trigger()
 
     # ======================================================================
     # Transmit path.
@@ -525,7 +552,7 @@ class TcpSocket:
         for instrument in self.instruments:
             instrument.on_arrived(self.rcv_nxt)
         self.delack.on_data_received(advanced)
-        if self._readers:
+        if self._readers and not self._read_stalled:
             readers, self._readers = self._readers, []
             for event in readers:
                 event.trigger()
@@ -602,7 +629,12 @@ class TcpSocket:
     # ======================================================================
 
     def _advertised_window(self) -> int:
-        return max(0, self.config.recv_buffer_bytes - self.readable_bytes)
+        # The raw unread backlog, not `readable_bytes`: a stalled reader
+        # must still shrink the advertised window, or the peer would
+        # keep pouring bytes into a receiver that consumes nothing.
+        return max(
+            0, self.config.recv_buffer_bytes - (self.rcv_nxt - self.read_seq)
+        )
 
     @property
     def unacked_bytes(self) -> int:

@@ -20,6 +20,12 @@ def sim():
 
 
 @pytest.fixture
+def make_sim():
+    """Factory for fresh simulators — determinism tests run several."""
+    return Simulator
+
+
+@pytest.fixture
 def rng():
     """A seeded RNG registry."""
     return RngRegistry(seed=42)
@@ -41,6 +47,7 @@ class PairFactory:
         loss_probability: float = 0.0,
         loss_rng=None,
         propagation_delay_ns: int = 5_000,
+        fault_injector=None,
     ):
         """Create (client_host, server_host, client_sock, server_sock)."""
         client = Host(self.sim, "client", costs=costs, nic_config=nic_config)
@@ -52,6 +59,7 @@ class PairFactory:
             propagation_delay_ns=propagation_delay_ns,
             loss_probability=loss_probability,
             loss_rng=loss_rng,
+            fault_injector=fault_injector,
         )
         config = TcpConfig(
             nagle=nagle, autocork=autocork, **(tcp_kwargs or {})

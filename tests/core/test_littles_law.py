@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.littles_law import get_avgs
+from repro.core.littles_law import get_avgs, try_get_avgs
 from repro.core.qstate import QueueSnapshot, QueueState
 from repro.errors import EstimationError
 from repro.units import SEC
@@ -117,3 +117,42 @@ class TestLittlesLawEndToEnd:
         qs.track(-n)
         avgs = get_avgs(start, qs.snapshot())
         assert avgs.latency_ns == pytest.approx(residence)
+
+
+class TestTryGetAvgs:
+    """The graceful variant: None for every interval get_avgs rejects."""
+
+    def test_same_instant_yields_none(self):
+        snap = QueueSnapshot(time=5, total=3, integral=7)
+        assert try_get_avgs(snap, snap) is None
+
+    def test_reversed_snapshots_yield_none(self):
+        prev = QueueSnapshot(time=10, total=0, integral=0)
+        now = QueueSnapshot(time=5, total=0, integral=0)
+        assert try_get_avgs(prev, now) is None
+
+    def test_backwards_counters_yield_none(self):
+        prev = QueueSnapshot(time=0, total=100, integral=50)
+        assert try_get_avgs(prev, QueueSnapshot(10, 90, 50)) is None
+        assert try_get_avgs(prev, QueueSnapshot(10, 100, 40)) is None
+
+    def test_agrees_with_get_avgs_on_valid_intervals(self):
+        prev = QueueSnapshot(time=0, total=0, integral=0)
+        now = QueueSnapshot(time=30, total=5, integral=90)
+        assert try_get_avgs(prev, now) == get_avgs(prev, now)
+
+    @given(
+        st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**9),
+        st.integers(-100, 10**6), st.integers(-5, 10**4),
+        st.integers(-10**6, 10**9),
+    )
+    def test_never_raises(self, t0, dtotal, integral, dt, d2total, dintegral):
+        prev = QueueSnapshot(time=t0, total=dtotal, integral=integral)
+        now = QueueSnapshot(
+            time=t0 + dt, total=dtotal + d2total, integral=integral + dintegral,
+        )
+        result = try_get_avgs(prev, now)
+        if dt <= 0 or d2total < 0 or dintegral < 0:
+            assert result is None
+        elif result.latency_ns is not None:
+            assert result.latency_ns >= 0

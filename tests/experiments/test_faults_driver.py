@@ -1,0 +1,78 @@
+"""Smoke tests for the chaos driver (reduced scale).
+
+The acceptance properties live here: fixed (seed, plan) is fully
+deterministic, the estimator never emits a negative latency, and the
+toggler never changes mode faster than its freeze window.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.faults import CHAOS_TOGGLER, run_faults
+from repro.units import msecs
+
+pytestmark = pytest.mark.slow
+
+SWEEP_ARGS = dict(
+    plan_name="exchange-chaos",
+    intensities=(0.0, 1.0),
+    rate=8_000.0,
+    measure_ns=msecs(40),
+    seed=2,
+)
+
+
+class TestChaosDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_faults(**SWEEP_ARGS)
+
+    def test_sweep_shape(self, result):
+        assert [point.intensity for point in result.points] == [0.0, 1.0]
+        assert result.plan == "exchange-chaos"
+        assert result.freeze_ticks == CHAOS_TOGGLER.freeze_ticks
+
+    def test_intensity_zero_is_fault_free(self, result):
+        baseline = result.points[0]
+        assert baseline.fault_summary is None
+        assert baseline.states_rejected == 0
+
+    def test_faults_actually_injected(self, result):
+        chaotic = result.points[1]
+        assert chaotic.fault_summary is not None
+        exchange_counts = chaotic.fault_summary["exchange"]
+        assert sum(
+            counter["dropped"] + counter["corrupted"] + counter["staled"]
+            for counter in exchange_counts.values()
+        ) > 0
+
+    def test_estimator_never_goes_negative(self, result):
+        for point in result.points:
+            assert point.negative_estimates == 0
+            assert point.estimate_samples > 0
+            assert point.estimated_ns is None or point.estimated_ns >= 0
+
+    def test_toggler_respects_freeze_window(self, result):
+        for point in result.points:
+            if point.min_toggle_gap_ticks is not None:
+                assert point.min_toggle_gap_ticks >= result.freeze_ticks
+
+    def test_render_and_json(self, result, tmp_path):
+        text = result.render()
+        assert "exchange-chaos" in text
+        payload = result.to_json()
+        assert payload["schema"] == "repro-robustness-v1"
+        assert len(payload["points"]) == 2
+        target = tmp_path / "nested" / "robustness.json"
+        result.write_json(target)
+        assert json.loads(target.read_text()) == payload
+
+    def test_fixed_seed_and_plan_is_deterministic(self, result):
+        again = run_faults(**SWEEP_ARGS)
+        assert [asdict(point) for point in again.points] == [
+            asdict(point) for point in result.points
+        ]

@@ -1,0 +1,277 @@
+"""Tests for the fault injector's per-layer hooks."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.exchange import OPTION_E2E, WirePeerState, WireQueueState
+from repro.errors import FaultError
+from repro.faults import (
+    DelayJitter,
+    ExchangeFaults,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliott,
+    LinkFlap,
+    NicFaults,
+    ReceiverStall,
+)
+from repro.faults.injector import ExchangeFaultHook
+from repro.net.link import Link
+from repro.net.nic import Nic, NicConfig
+from repro.net.packet import Packet
+from repro.sim.rng import RngRegistry
+from repro.units import usecs
+
+GBPS = 1_000_000_000.0
+
+
+def make_faulty_link(sim, plan, seed=7, direction="forward"):
+    """A real link with the plan's wire faults attached; returns
+    (link, received-index list, injector)."""
+    link = Link(sim, bandwidth_bps=GBPS, propagation_delay_ns=1_000)
+    received: list[int] = []
+    link.attach_receiver(lambda packet: received.append(packet.payload_bytes))
+    injector = FaultInjector(sim, plan, RngRegistry(seed=seed))
+    injector.attach_link(link, direction)
+    return link, received, injector
+
+
+def send_indexed(link, count):
+    """Send ``count`` packets whose payload size encodes the send order."""
+    for index in range(count):
+        link.send(Packet(src="a", dst="b", payload_bytes=index + 1))
+
+
+class TestInjectorConstruction:
+    def test_refuses_noop_plan(self, sim):
+        with pytest.raises(FaultError):
+            FaultInjector(sim, FaultPlan(), RngRegistry(seed=1))
+
+    def test_validates_plan(self, sim):
+        plan = FaultPlan(loss=GilbertElliott(p_good_bad=2.0))
+        with pytest.raises(FaultError):
+            FaultInjector(sim, plan, RngRegistry(seed=1))
+
+
+class TestLinkFaults:
+    def test_certain_bursty_loss_drops_everything(self, sim):
+        # p_good_bad=1 flips to bad on the first packet; p_bad_good=0
+        # never recovers; loss_bad=1 then eats every packet.
+        plan = FaultPlan(loss=GilbertElliott(
+            p_good_bad=1.0, p_bad_good=0.0, loss_good=0.0, loss_bad=1.0,
+        ))
+        link, received, injector = make_faulty_link(sim, plan)
+        send_indexed(link, 20)
+        sim.run()
+        assert received == []
+        assert link.fault_drops == 20
+        assert link.packets_dropped == 20
+        summary = injector.summary()["link"]["forward"]
+        assert summary["loss_drops"] == 20
+        assert summary["blackout_drops"] == 0
+
+    def test_loss_pattern_is_seed_deterministic(self, make_sim):
+        plan = FaultPlan(loss=GilbertElliott(
+            p_good_bad=0.3, p_bad_good=0.3, loss_good=0.05, loss_bad=0.9,
+        ))
+
+        def survivors(seed):
+            sim = make_sim()
+            link, received, _ = make_faulty_link(sim, plan, seed=seed)
+            send_indexed(link, 200)
+            sim.run()
+            return received
+
+        first, second = survivors(7), survivors(7)
+        assert first == second
+        assert 0 < len(first) < 200
+        assert survivors(8) != first
+
+    def test_jitter_reorders_packets(self, sim):
+        plan = FaultPlan(jitter=DelayJitter(
+            jitter_ns=usecs(100), probability=1.0,
+        ))
+        link, received, injector = make_faulty_link(sim, plan)
+        send_indexed(link, 10)
+        sim.run()
+        assert sorted(received) == list(range(1, 11))  # nothing lost
+        assert received != sorted(received)  # but reordered
+        assert injector.summary()["link"]["forward"]["jittered"] == 10
+
+    def test_blackout_window_drops_inside_only(self, sim):
+        plan = FaultPlan(flap=LinkFlap(
+            period_ns=usecs(100), down_ns=usecs(50), start_ns=0,
+        ))
+        link, received, injector = make_faulty_link(sim, plan)
+        # Serialization of these tiny packets takes <1 us, so the
+        # verdict lands just after the send time: 10 us is deep inside
+        # the 50 us blackout, 60 us is deep inside the up window.
+        sim.call_at(usecs(10), lambda: link.send(
+            Packet(src="a", dst="b", payload_bytes=1)))
+        sim.call_at(usecs(60), lambda: link.send(
+            Packet(src="a", dst="b", payload_bytes=2)))
+        sim.run()
+        assert received == [2]
+        assert injector.summary()["link"]["forward"]["blackout_drops"] == 1
+
+    def test_direction_not_in_plan_is_untouched(self, sim):
+        plan = FaultPlan(
+            loss=GilbertElliott(loss_bad=1.0), directions=("forward",),
+        )
+        link, received, injector = make_faulty_link(
+            sim, plan, direction="backward",
+        )
+        assert link._fault_hook is None
+        assert "backward" not in injector.link_hooks
+        send_indexed(link, 5)
+        sim.run()
+        assert sorted(received) == [1, 2, 3, 4, 5]
+
+
+class TestNicFaults:
+    def make_nic(self, sim, spec, seed=3):
+        nic = Nic(sim, NicConfig())
+        arrivals: list[tuple[int, int]] = []  # (time, payload)
+
+        def handler(packets):
+            arrivals.extend((sim.now, p.payload_bytes) for p in packets)
+
+        nic.attach_rx_handler(handler)
+        injector = FaultInjector(
+            sim, FaultPlan(nic=spec), RngRegistry(seed=seed),
+        )
+        injector.attach_nic(nic, "forward")
+        return nic, arrivals, injector
+
+    def test_certain_overrun_drops_all(self, sim):
+        nic, arrivals, injector = self.make_nic(
+            sim, NicFaults(rx_drop_probability=1.0),
+        )
+        for index in range(8):
+            nic.receive(Packet(src="a", dst="b", payload_bytes=index + 1))
+        sim.run()
+        assert arrivals == []
+        assert nic.rx_fault_drops == 8
+        assert injector.summary()["nic"]["forward"]["drops"] == 8
+
+    def test_deferred_ingress_arrives_late(self, sim):
+        nic, arrivals, injector = self.make_nic(
+            sim, NicFaults(rx_defer_ns=usecs(20), rx_defer_probability=1.0),
+        )
+        nic.receive(Packet(src="a", dst="b", payload_bytes=1))
+        sim.run()
+        assert [payload for _, payload in arrivals] == [1]
+        assert all(when > 0 for when, _ in arrivals)
+        assert injector.summary()["nic"]["forward"]["deferred"] == 1
+
+
+def peer_state(value: int) -> WirePeerState:
+    queue = WireQueueState(time32=value, total32=value, integral32=value)
+    return WirePeerState(
+        unacked=queue,
+        unread=WireQueueState(value, value, value),
+        ackdelay=WireQueueState(value, value, value),
+    )
+
+
+def states_equal(left: WirePeerState, right: WirePeerState) -> bool:
+    return all(
+        getattr(left, queue) == getattr(right, queue)
+        for queue in ("unacked", "unread", "ackdelay")
+    )
+
+
+def make_exchange_hook(spec, seed=3):
+    plan = FaultPlan(exchange=spec)
+    return ExchangeFaultHook(plan, RngRegistry(seed=seed).stream("x"))
+
+
+class TestExchangeFaults:
+    def test_certain_drop_strips_the_option(self):
+        hook = make_exchange_hook(ExchangeFaults(drop_probability=1.0))
+        assert hook({OPTION_E2E: peer_state(1)}) is None
+        rewritten = hook({OPTION_E2E: peer_state(2), "other": "keep"})
+        assert rewritten == {"other": "keep"}
+        assert hook.dropped == 2
+
+    def test_stale_replays_an_earlier_state(self):
+        hook = make_exchange_hook(ExchangeFaults(stale_probability=1.0))
+        first = peer_state(1)
+        # No earlier state exists yet, so the first passes untouched
+        # (and is remembered).
+        assert hook({OPTION_E2E: first})[OPTION_E2E] is first
+        rewritten = hook({OPTION_E2E: peer_state(2)})
+        assert rewritten[OPTION_E2E] is first
+        assert hook.staled == 1
+
+    def test_corruption_mangles_without_mutating(self):
+        hook = make_exchange_hook(ExchangeFaults(corrupt_probability=1.0))
+        original = peer_state(5)
+        options = {OPTION_E2E: original}
+        rewritten = hook(options)
+        assert options[OPTION_E2E] is original  # incoming dict untouched
+        assert not states_equal(rewritten[OPTION_E2E], original)
+        assert hook.corrupted == 1
+
+    def test_optionless_segments_pass_through(self):
+        hook = make_exchange_hook(ExchangeFaults(drop_probability=1.0))
+        options = {"other": "keep"}
+        assert hook(options) is options
+        assert hook.dropped == 0
+
+    def test_corruption_is_deterministic(self):
+        mangle = lambda seed: make_exchange_hook(
+            ExchangeFaults(corrupt_probability=1.0), seed=seed,
+        )({OPTION_E2E: peer_state(5)})[OPTION_E2E]
+        assert states_equal(mangle(3), mangle(3))
+        assert not states_equal(mangle(3), mangle(4))
+
+
+class TestReceiverStall:
+    def test_stall_windows_follow_the_schedule(self, sim):
+        plan = FaultPlan(stall=ReceiverStall(
+            period_ns=usecs(100), stall_ns=usecs(40), start_ns=0,
+        ))
+        injector = FaultInjector(sim, plan, RngRegistry(seed=1))
+        calls: list[tuple[int, bool]] = []
+        socket = SimpleNamespace(
+            set_read_stall=lambda stalled: calls.append((sim.now, stalled)),
+        )
+        injector.attach_receiver(socket)
+        sim.run(until=usecs(250))
+        assert calls == [
+            (0, True), (usecs(40), False),
+            (usecs(100), True), (usecs(140), False),
+            (usecs(200), True), (usecs(240), False),
+        ]
+        assert injector.summary()["stall_windows"] == 3
+
+    def test_no_stall_component_is_a_noop(self, sim):
+        plan = FaultPlan(jitter=DelayJitter())
+        injector = FaultInjector(sim, plan, RngRegistry(seed=1))
+        socket = SimpleNamespace(
+            set_read_stall=lambda stalled: pytest.fail("must not be called"),
+        )
+        injector.attach_receiver(socket)
+        sim.run(until=usecs(500))
+
+
+class TestAttachSelectivity:
+    def test_exchange_attach_without_component_is_noop(self, sim):
+        plan = FaultPlan(jitter=DelayJitter())
+        injector = FaultInjector(sim, plan, RngRegistry(seed=1))
+        exchange = SimpleNamespace(fault_hook=None)
+        injector.attach_exchange(exchange, "client.0")
+        assert exchange.fault_hook is None
+        assert injector.exchange_hooks == {}
+
+    def test_link_attach_without_wire_faults_is_noop(self, sim):
+        plan = FaultPlan(exchange=ExchangeFaults(drop_probability=0.5))
+        link = Link(sim, bandwidth_bps=GBPS, propagation_delay_ns=1_000)
+        link.attach_receiver(lambda packet: None)
+        injector = FaultInjector(sim, plan, RngRegistry(seed=1))
+        injector.attach_link(link, "forward")
+        assert link._fault_hook is None

@@ -1,0 +1,122 @@
+"""Tests for fault plans: validation, scaling, presets."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_PLANS,
+    DelayJitter,
+    ExchangeFaults,
+    FaultPlan,
+    GilbertElliott,
+    LinkFlap,
+    NicFaults,
+    ReceiverStall,
+    named_plan,
+)
+
+
+class TestComponentValidation:
+    def test_gilbert_elliott_probability_ranges(self):
+        with pytest.raises(FaultError):
+            GilbertElliott(p_good_bad=1.5).validate()
+        with pytest.raises(FaultError):
+            GilbertElliott(loss_bad=-0.1).validate()
+        GilbertElliott().validate()
+
+    def test_jitter_rejects_negative(self):
+        with pytest.raises(FaultError):
+            DelayJitter(jitter_ns=-1).validate()
+        with pytest.raises(FaultError):
+            DelayJitter(probability=2.0).validate()
+
+    def test_flap_must_fit_period(self):
+        with pytest.raises(FaultError):
+            LinkFlap(period_ns=0).validate()
+        with pytest.raises(FaultError):
+            LinkFlap(period_ns=10, down_ns=11).validate()
+        with pytest.raises(FaultError):
+            LinkFlap(start_ns=-1).validate()
+
+    def test_stall_must_fit_period(self):
+        with pytest.raises(FaultError):
+            ReceiverStall(period_ns=10, stall_ns=11).validate()
+        ReceiverStall(period_ns=10, stall_ns=10).validate()
+
+    def test_nic_and_exchange_probabilities(self):
+        with pytest.raises(FaultError):
+            NicFaults(rx_drop_probability=1.1).validate()
+        with pytest.raises(FaultError):
+            NicFaults(rx_defer_ns=-5).validate()
+        with pytest.raises(FaultError):
+            ExchangeFaults(corrupt_probability=-0.2).validate()
+
+    def test_plan_rejects_unknown_direction(self):
+        with pytest.raises(FaultError):
+            FaultPlan(directions=("sideways",)).validate()
+
+    def test_plan_validates_components(self):
+        with pytest.raises(FaultError):
+            FaultPlan(loss=GilbertElliott(p_good_bad=2.0)).validate()
+
+
+class TestScaling:
+    def test_probabilities_cap_at_one(self):
+        scaled = GilbertElliott(loss_bad=0.6).scaled(5.0)
+        assert scaled.loss_bad == 1.0
+        scaled.validate()
+
+    def test_recovery_probability_not_scaled(self):
+        # Scaling intensity must not make bursts *shorter*.
+        scaled = GilbertElliott(p_bad_good=0.25).scaled(10.0)
+        assert scaled.p_bad_good == 0.25
+
+    def test_durations_cap_at_period(self):
+        flap = LinkFlap(period_ns=100, down_ns=60).scaled(3.0)
+        assert flap.down_ns == 100
+        flap.validate()
+
+    def test_zero_factor_is_noop(self):
+        plan = FAULT_PLANS["mixed"].scaled(0.0)
+        assert plan.is_noop
+        assert plan.name == "mixed"
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(FaultError):
+            FAULT_PLANS["mixed"].scaled(-1.0)
+
+    def test_scaling_preserves_structure(self):
+        plan = FAULT_PLANS["mixed"].scaled(0.5)
+        assert plan.loss is not None
+        assert plan.jitter is not None
+        assert plan.exchange is not None
+        plan.validate()
+
+
+class TestPresets:
+    def test_all_presets_valid_and_active(self):
+        for name, plan in FAULT_PLANS.items():
+            plan.validate()
+            assert not plan.is_noop, name
+            assert plan.name == name
+
+    def test_named_plan_lookup(self):
+        assert named_plan("bursty-loss") is FAULT_PLANS["bursty-loss"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(FaultError):
+            named_plan("gremlins")
+
+    def test_plans_are_picklable(self):
+        # Plans ride inside BenchConfig through the process-pool runner.
+        for plan in FAULT_PLANS.values():
+            clone = pickle.loads(pickle.dumps(plan))
+            assert clone == plan
+
+    def test_empty_plan_is_noop(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(jitter=DelayJitter()).is_noop

@@ -59,7 +59,38 @@ class TestLink:
         with pytest.raises(NetworkError):
             Link(sim, 1e9, -1)
         with pytest.raises(NetworkError):
-            Link(sim, 1e9, 0, loss_probability=0.5)  # no RNG
+            Link(sim, 1e9, 0, loss_probability=1.0)
+
+    def test_lossy_link_without_rng_gets_deterministic_default(self, make_sim):
+        # A lossy link built without an explicit stream derives one from
+        # its name, so two identical builds drop the same packets.
+        outcomes = []
+        for _ in range(2):
+            sim = make_sim()
+            link = Link(sim, 8e9, 0, name="lossy", loss_probability=0.3)
+            arrived = []
+            link.attach_receiver(lambda p: arrived.append(p))
+            for _ in range(100):
+                link.send(Packet(src="a", dst="b", payload_bytes=100))
+            sim.run()
+            outcomes.append((len(arrived), link.packets_dropped))
+        assert outcomes[0] == outcomes[1]
+        assert 0 < outcomes[0][1] < 100
+
+    def test_default_loss_rng_varies_by_name_and_seed(self):
+        from repro.net.link import default_loss_rng
+
+        def draws(name, seed=0):
+            stream = default_loss_rng(name, seed=seed)
+            return [stream.random() for _ in range(5)]
+
+        a = draws("x")
+        b = draws("x")
+        c = draws("y")
+        d = draws("x", seed=7)
+        assert a == b
+        assert a != c
+        assert a != d
 
     def test_loss_drops_packets(self, sim):
         rng = RngRegistry(1).stream("loss")
