@@ -48,7 +48,10 @@ class CounterCollector:
     :class:`~repro.core.semantic.MessageUnits` adapters.
     """
 
-    def __init__(self, sim, client_states, server_states, period_ns: int):
+    def __init__(self, sim, client_states, server_states, period_ns: int,
+                 tracer=None):
+        from repro.obs.tracer import NULL_TRACER
+
         if period_ns <= 0:
             raise EstimationError(f"period must be positive, got {period_ns}")
         self._sim = sim
@@ -57,6 +60,12 @@ class CounterCollector:
         self.period_ns = period_ns
         self.samples: list[CounterSample] = []
         self._timer = None
+        # Observability: each sample is also emitted as two
+        # ``queue.sample`` trace records (one per endpoint), named after
+        # the sampled sockets where they carry names.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._client_src = getattr(client_states, "name", "client")
+        self._server_src = getattr(server_states, "name", "server")
 
     def start(self) -> None:
         """Take an immediate sample and begin periodic sampling."""
@@ -78,6 +87,15 @@ class CounterCollector:
             server=TripleSnapshot.capture(self._server),
         )
         self.samples.append(sample)
+        tracer = self._tracer
+        if tracer.enabled:
+            for src, triple in (
+                (self._client_src, sample.client),
+                (self._server_src, sample.server),
+            ):
+                tracer.queue_sample(
+                    src, triple.unacked, triple.unread, triple.ackdelay
+                )
         return sample
 
     def _tick(self) -> None:

@@ -8,6 +8,9 @@ Examples::
     python -m repro run --rate 35000 --nagle --value-bytes 16384
     python -m repro ablation units
     python -m repro ablation toggler --measure-ms 300
+    python -m repro trace record toggler --out toggler.jsonl
+    python -m repro trace summarize toggler.jsonl
+    python -m repro trace filter toggler.jsonl --type toggler.decision
 
 Every command prints the same rows/series the paper reports (via each
 experiment's ``render()``).
@@ -49,10 +52,13 @@ def _cmd_fig1(args) -> int:
 def _cmd_fig2(args) -> int:
     from repro.experiments import run_fig2
 
+    tracer = _make_tracer(args.trace, label="fig2")
     result = run_fig2(seeds=tuple(args.seeds),
                       measure_ns=msecs(args.measure_ms),
-                      workers=args.workers)
+                      workers=args.workers,
+                      tracer=tracer)
     print(result.render())
+    _finish_tracer(tracer, args.trace)
     return 0
 
 
@@ -79,6 +85,23 @@ def _cmd_fig4b(args) -> int:
     result = run_fig4b(rates=rates, base=base, workers=args.workers)
     print(result.render())
     return 0
+
+
+def _make_tracer(path: str | None, label: str):
+    """A JSONL-backed tracer for ``--trace PATH``, or None."""
+    if not path:
+        return None
+    from repro.obs import JsonlSink, Tracer
+
+    return Tracer(sink=JsonlSink(path), label=label)
+
+
+def _finish_tracer(tracer, path: str) -> None:
+    """Flush and report a ``--trace`` stream."""
+    if tracer is None:
+        return
+    tracer.close()
+    print(f"trace written to {path} ({tracer.emitted} records)")
 
 
 def _fault_plan_from(args):
@@ -111,10 +134,30 @@ def _cmd_run(args) -> int:
         min_rto_ns=msecs(args.min_rto_ms),
         fault_plan=_fault_plan_from(args),
     )
+    tracer = _make_tracer(args.trace, label="run")
     holder: dict = {}
-    want_bed = args.dump_counters or config.fault_plan is not None
+    want_bed = (
+        args.dump_counters
+        or config.fault_plan is not None
+        or args.metrics is not None
+        or tracer is not None
+    )
     tweak = (lambda bed: holder.update(bed=bed)) if want_bed else None
-    result = run_benchmark(config, tweak=tweak)
+    result = run_benchmark(config, tweak=tweak, tracer=tracer)
+    if args.metrics is not None or tracer is not None:
+        from repro.obs import collect_run_metrics
+
+        registry = collect_run_metrics(holder["bed"], result=result)
+        snapshot = registry.snapshot()
+        if tracer is not None:
+            tracer.metrics_snapshot(snapshot)
+        if args.metrics is not None:
+            import json as _json
+            import pathlib as _pathlib
+
+            target = _pathlib.Path(args.metrics)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(_json.dumps(snapshot, indent=2) + "\n")
     print(f"offered: {result.offered_rate:,.0f} RPS   "
           f"achieved: {result.achieved_rate:,.0f} RPS")
     print(f"latency mean/p50/p99: {to_usecs(result.latency.mean_ns):.1f} / "
@@ -140,27 +183,35 @@ def _cmd_run(args) -> int:
 
         print()
         print(render_stats(dump_testbed(holder["bed"])))
+    if args.metrics is not None:
+        print(f"metrics written to {args.metrics}")
+    _finish_tracer(tracer, args.trace)
     return 0
 
 
 def _cmd_faults(args) -> int:
     from repro.experiments.faults import DEFAULT_INTENSITIES, run_faults
+    from repro.obs import ProgressLog
 
     intensities = (
         tuple(args.intensities) if args.intensities
         else ((0.0, 1.0) if args.quick else DEFAULT_INTENSITIES)
     )
+    tracer = _make_tracer(args.trace, label=f"faults:{args.plan}")
     result = run_faults(
         plan_name=args.plan,
         intensities=intensities,
         rate=args.rate,
         measure_ns=msecs(args.measure_ms),
         seed=args.seed,
+        log=ProgressLog(quiet=args.quiet, tracer=tracer),
+        tracer=tracer,
     )
     print(result.render())
     if args.json:
         result.write_json(args.json)
         print(f"robustness metrics written to {args.json}")
+    _finish_tracer(tracer, args.trace)
     return 0
 
 
@@ -191,6 +242,120 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _cmd_trace_record(args) -> int:
+    from repro.obs import (
+        JsonlSink,
+        Tracer,
+        attach_deep_tracing,
+        collect_run_metrics,
+        render_summary,
+        summarize_records,
+    )
+
+    tracer = Tracer(sink=JsonlSink(args.out), label=args.scenario)
+    holder: dict = {}
+
+    if args.scenario == "run":
+        config = BenchConfig(
+            rate_per_sec=args.rate,
+            nagle=args.nagle,
+            seed=args.seed,
+            warmup_ns=msecs(args.warmup_ms),
+            measure_ns=msecs(args.measure_ms),
+            fault_plan=_fault_plan_from(args),
+        )
+
+        def tweak(bed):
+            holder["bed"] = bed
+            if args.deep:
+                attach_deep_tracing(bed, tracer)
+
+        result = run_benchmark(config, tweak=tweak, tracer=tracer)
+        registry = collect_run_metrics(holder["bed"], result=result)
+        tracer.metrics_snapshot(registry.snapshot())
+    elif args.scenario == "toggler":
+        from repro.core.toggler import TogglerConfig
+        from repro.experiments.ablations import attach_toggler
+        from repro.experiments.fig4a import default_config
+
+        config = replace(
+            default_config(measure_ns=msecs(args.measure_ms)),
+            rate_per_sec=args.rate,
+            seed=args.seed,
+        )
+
+        def tweak(bed):
+            holder["bed"] = bed
+            holder["toggler"] = attach_toggler(
+                bed,
+                config=TogglerConfig(
+                    tick_ns=msecs(4), epsilon=0.05, min_samples=2
+                ),
+            )
+            if args.deep:
+                attach_deep_tracing(bed, tracer)
+
+        result = run_benchmark(config, tweak=tweak, tracer=tracer)
+        registry = collect_run_metrics(
+            holder["bed"], result=result, toggler=holder["toggler"]
+        )
+        tracer.metrics_snapshot(registry.snapshot())
+    else:  # fig2
+        from repro.experiments import run_fig2
+
+        run_fig2(
+            seeds=(args.seed,),
+            measure_ns=msecs(args.measure_ms),
+            tracer=tracer,
+        )
+    tracer.close()
+    print(f"trace written to {args.out} ({tracer.emitted} records)")
+    print(render_summary(summarize_records(args.out)))
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs import render_summary, summarize_records
+
+    print(render_summary(summarize_records(args.path)))
+    return 0
+
+
+def _cmd_trace_filter(args) -> int:
+    import json as _json
+
+    from repro.obs import filter_records
+
+    shown = 0
+    for record in filter_records(
+        args.path,
+        type_=args.type,
+        src=args.src,
+        since_ns=args.since_ns,
+        until_ns=args.until_ns,
+    ):
+        print(_json.dumps(record, separators=(",", ":")))
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            break
+    return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    from repro.obs import read_jsonl, validate_stream
+
+    records = read_jsonl(args.path)
+    problems = validate_stream(records)
+    if problems:
+        for problem in problems[:20]:
+            print(problem, file=sys.stderr)
+        if len(problems) > 20:
+            print(f"... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+    print(f"{args.path}: {len(records)} records, schema OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -207,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig2 = sub.add_parser("fig2", help="Figure 2: VM client flip at 20 kRPS")
     p_fig2.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    p_fig2.add_argument("--trace", default=None, metavar="PATH",
+                        help="record the campaign as repro-trace-v1 JSONL "
+                             "(forces serial execution)")
     _add_measure(p_fig2, 150)
     _add_workers(p_fig2)
     p_fig2.set_defaults(func=_cmd_fig2)
@@ -247,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP retransmission-timeout floor (default "
                             "200, Linux-like; lossy fault plans want ~5 "
                             "or one burst stalls past the whole window)")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a repro-trace-v1 JSONL of the run")
+    p_run.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a repro-metrics-v1 JSON snapshot")
     _add_measure(p_run, 120)
     p_run.set_defaults(func=_cmd_run)
 
@@ -266,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write robustness metrics JSON to this path")
     p_faults.add_argument("--quick", action="store_true",
                           help="two intensities only, for CI smoke")
+    p_faults.add_argument("--quiet", action="store_true",
+                          help="suppress per-intensity progress on stderr")
+    p_faults.add_argument("--trace", default=None, metavar="PATH",
+                          help="record the sweep as repro-trace-v1 JSONL")
     _add_measure(p_faults, 300)
     p_faults.set_defaults(func=_cmd_faults)
 
@@ -278,6 +454,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_measure(p_ablation, 150)
     _add_workers(p_ablation)
     p_ablation.set_defaults(func=_cmd_ablation)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record, summarize, filter, or validate repro-trace-v1 streams",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_record = trace_sub.add_parser(
+        "record", help="run a traced scenario, writing a JSONL stream"
+    )
+    p_record.add_argument(
+        "scenario", choices=["run", "toggler", "fig2"],
+        help="what to trace: one benchmark run, a dynamic-toggling run, "
+             "or the full fig2 campaign",
+    )
+    p_record.add_argument("--out", required=True, metavar="PATH",
+                          help="JSONL output path")
+    p_record.add_argument("--rate", type=float, default=20_000.0,
+                          help="offered load (run/toggler; default 20000)")
+    p_record.add_argument("--nagle", action="store_true",
+                          help="static Nagle on (run scenario)")
+    p_record.add_argument("--seed", type=int, default=1)
+    p_record.add_argument("--warmup-ms", type=int, default=40)
+    p_record.add_argument("--fault-plan", default=None,
+                          help="inject a named fault plan (run scenario)")
+    p_record.add_argument("--fault-intensity", type=float, default=1.0)
+    p_record.add_argument("--deep", action="store_true",
+                          help="also trace per-socket protocol hooks "
+                               "(send/segment/ack/read), many records")
+    _add_measure(p_record, 120)
+    p_record.set_defaults(func=_cmd_trace_record)
+
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="counts by record type and source, time span"
+    )
+    p_summarize.add_argument("path", help="JSONL trace file")
+    p_summarize.set_defaults(func=_cmd_trace_summarize)
+
+    p_filter = trace_sub.add_parser(
+        "filter", help="print records matching type/src/time criteria"
+    )
+    p_filter.add_argument("path", help="JSONL trace file")
+    p_filter.add_argument("--type", default=None,
+                          help="record type, e.g. toggler.decision")
+    p_filter.add_argument("--src", default=None,
+                          help="record source, e.g. redis.0.client")
+    p_filter.add_argument("--since-ns", type=int, default=None)
+    p_filter.add_argument("--until-ns", type=int, default=None)
+    p_filter.add_argument("--limit", type=int, default=None,
+                          help="stop after this many records")
+    p_filter.set_defaults(func=_cmd_trace_filter)
+
+    p_validate = trace_sub.add_parser(
+        "validate", help="check a stream against the repro-trace-v1 schema"
+    )
+    p_validate.add_argument("path", help="JSONL trace file")
+    p_validate.set_defaults(func=_cmd_trace_validate)
 
     return parser
 

@@ -101,6 +101,12 @@ class E2EEstimator:
       can otherwise push it negative; :attr:`negative_clamps`) and, when
       ``max_latency_ns`` is set, at that ceiling
       (:attr:`absurd_clamps`).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records every sample as an
+    ``estimator.sample`` trace record — all four §3.2 inputs, the
+    combined output, and any clamp applied — and every discarded remote
+    view as ``estimator.reject``; ``name`` overrides the record ``src``
+    (default: the local socket's name).
     """
 
     def __init__(
@@ -110,7 +116,11 @@ class E2EEstimator:
         exchange=None,
         max_staleness_ns: int | None = None,
         max_latency_ns: float | None = None,
+        tracer=None,
+        name: str | None = None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         if (remote is None) == (exchange is None):
             raise EstimationError("provide exactly one of remote= or exchange=")
         if max_staleness_ns is not None and max_staleness_ns <= 0:
@@ -132,6 +142,8 @@ class E2EEstimator:
         self.nonmonotonic_rejections = 0
         self.negative_clamps = 0
         self.absurd_clamps = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_src = name or getattr(local, "name", "estimator")
 
     def sample(self) -> EstimateSample | None:
         """Estimate over the interval since the previous call.
@@ -170,19 +182,22 @@ class E2EEstimator:
         )
 
         latency, complete = self._combine(d_local, d_remote)
+        clamped = None
         if latency is not None:
             if latency < 0:
                 # A corrupt or unlucky remote ackdelay exceeded the whole
                 # round trip; a negative latency is never meaningful.
                 self.negative_clamps += 1
                 latency = 0.0
+                clamped = "negative"
             elif (
                 self._max_latency_ns is not None
                 and latency > self._max_latency_ns
             ):
                 self.absurd_clamps += 1
                 latency = self._max_latency_ns
-        return EstimateSample(
+                clamped = "absurd"
+        sample = EstimateSample(
             latency_ns=latency,
             throughput_per_sec=throughput,
             local=d_local,
@@ -190,6 +205,9 @@ class E2EEstimator:
             interval_ns=interval,
             complete=complete,
         )
+        if self._tracer.enabled:
+            self._tracer.estimator_sample(self._trace_src, sample, clamped)
+        return sample
 
     def _remote_interval(self):
         if self._remote is not None:
@@ -208,6 +226,8 @@ class E2EEstimator:
             return None
         if not self._monotone(prev, cur):
             self.nonmonotonic_rejections += 1
+            if self._tracer.enabled:
+                self._tracer.estimator_reject(self._trace_src, "nonmonotonic")
             return None
         if self._max_staleness_ns is not None:
             age = self._exchange.staleness_ns()
@@ -217,6 +237,10 @@ class E2EEstimator:
                 # longer exists (blackout, exchange drops), so fall back
                 # to a local-only (undefined) sample.
                 self.stale_rejections += 1
+                if self._tracer.enabled:
+                    self._tracer.estimator_reject(
+                        self._trace_src, "stale", staleness_ns=age
+                    )
                 return None
         return (
             _Tripple(prev.unacked, prev.unread, prev.ackdelay),

@@ -221,6 +221,11 @@ class MetadataExchange:
     After :attr:`REBASELINE_AFTER` consecutive rejections the incoming
     state is adopted as a fresh baseline: at that point the persistent
     implausibility means *our* retained baseline is the corrupt side.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records every state sent
+    (``exchange.send``: option bytes, demand flag, hint ride-along) and
+    every state received with its plausibility verdict
+    (``exchange.recv``: accepted / rejected / rebaselined).
     """
 
     REBASELINE_AFTER = 3
@@ -233,13 +238,18 @@ class MetadataExchange:
         scale: WireScale | None = None,
         hint_session=None,
         max_gap_ns: int | None = None,
+        tracer=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         if period_ns <= 0:
             raise EstimationError(f"exchange period must be positive: {period_ns}")
         if max_gap_ns is not None and max_gap_ns <= 0:
             raise EstimationError(f"max gap must be positive: {max_gap_ns}")
         self._sim = sim
         self._socket = socket
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_src = getattr(socket, "name", "socket")
         self.period_ns = period_ns
         self.scale = scale or WireScale()
         self.hint_session = hint_session
@@ -329,12 +339,13 @@ class MetadataExchange:
         """Called for every outgoing segment; attaches options when due."""
         if self._sim.now < self._next_due and not self._demand:
             return
+        on_demand = self._demand
         self._next_due = self._sim.now + self.period_ns
         self._demand = False
         state = WirePeerState.capture(self._socket, self.scale)
         segment.options[OPTION_E2E] = state
         self.states_sent += 1
-        self.option_bytes_sent += WirePeerState.WIRE_BYTES
+        option_bytes = WirePeerState.WIRE_BYTES
         if self.hint_session is not None:
             hint_scale = WireScale(
                 time_unit_ns=self.scale.time_unit_ns, integral_shift=0
@@ -342,7 +353,15 @@ class MetadataExchange:
             segment.options[OPTION_HINT] = WireQueueState.capture(
                 self.hint_session.state, hint_scale
             )
-            self.option_bytes_sent += WireQueueState.WIRE_BYTES
+            option_bytes += WireQueueState.WIRE_BYTES
+        self.option_bytes_sent += option_bytes
+        if self._tracer.enabled:
+            self._tracer.exchange_send(
+                self._trace_src,
+                option_bytes,
+                demand=on_demand,
+                hint=self.hint_session is not None,
+            )
 
     def on_receive(self, options: dict) -> None:
         """Called for incoming segments carrying options."""
@@ -373,10 +392,20 @@ class MetadataExchange:
             self.states_rejected += 1
             self._consecutive_rejections += 1
             if self._consecutive_rejections < self.REBASELINE_AFTER:
+                if self._tracer.enabled:
+                    self._tracer.exchange_recv(
+                        self._trace_src, "rejected", candidate
+                    )
                 return  # one bad exchange costs exactly one sample
             rebaseline = True
             self.rebaselines += 1
         self._consecutive_rejections = 0
+        if self._tracer.enabled:
+            self._tracer.exchange_recv(
+                self._trace_src,
+                "rebaselined" if rebaseline else "accepted",
+                candidate,
+            )
         snapshots = PeerSnapshots(
             unacked=self._unwrap_unacked.update(state.unacked),
             unread=self._unwrap_unread.update(state.unread),

@@ -109,6 +109,12 @@ class NagleToggler:
     values — samples taken during recovery measure the loss, not the
     batching mode, and folding them in would make the controller flap
     between two arms it is mis-scoring.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records every tick as a
+    ``toggler.decision`` trace record — the sample observed, the phase
+    (measure/settle/loss-freeze/freeze-hold) and both arms' EWMAs — so a
+    choice can be audited after the fact; ``name`` is the record's
+    ``src`` field.
     """
 
     def __init__(
@@ -121,7 +127,11 @@ class NagleToggler:
         config: TogglerConfig | None = None,
         initial_mode: bool = False,
         loss_signal_fn: Callable[[], bool] | None = None,
+        tracer=None,
+        name: str = "toggler",
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self._sim = sim
         self._sample_fn = sample_fn
         self._apply_fn = apply_fn
@@ -147,6 +157,9 @@ class NagleToggler:
         self.loss_episodes = 0
         self.frozen_ticks = 0
         self.freeze_holds = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_src = name
+        self._tick_index = 0
 
     def start(self) -> None:
         """Apply the initial mode and begin ticking."""
@@ -164,14 +177,52 @@ class NagleToggler:
     # ------------------------------------------------------------------
 
     def _tick(self) -> None:
+        self._tick_index += 1
+        prev_mode = self.mode
         sample = self._sample_fn()
-        explored = self._observe_and_choose(sample)
+        explored, phase = self._observe_and_choose(sample)
         self.history.append(
             ToggleRecord(self._sim.now, self.mode, sample, explored)
         )
+        if self._tracer.enabled:
+            self._tracer.toggler_decision(
+                self._trace_src,
+                tick=self._tick_index,
+                mode=self.mode,
+                prev_mode=prev_mode,
+                explored=explored,
+                phase=phase,
+                sample_latency_ns=(
+                    sample.latency_ns if sample is not None else None
+                ),
+                ewma=self._ewma_dict(),
+            )
         self._timer = self._sim.call_after(self.config.tick_ns, self._tick)
 
-    def _observe_and_choose(self, sample: PerfSample | None) -> bool:
+    def _ewma_dict(self) -> dict:
+        """Both arms' smoothed views, for the decision trace record."""
+        out = {}
+        for mode, key in ((False, "nagle_off"), (True, "nagle_on")):
+            stats = self._stats[mode]
+            out[key] = {
+                "latency_ns": stats.latency.mean,
+                "throughput_per_sec": stats.throughput.mean,
+                "samples": stats.samples,
+            }
+        return out
+
+    def _observe_and_choose(
+        self, sample: PerfSample | None
+    ) -> tuple[bool, str]:
+        """One tick of the controller.
+
+        Returns ``(explored, phase)``: whether exploration picked the
+        next mode, and which phase the tick landed in — ``"loss-freeze"``
+        (holding through a loss episode), ``"settle"`` (discarding
+        post-toggle drain intervals), ``"freeze-hold"`` (a wanted change
+        suppressed by the minimum dwell), or ``"measure"`` (a normal
+        sample-and-select tick).
+        """
         self._ticks_since_toggle += 1
         if self._loss_signal_fn is not None and self._loss_signal_fn():
             if self._loss_freeze == 0:
@@ -183,14 +234,14 @@ class NagleToggler:
             # last-known-good EWMAs untouched until the episode clears.
             self._loss_freeze -= 1
             self.frozen_ticks += 1
-            return False
+            return False, "loss-freeze"
         if self._settling > 0:
             # The intervals right after a mode change straddle the
             # transition — queues built under the old mode drain under
             # the new one, so attributing them would poison this arm's
             # EWMA.  Discard them and measure clean intervals first.
             self._settling -= 1
-            return False
+            return False, "settle"
         if sample is not None and sample.latency_ns is not None:
             stats = self._stats[self.mode]
             stats.samples += 1
@@ -202,13 +253,13 @@ class NagleToggler:
                 # Inside the freeze window: the last change is too
                 # recent for another to be evidence rather than noise.
                 self.freeze_holds += 1
-                return explored
+                return explored, "freeze-hold"
             self.mode = next_mode
             self.toggles += 1
             self._settling = self.config.settle_ticks
             self._ticks_since_toggle = 0
             self._apply_fn(next_mode)
-        return explored
+        return explored, "measure"
 
     def _select(self) -> tuple[bool, bool]:
         # Make sure both arms have a minimal history first.

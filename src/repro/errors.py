@@ -45,6 +45,11 @@ class WorkloadError(ReproError):
     """Invalid workload or load-generator configuration."""
 
 
+class ObservabilityError(ReproError):
+    """Observability-layer misuse: malformed trace files, records that
+    violate the ``repro-trace-v1`` schema, invalid sink configuration."""
+
+
 class FaultError(ReproError):
     """Invalid fault plan or fault-injector misuse (e.g. out-of-range
     probabilities, a blackout longer than its flap period, or attaching

@@ -245,8 +245,13 @@ def attach_toggler(
     """
     from repro.core.estimator import combine_estimates
 
-    client_estimator = E2EEstimator(bed.client_sock, exchange=bed.client_exchange)
-    server_estimator = E2EEstimator(bed.server_sock, exchange=bed.server_exchange)
+    tracer = getattr(bed, "tracer", None)
+    client_estimator = E2EEstimator(
+        bed.client_sock, exchange=bed.client_exchange, tracer=tracer,
+    )
+    server_estimator = E2EEstimator(
+        bed.server_sock, exchange=bed.server_exchange, tracer=tracer,
+    )
 
     def sample_fn() -> PerfSample | None:
         if on_demand_exchange:
@@ -276,6 +281,7 @@ def attach_toggler(
         rng=bed.rng.stream("toggler"),
         config=config or TogglerConfig(tick_ns=msecs(4)),
         initial_mode=False,
+        tracer=tracer,
     )
     toggler.start()
     return toggler

@@ -160,13 +160,14 @@ def attach_chaos_controller(bed, config: TogglerConfig | None = None) -> dict:
     """
     config = config or CHAOS_TOGGLER
     staleness = 8 * bed.config.exchange_period_ns
+    tracer = getattr(bed, "tracer", None)
     client_estimator = E2EEstimator(
         bed.client_sock, exchange=bed.client_exchange,
-        max_staleness_ns=staleness, max_latency_ns=SEC,
+        max_staleness_ns=staleness, max_latency_ns=SEC, tracer=tracer,
     )
     server_estimator = E2EEstimator(
         bed.server_sock, exchange=bed.server_exchange,
-        max_staleness_ns=staleness, max_latency_ns=SEC,
+        max_staleness_ns=staleness, max_latency_ns=SEC, tracer=tracer,
     )
     estimates: list[float] = []
 
@@ -204,6 +205,7 @@ def attach_chaos_controller(bed, config: TogglerConfig | None = None) -> dict:
         config=config,
         initial_mode=False,
         loss_signal_fn=loss_signal_fn,
+        tracer=tracer,
     )
     toggler.start()
     return {
@@ -239,13 +241,23 @@ def run_faults(
     measure_ns: int = msecs(300),
     seed: int = 1,
     toggler_config: TogglerConfig | None = None,
+    log=None,
+    tracer=None,
 ) -> ChaosResult:
     """Sweep one fault plan's intensity; report robustness metrics.
 
     ``intensities`` are multipliers on the named plan's knobs; 0 runs
     the exact fault-free configuration (``fault_plan=None``, no injector
     built), so the first row doubles as the regression baseline.
+
+    ``log`` is a :class:`repro.obs.ProgressLog` for per-intensity
+    progress (default: silent); ``tracer`` records every point's run
+    into one ``repro-trace-v1`` stream.
     """
+    from repro.obs.log import NULL_LOG
+
+    if log is None:
+        log = NULL_LOG
     preset = named_plan(plan_name)
     config = toggler_config or CHAOS_TOGGLER
     # A 5 ms RTO floor (the loss ablation's choice) instead of the
@@ -258,7 +270,11 @@ def run_faults(
         min_rto_ns=msecs(5),
     )
     points: list[ChaosPoint] = []
-    for intensity in intensities:
+    for index, intensity in enumerate(intensities):
+        log.info(
+            f"chaos {plan_name}: intensity {intensity:g} "
+            f"({index + 1}/{len(intensities)})"
+        )
         plan = preset.scaled(intensity) if intensity > 0 else None
         bench = replace(base, fault_plan=plan)
         holder: dict = {}
@@ -267,7 +283,7 @@ def run_faults(
             holder["bed"] = bed
             holder.update(attach_chaos_controller(bed, config=config))
 
-        result = run_benchmark(bench, tweak=tweak)
+        result = run_benchmark(bench, tweak=tweak, tracer=tracer)
         bed = holder["bed"]
         toggler = holder["toggler"]
         estimates = holder["estimates"]
@@ -301,6 +317,13 @@ def run_faults(
                     bed.faults.summary() if bed.faults is not None else None
                 ),
             )
+        )
+        point = points[-1]
+        log.info(
+            f"  achieved {point.achieved_rate:,.0f} RPS, "
+            f"{point.toggles} toggles, "
+            f"{point.states_rejected} states rejected, "
+            f"{point.loss_episodes} loss episodes"
         )
     return ChaosResult(
         plan=plan_name,

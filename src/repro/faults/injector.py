@@ -60,7 +60,9 @@ class _GilbertElliottChain:
 class LinkFaultHook:
     """Per-packet link verdicts: blackout, bursty loss, then jitter."""
 
-    def __init__(self, sim, plan: FaultPlan, rng):
+    def __init__(self, sim, plan: FaultPlan, rng, tracer=None, src="link"):
+        from repro.obs.tracer import NULL_TRACER
+
         self._sim = sim
         self._rng = rng
         self._flap = plan.flap
@@ -71,6 +73,8 @@ class LinkFaultHook:
         self.loss_drops = 0
         self.blackout_drops = 0
         self.jittered = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._src = src
 
     def _in_blackout(self) -> bool:
         flap = self._flap
@@ -82,9 +86,13 @@ class LinkFaultHook:
     def __call__(self, packet) -> int:
         if self._flap is not None and self._in_blackout():
             self.blackout_drops += 1
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(self._src, "link", "blackout-drop")
             return DROP
         if self._chain is not None and self._chain.lost():
             self.loss_drops += 1
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(self._src, "link", "loss-drop")
             return DROP
         jitter = self._jitter
         if (
@@ -93,7 +101,12 @@ class LinkFaultHook:
             and self._rng.bernoulli(jitter.probability)
         ):
             self.jittered += 1
-            return self._rng.uniform_ns(0, jitter.jitter_ns)
+            delay = self._rng.uniform_ns(0, jitter.jitter_ns)
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(
+                    self._src, "link", "jitter", delay_ns=delay
+                )
+            return delay
         return 0
 
     @property
@@ -105,11 +118,15 @@ class LinkFaultHook:
 class NicFaultHook:
     """Ingress NIC verdicts: ring-overrun drops and deferred IRQs."""
 
-    def __init__(self, plan: FaultPlan, rng):
+    def __init__(self, plan: FaultPlan, rng, tracer=None, src="nic"):
+        from repro.obs.tracer import NULL_TRACER
+
         self._spec = plan.nic
         self._rng = rng
         self.drops = 0
         self.deferred = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._src = src
 
     def __call__(self, packet) -> int:
         spec = self._spec
@@ -117,6 +134,8 @@ class NicFaultHook:
             spec.rx_drop_probability
         ):
             self.drops += 1
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(self._src, "nic", "ring-drop")
             return DROP
         if (
             spec.rx_defer_ns > 0
@@ -124,7 +143,12 @@ class NicFaultHook:
             and self._rng.bernoulli(spec.rx_defer_probability)
         ):
             self.deferred += 1
-            return self._rng.uniform_ns(0, spec.rx_defer_ns)
+            delay = self._rng.uniform_ns(0, spec.rx_defer_ns)
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(
+                    self._src, "nic", "irq-defer", delay_ns=delay
+                )
+            return delay
         return 0
 
 
@@ -159,13 +183,17 @@ class ExchangeFaultHook:
     belongs to the segment.
     """
 
-    def __init__(self, plan: FaultPlan, rng):
+    def __init__(self, plan: FaultPlan, rng, tracer=None, src="exchange"):
+        from repro.obs.tracer import NULL_TRACER
+
         self._spec = plan.exchange
         self._rng = rng
         self._last_state: WirePeerState | None = None
         self.dropped = 0
         self.corrupted = 0
         self.staled = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._src = src
 
     def __call__(self, options: dict) -> dict | None:
         state = options.get(OPTION_E2E)
@@ -176,6 +204,8 @@ class ExchangeFaultHook:
             spec.drop_probability
         ):
             self.dropped += 1
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(self._src, "exchange", "drop-option")
             rewritten = {
                 key: value
                 for key, value in options.items()
@@ -188,6 +218,8 @@ class ExchangeFaultHook:
             and self._rng.bernoulli(spec.stale_probability)
         ):
             self.staled += 1
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(self._src, "exchange", "stale-replay")
             rewritten = dict(options)
             rewritten[OPTION_E2E] = self._last_state
             return rewritten
@@ -195,6 +227,8 @@ class ExchangeFaultHook:
             spec.corrupt_probability
         ):
             self.corrupted += 1
+            if self._tracer.enabled:
+                self._tracer.fault_verdict(self._src, "exchange", "corrupt")
             rewritten = dict(options)
             rewritten[OPTION_E2E] = _corrupt_state(state, self._rng)
             return rewritten
@@ -209,7 +243,9 @@ class FaultInjector:
     plan has nothing for that layer, so callers can attach uniformly.
     """
 
-    def __init__(self, sim, plan: FaultPlan, rng):
+    def __init__(self, sim, plan: FaultPlan, rng, tracer=None):
+        from repro.obs.tracer import NULL_TRACER
+
         if plan.is_noop:
             raise FaultError(
                 "refusing to build an injector for a no-op plan; "
@@ -219,6 +255,7 @@ class FaultInjector:
         self.sim = sim
         self.plan = plan
         self._rng = rng
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.link_hooks: dict[str, LinkFaultHook] = {}
         self.nic_hooks: dict[str, NicFaultHook] = {}
         self.exchange_hooks: dict[str, ExchangeFaultHook] = {}
@@ -240,7 +277,11 @@ class FaultInjector:
         if plan.loss is None and plan.jitter is None and plan.flap is None:
             return
         hook = LinkFaultHook(
-            self.sim, plan, self._rng.stream(f"faults.link.{direction}")
+            self.sim,
+            plan,
+            self._rng.stream(f"faults.link.{direction}"),
+            tracer=self._tracer,
+            src=f"link.{direction}",
         )
         link.set_fault_hook(hook)
         self.link_hooks[direction] = hook
@@ -251,7 +292,10 @@ class FaultInjector:
         if self.plan.nic is None or not self._wire_faults_for(direction):
             return
         hook = NicFaultHook(
-            self.plan, self._rng.stream(f"faults.nic.{direction}")
+            self.plan,
+            self._rng.stream(f"faults.nic.{direction}"),
+            tracer=self._tracer,
+            src=f"nic.{direction}",
         )
         nic.set_rx_fault_hook(hook)
         self.nic_hooks[direction] = hook
@@ -261,7 +305,10 @@ class FaultInjector:
         if self.plan.exchange is None:
             return
         hook = ExchangeFaultHook(
-            self.plan, self._rng.stream(f"faults.exchange.{name}")
+            self.plan,
+            self._rng.stream(f"faults.exchange.{name}"),
+            tracer=self._tracer,
+            src=f"exchange.{name}",
         )
         exchange.fault_hook = hook
         self.exchange_hooks[name] = hook
@@ -272,14 +319,20 @@ class FaultInjector:
         if spec is None or spec.stall_ns == 0:
             return
         self._stalled_sockets.append(socket)
+        tracer = self._tracer
+        src = f"stall.{getattr(socket, 'name', 'socket')}"
 
         def stall_on() -> None:
             self.stall_windows += 1
             socket.set_read_stall(True)
+            if tracer.enabled:
+                tracer.fault_verdict(src, "socket", "stall-on")
             self.sim.call_after(spec.stall_ns, stall_off)
 
         def stall_off() -> None:
             socket.set_read_stall(False)
+            if tracer.enabled:
+                tracer.fault_verdict(src, "socket", "stall-off")
             self.sim.call_after(spec.period_ns - spec.stall_ns, stall_on)
 
         self.sim.call_at(max(self.sim.now, spec.start_ns), stall_on)

@@ -92,6 +92,7 @@ class Host:
         costs: HostCosts | None = None,
         nic_config: NicConfig | None = None,
         trace=None,
+        tracer=None,
     ):
         from repro.sim.trace import TraceRecorder
 
@@ -100,7 +101,9 @@ class Host:
         self.costs = costs or HostCosts()
         # Disabled-by-default event taps; enable with
         # ``host.trace.enabled = True`` to record protocol events.
-        self.trace = trace or TraceRecorder(sim)
+        # ``tracer`` (a repro.obs Tracer) additionally mirrors every tap
+        # into the unified repro-trace-v1 stream.
+        self.trace = trace or TraceRecorder(sim, forward=tracer)
         self.app_core = CpuCore(sim, name=f"{name}.app")
         self.net_core = CpuCore(sim, name=f"{name}.net")
         self.nic = Nic(sim, nic_config or NicConfig(), name=f"{name}.nic")

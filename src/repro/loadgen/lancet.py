@@ -112,6 +112,7 @@ class Testbed:
     server: RedisServer
     conns: list[Connection]
     faults: FaultInjector | None = None
+    tracer: object = None  # repro.obs Tracer; NULL_TRACER when untraced
 
     @property
     def client_sock(self):
@@ -203,22 +204,40 @@ class RunResult:
         return (self.server_app_util + self.server_net_util) / 2
 
 
-def build_testbed(config: BenchConfig) -> Testbed:
-    """Assemble hosts, sockets, apps and instrumentation for one run."""
+def build_testbed(config: BenchConfig, tracer=None) -> Testbed:
+    """Assemble hosts, sockets, apps and instrumentation for one run.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when given its
+    clock is bound to the run's simulator and every instrumented layer
+    (hosts' protocol taps, exchanges, counter collectors, fault hooks)
+    emits into it.  Tracing never perturbs the run: emit sites draw no
+    randomness and schedule no events, so results with a disabled (or
+    absent) tracer are byte-identical.
+    """
+    from repro.obs.tracer import NULL_TRACER
+
     config.validate()
     sim = Simulator()
     rng = RngRegistry(config.seed)
+    if tracer is None:
+        tracer = NULL_TRACER
+    else:
+        tracer.bind_clock(sim)
     client_costs = config.client_costs.scaled(config.client_cpu_factor)
-    client_host = Host(sim, "client", costs=client_costs, nic_config=config.nic_config)
+    client_host = Host(
+        sim, "client", costs=client_costs, nic_config=config.nic_config,
+        tracer=tracer,
+    )
     server_host = Host(
-        sim, "server", costs=config.server_costs, nic_config=config.nic_config
+        sim, "server", costs=config.server_costs, nic_config=config.nic_config,
+        tracer=tracer,
     )
     # The fault layer is strictly opt-in: without a (non-no-op) plan no
     # injector exists, no hook is installed anywhere, and no fault RNG
     # stream is ever created — runs without faults stay byte-identical.
     faults = None
     if config.fault_plan is not None and not config.fault_plan.is_noop:
-        faults = FaultInjector(sim, config.fault_plan, rng)
+        faults = FaultInjector(sim, config.fault_plan, rng, tracer=tracer)
     PointToPoint.connect(
         sim,
         client_host.nic,
@@ -254,10 +273,11 @@ def build_testbed(config: BenchConfig) -> Testbed:
         client_exchange = MetadataExchange(
             sim, client_sock, period_ns=config.exchange_period_ns,
             hint_session=hint_session, max_gap_ns=exchange_gap,
+            tracer=tracer,
         )
         server_exchange = MetadataExchange(
             sim, server_sock, period_ns=config.exchange_period_ns,
-            max_gap_ns=exchange_gap,
+            max_gap_ns=exchange_gap, tracer=tracer,
         )
         if faults is not None:
             faults.attach_exchange(client_exchange, f"client.{index}")
@@ -268,7 +288,8 @@ def build_testbed(config: BenchConfig) -> Testbed:
             hint_session=hint_session, name=f"lancet.{index}",
         )
         collector = CounterCollector(
-            sim, client_sock, server_sock, period_ns=config.counter_period_ns
+            sim, client_sock, server_sock,
+            period_ns=config.counter_period_ns, tracer=tracer,
         )
         conns.append(
             Connection(
@@ -295,20 +316,22 @@ def build_testbed(config: BenchConfig) -> Testbed:
         server=server,
         conns=conns,
         faults=faults,
+        tracer=tracer,
     )
 
 
 def run_benchmark(
     config: BenchConfig,
     tweak: Callable[[Testbed], None] | None = None,
+    tracer=None,
 ) -> RunResult:
     """Run one benchmark to completion and summarize.
 
     ``tweak`` runs after testbed assembly and before load start — the
     hook experiments use to attach controllers (toggler, AIMD) or extra
-    instrumentation.
+    instrumentation.  ``tracer`` is forwarded to :func:`build_testbed`.
     """
-    bed = build_testbed(config)
+    bed = build_testbed(config, tracer=tracer)
     if tweak is not None:
         tweak(bed)
     bed.start_load()

@@ -1,0 +1,78 @@
+"""repro.obs — the unified observability layer.
+
+The paper's whole mechanism is measurement (TRACK/GETAVGS counters, the
+§3.2 estimate, the §4–§5 toggling decisions built on it); this package
+makes that machinery inspectable without perturbing it:
+
+- :mod:`~repro.obs.tracer` — :class:`Tracer`: typed trace records under
+  the versioned ``repro-trace-v1`` schema, zero-overhead when disabled
+  (the shared :data:`NULL_TRACER` is what instrumented components hold
+  by default).
+- :mod:`~repro.obs.schema` — the schema itself (:data:`RECORD_TYPES`)
+  plus stream validation; ``docs/OBSERVABILITY.md`` is generated from
+  it, so docs and code cannot drift.
+- :mod:`~repro.obs.sinks` — in-memory list/ring sinks and the JSONL
+  file sink the ``repro trace`` CLI reads back.
+- :mod:`~repro.obs.metrics` — counters/gauges/histograms in a
+  :class:`MetricsRegistry`, snapshotted as ``repro-metrics-v1`` into
+  experiment JSON; :func:`collect_run_metrics` harvests the standard
+  catalog from a finished testbed.
+- :mod:`~repro.obs.log` — :class:`ProgressLog`: experiment progress on
+  stderr, silenced by ``--quiet``, mirrored into the trace.
+- :mod:`~repro.obs.instrument` — deep per-syscall socket tracing via
+  the :class:`~repro.tcp.instrumentation.SocketInstrument` hooks.
+
+Invariant: with tracing and metrics disabled (the default), every
+experiment output is byte-identical to a build without this package —
+emit sites cost one attribute read, draw no randomness, and schedule no
+events.
+"""
+
+from repro.obs.instrument import TraceInstrument, attach_deep_tracing
+from repro.obs.log import NULL_LOG, ProgressLog
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+)
+from repro.obs.schema import (
+    RECORD_TYPES,
+    SCHEMA,
+    require_valid_stream,
+    validate_record,
+    validate_stream,
+)
+from repro.obs.report import filter_records, render_summary, summarize_records
+from repro.obs.sinks import JsonlSink, ListSink, RingSink, iter_records, read_jsonl
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_LOG",
+    "NULL_TRACER",
+    "ProgressLog",
+    "RECORD_TYPES",
+    "RingSink",
+    "SCHEMA",
+    "TraceInstrument",
+    "Tracer",
+    "attach_deep_tracing",
+    "collect_run_metrics",
+    "filter_records",
+    "iter_records",
+    "render_summary",
+    "summarize_records",
+    "read_jsonl",
+    "require_valid_stream",
+    "validate_record",
+    "validate_stream",
+]

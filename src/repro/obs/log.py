@@ -1,0 +1,49 @@
+"""Progress logging for experiment drivers.
+
+Long sweeps (the chaos driver, campaign runs) used to be silent or to
+print ad hoc; :class:`ProgressLog` gives them one spine: lines go to
+stderr (never stdout, so rendered tables and JSON stay byte-identical
+and pipeable), ``quiet`` silences them, and when a tracer is attached
+each line is also recorded as a ``log.message`` trace record — the
+run's narrative ends up in the same stream as its measurements.
+
+Library entry points default to :data:`NULL_LOG` (fully silent), so
+importing code sees no behavior change; the CLI passes a real log and
+wires ``--quiet`` to it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.tracer import NULL_TRACER
+
+
+class ProgressLog:
+    """Progress lines: stderr unless quiet, mirrored into a tracer."""
+
+    def __init__(self, quiet: bool = False, stream=None, tracer=None):
+        self.quiet = quiet
+        self._stream = stream
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.messages: list[str] = []
+
+    def info(self, message: str) -> None:
+        """Log one progress line."""
+        self.messages.append(message)
+        if not self.quiet:
+            print(message, file=self._stream or sys.stderr, flush=True)
+        if self._tracer.enabled:
+            self._tracer.log_message(message)
+
+
+class _NullLog(ProgressLog):
+    """Shared no-op log (retains nothing, so it can be a singleton)."""
+
+    def info(self, message: str) -> None:
+        pass
+
+
+#: Shared silent log: the default for library use, so drivers emit
+#: progress only when a caller asks for it.
+NULL_LOG = _NullLog(quiet=True)

@@ -1,0 +1,86 @@
+"""Trace post-processing: summarize and filter recorded streams.
+
+These are the read-side helpers behind ``repro trace summarize`` and
+``repro trace filter`` — pure functions over record iterables, so tests
+and notebooks can use them on in-memory sinks just as the CLI uses them
+on JSONL files.
+"""
+
+from __future__ import annotations
+
+from repro.obs.sinks import iter_records
+
+
+def filter_records(
+    source,
+    type_: str | None = None,
+    src: str | None = None,
+    since_ns: int | None = None,
+    until_ns: int | None = None,
+):
+    """Yield records matching every given criterion (None = wildcard)."""
+    for record in iter_records(source):
+        if type_ is not None and record.get("type") != type_:
+            continue
+        if src is not None and record.get("src") != src:
+            continue
+        t = record.get("t", 0)
+        if since_ns is not None and t < since_ns:
+            continue
+        if until_ns is not None and t > until_ns:
+            continue
+        yield record
+
+
+def summarize_records(source) -> dict:
+    """Aggregate a stream: counts by type and by source, time span.
+
+    Returns ``{"records", "start_ns", "end_ns", "span_ns", "by_type",
+    "by_src"}`` with the count maps sorted by descending count then
+    name, so the summary itself is deterministic.
+    """
+    total = 0
+    start = None
+    end = None
+    by_type: dict[str, int] = {}
+    by_src: dict[str, int] = {}
+    for record in iter_records(source):
+        total += 1
+        t = record.get("t", 0)
+        if start is None or t < start:
+            start = t
+        if end is None or t > end:
+            end = t
+        rtype = record.get("type", "?")
+        by_type[rtype] = by_type.get(rtype, 0) + 1
+        src = record.get("src", "?")
+        by_src[src] = by_src.get(src, 0) + 1
+
+    def _ordered(counts: dict[str, int]) -> dict[str, int]:
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    return {
+        "records": total,
+        "start_ns": start,
+        "end_ns": end,
+        "span_ns": (end - start) if total else None,
+        "by_type": _ordered(by_type),
+        "by_src": _ordered(by_src),
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable form of :func:`summarize_records`."""
+    lines = [f"records: {summary['records']}"]
+    if summary["records"]:
+        lines.append(
+            f"span: {summary['start_ns']} .. {summary['end_ns']} ns "
+            f"({summary['span_ns'] / 1e6:.3f} ms)"
+        )
+        lines.append("by type:")
+        for name, count in summary["by_type"].items():
+            lines.append(f"  {name:<20} {count}")
+        lines.append("by source:")
+        for name, count in summary["by_src"].items():
+            lines.append(f"  {name:<20} {count}")
+    return "\n".join(lines)

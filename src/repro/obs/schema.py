@@ -1,0 +1,291 @@
+"""The ``repro-trace-v1`` record schema: definition and validation.
+
+A trace is a stream of JSON objects (one per line in the JSONL form).
+Every record carries three common fields:
+
+- ``t``    — simulated time in integer nanoseconds;
+- ``type`` — the record type, one of :data:`RECORD_TYPES`;
+- ``src``  — the emitting component instance (e.g. ``redis.0.client``).
+
+The stream's first record must be a ``trace.header`` naming the schema
+version, so a reader can reject a file from a different layout before
+interpreting anything else.
+
+This module is the *single source of truth* for the schema:
+:func:`validate_record` checks records against :data:`RECORD_TYPES`, and
+``tools/check_docs.py`` regenerates the schema table embedded in
+``docs/OBSERVABILITY.md`` from the same structure, so the documentation
+cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ObservabilityError
+
+SCHEMA = "repro-trace-v1"
+
+#: Common fields present on every record.
+COMMON_FIELDS = {
+    "t": (int, "simulated time, integer nanoseconds"),
+    "type": (str, "record type (see the table below)"),
+    "src": (str, "emitting component instance"),
+}
+
+#: A ``(time, total, integral)`` queue snapshot as carried in records.
+_SNAPSHOT = dict
+
+#: Field specs are ``name -> (python type(s), description)``.  A tuple of
+#: types means "any of"; ``type(None)`` in the tuple marks the field
+#: nullable.  Every field listed is required — emitters always write the
+#: full record, with ``null`` where no value exists.
+RECORD_TYPES: dict[str, dict] = {
+    "trace.header": {
+        "doc": "Stream header; always the first record.",
+        "fields": {
+            "schema": (str, f"schema version; always {SCHEMA!r}"),
+            "label": ((str, type(None)), "free-form run label"),
+        },
+    },
+    "queue.sample": {
+        "doc": (
+            "Periodic snapshot of one endpoint's three §3.1 queue "
+            "states, from the counter collector (the ethtool analogue)."
+        ),
+        "fields": {
+            "unacked": (_SNAPSHOT, "{time,total,integral} of qs_unacked"),
+            "unread": (_SNAPSHOT, "{time,total,integral} of qs_unread"),
+            "ackdelay": (_SNAPSHOT, "{time,total,integral} of qs_ackdelay"),
+        },
+    },
+    "exchange.send": {
+        "doc": "A 36-byte §3.2 metadata state left this endpoint.",
+        "fields": {
+            "bytes": (int, "option bytes attached to the segment"),
+            "demand": (bool, "sent on demand (vs the periodic cadence)"),
+            "hint": (bool, "a §3.3 hint state rode along"),
+        },
+    },
+    "exchange.recv": {
+        "doc": (
+            "A peer state arrived; outcome of the plausibility check "
+            "with the unwrapped candidate counters."
+        ),
+        "fields": {
+            "outcome": (str, "'accepted' | 'rejected' | 'rebaselined'"),
+            "unacked": (_SNAPSHOT, "unwrapped candidate qs_unacked"),
+            "unread": (_SNAPSHOT, "unwrapped candidate qs_unread"),
+            "ackdelay": (_SNAPSHOT, "unwrapped candidate qs_ackdelay"),
+        },
+    },
+    "estimator.sample": {
+        "doc": (
+            "One §3.2 estimate: the four queue-delay inputs and the "
+            "combined end-to-end output, with any clamping applied."
+        ),
+        "fields": {
+            "interval_ns": (int, "interval the estimate covers"),
+            "local": (dict, "{unacked,unread,ackdelay} delays (ns|null)"),
+            "remote": (
+                (dict, type(None)),
+                "peer delays, null when no remote view existed",
+            ),
+            "latency_ns": (
+                (int, float, type(None)),
+                "combined estimate; null when a required input was undefined",
+            ),
+            "throughput_per_sec": ((int, float), "λ of the local unacked queue"),
+            "complete": (bool, "every §3.2 component was defined"),
+            "clamped": (
+                (str, type(None)),
+                "null | 'negative' | 'absurd' — clamp applied to the output",
+            ),
+        },
+    },
+    "estimator.reject": {
+        "doc": "The estimator discarded its remote view for one sample.",
+        "fields": {
+            "reason": (str, "'stale' | 'nonmonotonic'"),
+            "staleness_ns": (
+                (int, type(None)),
+                "age of the freshest accepted exchange (stale rejections)",
+            ),
+        },
+    },
+    "toggler.decision": {
+        "doc": (
+            "One §4–§5 controller tick: the sample it observed, the "
+            "EWMA state that justified the choice, and the choice."
+        ),
+        "fields": {
+            "tick": (int, "tick index (1-based)"),
+            "mode": (bool, "mode after the decision (true = batching on)"),
+            "prev_mode": (bool, "mode before the decision"),
+            "toggled": (bool, "the mode changed this tick"),
+            "explored": (bool, "ε-exploration (vs greedy) pick"),
+            "phase": (
+                str,
+                "'measure' | 'settle' | 'loss-freeze' | 'freeze-hold'",
+            ),
+            "sample_latency_ns": (
+                (int, float, type(None)),
+                "this tick's estimate, null when undefined",
+            ),
+            "ewma": (
+                dict,
+                "per-arm state: {'nagle_off'|'nagle_on': {latency_ns, "
+                "throughput_per_sec, samples}}",
+            ),
+        },
+    },
+    "fault.verdict": {
+        "doc": (
+            "A fault hook acted (verdicts that deliver untouched are "
+            "not recorded)."
+        ),
+        "fields": {
+            "layer": (str, "'link' | 'nic' | 'exchange' | 'socket'"),
+            "verdict": (
+                str,
+                "'loss-drop' | 'blackout-drop' | 'jitter' | 'ring-drop' "
+                "| 'irq-defer' | 'drop-option' | 'stale-replay' | "
+                "'corrupt' | 'stall-on' | 'stall-off'",
+            ),
+            "delay_ns": (
+                (int, type(None)),
+                "extra delay for 'jitter'/'irq-defer' verdicts, else null",
+            ),
+        },
+    },
+    "tcp.event": {
+        "doc": (
+            "A protocol tap from the TCP layer (the legacy per-host "
+            "TraceRecorder taps, unified onto this stream)."
+        ),
+        "fields": {
+            "event": (
+                str,
+                "'tx' | 'rx' | 'batching_hold' | 'window_probe' | ...",
+            ),
+            "detail": (object, "event-specific payload (may be null)"),
+        },
+    },
+    "log.message": {
+        "doc": "A progress-log line mirrored into the trace.",
+        "fields": {
+            "message": (str, "the logged text"),
+        },
+    },
+    "metrics.snapshot": {
+        "doc": (
+            "A repro-metrics-v1 registry snapshot, typically appended "
+            "once at the end of a traced run."
+        ),
+        "fields": {
+            "metrics": (dict, "the snapshot (see the metrics catalog)"),
+        },
+    },
+}
+
+
+def _check_type(value, expected) -> bool:
+    if expected is object:
+        return True
+    if isinstance(expected, tuple):
+        return isinstance(value, expected)
+    if expected is int:
+        # bool is an int subclass; an int field must not accept True.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected is bool:
+        return isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def _type_name(expected) -> str:
+    if isinstance(expected, tuple):
+        return " | ".join(_type_name(e) for e in expected)
+    if expected is type(None):
+        return "null"
+    if expected is object:
+        return "any"
+    return expected.__name__
+
+def validate_record(record: dict) -> list[str]:
+    """Check one record against the schema; return a list of problems.
+
+    An empty list means the record is valid.  Problems name the field,
+    so a failing record can be fixed (or its emitter debugged) without
+    re-reading the schema.
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    for name, (expected, _) in COMMON_FIELDS.items():
+        if name not in record:
+            problems.append(f"missing common field {name!r}")
+        elif not _check_type(record[name], expected):
+            problems.append(
+                f"field {name!r} must be {_type_name(expected)}, "
+                f"got {type(record[name]).__name__}"
+            )
+    rtype = record.get("type")
+    if rtype is None or not isinstance(rtype, str):
+        return problems
+    spec = RECORD_TYPES.get(rtype)
+    if spec is None:
+        problems.append(f"unknown record type {rtype!r}")
+        return problems
+    fields = spec["fields"]
+    for name, (expected, _) in fields.items():
+        if name not in record:
+            problems.append(f"{rtype}: missing field {name!r}")
+        elif not _check_type(record[name], expected):
+            problems.append(
+                f"{rtype}: field {name!r} must be {_type_name(expected)}, "
+                f"got {type(record[name]).__name__}"
+            )
+    extras = set(record) - set(fields) - set(COMMON_FIELDS)
+    if extras:
+        problems.append(f"{rtype}: unexpected fields {sorted(extras)}")
+    return problems
+
+
+def validate_stream(records: Iterable[dict]) -> list[str]:
+    """Validate a whole record stream (header first, every record valid).
+
+    Returns a list of problems prefixed with the record index; empty
+    when the stream is a valid ``repro-trace-v1`` trace.
+    """
+    problems: list[str] = []
+    empty = True
+    for index, record in enumerate(records):
+        empty = False
+        if index == 0:
+            if record.get("type") != "trace.header":
+                problems.append(
+                    "record 0: stream must start with a trace.header"
+                )
+            elif record.get("schema") != SCHEMA:
+                problems.append(
+                    f"record 0: header schema is {record.get('schema')!r}, "
+                    f"expected {SCHEMA!r}"
+                )
+        problems.extend(
+            f"record {index}: {problem}"
+            for problem in validate_record(record)
+        )
+    if empty:
+        problems.append("stream is empty (no header)")
+    return problems
+
+
+def require_valid_stream(records: Iterable[dict]) -> None:
+    """Raise :class:`ObservabilityError` unless the stream validates."""
+    problems = validate_stream(records)
+    if problems:
+        shown = "\n  ".join(problems[:20])
+        more = f"\n  ... and {len(problems) - 20} more" if len(problems) > 20 else ""
+        raise ObservabilityError(
+            f"trace does not conform to {SCHEMA}:\n  {shown}{more}"
+        )

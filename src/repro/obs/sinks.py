@@ -1,0 +1,142 @@
+"""Trace sinks: where emitted records go.
+
+A sink is anything with ``append(record)`` and ``close()``.  Records are
+plain dicts of JSON-serializable values (the :mod:`repro.obs.schema`
+contract), so every sink can serialize without knowing record types.
+
+- :class:`ListSink` — keep everything in memory, in order.  The default
+  for tests and short interactive runs.
+- :class:`RingSink` — keep only the most recent ``capacity`` records.
+  For long always-on runs where only the tail matters (the flight
+  recorder idiom).
+- :class:`JsonlSink` — stream records to a JSON-lines file as they are
+  emitted; this is the on-disk ``repro-trace-v1`` format the
+  ``repro trace`` CLI reads back.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ObservabilityError
+
+
+class ListSink:
+    """Accumulate records in an in-memory list."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def append(self, record: dict) -> None:
+        """Store one record."""
+        self.records.append(record)
+
+    def close(self) -> None:
+        """No-op (memory sinks hold no resources)."""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.records)
+
+
+class RingSink:
+    """Keep only the newest ``capacity`` records (a flight recorder)."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ObservabilityError(
+                f"ring capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.dropped = 0  # records pushed out of the ring
+
+    @property
+    def records(self) -> list[dict]:
+        """The retained records, oldest first."""
+        return list(self._ring)
+
+    def append(self, record: dict) -> None:
+        """Store one record, evicting the oldest when full."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(record)
+
+    def close(self) -> None:
+        """No-op (memory sinks hold no resources)."""
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._ring)
+
+
+class JsonlSink:
+    """Stream records to a JSON-lines file.
+
+    The file is opened lazily on the first record (so constructing a
+    tracer that never fires creates no file) and parent directories are
+    created.  One JSON object per line, compact separators — the
+    ``repro-trace-v1`` on-disk format.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._file = None
+        self.written = 0
+
+    def append(self, record: dict) -> None:
+        """Serialize and write one record."""
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (safe to call twice)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_jsonl(path) -> list[dict]:
+    """Load a JSONL trace written by :class:`JsonlSink`.
+
+    Raises :class:`ObservabilityError` on a line that is not a JSON
+    object, with the offending line number.
+    """
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ObservabilityError(
+                    f"{path}:{lineno}: trace records must be JSON objects, "
+                    f"got {type(record).__name__}"
+                )
+            records.append(record)
+    return records
+
+
+def iter_records(source) -> Iterable[dict]:
+    """Normalize a sink, list, or path into an iterable of records."""
+    if hasattr(source, "records"):
+        return source.records
+    if isinstance(source, (str, Path)):
+        return read_jsonl(source)
+    return source

@@ -87,13 +87,33 @@ class ParallelRunner:
         self,
         configs: Sequence[BenchConfig],
         tweak: Callable | None = None,
+        tracer=None,
     ) -> list[RunResult]:
         """Run every config; results align index-for-index with ``configs``.
 
         Output is identical to ``[run_benchmark(c, tweak=tweak) for c in
         configs]`` — runs are deterministic given their config, and the
         merge preserves input order.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) forces serial in-process
+        execution: the trace is one ordered stream, and a tracer cannot
+        cross a process boundary.  Each run is preceded by a
+        ``log.message`` boundary record naming its position and config,
+        so a campaign trace can be split back into runs.
         """
+        if tracer is not None:
+            results = []
+            for index, config in enumerate(configs):
+                if tracer.enabled:
+                    tracer.log_message(
+                        f"campaign run {index + 1}/{len(configs)}: "
+                        f"rate={config.rate_per_sec:.0f} "
+                        f"nagle={config.nagle} seed={config.seed}"
+                    )
+                results.append(
+                    run_benchmark(config, tweak=tweak, tracer=tracer)
+                )
+            return results
         if tweak is not None and self.workers > 1 and not _picklable(tweak):
             warnings.warn(
                 "tweak is not picklable; running the campaign serially "
@@ -141,8 +161,9 @@ def run_campaign(
     tweak: Callable | None = None,
     workers: int = 1,
     start_method: str | None = None,
+    tracer=None,
 ) -> list[RunResult]:
     """One-shot convenience: ``ParallelRunner(workers).run_many(configs)``."""
     return ParallelRunner(workers, start_method=start_method).run_many(
-        configs, tweak=tweak
+        configs, tweak=tweak, tracer=tracer
     )

@@ -1,8 +1,19 @@
-"""Lightweight trace recording.
+"""Lightweight per-host trace recording (legacy tap API).
 
-Components emit ``(time, source, event, detail)`` records through a shared
-:class:`TraceRecorder`.  Tracing is off by default and costs one attribute
-check per emit when disabled, so instrumented hot paths stay cheap.
+Components emit ``(time, source, event, detail)`` records through a
+shared :class:`TraceRecorder`.  Tracing is off by default and costs one
+attribute check per emit when disabled, so instrumented hot paths stay
+cheap.
+
+This is the legacy, per-host view; the unified observability layer is
+:mod:`repro.obs`.  A recorder constructed with ``forward=`` bridges the
+two: every emitted event is also recorded as a typed ``tcp.event``
+record on the run's :class:`~repro.obs.tracer.Tracer`, so the old taps
+(socket tx/rx, batching holds, window probes) appear in the same
+``repro-trace-v1`` stream as queue samples, estimates, and toggler
+decisions.  Forwarding is independent of the local ``enabled`` flag:
+``host.trace.enabled`` still controls only the in-memory per-host list
+the existing tests and debuggers read.
 """
 
 from __future__ import annotations
@@ -22,17 +33,27 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceRecord` entries when enabled."""
+    """Collects :class:`TraceRecord` entries when enabled.
 
-    def __init__(self, sim, enabled: bool = False):
+    ``forward`` is an optional :class:`~repro.obs.tracer.Tracer`; when
+    given (and itself enabled) every emit is mirrored as a ``tcp.event``
+    record on the unified stream, regardless of this recorder's own
+    ``enabled`` flag.
+    """
+
+    def __init__(self, sim, enabled: bool = False, forward=None):
         self._sim = sim
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self._forward = forward
 
     def emit(self, source: str, event: str, detail: Any = None) -> None:
-        """Record an event (no-op when disabled)."""
+        """Record an event (no-op when disabled and not forwarding)."""
         if self.enabled:
             self.records.append(TraceRecord(self._sim.now, source, event, detail))
+        forward = self._forward
+        if forward is not None and forward.enabled:
+            forward.tcp_event(source, event, detail)
 
     def filter(self, source: str | None = None, event: str | None = None) -> Iterator[TraceRecord]:
         """Iterate records matching the given source and/or event name."""

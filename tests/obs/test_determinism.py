@@ -1,0 +1,86 @@
+"""The observability invariants: zero perturbation, full determinism.
+
+The two acceptance properties of the tracing layer:
+
+- a run with tracing *disabled* (or absent) produces results identical
+  to a traced run — instrumentation never changes what is measured;
+- the same seed produces the *identical* record stream, byte for byte
+  once serialized — traces are reproducible artifacts, not samples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.fig4a import default_config
+from repro.loadgen.lancet import run_benchmark
+from repro.obs import ListSink, Tracer, validate_stream
+from repro.units import msecs
+
+
+def _config(seed: int = 3):
+    return replace(
+        default_config(measure_ns=msecs(40)),
+        rate_per_sec=8_000.0,
+        seed=seed,
+    )
+
+
+def _key_numbers(result) -> tuple:
+    return (
+        result.achieved_rate,
+        result.latency,
+        result.send_latency,
+        result.client_wire_packets,
+        result.server_deliveries,
+        result.server_mean_batch,
+    )
+
+
+@pytest.mark.slow
+class TestNoPerturbation:
+    def test_traced_equals_untraced(self):
+        plain = run_benchmark(_config())
+        tracer = Tracer(sink=ListSink())
+        traced = run_benchmark(_config(), tracer=tracer)
+        assert _key_numbers(plain) == _key_numbers(traced)
+        assert tracer.emitted > 0
+
+    def test_disabled_tracer_equals_untraced(self):
+        plain = run_benchmark(_config())
+        tracer = Tracer(sink=ListSink(), enabled=False)
+        disabled = run_benchmark(_config(), tracer=tracer)
+        assert _key_numbers(plain) == _key_numbers(disabled)
+        assert tracer.records == []
+        assert tracer.emitted == 0
+
+
+@pytest.mark.slow
+class TestReproducibleStreams:
+    def test_same_seed_identical_stream(self):
+        streams = []
+        for _ in range(2):
+            tracer = Tracer(sink=ListSink(), label="det")
+            run_benchmark(_config(seed=7), tracer=tracer)
+            streams.append(
+                "\n".join(
+                    json.dumps(r, sort_keys=True) for r in tracer.records
+                )
+            )
+        assert streams[0] == streams[1]
+
+    def test_stream_validates_and_is_stamped(self):
+        tracer = Tracer(sink=ListSink())
+        run_benchmark(_config(), tracer=tracer)
+        records = tracer.records
+        assert validate_stream(records) == []
+        # Simulated-time stamps: monotone non-decreasing, header first.
+        times = [record["t"] for record in records]
+        assert times == sorted(times)
+        types = {record["type"] for record in records}
+        assert "queue.sample" in types
+        assert "exchange.send" in types
+        assert "exchange.recv" in types

@@ -1,0 +1,85 @@
+"""ProgressLog behavior and trace post-processing helpers."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import (
+    NULL_LOG,
+    ListSink,
+    ProgressLog,
+    Tracer,
+    filter_records,
+    render_summary,
+    summarize_records,
+)
+
+
+class TestProgressLog:
+    def test_writes_to_stream(self):
+        stream = io.StringIO()
+        log = ProgressLog(stream=stream)
+        log.info("working")
+        assert stream.getvalue() == "working\n"
+        assert log.messages == ["working"]
+
+    def test_quiet_silences_stream(self):
+        stream = io.StringIO()
+        log = ProgressLog(quiet=True, stream=stream)
+        log.info("working")
+        assert stream.getvalue() == ""
+        assert log.messages == ["working"]
+
+    def test_mirrors_into_tracer(self):
+        tracer = Tracer(sink=ListSink())
+        log = ProgressLog(quiet=True, tracer=tracer)
+        log.info("working")
+        assert tracer.records[-1]["type"] == "log.message"
+        assert tracer.records[-1]["message"] == "working"
+
+    def test_null_log_retains_nothing(self):
+        NULL_LOG.info("dropped")
+        assert NULL_LOG.messages == []
+
+
+def _records():
+    return [
+        {"t": 0, "type": "trace.header", "src": "tracer"},
+        {"t": 10, "type": "log.message", "src": "log", "message": "a"},
+        {"t": 20, "type": "log.message", "src": "log", "message": "b"},
+        {"t": 30, "type": "tcp.event", "src": "client", "event": "tx"},
+    ]
+
+
+class TestFilter:
+    def test_by_type(self):
+        out = list(filter_records(_records(), type_="log.message"))
+        assert [r["t"] for r in out] == [10, 20]
+
+    def test_by_src_and_window(self):
+        out = list(filter_records(_records(), src="log", since_ns=15))
+        assert [r["t"] for r in out] == [20]
+        out = list(filter_records(_records(), until_ns=15))
+        assert [r["t"] for r in out] == [0, 10]
+
+
+class TestSummary:
+    def test_counts_and_span(self):
+        summary = summarize_records(_records())
+        assert summary["records"] == 4
+        assert summary["start_ns"] == 0
+        assert summary["end_ns"] == 30
+        assert summary["span_ns"] == 30
+        assert summary["by_type"]["log.message"] == 2
+        assert summary["by_src"]["log"] == 2
+
+    def test_empty_stream(self):
+        summary = summarize_records([])
+        assert summary["records"] == 0
+        assert summary["span_ns"] is None
+        assert render_summary(summary) == "records: 0"
+
+    def test_render_mentions_types(self):
+        text = render_summary(summarize_records(_records()))
+        assert "log.message" in text
+        assert "by source:" in text

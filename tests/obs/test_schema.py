@@ -1,0 +1,93 @@
+"""Schema validation: records and streams against repro-trace-v1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.schema import (
+    RECORD_TYPES,
+    SCHEMA,
+    require_valid_stream,
+    validate_record,
+    validate_stream,
+)
+
+HEADER = {
+    "t": 0, "type": "trace.header", "src": "tracer",
+    "schema": SCHEMA, "label": None,
+}
+DECISION = {
+    "t": 4_000_000, "type": "toggler.decision", "src": "toggler",
+    "tick": 1, "mode": True, "prev_mode": False, "toggled": True,
+    "explored": False, "phase": "measure", "sample_latency_ns": 123.0,
+    "ewma": {"nagle_off": {}, "nagle_on": {}},
+}
+
+
+class TestValidateRecord:
+    def test_valid_header(self):
+        assert validate_record(HEADER) == []
+
+    def test_valid_decision(self):
+        assert validate_record(DECISION) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_record([1, 2, 3])
+
+    def test_missing_common_field(self):
+        record = dict(DECISION)
+        del record["src"]
+        assert any("src" in p for p in validate_record(record))
+
+    def test_missing_typed_field(self):
+        record = dict(DECISION)
+        del record["ewma"]
+        assert any("ewma" in p for p in validate_record(record))
+
+    def test_unknown_type(self):
+        record = {"t": 0, "type": "nope.nope", "src": "x"}
+        assert any("unknown record type" in p for p in validate_record(record))
+
+    def test_extra_field_rejected(self):
+        record = dict(DECISION, surprise=1)
+        assert any("surprise" in p for p in validate_record(record))
+
+    def test_wrong_type_rejected(self):
+        record = dict(DECISION, tick="one")
+        assert any("tick" in p for p in validate_record(record))
+
+    def test_bool_is_not_int(self):
+        # int fields must not silently accept True/False.
+        record = dict(DECISION, tick=True)
+        assert any("tick" in p for p in validate_record(record))
+
+    def test_nullable_fields_accept_null(self):
+        record = dict(DECISION, sample_latency_ns=None)
+        assert validate_record(record) == []
+
+    def test_every_type_has_doc_and_fields(self):
+        for rtype, spec in RECORD_TYPES.items():
+            assert spec["doc"], rtype
+            assert spec["fields"], rtype
+
+
+class TestValidateStream:
+    def test_header_first_required(self):
+        problems = validate_stream([DECISION, HEADER])
+        assert any("trace.header" in p for p in problems)
+
+    def test_wrong_schema_version(self):
+        bad = dict(HEADER, schema="repro-trace-v0")
+        assert any("repro-trace-v0" in p for p in validate_stream([bad]))
+
+    def test_empty_stream_rejected(self):
+        assert validate_stream([]) == ["stream is empty (no header)"]
+
+    def test_valid_stream(self):
+        assert validate_stream([HEADER, DECISION]) == []
+
+    def test_require_valid_stream_raises(self):
+        with pytest.raises(ObservabilityError):
+            require_valid_stream([DECISION])
+        require_valid_stream([HEADER, DECISION])  # no raise

@@ -1,0 +1,88 @@
+"""Sinks: list, ring, and the JSONL round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.sinks import (
+    JsonlSink,
+    ListSink,
+    RingSink,
+    iter_records,
+    read_jsonl,
+)
+
+
+def _record(i: int) -> dict:
+    return {"t": i, "type": "log.message", "src": "log", "message": str(i)}
+
+
+class TestListSink:
+    def test_keeps_everything_in_order(self):
+        sink = ListSink()
+        for i in range(5):
+            sink.append(_record(i))
+        assert [r["t"] for r in sink] == [0, 1, 2, 3, 4]
+        assert len(sink) == 5
+
+
+class TestRingSink:
+    def test_evicts_oldest(self):
+        sink = RingSink(capacity=3)
+        for i in range(10):
+            sink.append(_record(i))
+        assert [r["t"] for r in sink.records] == [7, 8, 9]
+        assert sink.dropped == 7
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            RingSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        records = [_record(i) for i in range(4)]
+        for record in records:
+            sink.append(record)
+        sink.close()
+        assert read_jsonl(path) == records
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_parents_created(self, tmp_path):
+        path = tmp_path / "a" / "b" / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.append(_record(0))
+        sink.close()
+        assert path.exists()
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1}\nnot json\n')
+        with pytest.raises(ObservabilityError):
+            read_jsonl(path)
+
+    def test_read_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ObservabilityError):
+            read_jsonl(path)
+
+
+class TestIterRecords:
+    def test_normalizes_all_sources(self, tmp_path):
+        records = [_record(0)]
+        sink = ListSink()
+        sink.append(records[0])
+        path = tmp_path / "t.jsonl"
+        JsonlSink(path).append(records[0])
+        assert list(iter_records(sink)) == records
+        assert list(iter_records(records)) == records
+        assert list(iter_records(path)) == records

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Docs-consistency check: regenerate embedded snippets, fail on drift.
+
+Markdown files under the repo embed two kinds of generated content,
+delimited by HTML-comment markers:
+
+- ``<!-- repro-help: ARGS -->`` … ``<!-- /repro-help -->`` — the output
+  of ``repro ARGS --help`` (``ARGS`` may be empty for the top-level
+  parser, or a subcommand path like ``trace record``), rendered at a
+  fixed 80-column width so the text is stable across terminals;
+- ``<!-- repro-trace-schema -->`` … ``<!-- /repro-trace-schema -->`` —
+  the ``repro-trace-v1`` field tables, generated from
+  ``repro.obs.schema.RECORD_TYPES`` (the single source of truth).
+
+Run with no arguments to check (exit 1 on drift, printing what moved);
+run with ``--write`` to rewrite the files in place.  CI runs the check
+mode, so a CLI or schema change that forgets the docs fails the build.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # check
+    PYTHONPATH=src python tools/check_docs.py --write    # regenerate
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = [
+    REPO / "README.md",
+    REPO / "docs" / "OBSERVABILITY.md",
+    REPO / "docs" / "ARCHITECTURE.md",
+]
+
+_HELP_BLOCK = re.compile(
+    r"(<!-- repro-help:(?P<args>[^>]*)-->\n)(?P<body>.*?)(<!-- /repro-help -->)",
+    re.DOTALL,
+)
+_SCHEMA_BLOCK = re.compile(
+    r"(<!-- repro-trace-schema -->\n)(?P<body>.*?)(<!-- /repro-trace-schema -->)",
+    re.DOTALL,
+)
+
+
+def _subparser(parser: argparse.ArgumentParser, path: list[str]):
+    """Resolve a subcommand path (e.g. ['trace', 'record']) to its parser."""
+    for name in path:
+        actions = [
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        ]
+        if not actions or name not in actions[0].choices:
+            raise SystemExit(f"no such subcommand in repro CLI: {path}")
+        parser = actions[0].choices[name]
+    return parser
+
+
+def render_help(args_text: str) -> str:
+    """``repro <path> --help`` as a fenced code block, 80 columns."""
+    os.environ["COLUMNS"] = "80"
+    from repro.cli import build_parser
+
+    path = args_text.split()
+    parser = _subparser(build_parser(), path)
+    help_text = parser.format_help().rstrip("\n")
+    return f"```text\n{help_text}\n```\n"
+
+
+def _field_rows(fields: dict) -> list[str]:
+    from repro.obs.schema import _type_name
+
+    rows = []
+    for name, (expected, description) in fields.items():
+        rows.append(f"| `{name}` | `{_type_name(expected)}` | {description} |")
+    return rows
+
+
+def render_schema() -> str:
+    """The repro-trace-v1 tables, from the live schema definition."""
+    from repro.obs.schema import COMMON_FIELDS, RECORD_TYPES, SCHEMA
+
+    lines = [
+        f"Schema version: **`{SCHEMA}`** (generated from "
+        "`repro.obs.schema.RECORD_TYPES` by `tools/check_docs.py`; "
+        "edit the schema module, not this section).",
+        "",
+        "Common fields, present on every record:",
+        "",
+        "| field | type | meaning |",
+        "|---|---|---|",
+    ]
+    lines += _field_rows(COMMON_FIELDS)
+    for rtype, spec in RECORD_TYPES.items():
+        lines += [
+            "",
+            f"### `{rtype}`",
+            "",
+            spec["doc"],
+            "",
+            "| field | type | meaning |",
+            "|---|---|---|",
+        ]
+        lines += _field_rows(spec["fields"])
+    return "\n".join(lines) + "\n"
+
+
+def regenerate(text: str) -> str:
+    """One file's content with every generated block refreshed."""
+
+    def _help(match: re.Match) -> str:
+        return (
+            match.group(1) + render_help(match.group("args")) + match.group(4)
+        )
+
+    def _schema(match: re.Match) -> str:
+        return match.group(1) + render_schema() + match.group(3)
+
+    text = _HELP_BLOCK.sub(_help, text)
+    text = _SCHEMA_BLOCK.sub(_schema, text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help="rewrite files instead of checking")
+    args = parser.parse_args(argv)
+
+    stale = []
+    for path in DOC_FILES:
+        if not path.exists():
+            print(f"missing doc file: {path}", file=sys.stderr)
+            return 1
+        current = path.read_text()
+        fresh = regenerate(current)
+        if fresh != current:
+            if args.write:
+                path.write_text(fresh)
+                print(f"regenerated {path.relative_to(REPO)}")
+            else:
+                stale.append(path.relative_to(REPO))
+    if stale:
+        names = ", ".join(str(p) for p in stale)
+        print(
+            f"stale generated docs in: {names}\n"
+            "run: PYTHONPATH=src python tools/check_docs.py --write",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.write:
+        print("docs are consistent with the CLI and trace schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
