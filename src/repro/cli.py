@@ -42,6 +42,42 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervise(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="checkpoint directory (repro-checkpoint-v1): completed runs "
+             "are recorded there and skipped on a rerun, so an "
+             "interrupted campaign resumes with identical merged output",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for a failing run before it is quarantined "
+             "(default 2)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget; a hung worker is killed and the "
+             "run retried (needs --workers > 1; default: no timeout)",
+    )
+
+
+def _supervise_from(args):
+    """(policy, checkpoint) from --retries/--job-timeout/--resume flags."""
+    policy = None
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "job_timeout", None)
+    if retries is not None or timeout is not None:
+        from repro.supervise import SupervisePolicy
+
+        kwargs = {}
+        if retries is not None:
+            kwargs["max_attempts"] = retries + 1
+        if timeout is not None:
+            kwargs["job_timeout_s"] = timeout
+        policy = SupervisePolicy(**kwargs)
+    return policy, getattr(args, "resume", None)
+
+
 def _cmd_fig1(args) -> int:
     from repro.experiments import run_fig1
 
@@ -53,10 +89,13 @@ def _cmd_fig2(args) -> int:
     from repro.experiments import run_fig2
 
     tracer = _make_tracer(args.trace, label="fig2")
+    policy, checkpoint = _supervise_from(args)
     result = run_fig2(seeds=tuple(args.seeds),
                       measure_ns=msecs(args.measure_ms),
                       workers=args.workers,
-                      tracer=tracer)
+                      tracer=tracer,
+                      policy=policy,
+                      checkpoint=checkpoint)
     print(result.render())
     _finish_tracer(tracer, args.trace)
     return 0
@@ -67,9 +106,10 @@ def _cmd_fig4a(args) -> int:
 
     rates = args.rates or ([10_000.0, 35_000.0, 55_000.0, 75_000.0]
                            if args.quick else DEFAULT_RATES)
+    policy, checkpoint = _supervise_from(args)
     result = run_fig4a(
         rates=rates, base=default_config(measure_ns=msecs(args.measure_ms)),
-        workers=args.workers,
+        workers=args.workers, policy=policy, checkpoint=checkpoint,
     )
     print(result.render())
     return 0
@@ -82,7 +122,9 @@ def _cmd_fig4b(args) -> int:
                            if args.quick else DEFAULT_RATES)
     base = mixed_config()
     base = replace(base, measure_ns=msecs(args.measure_ms))
-    result = run_fig4b(rates=rates, base=base, workers=args.workers)
+    policy, checkpoint = _supervise_from(args)
+    result = run_fig4b(rates=rates, base=base, workers=args.workers,
+                       policy=policy, checkpoint=checkpoint)
     print(result.render())
     return 0
 
@@ -116,6 +158,17 @@ def _fault_plan_from(args):
     return None if plan.is_noop else plan
 
 
+class _BedHolder:
+    """Captures the testbed from a run; picklable so the supervised
+    path can content-address the job even under ``--resume``."""
+
+    def __init__(self):
+        self.bed = None
+
+    def __call__(self, bed) -> None:
+        self.bed = bed
+
+
 def _cmd_run(args) -> int:
     config = BenchConfig(
         rate_per_sec=args.rate,
@@ -135,19 +188,33 @@ def _cmd_run(args) -> int:
         fault_plan=_fault_plan_from(args),
     )
     tracer = _make_tracer(args.trace, label="run")
-    holder: dict = {}
+    policy, checkpoint = _supervise_from(args)
     want_bed = (
         args.dump_counters
         or config.fault_plan is not None
         or args.metrics is not None
         or tracer is not None
     )
-    tweak = (lambda bed: holder.update(bed=bed)) if want_bed else None
-    result = run_benchmark(config, tweak=tweak, tracer=tracer)
-    if args.metrics is not None or tracer is not None:
+    holder = _BedHolder() if want_bed else None
+    if policy is not None or checkpoint is not None:
+        # Supervised path: the run is checkpointed under --resume and
+        # skipped (with identical output) when already recorded there.
+        from repro.parallel import run_campaign
+
+        result = run_campaign(
+            [config], tweak=holder, tracer=tracer,
+            policy=policy, checkpoint=checkpoint,
+        )[0]
+    else:
+        result = run_benchmark(config, tweak=holder, tracer=tracer)
+    restored = want_bed and holder.bed is None
+    if restored:
+        print("restored from checkpoint: testbed-dependent output "
+              "(counters, fault summaries, metrics) is skipped")
+    if (args.metrics is not None or tracer is not None) and not restored:
         from repro.obs import collect_run_metrics
 
-        registry = collect_run_metrics(holder["bed"], result=result)
+        registry = collect_run_metrics(holder.bed, result=result)
         snapshot = registry.snapshot()
         if tracer is not None:
             tracer.metrics_snapshot(snapshot)
@@ -173,17 +240,18 @@ def _cmd_run(args) -> int:
     print(f"CPU: client app/net {result.client_app_util:.0%}/"
           f"{result.client_net_util:.0%}   server app/net "
           f"{result.server_app_util:.0%}/{result.server_net_util:.0%}")
-    if config.fault_plan is not None and holder["bed"].faults is not None:
+    if (config.fault_plan is not None and not restored
+            and holder.bed.faults is not None):
         import json as _json
 
         print(f"injected faults ({config.fault_plan.name}): "
-              f"{_json.dumps(holder['bed'].faults.summary())}")
-    if args.dump_counters:
+              f"{_json.dumps(holder.bed.faults.summary())}")
+    if args.dump_counters and not restored:
         from repro.analysis.dump import dump_testbed, render_stats
 
         print()
-        print(render_stats(dump_testbed(holder["bed"])))
-    if args.metrics is not None:
+        print(render_stats(dump_testbed(holder.bed)))
+    if args.metrics is not None and not restored:
         print(f"metrics written to {args.metrics}")
     _finish_tracer(tracer, args.trace)
     return 0
@@ -219,11 +287,13 @@ def _cmd_ablation(args) -> int:
     from repro.experiments import ablations
 
     measure = msecs(args.measure_ms)
+    policy, checkpoint = _supervise_from(args)
     if args.which == "units":
         print(ablations.run_units_ablation(measure_ns=measure).render())
     elif args.which == "toggler":
         print(ablations.run_toggler_ablation(
-            measure_ns=measure, workers=args.workers).render())
+            measure_ns=measure, workers=args.workers,
+            policy=policy, checkpoint=checkpoint).render())
     elif args.which == "exchange":
         print(ablations.run_exchange_ablation(measure_ns=measure).render())
     elif args.which == "ewma":
@@ -232,7 +302,8 @@ def _cmd_ablation(args) -> int:
         print(ablations.run_aimd_ablation(measure_ns=measure).render())
     elif args.which == "variants":
         print(ablations.run_variant_ablation(
-            measure_ns=measure, workers=args.workers).render())
+            measure_ns=measure, workers=args.workers,
+            policy=policy, checkpoint=checkpoint).render())
     elif args.which == "timevarying":
         from repro.experiments.timevarying import run_timevarying
 
@@ -377,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(forces serial execution)")
     _add_measure(p_fig2, 150)
     _add_workers(p_fig2)
+    _add_supervise(p_fig2)
     p_fig2.set_defaults(func=_cmd_fig2)
 
     for name, helptext, fn in (
@@ -389,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coarse grid for a fast look")
         _add_measure(p, 100)
         _add_workers(p)
+        _add_supervise(p)
         p.set_defaults(func=fn)
 
     p_run = sub.add_parser("run", help="one benchmark run")
@@ -420,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics", default=None, metavar="PATH",
                        help="write a repro-metrics-v1 JSON snapshot")
     _add_measure(p_run, 120)
+    _add_supervise(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_faults = sub.add_parser(
@@ -453,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_measure(p_ablation, 150)
     _add_workers(p_ablation)
+    _add_supervise(p_ablation)
     p_ablation.set_defaults(func=_cmd_ablation)
 
     p_trace = sub.add_parser(

@@ -54,3 +54,27 @@ class FaultError(ReproError):
     """Invalid fault plan or fault-injector misuse (e.g. out-of-range
     probabilities, a blackout longer than its flap period, or attaching
     two fault hooks to one link)."""
+
+
+class WatchdogError(SimulationError):
+    """A run exceeded its watchdog budget (event count or simulated
+    time) — the typed fail-fast signal for runaway configurations, so a
+    campaign supervisor can quarantine the config instead of spinning."""
+
+
+class SuperviseError(ReproError):
+    """Campaign-supervision misuse: invalid retry/timeout policy, a
+    corrupt or incompatible checkpoint store, and similar."""
+
+
+class CampaignError(SuperviseError):
+    """A supervised campaign finished with quarantined jobs.
+
+    Raised by the strict campaign entry points; :attr:`outcomes` holds
+    the full index-aligned outcome list (successes included), so a
+    caller can still salvage the completed runs.
+    """
+
+    def __init__(self, message: str, outcomes=None):
+        super().__init__(message)
+        self.outcomes = outcomes if outcomes is not None else []

@@ -292,6 +292,9 @@ def run_toggler_ablation(
     measure_ns: int = msecs(300),
     toggler_config: TogglerConfig | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> TogglerAblationResult:
     """A2: dynamic toggling vs static settings across loads.
 
@@ -302,6 +305,8 @@ def run_toggler_ablation(
     ``workers > 1`` parallelizes the static off/on reference runs; the
     dynamic runs stay serial because the toggler attaches through an
     in-process tweak whose controller state is inspected afterwards.
+    ``policy``/``checkpoint``/``watchdog`` supervise the static
+    campaign (see :func:`repro.parallel.run_campaign`).
     """
     if toggler_config is None:
         toggler_config = TogglerConfig(
@@ -315,6 +320,7 @@ def run_toggler_ablation(
         [replace(base, nagle=False) for base in bases]
         + [replace(base, nagle=True) for base in bases],
         workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
     )
     rows = []
     for index, (rate, base) in enumerate(zip(rates, bases)):
@@ -582,6 +588,9 @@ def run_variant_ablation(
     rates: tuple[float, ...] = (8_000.0, 50_000.0),
     measure_ns: int = msecs(120),
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> VariantAblationResult:
     """A7: compare the stack's static batching heuristics head-to-head.
 
@@ -593,6 +602,8 @@ def run_variant_ablation(
 
     The variants x rates grid is one campaign; ``workers > 1`` fans it
     over a process pool with results identical to serial.
+    ``policy``/``checkpoint``/``watchdog`` supervise the campaign (see
+    :func:`repro.parallel.run_campaign`).
     """
     cells = [
         (variant, overrides, rate)
@@ -609,6 +620,7 @@ def run_variant_ablation(
             for _, overrides, rate in cells
         ],
         workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
     )
     return VariantAblationResult(rows=[
         VariantRow(variant=variant, rate=rate, latency_ns=result.latency.mean_ns)

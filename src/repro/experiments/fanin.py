@@ -205,17 +205,27 @@ def run_fanin_many(
     configs: list[FaninConfig],
     with_toggler: bool = False,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
 ) -> list[FaninResult]:
     """Run several fan-in scenarios, optionally over a worker pool.
 
     Each scenario is an independent deterministic simulation, so the
     results are identical to running :func:`run_fanin` serially over
-    ``configs`` (and come back in the same order).
+    ``configs`` (and come back in the same order).  The campaign is
+    supervised (see :mod:`repro.supervise`): ``policy`` tunes retry and
+    timeout handling, and ``checkpoint`` (a store or directory) makes
+    the batch resumable.
     """
-    from repro.parallel import ParallelRunner
+    from repro.parallel import ParallelRunner, _require_all_ok
 
-    runner = ParallelRunner(workers)
-    return runner.map(run_fanin, [(config, with_toggler) for config in configs])
+    runner = ParallelRunner(workers, policy=policy)
+    outcomes = runner.map_outcomes(
+        run_fanin,
+        [(config, with_toggler) for config in configs],
+        checkpoint=checkpoint,
+    )
+    return _require_all_ok(outcomes)
 
 
 def _attach_spanning_toggler(bed: FaninBed) -> NagleToggler:

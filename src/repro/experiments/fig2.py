@@ -131,14 +131,21 @@ class Fig2Result:
 def run_fig2(seeds: tuple[int, ...] = DEFAULT_SEEDS,
              measure_ns: int = msecs(150),
              workers: int = 1,
-             tracer=None) -> Fig2Result:
+             tracer=None,
+             policy=None,
+             checkpoint=None,
+             watchdog=None) -> Fig2Result:
     """Run all four cells, averaging each over the given seeds.
 
     The 4 x len(seeds) grid is one campaign, so ``workers > 1`` keeps a
     process pool busy across every cell; results equal the serial run.
     ``tracer`` records the whole campaign into one ``repro-trace-v1``
     stream (forcing serial execution — see
-    :meth:`repro.parallel.ParallelRunner.run_many`).
+    :meth:`repro.parallel.ParallelRunner.run_many`).  ``policy``,
+    ``checkpoint`` and ``watchdog`` forward to
+    :func:`repro.parallel.run_campaign`; pointing ``checkpoint`` at a
+    directory makes the campaign resumable (completed cells are skipped
+    on a rerun, with identical results).
     """
     grid = [(vm, nagle) for vm in (False, True) for nagle in (False, True)]
     configs = [
@@ -146,7 +153,10 @@ def run_fig2(seeds: tuple[int, ...] = DEFAULT_SEEDS,
         for vm, nagle in grid
         for seed in seeds
     ]
-    results = run_campaign(configs, workers=workers, tracer=tracer)
+    results = run_campaign(
+        configs, workers=workers, tracer=tracer,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
     cells = {}
     for i, (vm, nagle) in enumerate(grid):
         runs = results[i * len(seeds):(i + 1) * len(seeds)]

@@ -104,15 +104,24 @@ def run_fig4a(
     rates: list[float] | None = None,
     base: BenchConfig | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> Fig4aResult:
     """Run the full Figure 4a sweep (both configurations).
 
     ``workers > 1`` fans the 2 x len(rates) grid over a process pool;
-    the result is identical to the serial sweep.
+    the result is identical to the serial sweep.  ``policy``,
+    ``checkpoint`` and ``watchdog`` forward to the supervised campaign
+    (see :func:`repro.parallel.run_campaign`); a checkpoint directory
+    makes the sweep resumable.
     """
     rates = rates or DEFAULT_RATES
     base = base or default_config()
-    off_points, on_points = sweep_nagle_pair(base, rates, workers=workers)
+    off_points, on_points = sweep_nagle_pair(
+        base, rates, workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
 
     off_curve = measured_curve(off_points)
     on_curve = measured_curve(on_points)

@@ -104,15 +104,24 @@ def run_fig4b(
     rates: list[float] | None = None,
     base: BenchConfig | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> Fig4bResult:
     """Run the full Figure 4b sweep (both configurations).
 
     ``workers > 1`` fans the 2 x len(rates) grid over a process pool;
-    the result is identical to the serial sweep.
+    the result is identical to the serial sweep.  ``policy``,
+    ``checkpoint`` and ``watchdog`` forward to the supervised campaign
+    (see :func:`repro.parallel.run_campaign`); a checkpoint directory
+    makes the sweep resumable.
     """
     rates = rates or DEFAULT_RATES
     base = base or mixed_config()
-    off_points, on_points = sweep_nagle_pair(base, rates, workers=workers)
+    off_points, on_points = sweep_nagle_pair(
+        base, rates, workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
 
     result = Fig4bResult(off_points=off_points, on_points=on_points)
     off_curve = measured_curve(off_points)

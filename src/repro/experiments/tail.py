@@ -92,15 +92,23 @@ def run_tail(
     rates: list[float] | None = None,
     base: BenchConfig | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> TailResult:
     """Sweep both configurations; compare mean- and p99-based headlines.
 
     ``workers > 1`` fans the 2 x len(rates) grid over a process pool;
-    the result is identical to the serial sweep.
+    the result is identical to the serial sweep.  ``policy``,
+    ``checkpoint`` and ``watchdog`` forward to the supervised campaign;
+    a checkpoint directory makes the sweep resumable.
     """
     rates = rates or DEFAULT_RATES
     base = base or default_config(measure_ns=msecs(150))
-    off_points, on_points = sweep_nagle_pair(base, rates, workers=workers)
+    off_points, on_points = sweep_nagle_pair(
+        base, rates, workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
     result = TailResult(off_points=off_points, on_points=on_points)
 
     from repro.analysis.cutoff import max_sustainable_rate

@@ -324,14 +324,35 @@ def run_benchmark(
     config: BenchConfig,
     tweak: Callable[[Testbed], None] | None = None,
     tracer=None,
+    watchdog=None,
 ) -> RunResult:
     """Run one benchmark to completion and summarize.
 
     ``tweak`` runs after testbed assembly and before load start — the
     hook experiments use to attach controllers (toggler, AIMD) or extra
     instrumentation.  ``tracer`` is forwarded to :func:`build_testbed`.
+    ``watchdog`` (a :class:`repro.supervise.watchdog.Watchdog`) bounds
+    the run: its simulated-time budget is checked against the config's
+    horizon before anything is built, and its event budget arms the
+    simulator so a runaway config raises a typed
+    :class:`~repro.errors.WatchdogError` instead of spinning.
     """
+    if watchdog is not None:
+        watchdog.validate()
+        horizon_ns = config.warmup_ns + config.measure_ns
+        if (
+            watchdog.max_sim_time_ns is not None
+            and horizon_ns > watchdog.max_sim_time_ns
+        ):
+            from repro.errors import WatchdogError
+
+            raise WatchdogError(
+                f"run horizon {horizon_ns}ns (warmup + measure) exceeds "
+                f"the watchdog budget of {watchdog.max_sim_time_ns}ns"
+            )
     bed = build_testbed(config, tracer=tracer)
+    if watchdog is not None and watchdog.max_events is not None:
+        bed.sim.set_event_budget(watchdog.max_events)
     if tweak is not None:
         tweak(bed)
     bed.start_load()

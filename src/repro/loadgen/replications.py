@@ -77,17 +77,23 @@ def replicate(
     metric: Callable[[RunResult], float] = lambda r: r.latency.mean_ns,
     tweak: Callable | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> Replicated:
     """Run ``config`` under each seed; summarize ``metric``.
 
     ``tweak`` is forwarded to every run (as in
     :func:`~repro.loadgen.sweep.sweep_rates`); ``workers > 1`` fans the
-    seeds over a process pool with results identical to serial.
+    seeds over a supervised pool with results identical to serial.
+    ``policy``/``checkpoint``/``watchdog`` forward to
+    :func:`repro.parallel.run_campaign`.
     """
     runs = run_campaign(
         [replace(config, seed=seed) for seed in seeds],
         tweak=tweak,
         workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
     )
     return Replicated.from_samples([metric(run) for run in runs])
 
@@ -107,6 +113,9 @@ def replicated_sweep(
     metric: Callable[[RunResult], float] = lambda r: r.latency.mean_ns,
     tweak: Callable | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> list[ReplicatedPoint]:
     """A latency-vs-load curve with per-point confidence intervals.
 
@@ -119,7 +128,10 @@ def replicated_sweep(
         for rate in rates
         for seed in seeds
     ]
-    runs = run_campaign(configs, tweak=tweak, workers=workers)
+    runs = run_campaign(
+        configs, tweak=tweak, workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
     width = len(seeds)
     return [
         ReplicatedPoint(

@@ -34,6 +34,9 @@ def sweep_rates(
     rates: Sequence[float],
     tweak: Callable | None = None,
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> list[SweepPoint]:
     """Run ``base`` at each offered rate; identical seeds across rates.
 
@@ -41,12 +44,17 @@ def sweep_rates(
     sweep over rates with Nagle on sees exactly the same request
     sequences as the matching sweep with Nagle off.
 
-    ``workers > 1`` fans the runs over a process pool (see
+    ``workers > 1`` fans the runs over a supervised process pool (see
     :mod:`repro.parallel`); the returned points are byte-identical to a
-    serial sweep and in the same rate order.
+    serial sweep and in the same rate order.  ``policy``, ``checkpoint``
+    and ``watchdog`` are forwarded to :func:`repro.parallel.run_campaign`
+    — a checkpoint directory makes the sweep resumable.
     """
     configs = [replace(base, rate_per_sec=rate) for rate in rates]
-    results = run_campaign(configs, tweak=tweak, workers=workers)
+    results = run_campaign(
+        configs, tweak=tweak, workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
     return [
         SweepPoint(rate, result) for rate, result in zip(rates, results)
     ]
@@ -56,6 +64,9 @@ def sweep_nagle_pair(
     base: BenchConfig,
     rates: Sequence[float],
     workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    watchdog=None,
 ) -> tuple[list[SweepPoint], list[SweepPoint]]:
     """Nagle-off and Nagle-on sweeps over ``rates`` as one campaign.
 
@@ -70,7 +81,10 @@ def sweep_nagle_pair(
         for nagle in (False, True)
         for rate in rates
     ]
-    results = run_campaign(configs, workers=workers)
+    results = run_campaign(
+        configs, workers=workers,
+        policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+    )
     n = len(rates)
     off = [SweepPoint(rate, res) for rate, res in zip(rates, results[:n])]
     on = [SweepPoint(rate, res) for rate, res in zip(rates, results[n:])]

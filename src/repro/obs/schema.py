@@ -177,6 +177,45 @@ RECORD_TYPES: dict[str, dict] = {
             "message": (str, "the logged text"),
         },
     },
+    "job.retry": {
+        "doc": (
+            "The campaign supervisor scheduled a failed job for another "
+            "attempt after its deterministic backoff."
+        ),
+        "fields": {
+            "key": (str, "content digest of the job's config"),
+            "index": (int, "job position in the submitted campaign"),
+            "attempts": (int, "attempts consumed so far"),
+            "kind": (str, "'error' | 'timeout' | 'crash' — what failed"),
+            "backoff_s": ((int, float), "embargo before the retry, seconds"),
+        },
+    },
+    "job.timeout": {
+        "doc": (
+            "A supervised job exceeded its wall-clock budget; its worker "
+            "pool was killed."
+        ),
+        "fields": {
+            "key": (str, "content digest of the job's config"),
+            "index": (int, "job position in the submitted campaign"),
+            "attempts": (int, "attempts consumed so far"),
+            "timeout_s": ((int, float), "the per-job wall-clock budget"),
+        },
+    },
+    "job.quarantine": {
+        "doc": (
+            "A supervised job exhausted its retry budget (or failed a "
+            "poison-typed check) and was quarantined as a JobFailure."
+        ),
+        "fields": {
+            "key": (str, "content digest of the job's config"),
+            "index": (int, "job position in the submitted campaign"),
+            "attempts": (int, "attempts consumed before quarantine"),
+            "kind": (str, "'error' | 'timeout' | 'crash'"),
+            "error": ((str, type(None)), "exception class name, if any"),
+            "message": (str, "the final failure message"),
+        },
+    },
     "metrics.snapshot": {
         "doc": (
             "A repro-metrics-v1 registry snapshot, typically appended "

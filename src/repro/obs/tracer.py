@@ -214,6 +214,44 @@ class Tracer:
         if self.enabled:
             self.emit("tcp.event", src, event=event, detail=detail)
 
+    def job_retry(
+        self, key: str, index: int, attempts: int, kind: str, backoff_s: float
+    ) -> None:
+        """A ``job.retry``: the supervisor embargoed a failed job."""
+        if self.enabled:
+            self.emit(
+                "job.retry", "supervisor",
+                key=key, index=index, attempts=attempts,
+                kind=kind, backoff_s=backoff_s,
+            )
+
+    def job_timeout(
+        self, key: str, index: int, attempts: int, timeout_s: float
+    ) -> None:
+        """A ``job.timeout``: a job blew its wall-clock budget."""
+        if self.enabled:
+            self.emit(
+                "job.timeout", "supervisor",
+                key=key, index=index, attempts=attempts, timeout_s=timeout_s,
+            )
+
+    def job_quarantine(
+        self,
+        key: str,
+        index: int,
+        attempts: int,
+        kind: str,
+        error: str | None = None,
+        message: str = "",
+    ) -> None:
+        """A ``job.quarantine``: a job's retry budget is exhausted."""
+        if self.enabled:
+            self.emit(
+                "job.quarantine", "supervisor",
+                key=key, index=index, attempts=attempts,
+                kind=kind, error=error, message=message,
+            )
+
     def log_message(self, message: str) -> None:
         """A ``log.message``: a progress line mirrored into the trace."""
         if self.enabled:

@@ -1,14 +1,32 @@
-"""Campaign-level parallelism: fan independent runs over worker processes.
+"""Campaign-level parallelism: supervised fan-out over worker processes.
 
 Every figure in the reproduction is a sweep of independent deterministic
 simulations — rates x seeds x configurations — yet each simulation is
 single-threaded.  :class:`ParallelRunner` fans a campaign of
 :class:`~repro.loadgen.lancet.BenchConfig` runs (or any picklable
-function over picklable items) across a ``multiprocessing`` pool and
-merges the results back **in submission order**, so a parallel campaign
-is byte-identical to the serial one: each run's output depends only on
-its config (all randomness flows through the config's seed), and the
-merge order is deterministic regardless of which worker finishes first.
+function over picklable items) across a worker pool and merges the
+results back **in submission order**, so a parallel campaign is
+byte-identical to the serial one: each run's output depends only on its
+config (all randomness flows through the config's seed), and the merge
+order is deterministic regardless of which worker finishes first.
+
+Execution is *supervised* (see :mod:`repro.supervise`): a crashed
+worker, a hung job, or a raising config no longer sinks the campaign.
+Each entry point comes in two flavors:
+
+- ``*_outcomes`` returns an index-aligned list of typed
+  :class:`~repro.supervise.outcome.JobOutcome` records — never ``None``
+  holes — so drivers can salvage partial results;
+- the strict classics (:meth:`ParallelRunner.run_many`,
+  :meth:`ParallelRunner.map`, :func:`run_campaign`) raise
+  :class:`~repro.errors.CampaignError` *after* the whole campaign has
+  run if any job was quarantined, with the full outcome list attached.
+
+Passing a checkpoint store (or directory) makes the campaign durable:
+completed jobs are flushed to ``repro-checkpoint-v1`` shards as they
+land, keyed by a content digest of ``(config, tweak, watchdog)``, and a
+later campaign over the same directory skips them — resume produces
+output byte-identical to an uninterrupted run.
 
 Spawn-safety: the worker entry points are module-level functions and
 everything shipped to workers (configs, tweaks, results) must pickle, so
@@ -23,25 +41,57 @@ with ``workers=1``.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import warnings
 from typing import Callable, Sequence, TypeVar
 
-from repro.errors import WorkloadError
-from repro.loadgen.lancet import BenchConfig, RunResult, run_benchmark
+from repro.errors import CampaignError, WorkloadError
+
+# NOTE: repro.loadgen imports this module (sweep/replications build on
+# run_campaign), so lancet must be imported lazily inside the functions
+# that need it — a module-level import here is a circular-import trap
+# that only stays hidden while repro.loadgen happens to be imported
+# first.
+from repro.supervise import (
+    CheckpointStore,
+    JobOutcome,
+    SupervisePolicy,
+    Supervisor,
+    Watchdog,
+    derive_keys,
+)
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: Warn when a requested pool oversubscribes the machine this much.
+_OVERSUBSCRIBE_FACTOR = 4
+_warned_oversubscribed = False
+
 
 def resolve_workers(workers: int | None) -> int:
-    """Normalize a worker count: ``None``/``0`` means one per CPU."""
+    """Normalize a worker count: ``None``/``0`` means one per CPU.
+
+    A request that oversubscribes the machine more than
+    :data:`_OVERSUBSCRIBE_FACTOR`× draws a one-time warning — the pool
+    is still created (tests legitimately oversubscribe tiny jobs), but
+    a campaign-sized mistake should not pass silently.
+    """
     if workers is None or workers == 0:
         return os.cpu_count() or 1
     if workers < 0:
         raise WorkloadError(f"workers must be >= 0, got {workers}")
+    cpus = os.cpu_count() or 1
+    global _warned_oversubscribed
+    if workers > _OVERSUBSCRIBE_FACTOR * cpus and not _warned_oversubscribed:
+        _warned_oversubscribed = True
+        warnings.warn(
+            f"workers={workers} oversubscribes {cpus} CPU(s) more than "
+            f"{_OVERSUBSCRIBE_FACTOR}x; the extra processes only add "
+            f"scheduling overhead",
+            stacklevel=3,
+        )
     return workers
 
 
@@ -53,107 +103,214 @@ def _picklable(obj) -> bool:
     return True
 
 
-def _run_config(job: tuple[int, BenchConfig, Callable | None]):
+def _as_store(checkpoint) -> CheckpointStore | None:
+    """Accept a :class:`CheckpointStore`, a directory path, or None."""
+    if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)
+
+
+def _require_all_ok(outcomes: list[JobOutcome]) -> list:
+    """Results of an all-green campaign, or :class:`CampaignError`."""
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        lines = "\n  ".join(f.describe() for f in failures)
+        raise CampaignError(
+            f"{len(failures)}/{len(outcomes)} campaign jobs quarantined:"
+            f"\n  {lines}",
+            outcomes=outcomes,
+        )
+    return [o.result for o in outcomes]
+
+
+def _run_config(payload):
     """Worker entry point for benchmark campaigns (must be top-level)."""
-    index, config, tweak = job
-    return index, run_benchmark(config, tweak=tweak)
+    from repro.loadgen.lancet import run_benchmark
+
+    config, tweak, watchdog = payload
+    return run_benchmark(config, tweak=tweak, watchdog=watchdog)
 
 
-def _apply(job: tuple[int, Callable, tuple]):
+def _apply(payload):
     """Worker entry point for generic campaigns (must be top-level)."""
-    index, fn, args = job
-    return index, fn(*args)
+    fn, args = payload
+    return fn(*args)
+
+
+def _config_label(config: BenchConfig) -> str:
+    return (
+        f"rate={config.rate_per_sec:.0f} nagle={config.nagle} "
+        f"seed={config.seed}"
+    )
 
 
 class ParallelRunner:
-    """Run independent jobs over a worker pool, results in input order.
+    """Run independent jobs over a supervised pool, results in input order.
 
     ``workers=1`` (the default) executes serially in-process — no pool,
-    no pickling, tweak closures fully functional.  ``workers=0`` uses
-    one worker per CPU.  ``start_method`` selects the multiprocessing
-    start method (``None`` uses the platform default; everything shipped
-    is spawn-safe, so ``"spawn"`` works where ``fork`` is unavailable).
+    no pickling, tweak closures fully functional (but no wall-clock
+    timeout enforcement: there is no second process to do the killing).
+    ``workers=0`` uses one worker per CPU.  ``start_method`` selects the
+    multiprocessing start method (``None`` uses the platform default;
+    everything shipped is spawn-safe, so ``"spawn"`` works where
+    ``fork`` is unavailable).  ``policy`` is the
+    :class:`~repro.supervise.policy.SupervisePolicy` applied to every
+    campaign this runner executes (default policy when ``None``).
     """
 
-    def __init__(self, workers: int = 1, start_method: str | None = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        start_method: str | None = None,
+        policy: SupervisePolicy | None = None,
+    ):
         self.workers = resolve_workers(workers)
         self.start_method = start_method
+        self.policy = policy
+        #: Metrics registry of the most recent campaign (supervise.*).
+        self.last_metrics = None
+
+    def _supervisor(self, n: int, checkpoint, tracer) -> Supervisor:
+        supervisor = Supervisor(
+            workers=min(self.workers, n),
+            start_method=self.start_method,
+            policy=self.policy,
+            checkpoint=_as_store(checkpoint),
+            tracer=tracer,
+        )
+        self.last_metrics = supervisor.metrics
+        return supervisor
 
     # ------------------------------------------------------------------
     # Benchmark campaigns.
     # ------------------------------------------------------------------
+
+    def run_many_outcomes(
+        self,
+        configs: Sequence[BenchConfig],
+        tweak: Callable | None = None,
+        tracer=None,
+        checkpoint=None,
+        watchdog: Watchdog | None = None,
+    ) -> list[JobOutcome]:
+        """Supervised campaign; outcomes align index-for-index.
+
+        ``checkpoint`` (a store or directory path) records completed
+        runs and skips ones already recorded.  ``watchdog`` bounds each
+        run in events and simulated time (see
+        :class:`~repro.supervise.watchdog.Watchdog`).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) forces serial
+        in-process execution: the trace is one ordered stream, and a
+        tracer cannot cross a process boundary.  Each fresh run is
+        preceded by a ``log.message`` boundary record naming its
+        position and config, so a campaign trace can be split back into
+        runs (checkpoint-skipped runs emit nothing).
+        """
+        from repro.loadgen.lancet import run_benchmark
+
+        n = len(configs)
+        if watchdog is not None:
+            watchdog.validate()
+        keys = derive_keys(
+            [(config, tweak, watchdog) for config in configs],
+            durable=checkpoint is not None,
+        )
+        labels = [_config_label(config) for config in configs]
+
+        if tracer is not None:
+            def traced(payload):
+                index, config = payload
+                if tracer.enabled:
+                    tracer.log_message(
+                        f"campaign run {index + 1}/{n}: "
+                        + _config_label(config)
+                    )
+                return run_benchmark(
+                    config, tweak=tweak, tracer=tracer, watchdog=watchdog
+                )
+
+            supervisor = self._supervisor(1, checkpoint, tracer)
+            return supervisor.run(
+                traced, list(enumerate(configs)), keys=keys, labels=labels
+            )
+
+        if tweak is not None and min(self.workers, n) > 1 and not _picklable(tweak):
+            warnings.warn(
+                "tweak is not picklable; running the campaign serially "
+                "(use a module-level tweak function, or workers=1)",
+                stacklevel=2,
+            )
+            supervisor = self._supervisor(1, checkpoint, tracer)
+            return supervisor.run(
+                lambda config: run_benchmark(
+                    config, tweak=tweak, watchdog=watchdog
+                ),
+                list(configs), keys=keys, labels=labels,
+            )
+
+        supervisor = self._supervisor(n, checkpoint, tracer)
+        payloads = [(config, tweak, watchdog) for config in configs]
+        return supervisor.run(_run_config, payloads, keys=keys, labels=labels)
 
     def run_many(
         self,
         configs: Sequence[BenchConfig],
         tweak: Callable | None = None,
         tracer=None,
+        checkpoint=None,
+        watchdog: Watchdog | None = None,
     ) -> list[RunResult]:
         """Run every config; results align index-for-index with ``configs``.
 
         Output is identical to ``[run_benchmark(c, tweak=tweak) for c in
         configs]`` — runs are deterministic given their config, and the
-        merge preserves input order.
-
-        ``tracer`` (a :class:`repro.obs.Tracer`) forces serial in-process
-        execution: the trace is one ordered stream, and a tracer cannot
-        cross a process boundary.  Each run is preceded by a
-        ``log.message`` boundary record naming its position and config,
-        so a campaign trace can be split back into runs.
+        merge preserves input order.  Raises
+        :class:`~repro.errors.CampaignError` (with the full outcome list
+        attached) if any job was quarantined after retries.
         """
-        if tracer is not None:
-            results = []
-            for index, config in enumerate(configs):
-                if tracer.enabled:
-                    tracer.log_message(
-                        f"campaign run {index + 1}/{len(configs)}: "
-                        f"rate={config.rate_per_sec:.0f} "
-                        f"nagle={config.nagle} seed={config.seed}"
-                    )
-                results.append(
-                    run_benchmark(config, tweak=tweak, tracer=tracer)
-                )
-            return results
-        if tweak is not None and self.workers > 1 and not _picklable(tweak):
-            warnings.warn(
-                "tweak is not picklable; running the campaign serially "
-                "(use a module-level tweak function, or workers=1)",
-                stacklevel=2,
+        return _require_all_ok(
+            self.run_many_outcomes(
+                configs, tweak=tweak, tracer=tracer,
+                checkpoint=checkpoint, watchdog=watchdog,
             )
-            return [run_benchmark(c, tweak=tweak) for c in configs]
-        jobs = [(i, config, tweak) for i, config in enumerate(configs)]
-        return self._collect(_run_config, jobs, len(configs))
+        )
 
     # ------------------------------------------------------------------
     # Generic campaigns (e.g. fan-in scenarios, custom drivers).
     # ------------------------------------------------------------------
 
+    def map_outcomes(
+        self,
+        fn: Callable[..., _R],
+        items: Sequence,
+        checkpoint=None,
+    ) -> list[JobOutcome]:
+        """Supervised :meth:`map`: typed outcomes instead of raising."""
+        n = len(items)
+        payloads = [
+            (fn, item if isinstance(item, tuple) else (item,))
+            for item in items
+        ]
+        if min(self.workers, n) > 1 and not _picklable(fn):
+            warnings.warn(
+                "function is not picklable; running the campaign serially "
+                "(use a module-level function, or workers=1)",
+                stacklevel=2,
+            )
+            supervisor = self._supervisor(1, checkpoint, None)
+        else:
+            supervisor = self._supervisor(n, checkpoint, None)
+        return supervisor.run(_apply, payloads)
+
     def map(self, fn: Callable[..., _R], items: Sequence) -> list[_R]:
         """Apply a module-level function to each item, in input order.
 
         Each item is passed as positional arguments if it is a tuple,
-        else as a single argument.
+        else as a single argument.  Raises
+        :class:`~repro.errors.CampaignError` if any job was quarantined.
         """
-        jobs = [
-            (i, fn, item if isinstance(item, tuple) else (item,))
-            for i, item in enumerate(items)
-        ]
-        return self._collect(_apply, jobs, len(items))
-
-    # ------------------------------------------------------------------
-    # Internals.
-    # ------------------------------------------------------------------
-
-    def _collect(self, worker: Callable, jobs: list, n: int) -> list:
-        workers = min(self.workers, n)
-        if workers <= 1:
-            return [worker(job)[1] for job in jobs]
-        ctx = multiprocessing.get_context(self.start_method)
-        results: list = [None] * n
-        with ctx.Pool(processes=workers) as pool:
-            for index, result in pool.imap_unordered(worker, jobs):
-                results[index] = result
-        return results
+        return _require_all_ok(self.map_outcomes(fn, items))
 
 
 def run_campaign(
@@ -162,8 +319,31 @@ def run_campaign(
     workers: int = 1,
     start_method: str | None = None,
     tracer=None,
+    policy: SupervisePolicy | None = None,
+    checkpoint=None,
+    watchdog: Watchdog | None = None,
 ) -> list[RunResult]:
     """One-shot convenience: ``ParallelRunner(workers).run_many(configs)``."""
-    return ParallelRunner(workers, start_method=start_method).run_many(
-        configs, tweak=tweak, tracer=tracer
+    runner = ParallelRunner(workers, start_method=start_method, policy=policy)
+    return runner.run_many(
+        configs, tweak=tweak, tracer=tracer,
+        checkpoint=checkpoint, watchdog=watchdog,
+    )
+
+
+def run_campaign_outcomes(
+    configs: Sequence[BenchConfig],
+    tweak: Callable | None = None,
+    workers: int = 1,
+    start_method: str | None = None,
+    tracer=None,
+    policy: SupervisePolicy | None = None,
+    checkpoint=None,
+    watchdog: Watchdog | None = None,
+) -> list[JobOutcome]:
+    """Salvage-friendly :func:`run_campaign`: typed outcomes, no raise."""
+    runner = ParallelRunner(workers, start_method=start_method, policy=policy)
+    return runner.run_many_outcomes(
+        configs, tweak=tweak, tracer=tracer,
+        checkpoint=checkpoint, watchdog=watchdog,
     )

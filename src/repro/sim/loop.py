@@ -21,7 +21,7 @@ from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Callable
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WatchdogError
 
 # Compact once at least this many cancelled entries linger in the heap
 # *and* they outnumber the live ones.  The floor keeps tiny heaps from
@@ -78,6 +78,38 @@ class Simulator:
         self._dead = 0  # cancelled entries still sitting in the heap
         self._running = False
         self._stopped = False
+        self._executed = 0
+        self._event_budget: int | None = None
+
+    # ------------------------------------------------------------------
+    # Watchdog budget.
+    # ------------------------------------------------------------------
+
+    @property
+    def events_executed(self) -> int:
+        """Callbacks run so far (the watchdog's work measure)."""
+        return self._executed
+
+    def set_event_budget(self, max_events: int | None) -> None:
+        """Cap total executed callbacks; ``None`` removes the cap.
+
+        Exceeding the cap raises :class:`~repro.errors.WatchdogError`
+        from :meth:`run`/:meth:`step` *before* the over-budget callback
+        fires — the fail-fast path for runaway configurations whose
+        event count explodes while simulated time barely advances.
+        """
+        if max_events is not None and max_events <= 0:
+            raise SimulationError(
+                f"event budget must be positive, got {max_events}"
+            )
+        self._event_budget = max_events
+
+    def _budget_exceeded(self, executed: int | None = None) -> WatchdogError:
+        count = self._executed if executed is None else executed
+        return WatchdogError(
+            f"event budget exhausted: {count} callbacks executed "
+            f"(budget {self._event_budget}) at t={self._now}ns"
+        )
 
     # ------------------------------------------------------------------
     # Clock.
@@ -139,13 +171,21 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            time, _, callback, handle = heappop(heap)
-            if handle._done:
+            entry = heap[0]
+            if entry[3]._done:
+                heappop(heap)
                 self._dead -= 1
                 continue
-            handle._done = True
-            self._now = time
-            callback()
+            if (
+                self._event_budget is not None
+                and self._executed >= self._event_budget
+            ):
+                raise self._budget_exceeded()
+            heappop(heap)
+            entry[3]._done = True
+            self._now = entry[0]
+            self._executed += 1
+            entry[2]()
             return True
         return False
 
@@ -159,16 +199,23 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         pop = heappop
+        budget = self._event_budget
+        executed = self._executed
         try:
             if until is None:
                 while heap and not self._stopped:
-                    time, _, callback, handle = pop(heap)
-                    if handle._done:
+                    entry = heap[0]
+                    if entry[3]._done:
+                        pop(heap)
                         self._dead -= 1
                         continue
-                    handle._done = True
-                    self._now = time
-                    callback()
+                    if budget is not None and executed >= budget:
+                        raise self._budget_exceeded(executed)
+                    pop(heap)
+                    entry[3]._done = True
+                    self._now = entry[0]
+                    executed += 1
+                    entry[2]()
             else:
                 while heap and not self._stopped:
                     entry = heap[0]
@@ -178,13 +225,17 @@ class Simulator:
                         continue
                     if entry[0] > until:
                         break
+                    if budget is not None and executed >= budget:
+                        raise self._budget_exceeded(executed)
                     pop(heap)
                     entry[3]._done = True
                     self._now = entry[0]
+                    executed += 1
                     entry[2]()
                 if not self._stopped and self._now < until:
                     self._now = until
         finally:
+            self._executed = executed
             self._running = False
 
     def stop(self) -> None:

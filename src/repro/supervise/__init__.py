@@ -1,0 +1,61 @@
+"""Resilient campaign execution: supervision, retry, checkpoint/resume.
+
+This package turns "run these N configs" from a best-effort pool map
+into a supervised campaign:
+
+- :mod:`~repro.supervise.supervisor` — the engine: per-job wall-clock
+  timeouts with hung-worker kill, worker-crash recovery on a fresh
+  pool, bounded retry with deterministic backoff, and poison-config
+  quarantine into typed outcomes;
+- :mod:`~repro.supervise.policy` — every supervision knob in one
+  frozen :class:`SupervisePolicy`;
+- :mod:`~repro.supervise.outcome` — :class:`JobSuccess` /
+  :class:`JobFailure`, index-aligned with the submitted jobs;
+- :mod:`~repro.supervise.checkpoint` — the ``repro-checkpoint-v1``
+  JSONL shard store keyed by config content digest, enabling
+  ``repro ... --resume DIR``;
+- :mod:`~repro.supervise.watchdog` — in-simulation event/sim-time
+  budgets raising the typed :class:`~repro.errors.WatchdogError`.
+
+:mod:`repro.parallel` builds its campaign API on this package; drivers
+and the CLI only thread :class:`SupervisePolicy` / checkpoint
+directories through.
+"""
+
+from repro.supervise.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    derive_keys,
+    job_key,
+    volatile_key,
+)
+from repro.supervise.outcome import (
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    JobFailure,
+    JobOutcome,
+    JobSuccess,
+    split_outcomes,
+)
+from repro.supervise.policy import SupervisePolicy
+from repro.supervise.supervisor import Supervisor
+from repro.supervise.watchdog import Watchdog
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "derive_keys",
+    "job_key",
+    "volatile_key",
+    "KIND_CRASH",
+    "KIND_ERROR",
+    "KIND_TIMEOUT",
+    "JobFailure",
+    "JobOutcome",
+    "JobSuccess",
+    "split_outcomes",
+    "SupervisePolicy",
+    "Supervisor",
+    "Watchdog",
+]

@@ -1,0 +1,78 @@
+"""Typed per-job outcomes: what a supervised campaign returns.
+
+Every job ends as exactly one of two records, index-aligned with the
+submitted job list — never a ``None`` hole, never a half-filled result
+list.  A :class:`JobFailure` is data, not an exception: the supervisor
+records it and keeps the campaign alive; the strict entry points
+(:func:`repro.parallel.run_campaign` and friends) convert any failure
+into a :class:`~repro.errors.CampaignError` *after* the whole campaign
+has run, with the full outcome list attached for salvage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Failure kinds, in the order the supervisor distinguishes them.
+KIND_ERROR = "error"        # the job raised inside the worker
+KIND_TIMEOUT = "timeout"    # the job exceeded its wall-clock budget
+KIND_CRASH = "crash"        # the worker process died under the job
+
+
+@dataclass(frozen=True)
+class JobSuccess:
+    """One job's result, with its supervision history."""
+
+    index: int
+    key: str
+    result: object
+    attempts: int = 1
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One quarantined job: every retry exhausted (or poison-typed).
+
+    ``kind`` is one of ``error`` / ``timeout`` / ``crash``;
+    ``error_type`` is the exception class name for ``error`` kinds;
+    ``traceback`` carries the worker-side traceback text when one was
+    captured.
+    """
+
+    index: int
+    key: str
+    kind: str
+    message: str
+    attempts: int
+    error_type: str | None = None
+    traceback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        """One human line for logs and CampaignError messages."""
+        error = f" [{self.error_type}]" if self.error_type else ""
+        return (
+            f"job {self.index} ({self.key[:12]}): {self.kind}{error} "
+            f"after {self.attempts} attempt(s): {self.message}"
+        )
+
+
+JobOutcome = Union[JobSuccess, JobFailure]
+
+
+def split_outcomes(
+    outcomes: list[JobOutcome],
+) -> tuple[list[JobSuccess], list[JobFailure]]:
+    """Partition an outcome list, preserving order."""
+    successes = [o for o in outcomes if o.ok]
+    failures = [o for o in outcomes if not o.ok]
+    return successes, failures

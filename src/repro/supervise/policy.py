@@ -1,0 +1,85 @@
+"""Supervision policy: timeouts, bounded retry, deterministic backoff.
+
+One frozen dataclass carries every knob the supervisor honors, so a
+policy can be threaded from the CLI through every experiment driver
+without growing their signatures one flag at a time.
+
+Backoff is *deterministic* exponential — no jitter.  Jobs here are pure
+functions of their config (all randomness flows through the config's
+seed), so retries cannot change results; randomized backoff would only
+make campaign wall-clock (and logs) unreproducible for nothing: there is
+no thundering-herd peer to desynchronize from inside one campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SuperviseError
+
+
+@dataclass(frozen=True)
+class SupervisePolicy:
+    """How a supervised campaign treats misbehaving jobs.
+
+    ``max_attempts`` bounds *attributed* failures per job (an exception
+    inside the job, or the job's own wall-clock timeout).  Worker-pool
+    crashes are only attributable to the set of in-flight jobs, so they
+    are tracked separately and allowed ``max_attempts + crash_slack``
+    strikes — an innocent job killed alongside a crasher is not marched
+    toward quarantine at the guilty job's pace.
+
+    ``job_timeout_s`` is the per-job wall-clock budget (``None`` — the
+    default — disables hung-job detection).  ``poll_interval_s`` is how
+    often the supervisor wakes to check deadlines; it bounds detection
+    latency, not correctness.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    job_timeout_s: float | None = None
+    poll_interval_s: float = 0.05
+    crash_slack: int = 2
+
+    def validate(self) -> None:
+        """Raise on nonsensical policy parameters."""
+        if self.max_attempts < 1:
+            raise SuperviseError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise SuperviseError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise SuperviseError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise SuperviseError(
+                f"job_timeout_s must be positive, got {self.job_timeout_s}"
+            )
+        if self.poll_interval_s <= 0:
+            raise SuperviseError(
+                f"poll_interval_s must be positive, got {self.poll_interval_s}"
+            )
+        if self.crash_slack < 0:
+            raise SuperviseError(
+                f"crash_slack must be >= 0, got {self.crash_slack}"
+            )
+
+    def backoff_s(self, failures: int) -> float:
+        """Deterministic exponential backoff before retry ``failures``.
+
+        ``failures`` is the number of failures the job has accrued so
+        far (>= 1 when a retry is being scheduled).
+        """
+        if failures < 1:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_factor ** (failures - 1)
+        return min(delay, self.backoff_max_s)
+
+    @property
+    def max_crash_strikes(self) -> int:
+        """Pool-crash strikes tolerated before quarantine."""
+        return self.max_attempts + self.crash_slack

@@ -1,0 +1,421 @@
+"""The campaign supervisor: run pure jobs to completion, survive anything.
+
+:class:`Supervisor` executes a list of independent jobs (pure functions
+of picklable payloads) and returns an index-aligned list of typed
+outcomes — :class:`~repro.supervise.outcome.JobSuccess` or
+:class:`~repro.supervise.outcome.JobFailure` — instead of letting one
+bad job sink the campaign.  Per job it implements the supervision state
+machine::
+
+    PENDING ──submit──▶ RUNNING ──ok──▶ DONE (checkpointed)
+       ▲                   │
+       │                   ├─ raised ──▶ failed(error):   retry w/ backoff
+       │                   ├─ deadline ─▶ failed(timeout): kill pool, retry
+       │                   └─ pool died ▶ failed(crash):   fresh pool, retry
+       │                   │
+       └──── backoff ◀─────┴─ attempts left?  no ──▶ QUARANTINED
+
+Key properties:
+
+- **determinism** — jobs are pure, so retries, backoff, pool restarts
+  and checkpoint merges cannot change a single result byte; supervision
+  only decides *whether* each result exists.
+- **attribution** — a timeout is attributed exactly (per-job deadline);
+  a worker crash is only attributable to the in-flight set, so crash
+  strikes get extra slack (see
+  :class:`~repro.supervise.policy.SupervisePolicy`) and innocent
+  bystanders of a pool kill are requeued penalty-free.
+- **poison fail-fast** — a :class:`~repro.errors.WatchdogError` (budget
+  blowout) is deterministic; the job is quarantined on first strike
+  instead of burning ``max_attempts`` full budgets.
+- **durability** — with a
+  :class:`~repro.supervise.checkpoint.CheckpointStore` attached, every
+  completed job is flushed to disk as it lands and already-stored jobs
+  are skipped on entry, so an interrupted campaign resumes where it
+  died.
+
+The executor is :class:`concurrent.futures.ProcessPoolExecutor`: a dead
+worker surfaces promptly as a broken pool (no timeout wait), and the
+pool is rebuilt fresh for the survivors.  Hung workers have no such
+signal — they are caught by the per-job wall-clock deadline and removed
+by killing the pool's processes outright.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from typing import Callable, Sequence
+
+from repro.errors import WatchdogError
+from repro.obs.log import NULL_LOG
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.supervise.checkpoint import CheckpointStore, derive_keys
+from repro.supervise.outcome import (
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    JobFailure,
+    JobOutcome,
+    JobSuccess,
+)
+from repro.supervise.policy import SupervisePolicy
+
+
+def _guarded(fn: Callable, payload):
+    """Worker entry point: never lets a job exception escape the worker.
+
+    Returns ``("ok", result)`` or ``("error", type_name, message,
+    traceback_text, poison)`` — a crashed *process* is the only failure
+    that does not come back through this envelope.
+    """
+    try:
+        return ("ok", fn(payload))
+    except Exception as exc:
+        return (
+            "error",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+            isinstance(exc, WatchdogError),
+        )
+
+
+class _Job:
+    """Mutable supervision state for one pending job."""
+
+    __slots__ = (
+        "index", "payload", "key", "label", "failures", "crash_strikes",
+        "not_before",
+    )
+
+    def __init__(self, index: int, payload, key: str, label: str | None):
+        self.index = index
+        self.payload = payload
+        self.key = key
+        self.label = label
+        self.failures = 0        # attributed failures: error / timeout
+        self.crash_strikes = 0   # pool crashes while this job was in flight
+        self.not_before = 0.0    # monotonic embargo from backoff
+
+    @property
+    def attempts(self) -> int:
+        """Attempts consumed so far (for outcome reporting)."""
+        return self.failures + self.crash_strikes
+
+
+class Supervisor:
+    """Run independent jobs under timeouts, retries, and checkpoints.
+
+    ``workers`` is the resolved pool size (1 = in-process serial, where
+    exceptions are still converted to typed outcomes and checkpoints
+    still work, but hung-job detection is impossible and pool-level
+    faults cannot occur).  ``tracer`` receives ``job.retry`` /
+    ``job.timeout`` / ``job.quarantine`` records; :attr:`metrics` counts
+    the same events for the ``repro-metrics-v1`` catalog.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        start_method: str | None = None,
+        policy: SupervisePolicy | None = None,
+        checkpoint: CheckpointStore | None = None,
+        tracer=None,
+        log=None,
+    ):
+        self.workers = max(1, workers)
+        self.start_method = start_method
+        self.policy = policy if policy is not None else SupervisePolicy()
+        self.policy.validate()
+        self.checkpoint = checkpoint
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.log = log if log is not None else NULL_LOG
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        keys: Sequence[str] | None = None,
+        labels: Sequence[str] | None = None,
+    ) -> list[JobOutcome]:
+        """Run ``fn`` over ``payloads``; outcomes align with ``payloads``.
+
+        ``keys`` overrides the content digest per job (same length as
+        ``payloads``); ``labels`` attaches human-readable hints used in
+        checkpoint records and progress lines.  A payload with no stable
+        content digest (a closure) gets a positional volatile key when
+        there is no checkpoint to corrupt; with a checkpoint attached it
+        raises :class:`~repro.errors.SuperviseError` instead.
+        """
+        n = len(payloads)
+        if keys is None:
+            keys = derive_keys(payloads, durable=self.checkpoint is not None)
+        if labels is None:
+            labels = [None] * n
+        outcomes: list[JobOutcome | None] = [None] * n
+        self.metrics.counter("supervise.jobs").inc(n)
+
+        jobs: deque[_Job] = deque()
+        hits = 0
+        for index, (payload, key, label) in enumerate(
+            zip(payloads, keys, labels)
+        ):
+            stored = self.checkpoint.get(key) if self.checkpoint else None
+            if stored is not None:
+                result, attempts = stored
+                outcomes[index] = JobSuccess(
+                    index=index, key=key, result=result,
+                    attempts=attempts, from_checkpoint=True,
+                )
+                hits += 1
+            else:
+                jobs.append(_Job(index, payload, key, label))
+        if hits:
+            self.metrics.counter("supervise.checkpoint_hits").inc(hits)
+            self.log.info(
+                f"resume: skipped {hits}/{n} jobs already checkpointed"
+            )
+
+        if jobs:
+            if min(self.workers, len(jobs)) <= 1:
+                self._run_serial(fn, jobs, outcomes)
+            else:
+                self._run_pooled(fn, jobs, outcomes)
+        return outcomes  # type: ignore[return-value]  # every slot filled
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _complete(self, outcomes, job: _Job, result) -> None:
+        outcome = JobSuccess(
+            index=job.index, key=job.key, result=result,
+            attempts=job.attempts + 1,
+        )
+        outcomes[job.index] = outcome
+        if self.checkpoint is not None:
+            self.checkpoint.record_success(
+                job.key, result, attempts=outcome.attempts, label=job.label,
+            )
+
+    def _quarantine(
+        self, outcomes, job: _Job, kind: str,
+        error_type: str | None, message: str, tb: str | None,
+    ) -> None:
+        failure = JobFailure(
+            index=job.index, key=job.key, kind=kind,
+            message=message, attempts=job.attempts,
+            error_type=error_type, traceback=tb,
+        )
+        outcomes[job.index] = failure
+        self.metrics.counter("supervise.quarantined").inc()
+        if self.tracer.enabled:
+            self.tracer.job_quarantine(
+                job.key, job.index, job.attempts, kind,
+                error=error_type, message=message,
+            )
+        if self.checkpoint is not None:
+            self.checkpoint.record_failure(job.key, failure)
+        self.log.info(f"quarantined: {failure.describe()}")
+
+    def _schedule_retry(self, job: _Job, kind: str) -> None:
+        """Embargo a failed job for its deterministic backoff window."""
+        backoff = self.policy.backoff_s(job.failures + job.crash_strikes)
+        job.not_before = time.monotonic() + backoff
+        self.metrics.counter("supervise.retries").inc()
+        if self.tracer.enabled:
+            self.tracer.job_retry(
+                job.key, job.index, job.attempts, kind, backoff_s=backoff,
+            )
+
+    def _failed(
+        self, outcomes, pending: deque, job: _Job, kind: str,
+        error_type: str | None, message: str, tb: str | None,
+        poison: bool,
+    ) -> None:
+        """One attributed failure: retry with backoff, or quarantine."""
+        job.failures += 1
+        if kind == KIND_TIMEOUT:
+            self.metrics.counter("supervise.timeouts").inc()
+            if self.tracer.enabled:
+                self.tracer.job_timeout(
+                    job.key, job.index, job.attempts,
+                    timeout_s=self.policy.job_timeout_s or 0.0,
+                )
+        else:
+            self.metrics.counter("supervise.errors").inc()
+        if poison or job.failures >= self.policy.max_attempts:
+            self._quarantine(outcomes, job, kind, error_type, message, tb)
+        else:
+            self._schedule_retry(job, kind)
+            pending.append(job)
+
+    def _crashed(self, outcomes, pending: deque, job: _Job) -> None:
+        """The pool died while this job was in flight."""
+        job.crash_strikes += 1
+        self.metrics.counter("supervise.crashes").inc()
+        if job.crash_strikes >= self.policy.max_crash_strikes:
+            self._quarantine(
+                outcomes, job, KIND_CRASH, None,
+                "worker process died repeatedly under this job", None,
+            )
+        else:
+            self._schedule_retry(job, KIND_CRASH)
+            pending.append(job)
+
+    # ------------------------------------------------------------------
+    # Serial execution (workers == 1).
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, fn, jobs: deque, outcomes) -> None:
+        pending = deque(jobs)
+        while pending:
+            job = pending.popleft()
+            delay = job.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            envelope = _guarded(fn, job.payload)
+            if envelope[0] == "ok":
+                self._complete(outcomes, job, envelope[1])
+            else:
+                _, error_type, message, tb, poison = envelope
+                self._failed(
+                    outcomes, pending, job, KIND_ERROR,
+                    error_type, message, tb, poison,
+                )
+
+    # ------------------------------------------------------------------
+    # Pooled execution (workers > 1).
+    # ------------------------------------------------------------------
+
+    def _new_executor(self, ctx, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*, including hung workers."""
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _pop_eligible(self, pending: deque) -> _Job | None:
+        """The first job whose backoff embargo has expired."""
+        now = time.monotonic()
+        for _ in range(len(pending)):
+            job = pending.popleft()
+            if job.not_before <= now:
+                return job
+            pending.append(job)
+        return None
+
+    def _run_pooled(self, fn, jobs: deque, outcomes) -> None:
+        policy = self.policy
+        workers = min(self.workers, len(jobs))
+        ctx = multiprocessing.get_context(self.start_method)
+        pending: deque[_Job] = deque(jobs)
+        executor = self._new_executor(ctx, workers)
+        # future -> (job, wall-clock deadline or None, owning executor)
+        inflight: dict = {}
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < workers:
+                    job = self._pop_eligible(pending)
+                    if job is None:
+                        break
+                    future = executor.submit(_guarded, fn, job.payload)
+                    deadline = (
+                        time.monotonic() + policy.job_timeout_s
+                        if policy.job_timeout_s is not None else None
+                    )
+                    inflight[future] = (job, deadline, executor)
+
+                if not inflight:
+                    time.sleep(policy.poll_interval_s)
+                    continue
+
+                done, _ = futures_wait(
+                    set(inflight),
+                    timeout=policy.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                current_broken = False
+                for future in done:
+                    job, _, owner = inflight.pop(future)
+                    try:
+                        envelope = future.result()
+                    except Exception:
+                        # The owning pool died under this job.  Futures
+                        # from an already-replaced pool don't force
+                        # another rebuild.
+                        self._crashed(outcomes, pending, job)
+                        if owner is executor:
+                            current_broken = True
+                        continue
+                    if envelope[0] == "ok":
+                        self._complete(outcomes, job, envelope[1])
+                    else:
+                        _, error_type, message, tb, poison = envelope
+                        self._failed(
+                            outcomes, pending, job, KIND_ERROR,
+                            error_type, message, tb, poison,
+                        )
+
+                if current_broken:
+                    self.metrics.counter("supervise.pool_restarts").inc()
+                    self.log.info(
+                        "worker pool died; restarting on a fresh pool"
+                    )
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._new_executor(ctx, workers)
+
+                # Hung-worker detection: any in-flight job past its
+                # deadline takes a timeout strike; the pool that ran it
+                # is killed (there is no way to stop one worker), and
+                # innocent in-flight jobs are requeued penalty-free.
+                now = time.monotonic()
+                hung = [
+                    future
+                    for future, (_, deadline, _owner) in inflight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if hung:
+                    killed = set()
+                    for future in hung:
+                        job, _, owner = inflight.pop(future)
+                        killed.add(owner)
+                        self._failed(
+                            outcomes, pending, job, KIND_TIMEOUT, None,
+                            f"exceeded the {policy.job_timeout_s:.3g}s "
+                            f"wall-clock budget", None, False,
+                        )
+                    for future in list(inflight):
+                        job, _, owner = inflight[future]
+                        if owner in killed:
+                            del inflight[future]
+                            job.not_before = 0.0
+                            pending.appendleft(job)
+                    for owner in killed:
+                        self._kill_executor(owner)
+                    self.metrics.counter("supervise.pool_restarts").inc(
+                        len(killed)
+                    )
+                    if executor in killed:
+                        executor = self._new_executor(ctx, workers)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)

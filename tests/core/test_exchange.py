@@ -82,6 +82,20 @@ class TestCounterUnwrapping:
             true += inc
             assert unwrapper.update(true % (2**32)) == true
 
+    def test_blackout_across_wrap_is_a_huge_forward_jump(self):
+        """The raw unwrapper cannot detect a blackout.  A gap of more
+        than 2^31 ticks still unwraps to the true (huge) forward delta,
+        and a gap past the full modulus aliases into a small step — the
+        exchange-level ``max_gap_ns`` check plus rebaseline exists
+        precisely because modular unwrapping alone cannot tell."""
+        unwrapper = _CounterUnwrapper()
+        unwrapper.update(1_000)
+        gap = 2**31 + 12_345
+        assert unwrapper.preview((1_000 + gap) % 2**32) == 1_000 + gap
+        # Beyond the modulus the delta aliases: indistinguishable from
+        # a small step, so the committed value would be silently wrong.
+        assert unwrapper.preview((1_000 + 2**32 + 7) % 2**32) == 1_000 + 7
+
 
 class TestQueueUnwrapper:
     def test_scaling_roundtrip_within_resolution(self):
@@ -180,6 +194,80 @@ class TestMetadataExchange:
     def test_invalid_period_rejected(self):
         with pytest.raises(EstimationError):
             self._make(None, period_ns=0)
+
+    def test_blackout_across_wrap_rebaselines(self):
+        """A blackout longer than the wire-time modulus (> 2^32 us, so
+        the 32-bit microsecond counter wraps mid-gap) must end in a
+        rebaseline, not a committed interval spanning a bogus delta.
+
+        With ``max_gap_ns`` set, every post-blackout state is rejected
+        (the unwrapped dt is implausibly huge); after REBASELINE_AFTER
+        consecutive rejections the state is adopted as a fresh baseline
+        with ``remote_prev`` cleared, so no estimator interval ever
+        spans the jump, and the next regular state yields a sane delta.
+        """
+        from repro.sim.loop import Simulator
+        from repro.units import msecs
+
+        sim = Simulator()
+
+        class FakeSocket:
+            def __init__(self):
+                self.qs_unacked = QueueState(lambda: sim.now)
+                self.qs_unread = QueueState(lambda: sim.now)
+                self.qs_ackdelay = QueueState(lambda: sim.now)
+                self.exchange = None
+
+        sock = FakeSocket()
+        exchange = MetadataExchange(
+            sim, sock, period_ns=msecs(1), max_gap_ns=msecs(100)
+        )
+
+        def advance(delta_ns):
+            sim.call_after(delta_ns, lambda: None)
+            sim.run()
+
+        def feed():
+            exchange.on_receive(
+                {OPTION_E2E: WirePeerState.capture(sock, exchange.scale)}
+            )
+
+        sock.qs_unacked.track(3)
+        feed()                         # first state: baseline
+        advance(msecs(1))
+        feed()                         # healthy cadence: accepted
+        assert exchange.states_rejected == 0
+        assert exchange.remote_prev is not None
+        healthy_cur = exchange.remote_cur
+
+        # Blackout: > 2^32 us of silence, wrapping the wire time
+        # counter.  5e9 us unwraps (mod 2^32) to ~7e8 us — far past
+        # max_gap_ns either way.
+        blackout_ns = 5 * 10**9 * 1_000
+        assert blackout_ns // 1_000 > 2**32
+        advance(blackout_ns)
+
+        for expected_rejections in (1, 2):
+            feed()
+            assert exchange.states_rejected == expected_rejections
+            assert exchange.rebaselines == 0
+            # Rejections leave the retained pair untouched.
+            assert exchange.remote_cur is healthy_cur
+            advance(msecs(1))
+
+        feed()                         # third strike: rebaseline
+        assert exchange.states_rejected == 3
+        assert exchange.rebaselines == 1
+        assert exchange.remote_prev is None
+        assert exchange.remote_cur is not healthy_cur
+
+        rebaselined_cur = exchange.remote_cur
+        advance(msecs(1))
+        feed()                         # back to normal cadence
+        assert exchange.states_rejected == 3
+        assert exchange.remote_prev is rebaselined_cur
+        dt = exchange.remote_cur.unacked.time - exchange.remote_prev.unacked.time
+        assert dt == msecs(1)          # sane delta, not the bogus jump
 
     def test_hint_session_rides_along(self):
         from repro.core.hints import HintSession

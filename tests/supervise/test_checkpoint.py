@@ -1,0 +1,139 @@
+"""Tests for content-addressed job keys and the checkpoint shard store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SuperviseError
+from repro.loadgen.lancet import BenchConfig
+from repro.supervise import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    JobFailure,
+    derive_keys,
+    job_key,
+    volatile_key,
+)
+from repro.units import msecs
+
+
+def _module_level_fn(x):
+    return x
+
+
+class TestJobKey:
+    def test_equal_configs_share_a_key(self):
+        a = BenchConfig(rate_per_sec=10_000.0, measure_ns=msecs(5))
+        b = BenchConfig(rate_per_sec=10_000.0, measure_ns=msecs(5))
+        assert a is not b
+        assert job_key(a) == job_key(b)
+
+    def test_any_field_change_changes_the_key(self):
+        base = BenchConfig(rate_per_sec=10_000.0)
+        assert job_key(base) != job_key(BenchConfig(rate_per_sec=10_001.0))
+        assert job_key(base) != job_key(BenchConfig(rate_per_sec=10_000.0, seed=2))
+
+    def test_key_is_a_sha256_digest(self):
+        key = job_key(BenchConfig(rate_per_sec=10_000.0))
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+    def test_module_level_callables_key_by_import_path(self):
+        key_a = job_key((_module_level_fn, (1,)))
+        key_b = job_key((_module_level_fn, (1,)))
+        assert key_a == key_b
+        assert key_a != job_key((_module_level_fn, (2,)))
+
+    def test_closures_are_not_content_addressable(self):
+        with pytest.raises(SuperviseError):
+            job_key((lambda x: x, (1,)))
+
+    def test_derive_keys_falls_back_to_volatile_without_store(self):
+        payloads = [(_module_level_fn, (1,)), (lambda x: x, (2,))]
+        keys = derive_keys(payloads, durable=False)
+        assert keys[0] == job_key(payloads[0])
+        assert keys[1] == volatile_key(1)
+
+    def test_derive_keys_refuses_volatile_when_durable(self):
+        with pytest.raises(SuperviseError):
+            derive_keys([(lambda x: x, (1,))], durable=True)
+
+
+class TestCheckpointStore:
+    def test_round_trip_restores_equal_results(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.record_success("k1", {"latency": 42}, attempts=2, label="run 1")
+        store.record_success("k2", [1, 2, 3])
+        store.close()
+
+        reopened = CheckpointStore(tmp_path)
+        assert len(reopened) == 2
+        assert "k1" in reopened
+        assert reopened.get("k1") == ({"latency": 42}, 2)
+        assert reopened.get("k2") == ([1, 2, 3], 1)
+        assert reopened.get("missing") is None
+
+    def test_each_open_appends_a_fresh_shard(self, tmp_path):
+        first = CheckpointStore(tmp_path)
+        first.record_success("a", 1)
+        first.close()
+        second = CheckpointStore(tmp_path)
+        second.record_success("b", 2)
+        second.close()
+        shards = sorted(p.name for p in tmp_path.glob("shard-*.jsonl"))
+        assert shards == ["shard-000.jsonl", "shard-001.jsonl"]
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.record_success("good", "kept")
+        store.close()
+        shard = next(tmp_path.glob("shard-*.jsonl"))
+        with open(shard, "a", encoding="utf-8") as f:
+            f.write('{"kind": "result", "status": "ok", "key": "half')
+
+        reopened = CheckpointStore(tmp_path)
+        assert reopened.get("good") == ("kept", 1)
+        assert len(reopened) == 1
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        shard = tmp_path / "shard-000.jsonl"
+        shard.write_text(json.dumps({"schema": "other-layout-v9"}) + "\n")
+        with pytest.raises(SuperviseError):
+            CheckpointStore(tmp_path)
+
+    def test_records_before_header_rejected(self, tmp_path):
+        shard = tmp_path / "shard-000.jsonl"
+        shard.write_text(
+            '{"kind": "result", "status": "ok", "key": "k"}\n'
+            + json.dumps({"schema": CHECKPOINT_SCHEMA}) + "\n"
+        )
+        with pytest.raises(SuperviseError):
+            CheckpointStore(tmp_path)
+
+    def test_failures_are_informational_not_complete(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        failure = JobFailure(
+            index=0, key="bad", kind="error", message="boom",
+            attempts=3, error_type="ValueError",
+        )
+        store.record_failure("bad", failure)
+        store.close()
+
+        reopened = CheckpointStore(tmp_path)
+        assert "bad" not in reopened            # a resume retries it
+        assert reopened.failures["bad"]["message"] == "boom"
+
+    def test_later_success_clears_recorded_failure(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        failure = JobFailure(
+            index=0, key="k", kind="timeout", message="hung", attempts=3
+        )
+        store.record_failure("k", failure)
+        store.record_success("k", "recovered", attempts=4)
+        store.close()
+
+        reopened = CheckpointStore(tmp_path)
+        assert reopened.get("k") == ("recovered", 4)
+        assert "k" not in reopened.failures

@@ -1,0 +1,45 @@
+"""Tests for the supervision policy: validation and backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SuperviseError
+from repro.supervise import SupervisePolicy
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        SupervisePolicy().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_base_s": -0.1},
+        {"backoff_max_s": -1.0},
+        {"backoff_factor": 0.5},
+        {"job_timeout_s": 0},
+        {"job_timeout_s": -2.0},
+        {"poll_interval_s": 0},
+        {"crash_slack": -1},
+    ])
+    def test_nonsense_rejected(self, kwargs):
+        with pytest.raises(SuperviseError):
+            SupervisePolicy(**kwargs).validate()
+
+
+class TestBackoff:
+    def test_deterministic_exponential_series(self):
+        policy = SupervisePolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=1.0
+        )
+        series = [policy.backoff_s(n) for n in range(1, 6)]
+        assert series == [0.1, 0.2, 0.4, 0.8, 1.0]  # capped at max
+        # No jitter: the same failure count always maps to the same delay.
+        assert policy.backoff_s(3) == policy.backoff_s(3)
+
+    def test_zero_failures_no_delay(self):
+        assert SupervisePolicy().backoff_s(0) == 0.0
+
+    def test_crash_slack_extends_strikes(self):
+        policy = SupervisePolicy(max_attempts=3, crash_slack=2)
+        assert policy.max_crash_strikes == 5
