@@ -1,0 +1,123 @@
+"""End-to-end pipeline bench shapes: whole-run events/sec.
+
+The kernel microbenches in ``test_bench_perf.py`` time the bare
+schedule/run loop; these shapes time the *pipeline* — packet/TCP/qstate
+work per event included — by running a real benchmark config and
+dividing the simulator's executed-callback count by wall-clock time.
+Two regimes bracket the workload:
+
+- ``fig2_point`` — one Figure 2 VM cell: Nagle on, exchange + hints +
+  counter sampling active, the configuration the paper's estimator
+  lives in;
+- ``faults_on`` — the mixed chaos plan at intensity 1: loss episodes,
+  jitter, receiver stalls and exchange corruption keep the retransmit /
+  SACK / plausibility paths hot.
+
+Events/sec is wall-clock (machine-dependent); ``kernel_reference()``
+measures the pure event-kernel chained-timer shape on the same machine
+so stored baselines can be compared as *ratios* (pipeline events/sec ÷
+kernel events/sec), which is stable across machines of different speeds.
+
+``PYTHONPATH=src python -m benchmarks.e2e_shapes`` prints one JSON
+measurement (used to refresh ``benchmarks/perf_baseline.json`` — see
+docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+
+from repro.experiments.fig2 import fig2_config
+from repro.faults import named_plan
+from repro.loadgen.lancet import BenchConfig, run_benchmark
+from repro.units import msecs
+
+
+def _fig2_point() -> BenchConfig:
+    return replace(
+        fig2_config(vm=True, nagle=True, seed=1, measure_ns=msecs(80)),
+        warmup_ns=msecs(20),
+    )
+
+
+def _faults_on() -> BenchConfig:
+    return BenchConfig(
+        rate_per_sec=15_000.0,
+        fault_plan=named_plan("mixed"),
+        min_rto_ns=msecs(5),
+        warmup_ns=msecs(20),
+        measure_ns=msecs(80),
+        seed=3,
+    )
+
+
+E2E_SHAPES = {
+    "fig2_point": _fig2_point,
+    "faults_on": _faults_on,
+}
+
+
+def bench_shape(config: BenchConfig) -> float:
+    """One timed run: simulator callbacks executed per wall-clock second.
+
+    Times the whole :func:`run_benchmark` (assembly and summarization
+    included — both are part of what a campaign pays per run).
+    """
+    holder = {}
+
+    def tweak(bed):
+        holder["bed"] = bed
+
+    start = time.perf_counter()
+    run_benchmark(config, tweak=tweak)
+    elapsed = time.perf_counter() - start
+    return holder["bed"].sim.events_executed / elapsed
+
+
+def measure_shapes(reps: int = 3) -> dict[str, float]:
+    """Best-of-``reps`` events/sec per shape."""
+    return {
+        name: max(bench_shape(factory()) for _ in range(reps))
+        for name, factory in E2E_SHAPES.items()
+    }
+
+
+def kernel_reference(reps: int = 3) -> float:
+    """The chained-timer kernel shape, as a machine-speed normalizer."""
+    from repro.sim.loop import Simulator
+
+    def chained(n: int = 100_000) -> float:
+        sim = Simulator()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < n:
+                sim.call_after(10, tick)
+
+        sim.call_after(10, tick)
+        start = time.perf_counter()
+        sim.run()
+        assert state["count"] == n
+        return n / (time.perf_counter() - start)
+
+    return max(chained() for _ in range(reps))
+
+
+def measure_all(reps: int = 3) -> dict:
+    """The full measurement: per-shape events/sec plus the normalizer."""
+    shapes = measure_shapes(reps)
+    kernel = kernel_reference(reps)
+    return {
+        "shapes": {name: round(eps) for name, eps in shapes.items()},
+        "kernel_chained": round(kernel),
+        "normalized": {
+            name: round(eps / kernel, 4) for name, eps in shapes.items()
+        },
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure_all(), indent=2))

@@ -197,6 +197,62 @@ def test_perf_kernel_events_per_sec():
     assert geomean >= 1.15, rows
 
 
+BASELINE_PATH = pathlib.Path(__file__).parent / "perf_baseline.json"
+
+
+def test_perf_e2e_pipeline_events_per_sec():
+    """End-to-end pipeline events/sec: record, and gate against baseline.
+
+    Two full-pipeline shapes (the fig2 headline point and a faults-on
+    run; see ``benchmarks/e2e_shapes.py``) are timed and recorded in
+    perf.json alongside the improvement over the committed pre-PR-5
+    measurement.  The hard assertion is the regression gate: events/sec
+    *normalized by the chained-kernel rate on the same machine* must not
+    drop more than 10% below ``perf_baseline.json``'s ``baseline``
+    section.  Normalizing by the kernel rate makes the gate a
+    machine-independent ratio, so a slow CI box does not read as a
+    pipeline regression.
+    """
+    from benchmarks.e2e_shapes import measure_all
+
+    baseline_doc = json.loads(BASELINE_PATH.read_text())
+    measured = measure_all(reps=3)
+
+    pre = baseline_doc["pre_pr"]["shapes"]
+    improvement = {
+        name: measured["shapes"][name] / pre[name] for name in sorted(pre)
+    }
+    ratio_product = 1.0
+    for ratio in improvement.values():
+        ratio_product *= ratio
+    geomean = ratio_product ** (1 / len(improvement))
+    _update_perf("e2e", {
+        "shapes": measured["shapes"],
+        "kernel_chained": measured["kernel_chained"],
+        "normalized": measured["normalized"],
+        "improvement_vs_pre_pr": {
+            name: round(ratio, 3) for name, ratio in improvement.items()
+        },
+        "geomean_improvement_vs_pre_pr": round(geomean, 3),
+    })
+    print(f"\ne2e improvement vs pre-PR: {geomean:.2f}x (" + ", ".join(
+        f"{name} {measured['shapes'][name]} ev/s ({ratio:.2f}x)"
+        for name, ratio in improvement.items()) + ")")
+
+    gate = baseline_doc["baseline"]["normalized"]
+    for name, reference in sorted(gate.items()):
+        floor = reference * 0.90
+        assert measured["normalized"][name] >= floor, (
+            f"{name}: normalized {measured['normalized'][name]} fell more "
+            f"than 10% below the committed baseline {reference} "
+            f"(floor {floor:.4f}) — a pipeline perf regression"
+        )
+    # Soft floor on the recorded improvement: well under the measured
+    # ~1.3x so wall-clock noise cannot flake it, but still catching a
+    # wholesale loss of the optimization pass.
+    assert geomean >= 1.10, improvement
+
+
 def test_perf_parallel_sweep_speedup():
     """Serial vs pooled 8-rate x 3-seed sweep: identical results, faster.
 

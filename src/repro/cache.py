@@ -1,0 +1,89 @@
+"""Cross-experiment result cache: share completed runs between campaigns.
+
+The fig2/fig4a/tail sweeps overlap heavily — the same ``(config, tweak,
+watchdog)`` job shows up in several experiments, and a parameter sweep
+rerun with one extra point repeats every old point.  Because campaign
+jobs are pure (all randomness flows through the config's seed), a
+completed result is reusable anywhere the same content digest appears.
+
+:class:`ResultCache` is a
+:class:`~repro.supervise.checkpoint.CheckpointStore` — same
+``repro-checkpoint-v1`` shards, same content keys from
+:func:`~repro.supervise.checkpoint.job_key` — with hit/miss accounting
+layered on :meth:`get`.  Where ``--resume DIR`` scopes a store to one
+interrupted campaign, ``--cache-dir DIR`` points *every* experiment at
+one shared directory: fig2 populates it, a later fig4a or single-run
+replay of the same config is served from disk, byte-identical to a
+fresh run because the stored result *is* the run's pickled result.
+
+Counters land in the standard ``repro-metrics-v1`` registry
+(:class:`~repro.obs.metrics.MetricsRegistry`):
+
+- ``cache.hits`` — lookups answered from the store;
+- ``cache.misses`` — lookups that fell through to a fresh run;
+- ``cache.stores`` — results written back.
+
+Within-campaign duplicates never reach the cache twice: the supervisor
+dedupes identical content keys before submission (see
+``supervise.deduped`` in :meth:`repro.supervise.Supervisor.run`).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.supervise.checkpoint import CheckpointStore
+
+
+class ResultCache(CheckpointStore):
+    """A checkpoint store with cross-experiment hit/miss accounting."""
+
+    def __init__(self, directory, label: str | None = None, metrics=None):
+        super().__init__(directory, label=label)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._stores = self.metrics.counter("cache.stores")
+
+    # -- accounting views ----------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache so far."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required a fresh run so far."""
+        return self._misses.value
+
+    @property
+    def stores(self) -> int:
+        """Results written into the cache so far."""
+        return self._stores.value
+
+    # -- instrumented store operations ---------------------------------
+
+    def get(self, key: str):
+        """The stored ``(result, attempts)`` for ``key``, counting the
+        lookup as a hit or miss."""
+        stored = super().get(key)
+        if stored is None:
+            self._misses.inc()
+        else:
+            self._hits.inc()
+        return stored
+
+    def record_success(
+        self, key: str, result, attempts: int = 1, label: str | None = None
+    ) -> None:
+        """Persist one completed job, counting the write."""
+        super().record_success(key, result, attempts=attempts, label=label)
+        self._stores.inc()
+
+    def describe(self) -> str:
+        """One human line for CLI summaries."""
+        return (
+            f"cache {self.directory}: {self.hits} hit(s), "
+            f"{self.misses} miss(es), {self.stores} store(s), "
+            f"{len(self)} result(s) on disk"
+        )

@@ -50,6 +50,13 @@ def _add_supervise(parser: argparse.ArgumentParser) -> None:
              "interrupted campaign resumes with identical merged output",
     )
     parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared cross-experiment result cache (repro-checkpoint-v1): "
+             "completed runs are stored by content digest and any "
+             "experiment pointed at the same directory replays matching "
+             "runs from disk, byte-identical to running them",
+    )
+    parser.add_argument(
         "--retries", type=int, default=None, metavar="N",
         help="extra attempts for a failing run before it is quarantined "
              "(default 2)",
@@ -62,7 +69,8 @@ def _add_supervise(parser: argparse.ArgumentParser) -> None:
 
 
 def _supervise_from(args):
-    """(policy, checkpoint) from --retries/--job-timeout/--resume flags."""
+    """(policy, checkpoint) from --retries/--job-timeout/--resume/
+    --cache-dir flags."""
     policy = None
     retries = getattr(args, "retries", None)
     timeout = getattr(args, "job_timeout", None)
@@ -75,7 +83,29 @@ def _supervise_from(args):
         if timeout is not None:
             kwargs["job_timeout_s"] = timeout
         policy = SupervisePolicy(**kwargs)
-    return policy, getattr(args, "resume", None)
+    resume = getattr(args, "resume", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if resume is not None and cache_dir is not None:
+        print(
+            "error: --resume and --cache-dir both name a result store; "
+            "pick one (a cache directory already resumes matching runs)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if cache_dir is not None:
+        from repro.cache import ResultCache
+
+        return policy, ResultCache(cache_dir)
+    return policy, resume
+
+
+def _report_cache(checkpoint) -> None:
+    """Print hit/miss accounting after a --cache-dir campaign."""
+    from repro.cache import ResultCache
+
+    if isinstance(checkpoint, ResultCache):
+        checkpoint.close()
+        print(checkpoint.describe())
 
 
 def _cmd_fig1(args) -> int:
@@ -97,6 +127,7 @@ def _cmd_fig2(args) -> int:
                       policy=policy,
                       checkpoint=checkpoint)
     print(result.render())
+    _report_cache(checkpoint)
     _finish_tracer(tracer, args.trace)
     return 0
 
@@ -112,6 +143,7 @@ def _cmd_fig4a(args) -> int:
         workers=args.workers, policy=policy, checkpoint=checkpoint,
     )
     print(result.render())
+    _report_cache(checkpoint)
     return 0
 
 
@@ -126,6 +158,7 @@ def _cmd_fig4b(args) -> int:
     result = run_fig4b(rates=rates, base=base, workers=args.workers,
                        policy=policy, checkpoint=checkpoint)
     print(result.render())
+    _report_cache(checkpoint)
     return 0
 
 
@@ -253,6 +286,7 @@ def _cmd_run(args) -> int:
         print(render_stats(dump_testbed(holder.bed)))
     if args.metrics is not None and not restored:
         print(f"metrics written to {args.metrics}")
+    _report_cache(checkpoint)
     _finish_tracer(tracer, args.trace)
     return 0
 
@@ -310,6 +344,48 @@ def _cmd_ablation(args) -> int:
         print(run_timevarying().render())
     else:  # pragma: no cover - argparse restricts choices
         return 2
+    _report_cache(checkpoint)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json as _json
+    import pathlib as _pathlib
+
+    from repro.profiling import (
+        profile_run,
+        shape_config,
+        validate_profile,
+    )
+
+    if args.validate is not None:
+        try:
+            document = _json.loads(_pathlib.Path(args.validate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{args.validate}: unreadable profile JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = validate_profile(document)
+        if problems:
+            for problem in problems[:20]:
+                print(problem, file=sys.stderr)
+            return 1
+        print(f"{args.validate}: repro-profile-v1 OK "
+              f"({len(document['top'])} functions)")
+        return 0
+
+    config = shape_config(args.shape, measure_ms=args.measure_ms,
+                          seed=args.seed)
+    document = profile_run(config, shape=args.shape, top_n=args.top)
+    rendered = _json.dumps(document, indent=2) + "\n"
+    if args.out is not None:
+        target = _pathlib.Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(rendered)
+        print(f"profile written to {args.out} "
+              f"({document['events_per_sec']:,} events/sec under profiler)")
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -529,6 +605,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p_ablation)
     _add_supervise(p_ablation)
     p_ablation.set_defaults(func=_cmd_ablation)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="cProfile one bench shape, emitting repro-profile-v1 JSON",
+    )
+    p_profile.add_argument(
+        "--shape", choices=["fig2", "faults"], default="fig2",
+        help="what to profile: the Figure 2 VM point or the mixed-faults "
+             "run (default fig2)",
+    )
+    p_profile.add_argument("--top", type=int, default=25,
+                           help="functions to keep, by cumulative time "
+                                "(default 25)")
+    p_profile.add_argument("--seed", type=int, default=None)
+    p_profile.add_argument("--out", default=None, metavar="PATH",
+                           help="write the JSON here instead of stdout")
+    p_profile.add_argument(
+        "--validate", default=None, metavar="PATH",
+        help="validate an existing repro-profile-v1 JSON instead of "
+             "profiling (used by the CI docs/schema check)",
+    )
+    _add_measure(p_profile, 80)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_trace = sub.add_parser(
         "trace",

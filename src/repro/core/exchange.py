@@ -68,8 +68,19 @@ class WireQueueState:
 
     @classmethod
     def capture(cls, state: QueueState, scale: WireScale) -> "WireQueueState":
-        """Snapshot a live queue state into wire counters."""
-        return cls(*scale.pack_snapshot(state.snapshot()))
+        """Snapshot a live queue state into wire counters.
+
+        Equivalent to ``cls(*scale.pack_snapshot(state.snapshot()))``
+        but uses the tuple snapshot — this runs for every queue on every
+        outgoing exchange, and the dataclass allocation is pure overhead.
+        """
+        time_ns, total, integral = state.snapshot_tuple()
+        unit = scale.time_unit_ns
+        return cls(
+            (time_ns // unit) % _WIRE_MOD,
+            total % _WIRE_MOD,
+            ((integral // unit) >> scale.integral_shift) % _WIRE_MOD,
+        )
 
     def encode(self) -> bytes:
         """Serialize to the 12-byte on-the-wire layout."""
@@ -260,9 +271,13 @@ class MetadataExchange:
         self._unwrap_unacked = _QueueUnwrapper(self.scale)
         self._unwrap_unread = _QueueUnwrapper(self.scale)
         self._unwrap_ackdelay = _QueueUnwrapper(self.scale)
-        self._unwrap_hint = _QueueUnwrapper(
-            WireScale(time_unit_ns=self.scale.time_unit_ns, integral_shift=0)
+        # The hint option's scale (integrals in whole unit·µs) is fixed
+        # for the exchange's lifetime; build it once instead of per
+        # transmitted hint.
+        self._hint_scale = WireScale(
+            time_unit_ns=self.scale.time_unit_ns, integral_shift=0
         )
+        self._unwrap_hint = _QueueUnwrapper(self._hint_scale)
         self.remote_prev: PeerSnapshots | None = None
         self.remote_cur: PeerSnapshots | None = None
         self.remote_hint_prev: QueueSnapshot | None = None
@@ -347,11 +362,8 @@ class MetadataExchange:
         self.states_sent += 1
         option_bytes = WirePeerState.WIRE_BYTES
         if self.hint_session is not None:
-            hint_scale = WireScale(
-                time_unit_ns=self.scale.time_unit_ns, integral_shift=0
-            )
             segment.options[OPTION_HINT] = WireQueueState.capture(
-                self.hint_session.state, hint_scale
+                self.hint_session.state, self._hint_scale
             )
             option_bytes += WireQueueState.WIRE_BYTES
         self.option_bytes_sent += option_bytes

@@ -74,22 +74,31 @@ class QueueState:
 
         Mirrors Algorithm 1 lines 3-7.  Removing more items than the queue
         holds indicates an instrumentation bug and raises.
+
+        Fast paths (bit-identical, since both skip adding an exact 0):
+        coalesced same-tick updates (``dt == 0``) and empty-queue
+        intervals (``size == 0``) skip the integral fold entirely —
+        together these cover most TRACK calls in a bursty workload, where
+        arrivals and their queue-size echoes land on the same tick.
         """
         now = self._clock()
         dt = now - self.time
-        if dt < 0:
+        if dt:
+            if dt < 0:
+                raise EstimationError(
+                    f"clock moved backwards: {self.time} -> {now}"
+                )
+            self.time = now
+            if self.size:
+                self.integral += self.size * dt
+        size = self.size + nitems
+        if size < 0:
             raise EstimationError(
-                f"clock moved backwards: {self.time} -> {now}"
+                f"queue size went negative ({size}) after track({nitems})"
             )
-        self.time = now
-        self.integral += self.size * dt
-        self.size += nitems
-        if self.size < 0:
-            raise EstimationError(
-                f"queue size went negative ({self.size}) after track({nitems})"
-            )
+        self.size = size
         if nitems < 0:
-            self.total += -nitems
+            self.total -= nitems
 
     def snapshot(self) -> QueueSnapshot:
         """Capture the current ``(time, total, integral)`` 3-tuple.
@@ -99,6 +108,18 @@ class QueueState:
         """
         self.track(0)
         return QueueSnapshot(time=self.time, total=self.total, integral=self.integral)
+
+    def snapshot_tuple(self) -> tuple[int, int, int]:
+        """Allocation-light :meth:`snapshot`: a plain ``(time, total,
+        integral)`` tuple instead of a :class:`QueueSnapshot`.
+
+        The estimator/exchange hot loop captures both directions of both
+        queues on every exchange tick; this variant skips the dataclass
+        construction on that path.  The public API keeps returning
+        :class:`QueueSnapshot`.
+        """
+        self.track(0)
+        return (self.time, self.total, self.integral)
 
     def __repr__(self) -> str:
         return (

@@ -23,11 +23,24 @@ from repro.errors import SimulationError
 class CpuCore:
     """Serial FIFO executor with busy-time accounting."""
 
+    __slots__ = (
+        "_sim",
+        "name",
+        "_queue",
+        "_busy",
+        "_current",
+        "busy_ns",
+        "work_items",
+        "_window_start",
+        "_window_busy_base",
+    )
+
     def __init__(self, sim, name: str = "core"):
         self._sim = sim
         self.name = name
         self._queue: deque[tuple[int, Callable[[], None]]] = deque()
         self._busy = False
+        self._current: Callable[[], None] | None = None
         self.busy_ns = 0
         self.work_items = 0
         self._window_start = sim.now
@@ -58,12 +71,17 @@ class CpuCore:
         cost_ns, callback = self._queue.popleft()
         self.busy_ns += cost_ns
         self.work_items += 1
+        # The core runs strictly one item at a time, so the in-progress
+        # callback lives in an attribute and the completion is a bound
+        # method — no per-item closure.
+        self._current = callback
+        self._sim.call_after(cost_ns, self._finish_current)
 
-        def finish() -> None:
-            callback()
-            self._run_next()
-
-        self._sim.call_after(cost_ns, finish)
+    def _finish_current(self) -> None:
+        callback = self._current
+        self._current = None
+        callback()
+        self._run_next()
 
     # ------------------------------------------------------------------
     # Accounting.

@@ -16,7 +16,7 @@ from repro.errors import NetworkError
 from repro.host.cpu import CpuCore
 from repro.host.irq import SoftIrq
 from repro.net.nic import Nic, NicConfig
-from repro.net.packet import Packet
+from repro.net.packet import Packet, recycle_packet
 
 if TYPE_CHECKING:
     from repro.tcp.socket import TcpSocket
@@ -120,13 +120,14 @@ class Host:
         self.nic.attach_rx_handler(self.softirq.on_interrupt)
         self._sockets: dict[int, "TcpSocket"] = {}
 
-    # ------------------------------------------------------------------
-    # Clock for queue states.
-    # ------------------------------------------------------------------
+        # Clock for queue states: TRACK calls this on every queue-size
+        # change, so it is a plain closure over the simulator (one call,
+        # one attribute load) rather than a method.
+        def clock() -> int:
+            """Current simulated time (passed to QueueState instances)."""
+            return sim.now
 
-    def clock(self) -> int:
-        """Current simulated time (passed to QueueState instances)."""
-        return self._sim.now
+        self.clock = clock
 
     # ------------------------------------------------------------------
     # Socket registry / demux.
@@ -148,6 +149,9 @@ class Host:
                 f"host {self.name!r}: no socket for connection {segment.conn_id}"
             )
         socket.segment_arrived(segment)
+        # Terminal point of the packet pipeline: the segment has been
+        # consumed by the socket and nothing retains the carrier.
+        recycle_packet(packet)
 
     # ------------------------------------------------------------------
     # Cost helpers.

@@ -16,6 +16,10 @@ from repro.host.cpu import CpuCore
 from repro.net.packet import Packet
 
 
+def _noop() -> None:
+    return None
+
+
 class SoftIrq:
     """Drains NIC RX interrupts onto the net core."""
 
@@ -53,18 +57,21 @@ class SoftIrq:
         GRO cannot elide) plus a per-byte amount (copies/checksums).
         """
         self.interrupts += 1
-        self._core.execute(self._irq_cost_ns, lambda: None)
+        execute = self._core.execute
+        execute(self._irq_cost_ns, _noop)
+        ack_cost = self._ack_cost_ns
+        delivery_cost = self._delivery_cost_ns
+        wire_packet_cost = self._wire_packet_cost_ns
+        byte_cost = self._byte_cost_ns
+        deliver = self._deliver
         for packet in batch:
             self.deliveries += 1
-            self.wire_packets += packet.wire_count
-            base = (
-                self._ack_cost_ns
-                if packet.payload_bytes == 0
-                else self._delivery_cost_ns
-            )
+            wire_count = packet.wire_count
+            self.wire_packets += wire_count
+            base = ack_cost if packet.payload_bytes == 0 else delivery_cost
             cost = (
                 base
-                + self._wire_packet_cost_ns * packet.wire_count
-                + round(self._byte_cost_ns * packet.wire_bytes)
+                + wire_packet_cost * wire_count
+                + round(byte_cost * packet.wire_bytes)
             )
-            self._core.execute(cost, lambda p=packet: self._deliver(p))
+            execute(cost, lambda p=packet: deliver(p))

@@ -21,7 +21,7 @@ from collections import deque
 from typing import Callable
 
 from repro.errors import NetworkError
-from repro.net.packet import Packet
+from repro.net.packet import Packet, recycle_packet
 from repro.sim.rng import RngStream
 from repro.units import serialization_delay_ns
 
@@ -71,6 +71,13 @@ class Link:
         self._receiver: Callable[[Packet], None] | None = None
         self._queue: deque[Packet] = deque()
         self._serializing = False
+        self._current: Packet | None = None  # the packet on the wire
+        # Packets in flight with the nominal propagation delay.  All such
+        # deliveries share one fixed delay, so completion order equals
+        # send order and a FIFO plus one bound-method callback replaces a
+        # per-packet closure.  Jittered packets (positive fault verdicts)
+        # bypass this queue and keep their own closure.
+        self._flight: deque[Packet] = deque()
         # Statistics.
         self.packets_sent = 0
         self.packets_dropped = 0
@@ -116,24 +123,41 @@ class Link:
         packet = self._queue.popleft()
         delay = serialization_delay_ns(packet.wire_bytes, self.bandwidth_bps)
         self.busy_ns += delay
-        self._sim.call_after(delay, lambda: self._finish_serialization(packet))
+        # Serialization is strictly one-at-a-time, so the in-flight
+        # packet lives in an attribute and the completion callback is a
+        # bound method — no per-packet closure.
+        self._current = packet
+        self._sim.call_after(delay, self._finish_serialization)
 
-    def _finish_serialization(self, packet: Packet) -> None:
+    def _finish_serialization(self) -> None:
+        packet = self._current
+        self._current = None
         verdict = 0
         if self._fault_hook is not None:
             verdict = self._fault_hook(packet)
         if verdict < 0:
             self.packets_dropped += 1
             self.fault_drops += 1
+            recycle_packet(packet)
         elif self._loss_rng is not None and self._loss_rng.bernoulli(
             self.loss_probability
         ):
             self.packets_dropped += 1
+            recycle_packet(packet)
         else:
             self.packets_sent += 1
             self.bytes_sent += packet.wire_bytes
-            self._sim.call_after(
-                self.propagation_delay_ns + verdict,
-                lambda: self._receiver(packet),
-            )
+            if verdict:
+                self._sim.call_after(
+                    self.propagation_delay_ns + verdict,
+                    lambda: self._receiver(packet),
+                )
+            else:
+                self._flight.append(packet)
+                self._sim.call_after(
+                    self.propagation_delay_ns, self._deliver_next
+                )
         self._serialize_next()
+
+    def _deliver_next(self) -> None:
+        self._receiver(self._flight.popleft())

@@ -29,7 +29,12 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import NetworkError
-from repro.net.packet import Packet, TCPIP_HEADER
+from repro.net.packet import (
+    TCPIP_HEADER,
+    Packet,
+    acquire_packet,
+    recycle_packet,
+)
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,16 @@ class Nic:
         self._sim = sim
         self.config = config
         self.name = name
+        # Config scalars rebound as plain attributes: the config is
+        # frozen, and ``config.mss`` in particular is a computing
+        # property the RX path would otherwise evaluate per packet.
+        self._mss = config.mss
+        self._tso_max_bytes = config.tso_max_bytes
+        self._tx_ring_size = config.tx_ring_size
+        self._doorbell_batching = config.doorbell_batching
+        self._gro_flush_ns = config.gro_flush_ns
+        self._gro_max_bytes = config.gro_max_bytes
+        self._rx_coalesce_ns = config.rx_coalesce_ns
         self._egress = None
         self._tx_ring: deque[Packet] = deque()
         self._tx_active = False
@@ -135,16 +150,16 @@ class Nic:
 
     def post(self, packet: Packet) -> None:
         """Post one descriptor and (if the NIC is idle) ring the doorbell."""
-        if packet.payload_bytes > self.config.tso_max_bytes:
+        if packet.payload_bytes > self._tso_max_bytes:
             raise NetworkError(
                 f"super-segment of {packet.payload_bytes}B exceeds TSO max "
-                f"{self.config.tso_max_bytes}B"
+                f"{self._tso_max_bytes}B"
             )
-        if len(self._tx_ring) >= self.config.tx_ring_size:
+        if len(self._tx_ring) >= self._tx_ring_size:
             raise NetworkError(f"TX ring overflow on NIC {self.name!r}")
         self._tx_ring.append(packet)
         self.tx_descriptors += 1
-        if not self._tx_active or not self.config.doorbell_batching:
+        if not self._tx_active or not self._doorbell_batching:
             self.doorbells += 1
         if not self._tx_active:
             self._tx_active = True
@@ -172,7 +187,7 @@ class Nic:
 
     def _tso_slice(self, packet: Packet) -> list[Packet]:
         """Slice a super-segment into MTU-bounded wire packets."""
-        mss = self.config.mss
+        mss = self._mss
         if packet.payload_bytes <= mss:
             return [packet]
         segment = packet.payload
@@ -180,19 +195,22 @@ class Nic:
             raise NetworkError(
                 f"cannot TSO-slice payload of type {type(segment).__name__}"
             )
+        src = packet.src
+        dst = packet.dst
         slices: list[Packet] = []
         rest = segment
         while rest is not None:
             head, rest = rest.split_at(mss)
             slices.append(
-                Packet(
-                    src=packet.src,
-                    dst=packet.dst,
-                    payload_bytes=head.payload_len,
+                acquire_packet(
+                    src,
+                    dst,
+                    head.payload_len,
                     payload=head,
                     options_bytes=head.options_bytes(),
                 )
             )
+        recycle_packet(packet)  # the super-segment carrier is consumed
         return slices
 
     # ------------------------------------------------------------------
@@ -208,6 +226,7 @@ class Nic:
             verdict = self._rx_fault_hook(packet)
             if verdict < 0:
                 self.rx_fault_drops += 1
+                recycle_packet(packet)
                 return
             if verdict > 0:
                 self._sim.call_after(verdict, lambda: self._ingress(packet))
@@ -215,7 +234,7 @@ class Nic:
         self._ingress(packet)
 
     def _ingress(self, packet: Packet) -> None:
-        if self.config.gro_flush_ns <= 0:
+        if self._gro_flush_ns <= 0:
             self._deliver(packet)
             return
         self._gro_receive(packet)
@@ -239,29 +258,29 @@ class Nic:
             return
         key = (segment.conn_id, segment.src)
         flow = self._gro_flows.get(key)
-        if segment.is_pure_ack or segment.payload_len < self.config.mss:
+        if segment.payload_len < self._mss:  # includes pure acks
             if flow is not None:
                 self._flush_flow(key)
             self._deliver(packet)
             return
         if flow is not None:
-            held = flow.packet.payload
+            old = flow.packet
+            held = old.payload
             merged_size = held.payload_len + segment.payload_len
-            if (
-                held.can_merge(segment)
-                and merged_size <= self.config.gro_max_bytes
-            ):
-                flow.packet = Packet(
-                    src=packet.src,
-                    dst=packet.dst,
-                    payload_bytes=merged_size,
+            gro_max = self._gro_max_bytes
+            if held.can_merge(segment) and merged_size <= gro_max:
+                flow.packet = acquire_packet(
+                    packet.src,
+                    packet.dst,
+                    merged_size,
                     payload=held.merge(segment),
-                    options_bytes=max(
-                        flow.packet.options_bytes, packet.options_bytes
-                    ),
-                    wire_count=flow.packet.wire_count + packet.wire_count,
+                    options_bytes=max(old.options_bytes, packet.options_bytes),
+                    wire_count=old.wire_count + packet.wire_count,
                 )
-                if segment.psh or merged_size >= self.config.gro_max_bytes:
+                # Both carriers are consumed by the merge.
+                recycle_packet(old)
+                recycle_packet(packet)
+                if segment.psh or merged_size >= gro_max:
                     self._flush_flow(key)
                 return
             self._flush_flow(key)
@@ -269,7 +288,7 @@ class Nic:
             self._deliver(packet)
             return
         timer = self._sim.call_after(
-            self.config.gro_flush_ns, lambda: self._flush_flow(key)
+            self._gro_flush_ns, lambda: self._flush_flow(key)
         )
         self._gro_flows[key] = _GroFlow(packet, timer)
 
@@ -282,14 +301,14 @@ class Nic:
 
     def _deliver(self, packet: Packet) -> None:
         self.rx_deliveries += 1
-        if self.config.rx_coalesce_ns <= 0:
+        if self._rx_coalesce_ns <= 0:
             self.rx_interrupts += 1
             self._rx_handler([packet])
             return
         self._irq_pending.append(packet)
         if self._irq_timer is None:
             self._irq_timer = self._sim.call_after(
-                self.config.rx_coalesce_ns, self._fire_interrupt
+                self._rx_coalesce_ns, self._fire_interrupt
             )
 
     def _fire_interrupt(self) -> None:

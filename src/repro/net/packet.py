@@ -3,12 +3,22 @@
 A :class:`Packet` is one on-the-wire frame.  The payload is opaque to the
 network layer (in practice a :class:`repro.tcp.segment.Segment`); the
 network cares only about sizes, for serialization-time and MTU accounting.
+
+Packets are the highest-churn objects in the pipeline (one per wire
+frame, plus GRO aggregates), so they are plain ``__slots__`` objects
+backed by a bounded free list: :func:`acquire_packet` reuses a recycled
+instance when one is available, and the pipeline's terminal points
+(demux delivery, link/NIC drops, GRO merge consumption) hand dead
+packets back via :func:`recycle_packet`.  Recycled packets always get a
+fresh ``packet_id`` from the same counter a constructor call would use,
+so pooling is invisible to everything but the allocator.  The pooling
+invariant: a packet may be recycled only by the code that just consumed
+its last reference on the pipeline path — see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 # Fixed per-frame overheads, in bytes.  TCPIP_HEADER covers IPv4 (20) +
@@ -21,7 +31,6 @@ ETHERNET_OVERHEAD = 38
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """One frame on the wire.
 
@@ -31,13 +40,32 @@ class Packet:
     end-to-end metadata option) beyond the fixed header.
     """
 
-    src: str
-    dst: str
-    payload_bytes: int
-    payload: Any = None
-    options_bytes: int = 0
-    wire_count: int = 1
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "payload_bytes",
+        "payload",
+        "options_bytes",
+        "wire_count",
+        "packet_id",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload_bytes: int,
+        payload: Any = None,
+        options_bytes: int = 0,
+        wire_count: int = 1,
+    ):
+        self.src = src
+        self.dst = dst
+        self.payload_bytes = payload_bytes
+        self.payload = payload
+        self.options_bytes = options_bytes
+        self.wire_count = wire_count
+        self.packet_id = next(_packet_ids)
 
     @property
     def wire_bytes(self) -> int:
@@ -57,3 +85,44 @@ class Packet:
             f"<Packet #{self.packet_id} {self.src}->{self.dst} "
             f"{self.payload_bytes}B payload>"
         )
+
+
+# Free list.  Bounded so a pathological burst cannot pin memory; beyond
+# the cap, recycled packets are simply dropped for the GC.
+_pool: list[Packet] = []
+_POOL_MAX = 512
+
+
+def acquire_packet(
+    src: str,
+    dst: str,
+    payload_bytes: int,
+    payload: Any = None,
+    options_bytes: int = 0,
+    wire_count: int = 1,
+) -> Packet:
+    """A :class:`Packet`, reusing a recycled instance when possible."""
+    pool = _pool
+    if pool:
+        packet = pool.pop()
+        packet.src = src
+        packet.dst = dst
+        packet.payload_bytes = payload_bytes
+        packet.payload = payload
+        packet.options_bytes = options_bytes
+        packet.wire_count = wire_count
+        packet.packet_id = next(_packet_ids)
+        return packet
+    return Packet(src, dst, payload_bytes, payload, options_bytes, wire_count)
+
+
+def recycle_packet(packet: Packet) -> None:
+    """Return a dead packet to the free list.
+
+    Callers must hold the *only* remaining reference on the pipeline
+    path: the packet was dropped, consumed by a GRO merge, or its
+    segment was just delivered to the socket.
+    """
+    if len(_pool) < _POOL_MAX:
+        packet.payload = None  # don't pin the segment
+        _pool.append(packet)

@@ -67,25 +67,41 @@ _R = TypeVar("_R")
 
 #: Warn when a requested pool oversubscribes the machine this much.
 _OVERSUBSCRIBE_FACTOR = 4
-_warned_oversubscribed = False
+#: Worker counts already warned about (warn once per distinct mistake,
+#: not once per runner instantiation).
+_warned_oversubscribed: set[int] = set()
+_cpu_count: int | None = None
+
+
+def _cpus() -> int:
+    """``os.cpu_count()``, memoized (it takes a syscall on some
+    platforms and every campaign construction calls through here)."""
+    global _cpu_count
+    if _cpu_count is None:
+        _cpu_count = os.cpu_count() or 1
+    return _cpu_count
 
 
 def resolve_workers(workers: int | None) -> int:
     """Normalize a worker count: ``None``/``0`` means one per CPU.
 
     A request that oversubscribes the machine more than
-    :data:`_OVERSUBSCRIBE_FACTOR`× draws a one-time warning — the pool
-    is still created (tests legitimately oversubscribe tiny jobs), but
-    a campaign-sized mistake should not pass silently.
+    :data:`_OVERSUBSCRIBE_FACTOR`× draws one warning per distinct count
+    — the pool is still created (tests legitimately oversubscribe tiny
+    jobs), but a campaign-sized mistake should not pass silently, and
+    repeating the same warning for every runner a sweep constructs
+    would drown the log.
     """
     if workers is None or workers == 0:
-        return os.cpu_count() or 1
+        return _cpus()
     if workers < 0:
         raise WorkloadError(f"workers must be >= 0, got {workers}")
-    cpus = os.cpu_count() or 1
-    global _warned_oversubscribed
-    if workers > _OVERSUBSCRIBE_FACTOR * cpus and not _warned_oversubscribed:
-        _warned_oversubscribed = True
+    cpus = _cpus()
+    if (
+        workers > _OVERSUBSCRIBE_FACTOR * cpus
+        and workers not in _warned_oversubscribed
+    ):
+        _warned_oversubscribed.add(workers)
         warnings.warn(
             f"workers={workers} oversubscribes {cpus} CPU(s) more than "
             f"{_OVERSUBSCRIBE_FACTOR}x; the extra processes only add "

@@ -22,6 +22,8 @@ class Event:
     lost-wakeup race between checking and waiting.
     """
 
+    __slots__ = ("_sim", "name", "_triggered", "_value", "_callbacks")
+
     def __init__(self, sim, name: str = ""):
         self._sim = sim
         self.name = name

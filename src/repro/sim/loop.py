@@ -71,7 +71,11 @@ class Simulator:
     """
 
     def __init__(self, start_time: int = 0):
-        self._now = start_time
+        # Public plain attribute, not a property: the clock is read on
+        # every TRACK call and trace emit across the codebase, and an
+        # attribute load is several times cheaper than a property call.
+        # Only the dispatch loop writes it.
+        self.now = start_time
         # Entries: (time, seq, callback, handle).
         self._heap: list[tuple[int, int, Callable[[], None], ScheduleHandle]] = []
         self._seq = count()  # FIFO tie-breaker within a timestamp
@@ -108,17 +112,8 @@ class Simulator:
         count = self._executed if executed is None else executed
         return WatchdogError(
             f"event budget exhausted: {count} callbacks executed "
-            f"(budget {self._event_budget}) at t={self._now}ns"
+            f"(budget {self._event_budget}) at t={self.now}ns"
         )
-
-    # ------------------------------------------------------------------
-    # Clock.
-    # ------------------------------------------------------------------
-
-    @property
-    def now(self) -> int:
-        """Current simulated time in nanoseconds."""
-        return self._now
 
     # ------------------------------------------------------------------
     # Scheduling.
@@ -130,9 +125,9 @@ class Simulator:
         Returns a handle whose ``cancel()`` prevents the callback from
         running.  Scheduling in the past is an error.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time} (now is t={self._now})"
+                f"cannot schedule at t={time} (now is t={self.now})"
             )
         handle = ScheduleHandle.__new__(ScheduleHandle)
         handle._sim = self
@@ -147,7 +142,7 @@ class Simulator:
         handle = ScheduleHandle.__new__(ScheduleHandle)
         handle._sim = self
         handle._done = False
-        heappush(self._heap, (self._now + delay, next(self._seq), callback, handle))
+        heappush(self._heap, (self.now + delay, next(self._seq), callback, handle))
         return handle
 
     def _note_cancel(self) -> None:
@@ -183,7 +178,7 @@ class Simulator:
                 raise self._budget_exceeded()
             heappop(heap)
             entry[3]._done = True
-            self._now = entry[0]
+            self.now = entry[0]
             self._executed += 1
             entry[2]()
             return True
@@ -213,7 +208,7 @@ class Simulator:
                         raise self._budget_exceeded(executed)
                     pop(heap)
                     entry[3]._done = True
-                    self._now = entry[0]
+                    self.now = entry[0]
                     executed += 1
                     entry[2]()
             else:
@@ -229,11 +224,11 @@ class Simulator:
                         raise self._budget_exceeded(executed)
                     pop(heap)
                     entry[3]._done = True
-                    self._now = entry[0]
+                    self.now = entry[0]
                     executed += 1
                     entry[2]()
-                if not self._stopped and self._now < until:
-                    self._now = until
+                if not self._stopped and self.now < until:
+                    self.now = until
         finally:
             self._executed = executed
             self._running = False

@@ -49,6 +49,8 @@ class Process:
     yielded this one.
     """
 
+    __slots__ = ("_sim", "_generator", "name", "_done", "_failure")
+
     def __init__(self, sim, generator: Generator, name: str | None = None):
         if not hasattr(generator, "send"):
             raise ProcessError(

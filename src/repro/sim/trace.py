@@ -41,17 +41,22 @@ class TraceRecorder:
     ``enabled`` flag.
     """
 
+    __slots__ = ("_sim", "enabled", "records", "forward")
+
     def __init__(self, sim, enabled: bool = False, forward=None):
         self._sim = sim
         self.enabled = enabled
         self.records: list[TraceRecord] = []
-        self._forward = forward
+        # Public so hot emit sites can test `trace.enabled or
+        # (trace.forward is not None and trace.forward.enabled)` inline
+        # and skip building the detail payload when nothing listens.
+        self.forward = forward
 
     def emit(self, source: str, event: str, detail: Any = None) -> None:
         """Record an event (no-op when disabled and not forwarding)."""
         if self.enabled:
             self.records.append(TraceRecord(self._sim.now, source, event, detail))
-        forward = self._forward
+        forward = self.forward
         if forward is not None and forward.enabled:
             forward.tcp_event(source, event, detail)
 

@@ -157,6 +157,11 @@ class Supervisor:
         content digest (a closure) gets a positional volatile key when
         there is no checkpoint to corrupt; with a checkpoint attached it
         raises :class:`~repro.errors.SuperviseError` instead.
+
+        Jobs sharing one content key are *deduplicated*: the first
+        occurrence runs, the rest reuse its outcome (jobs are pure, so
+        the duplicates' results are byte-identical by construction).
+        Volatile keys carry no content identity and are never deduped.
         """
         n = len(payloads)
         if keys is None:
@@ -168,10 +173,24 @@ class Supervisor:
 
         jobs: deque[_Job] = deque()
         hits = 0
+        primaries: dict[str, int] = {}
+        duplicates: list[tuple[int, str, int]] = []  # (index, key, primary)
         for index, (payload, key, label) in enumerate(
             zip(payloads, keys, labels)
         ):
-            stored = self.checkpoint.get(key) if self.checkpoint else None
+            # Dedupe before the store lookup so a duplicate neither
+            # re-reads the store nor skews cache hit/miss accounting.
+            primary = primaries.get(key)
+            if primary is not None:
+                duplicates.append((index, key, primary))
+                continue
+            # `is not None`, not truthiness: an *empty* store has
+            # __len__ == 0 and must still be consulted so cache
+            # accounting sees the miss.
+            stored = (
+                self.checkpoint.get(key)
+                if self.checkpoint is not None else None
+            )
             if stored is not None:
                 result, attempts = stored
                 outcomes[index] = JobSuccess(
@@ -179,12 +198,20 @@ class Supervisor:
                     attempts=attempts, from_checkpoint=True,
                 )
                 hits += 1
-            else:
-                jobs.append(_Job(index, payload, key, label))
+                continue
+            if not key.startswith("volatile-"):
+                primaries[key] = index
+            jobs.append(_Job(index, payload, key, label))
         if hits:
             self.metrics.counter("supervise.checkpoint_hits").inc(hits)
             self.log.info(
                 f"resume: skipped {hits}/{n} jobs already checkpointed"
+            )
+        if duplicates:
+            self.metrics.counter("supervise.deduped").inc(len(duplicates))
+            self.log.info(
+                f"dedup: {len(duplicates)}/{n} jobs share another job's "
+                f"content key; running each key once"
             )
 
         if jobs:
@@ -192,6 +219,25 @@ class Supervisor:
                 self._run_serial(fn, jobs, outcomes)
             else:
                 self._run_pooled(fn, jobs, outcomes)
+
+        # Mirror each primary's outcome into its duplicates' slots (the
+        # supervisor fills every primary slot before returning, so the
+        # lookup cannot miss).
+        for index, key, primary in duplicates:
+            outcome = outcomes[primary]
+            if outcome.ok:
+                outcomes[index] = JobSuccess(
+                    index=index, key=key, result=outcome.result,
+                    attempts=outcome.attempts,
+                    from_checkpoint=outcome.from_checkpoint,
+                )
+            else:
+                outcomes[index] = JobFailure(
+                    index=index, key=key, kind=outcome.kind,
+                    message=outcome.message, attempts=outcome.attempts,
+                    error_type=outcome.error_type,
+                    traceback=outcome.traceback,
+                )
         return outcomes  # type: ignore[return-value]  # every slot filled
 
     # ------------------------------------------------------------------

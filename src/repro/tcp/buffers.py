@@ -25,6 +25,8 @@ from repro.errors import TcpError
 class ByteStream:
     """Message-boundary registry for one direction of a connection."""
 
+    __slots__ = ("write_seq", "_boundaries")
+
     def __init__(self):
         self.write_seq = 0
         self._boundaries: deque[tuple[int, Any]] = deque()
@@ -68,6 +70,8 @@ class ReassemblyQueue:
     in-order frontier as holes fill.  Duplicate and overlapping ranges
     (retransmits) are tolerated.
     """
+
+    __slots__ = ("_ranges",)
 
     def __init__(self):
         self._ranges: list[tuple[int, int]] = []

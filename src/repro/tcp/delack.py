@@ -28,6 +28,21 @@ class DelayedAckManager:
     acks while the 40 ms ceiling still bounds bulk receivers.
     """
 
+    __slots__ = (
+        "_sim",
+        "_mss",
+        "_ack_now",
+        "delay_ns",
+        "adaptive",
+        "min_delay_ns",
+        "_timer",
+        "_unacked_since_ack",
+        "_last_arrival_ns",
+        "_ato_ns",
+        "timer_fires",
+        "quick_acks",
+    )
+
     def __init__(
         self,
         sim,
@@ -83,7 +98,10 @@ class DelayedAckManager:
         pending (RFC 1122's must-ack-every-second-full-segment, as
         byte-counted by Linux); otherwise arms the delack timer.
         """
-        self._observe_gap()
+        if self.adaptive:
+            # The gap EWMA only ever feeds current_delay_ns, which
+            # ignores it when not adaptive — skip the clock read then.
+            self._observe_gap()
         self._unacked_since_ack += nbytes
         if self._unacked_since_ack >= 2 * self._mss:
             self.quick_acks += 1

@@ -29,7 +29,7 @@ NAGLE_CLASSIC = "classic"
 NAGLE_MINSHALL = "minshall"
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchingHeuristics:
     """Per-socket transmit batching switches.
 

@@ -10,17 +10,20 @@ Message boundaries travel out-of-band through the shared
 Segments support :meth:`split_at` (used by the NIC to slice TSO
 super-segments into MTU-sized wire packets) and :meth:`merge` (used by
 GRO to coalesce contiguous arrivals into one delivery).
+
+One segment is allocated per transmission (more under TSO/GRO), so the
+class is a plain ``__slots__`` object with an explicit constructor —
+the dataclass machinery (and ``dataclasses.replace`` in the split/merge
+paths) measurably showed up in pipeline profiles.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import TcpError
 
 
-@dataclass
 class Segment:
     """One TCP segment (or a TSO/GRO aggregate of contiguous segments).
 
@@ -32,23 +35,55 @@ class Segment:
     accounting.
     """
 
-    conn_id: int
-    src: str
-    dst: str
-    seq: int
-    payload_len: int
-    ack: int
-    wnd: int
-    options: dict[str, Any] = field(default_factory=dict)
-    wire_count: int = 1
-    is_retransmit: bool = False
-    psh: bool = False
-    # Zero-window probe marker.  Real TCP probes are recognized by
-    # carrying a byte beyond the advertised window; the flag models the
-    # same "please re-advertise your window" semantics directly.
-    window_probe: bool = False
-    # SACK blocks: out-of-order ranges the receiver holds (RFC 2018).
-    sack_blocks: tuple = ()
+    __slots__ = (
+        "conn_id",
+        "src",
+        "dst",
+        "seq",
+        "payload_len",
+        "ack",
+        "wnd",
+        "options",
+        "wire_count",
+        "is_retransmit",
+        "psh",
+        "window_probe",
+        "sack_blocks",
+    )
+
+    def __init__(
+        self,
+        conn_id: int,
+        src: str,
+        dst: str,
+        seq: int,
+        payload_len: int,
+        ack: int,
+        wnd: int,
+        options: dict[str, Any] | None = None,
+        wire_count: int = 1,
+        is_retransmit: bool = False,
+        psh: bool = False,
+        # Zero-window probe marker.  Real TCP probes are recognized by
+        # carrying a byte beyond the advertised window; the flag models
+        # the same "please re-advertise your window" semantics directly.
+        window_probe: bool = False,
+        # SACK blocks: out-of-order ranges the receiver holds (RFC 2018).
+        sack_blocks: tuple = (),
+    ):
+        self.conn_id = conn_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.payload_len = payload_len
+        self.ack = ack
+        self.wnd = wnd
+        self.options = {} if options is None else options
+        self.wire_count = wire_count
+        self.is_retransmit = is_retransmit
+        self.psh = psh
+        self.window_probe = window_probe
+        self.sack_blocks = sack_blocks
 
     @property
     def end_seq(self) -> int:
@@ -63,6 +98,8 @@ class Segment:
     def options_bytes(self) -> int:
         """Wire bytes consumed by variable options (metadata exchange,
         SACK blocks: 2-byte header + 8 bytes per block)."""
+        if not self.options:
+            return 2 + 8 * len(self.sack_blocks) if self.sack_blocks else 0
         option_bytes = sum(
             getattr(value, "WIRE_BYTES", 8) for value in self.options.values()
         )
@@ -85,19 +122,35 @@ class Segment:
             raise TcpError(f"split size must be positive, got {nbytes}")
         if self.payload_len <= nbytes:
             return self, None
-        head = replace(
-            self,
-            payload_len=nbytes,
-            options={},
-            wire_count=1,
-            psh=False,  # PSH rides the last slice of the burst
-            sack_blocks=(),
+        head = Segment(
+            self.conn_id,
+            self.src,
+            self.dst,
+            self.seq,
+            nbytes,
+            self.ack,
+            self.wnd,
+            {},
+            1,
+            self.is_retransmit,
+            False,  # PSH rides the last slice of the burst
+            self.window_probe,
+            (),
         )
-        rest = replace(
-            self,
-            seq=self.seq + nbytes,
-            payload_len=self.payload_len - nbytes,
-            wire_count=1,
+        rest = Segment(
+            self.conn_id,
+            self.src,
+            self.dst,
+            self.seq + nbytes,
+            self.payload_len - nbytes,
+            self.ack,
+            self.wnd,
+            self.options,
+            1,
+            self.is_retransmit,
+            self.psh,
+            self.window_probe,
+            self.sack_blocks,
         )
         return head, rest
 
@@ -110,8 +163,8 @@ class Segment:
         return (
             nxt.conn_id == self.conn_id
             and nxt.src == self.src
-            and nxt.seq == self.end_seq
-            and not nxt.is_pure_ack
+            and nxt.seq == self.seq + self.payload_len
+            and nxt.payload_len != 0
             and not self.is_retransmit
             and not nxt.is_retransmit
         )
@@ -125,21 +178,29 @@ class Segment:
         """
         if not self.can_merge(nxt):
             raise TcpError(f"cannot merge {nxt!r} after {self!r}")
-        merged_options = dict(self.options)
-        merged_options.update(nxt.options)
-        return replace(
-            self,
-            payload_len=self.payload_len + nxt.payload_len,
-            ack=max(self.ack, nxt.ack),
-            wnd=nxt.wnd,
-            options=merged_options,
-            wire_count=self.wire_count + nxt.wire_count,
-            psh=self.psh or nxt.psh,
-            sack_blocks=nxt.sack_blocks or self.sack_blocks,
+        if nxt.options:
+            merged_options = dict(self.options)
+            merged_options.update(nxt.options)
+        else:
+            merged_options = self.options
+        return Segment(
+            self.conn_id,
+            self.src,
+            self.dst,
+            self.seq,
+            self.payload_len + nxt.payload_len,
+            nxt.ack if nxt.ack > self.ack else self.ack,
+            nxt.wnd,
+            merged_options,
+            self.wire_count + nxt.wire_count,
+            self.is_retransmit,
+            self.psh or nxt.psh,
+            self.window_probe,
+            nxt.sack_blocks or self.sack_blocks,
         )
 
     def __repr__(self) -> str:
-        kind = "ack" if self.is_pure_ack else f"{self.payload_len}B"
+        kind = "ack" if self.payload_len == 0 else f"{self.payload_len}B"
         return (
             f"<Segment conn={self.conn_id} {self.src}->{self.dst} "
             f"seq={self.seq} {kind} ack={self.ack}>"

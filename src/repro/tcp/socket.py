@@ -30,7 +30,7 @@ from typing import Any
 
 from repro.core.qstate import QueueState
 from repro.errors import TcpError
-from repro.net.packet import Packet
+from repro.net.packet import acquire_packet
 from repro.sim.events import Event
 from repro.tcp.buffers import ByteStream, ReassemblyQueue
 from repro.tcp.cc import RenoCongestionControl
@@ -91,6 +91,10 @@ class TcpSocket:
         self.conn_id = conn_id
         self.name = name
         self.peer: "TcpSocket | None" = None
+        # Rebound once at construction: the config is frozen, and the
+        # transmit path reads these per segment.
+        self._sack = config.sack
+        self._readable_name = f"{name}.readable"
 
         self.heuristics = BatchingHeuristics(
             nagle=config.nagle,
@@ -163,8 +167,9 @@ class TcpSocket:
             raise TcpError(f"socket {self.name!r} is not connected")
         self.out_stream.append(nbytes, message)
         self.qs_unacked.track(nbytes)
-        for instrument in self.instruments:
-            instrument.on_send(nbytes)
+        if self.instruments:
+            for instrument in self.instruments:
+                instrument.on_send(nbytes)
         self._push()
 
     @property
@@ -194,8 +199,9 @@ class TcpSocket:
         window_before = self._advertised_window()
         self.read_seq += nbytes
         self.qs_unread.track(-nbytes)
-        for instrument in self.instruments:
-            instrument.on_read(self.read_seq)
+        if self.instruments:
+            for instrument in self.instruments:
+                instrument.on_read(self.read_seq)
         messages = self.in_stream.pop_completed(self.read_seq)
         # Receive-window update: if the window was nearly closed and the
         # read opened it by 2+ MSS, tell the peer so it can resume.
@@ -209,7 +215,7 @@ class TcpSocket:
 
     def wait_readable(self) -> Event:
         """Waitable that fires when in-order data is available."""
-        event = Event(self._sim, name=f"{self.name}.readable")
+        event = Event(self._sim, name=self._readable_name)
         if self.readable_bytes > 0:
             event.trigger()
         else:
@@ -304,7 +310,11 @@ class TcpSocket:
                         self._small_packet_end > self.snd_una
                     ),
                 ):
-                    self.host.trace.emit(self.name, "batching_hold", available)
+                    trace = self.host.trace
+                    if trace.enabled or (
+                        (fwd := trace.forward) is not None and fwd.enabled
+                    ):
+                        trace.emit(self.name, "batching_hold", available)
                     return  # held by Nagle / auto-corking / batch floor
                 chunk = available
                 self._small_packet_end = self.snd_nxt + chunk
@@ -312,10 +322,12 @@ class TcpSocket:
             self.snd_nxt += chunk
 
     def _transmit(self, seq: int, nbytes: int, retransmit: bool = False) -> None:
+        host = self.host
+        dst = self.peer.host.name
         segment = Segment(
             conn_id=self.conn_id,
-            src=self.host.name,
-            dst=self.peer.host.name,
+            src=host.name,
+            dst=dst,
             seq=seq,
             payload_len=nbytes,
             ack=self.rcv_nxt,
@@ -327,7 +339,7 @@ class TcpSocket:
             # a batching sender naturally emits unpushed streams.
             psh=(seq + nbytes == self.out_stream.write_seq),
             sack_blocks=(
-                self.reassembly.blocks() if self.config.sack else ()
+                self.reassembly.blocks() if self._sack else ()
             ),
         )
         self._note_ack_carried()
@@ -342,19 +354,24 @@ class TcpSocket:
             self.bytes_sent += nbytes
             if self._rtt_probe is None:
                 self._rtt_probe = (seq + nbytes, self._sim.now)
-            for instrument in self.instruments:
-                instrument.on_segment_sent(seq, nbytes)
+            if self.instruments:
+                for instrument in self.instruments:
+                    instrument.on_segment_sent(seq, nbytes)
         self._last_send_ns = self._sim.now
-        self.host.trace.emit(
-            self.name, "tx",
-            {"seq": seq, "len": nbytes, "psh": segment.psh,
-             "retransmit": retransmit},
-        )
-        self.host.nic.post(
-            Packet(
-                src=self.host.name,
-                dst=self.peer.host.name,
-                payload_bytes=nbytes,
+        trace = host.trace
+        if trace.enabled or (
+            (fwd := trace.forward) is not None and fwd.enabled
+        ):
+            trace.emit(
+                self.name, "tx",
+                {"seq": seq, "len": nbytes, "psh": segment.psh,
+                 "retransmit": retransmit},
+            )
+        host.nic.post(
+            acquire_packet(
+                host.name,
+                dst,
+                nbytes,
                 payload=segment,
                 options_bytes=segment.options_bytes(),
             )
@@ -374,17 +391,17 @@ class TcpSocket:
             wnd=self._advertised_window(),
             window_probe=window_probe,
             sack_blocks=(
-                self.reassembly.blocks() if self.config.sack else ()
+                self.reassembly.blocks() if self._sack else ()
             ),
         )
         self._note_ack_carried()
         if self.exchange is not None:
             self.exchange.on_transmit(segment)
         self.pure_acks_sent += 1
-        packet = Packet(
-            src=self.host.name,
-            dst=self.peer.host.name,
-            payload_bytes=0,
+        packet = acquire_packet(
+            self.host.name,
+            self.peer.host.name,
+            0,
             payload=segment,
             options_bytes=segment.options_bytes(),
         )
@@ -401,8 +418,9 @@ class TcpSocket:
         pending = self.rcv_nxt - self.rcv_wup
         if pending > 0:
             self.qs_ackdelay.track(-pending)
-            for instrument in self.instruments:
-                instrument.on_ack_sent(self.rcv_nxt)
+            if self.instruments:
+                for instrument in self.instruments:
+                    instrument.on_ack_sent(self.rcv_nxt)
         self.rcv_wup = self.rcv_nxt
         self.delack.on_ack_piggybacked()
 
@@ -412,16 +430,20 @@ class TcpSocket:
 
     def segment_arrived(self, segment: Segment) -> None:
         """Demux entry point for one (possibly GRO-merged) segment."""
-        self.host.trace.emit(
-            self.name, "rx",
-            {"seq": segment.seq, "len": segment.payload_len,
-             "ack": segment.ack, "wire_count": segment.wire_count},
-        )
+        trace = self.host.trace
+        if trace.enabled or (
+            (fwd := trace.forward) is not None and fwd.enabled
+        ):
+            trace.emit(
+                self.name, "rx",
+                {"seq": segment.seq, "len": segment.payload_len,
+                 "ack": segment.ack, "wire_count": segment.wire_count},
+            )
         if self.exchange is not None and segment.options:
             self.exchange.on_receive(segment.options)
         old_rwnd = self.peer_rwnd
         self.peer_rwnd = segment.wnd
-        if self.config.sack and segment.sack_blocks:
+        if self._sack and segment.sack_blocks:
             self._record_sacked(segment.sack_blocks)
         if segment.ack > self.snd_una:
             self._process_ack(segment.ack)
@@ -461,8 +483,9 @@ class TcpSocket:
                 self._transmit(start, end - start, retransmit=True)
                 self._recovery_rtx_upto = end
         self.qs_unacked.track(-acked)
-        for instrument in self.instruments:
-            instrument.on_acked(new_ack)
+        if self.instruments:
+            for instrument in self.instruments:
+                instrument.on_acked(new_ack)
         self.cc.on_ack(acked)
         if self._rtt_probe is not None and new_ack >= self._rtt_probe[0]:
             self.rtt.sample(self._sim.now - self._rtt_probe[1])
@@ -549,8 +572,9 @@ class TcpSocket:
         self.rcv_nxt = new_nxt
         self.qs_unread.track(advanced)
         self.qs_ackdelay.track(advanced)
-        for instrument in self.instruments:
-            instrument.on_arrived(self.rcv_nxt)
+        if self.instruments:
+            for instrument in self.instruments:
+                instrument.on_arrived(self.rcv_nxt)
         self.delack.on_data_received(advanced)
         if self._readers and not self._read_stalled:
             readers, self._readers = self._readers, []

@@ -35,6 +35,7 @@ DOC_FILES = [
     REPO / "README.md",
     REPO / "docs" / "OBSERVABILITY.md",
     REPO / "docs" / "ARCHITECTURE.md",
+    REPO / "docs" / "PERFORMANCE.md",
 ]
 
 _HELP_BLOCK = re.compile(
