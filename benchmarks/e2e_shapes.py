@@ -32,13 +32,30 @@ from dataclasses import replace
 from repro.experiments.fig2 import fig2_config
 from repro.faults import named_plan
 from repro.loadgen.lancet import BenchConfig, run_benchmark
-from repro.units import msecs
+from repro.units import msecs, usecs
 
 
 def _fig2_point() -> BenchConfig:
     return replace(
         fig2_config(vm=True, nagle=True, seed=1, measure_ns=msecs(80)),
         warmup_ns=msecs(20),
+    )
+
+
+def _dense_sampling() -> BenchConfig:
+    """The vectorized-pipeline stress shape: datacenter-sweep sampling.
+
+    Four connections sampled every 5 us — the regime the batch pipeline
+    (``repro.sim.batch``) exists for, where the legacy path's per-tick
+    object materialization (six ``QueueSnapshot``, two
+    ``TripleSnapshot``, one ``CounterSample`` per collector tick)
+    dominates the run.
+    """
+    return replace(
+        fig2_config(vm=True, nagle=True, seed=1, measure_ns=msecs(80)),
+        warmup_ns=msecs(20),
+        connections=4,
+        counter_period_ns=usecs(5),
     )
 
 
@@ -59,11 +76,12 @@ E2E_SHAPES = {
 }
 
 
-def bench_shape(config: BenchConfig) -> float:
+def bench_shape(config: BenchConfig, backend: str | None = None) -> float:
     """One timed run: simulator callbacks executed per wall-clock second.
 
     Times the whole :func:`run_benchmark` (assembly and summarization
     included — both are part of what a campaign pays per run).
+    ``backend`` selects the batch pipeline; ``None`` is the legacy path.
     """
     holder = {}
 
@@ -71,7 +89,7 @@ def bench_shape(config: BenchConfig) -> float:
         holder["bed"] = bed
 
     start = time.perf_counter()
-    run_benchmark(config, tweak=tweak)
+    run_benchmark(config, tweak=tweak, backend=backend)
     elapsed = time.perf_counter() - start
     return holder["bed"].sim.events_executed / elapsed
 
@@ -119,5 +137,79 @@ def measure_all(reps: int = 3) -> dict:
     }
 
 
+def measure_vectorized(reps: int = 3) -> dict:
+    """Legacy vs batch backend on the dense-sampling shape.
+
+    The speedup here is the whole point of the vectorized pipeline;
+    output equivalence is enforced separately by the golden-digest suite,
+    so this measures only wall-clock.  The batch backend is resolved
+    via ``auto`` (numpy where available, the pure-python columns
+    otherwise), and which one actually ran is recorded.
+    """
+    from repro.config import resolve_backend
+
+    backend = resolve_backend("auto")
+    config = _dense_sampling()
+    legacy = max(bench_shape(config) for _ in range(reps))
+    vectorized = max(bench_shape(config, backend=backend) for _ in range(reps))
+    kernel = kernel_reference(reps)
+    return {
+        "shape": "dense_sampling",
+        "backend": backend,
+        "legacy_events_per_sec": round(legacy),
+        "vectorized_events_per_sec": round(vectorized),
+        "kernel_chained": round(kernel),
+        "normalized": {
+            "legacy": round(legacy / kernel, 4),
+            "vectorized": round(vectorized / kernel, 4),
+        },
+        "speedup": round(vectorized / legacy, 3),
+    }
+
+
+def measure_sharded(reps: int = 3, workers: int = 1) -> dict:
+    """The decomposed fan-in, serial vs sharded: merged events/sec.
+
+    Events/sec here counts simulator callbacks summed over every
+    connection's sub-simulation divided by the wall-clock of the whole
+    ``run_fanin_sharded`` call (partition, workers, merge included).
+    On a single-CPU box the sharded run cannot beat the serial one —
+    the caller records both and gates only the serial ratio.
+    """
+    from repro.experiments.fanin import FaninConfig, run_fanin_sharded
+
+    config = FaninConfig(warmup_ns=msecs(10), measure_ns=msecs(40))
+
+    def timed(shards: int, pool: int) -> tuple[float, int]:
+        start = time.perf_counter()
+        result = run_fanin_sharded(config, shards=shards, workers=pool)
+        elapsed = time.perf_counter() - start
+        return result.events_executed / elapsed, result.merged_events
+
+    serial_eps, merged = 0.0, 0
+    for _ in range(reps):
+        eps, merged = timed(1, 1)
+        serial_eps = max(serial_eps, eps)
+    sharded_eps = 0.0
+    for _ in range(reps):
+        eps, _ = timed(2, workers)
+        sharded_eps = max(sharded_eps, eps)
+    kernel = kernel_reference(reps)
+    return {
+        "shape": "fanin_4c",
+        "workers": workers,
+        "merged_events": merged,
+        "serial_events_per_sec": round(serial_eps),
+        "sharded_events_per_sec": round(sharded_eps),
+        "kernel_chained": round(kernel),
+        "normalized": {
+            "serial": round(serial_eps / kernel, 4),
+            "sharded": round(sharded_eps / kernel, 4),
+        },
+    }
+
+
 if __name__ == "__main__":
     print(json.dumps(measure_all(), indent=2))
+    print(json.dumps(measure_vectorized(), indent=2))
+    print(json.dumps(measure_sharded(), indent=2))

@@ -26,6 +26,8 @@ import pathlib
 import time
 from typing import Callable
 
+import pytest
+
 from repro.loadgen.lancet import BenchConfig
 from repro.loadgen.replications import replicated_sweep
 from repro.sim.loop import Simulator
@@ -245,7 +247,8 @@ def test_perf_e2e_pipeline_events_per_sec():
         assert measured["normalized"][name] >= floor, (
             f"{name}: normalized {measured['normalized'][name]} fell more "
             f"than 10% below the committed baseline {reference} "
-            f"(floor {floor:.4f}) — a pipeline perf regression"
+            f"(floor {floor:.4f}) on a cpu_count={os.cpu_count()} box — "
+            f"a pipeline perf regression"
         )
     # Soft floor on the recorded improvement: well under the measured
     # ~1.3x so wall-clock noise cannot flake it, but still catching a
@@ -256,17 +259,28 @@ def test_perf_e2e_pipeline_events_per_sec():
 def test_perf_parallel_sweep_speedup():
     """Serial vs pooled 8-rate x 3-seed sweep: identical results, faster.
 
-    The >= 2x wall-clock floor applies only where the hardware can
-    deliver it (>= 4 cores); everywhere the exact speedup is recorded in
-    perf.json and the byte-identical-results guarantee is asserted.
+    On a single-CPU box the comparison is meaningless — the pool can
+    only lose to serial, and recording that loss as a "speedup" number
+    misleads anyone reading perf.json — so the bench skips outright and
+    records why.  Where it runs, the >= 2x wall-clock floor applies only
+    if the hardware can deliver it (>= 4 cores); the exact speedup is
+    recorded in perf.json and the byte-identical-results guarantee is
+    asserted.
     """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        _update_perf("parallel_sweep", {"skipped": "cpu_count<2"})
+        pytest.skip(
+            f"parallel sweep needs >= 2 CPUs (have {cpu_count}); "
+            "a pool on one core measures only overhead"
+        )
     base = BenchConfig(
         rate_per_sec=10_000.0, warmup_ns=msecs(2), measure_ns=msecs(8)
     )
     rates = [5_000.0, 10_000.0, 15_000.0, 20_000.0,
              25_000.0, 30_000.0, 35_000.0, 40_000.0]
     seeds = (1, 2, 3)
-    workers = min(4, os.cpu_count() or 1)
+    workers = min(4, cpu_count)
 
     start = time.perf_counter()
     serial = replicated_sweep(base, rates, seeds, workers=1)
@@ -288,5 +302,71 @@ def test_perf_parallel_sweep_speedup():
     })
     print(f"\nsweep wall-clock: serial {serial_s:.2f}s, "
           f"parallel({workers}) {parallel_s:.2f}s -> {speedup:.2f}x")
-    if (os.cpu_count() or 1) >= 4:
-        assert speedup >= 2.0, (serial_s, parallel_s)
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (serial_s, parallel_s, f"cpu_count={cpu_count}")
+
+
+def test_perf_vectorized_pipeline():
+    """The batch backend vs legacy on the dense-sampling shape.
+
+    The vectorized pipeline's reason to exist: at datacenter-sweep
+    sampling density the legacy path drowns in per-tick object
+    construction.  Numbers land in perf.json's ``vectorized`` section;
+    the hard gates are the >= 1.5x speedup over legacy on the same
+    machine (PR-6's acceptance floor, measured well above 3x here) and
+    the committed normalized baseline (same >10%-drop rule as the e2e
+    gate, machine-independent).
+    """
+    from benchmarks.e2e_shapes import measure_vectorized
+
+    baseline_doc = json.loads(BASELINE_PATH.read_text())
+    measured = measure_vectorized(reps=3)
+    _update_perf("vectorized", measured)
+    print(f"\nvectorized ({measured['backend']}): "
+          f"{measured['vectorized_events_per_sec']} ev/s vs legacy "
+          f"{measured['legacy_events_per_sec']} ev/s -> "
+          f"{measured['speedup']:.2f}x")
+
+    assert measured["speedup"] >= 1.5, (
+        f"vectorized backend ({measured['backend']}) only "
+        f"{measured['speedup']}x over legacy on the dense-sampling shape "
+        f"(cpu_count={os.cpu_count()}) — below the 1.5x acceptance floor"
+    )
+    reference = baseline_doc["vectorized"]["normalized"]["dense_sampling"]
+    floor = reference * 0.90
+    assert measured["normalized"]["vectorized"] >= floor, (
+        f"dense_sampling: vectorized normalized "
+        f"{measured['normalized']['vectorized']} fell more than 10% below "
+        f"the committed baseline {reference} (floor {floor:.4f}) on a "
+        f"cpu_count={os.cpu_count()} box — a batch-pipeline regression"
+    )
+
+
+def test_perf_sharded_pipeline():
+    """The decomposed fan-in: serial throughput gated, sharding recorded.
+
+    The serial (1-shard, in-process) run is the machine-independent
+    number the gate protects — sharding overhead must never erode the
+    single-core decomposed model.  The 2-shard run is recorded for the
+    trajectory; a wall-clock win is only asserted where a second CPU
+    exists to deliver it (byte-identity across shard counts is the
+    equivalence suite's job, not wall-clock's).
+    """
+    from benchmarks.e2e_shapes import measure_sharded
+
+    cpu_count = os.cpu_count() or 1
+    baseline_doc = json.loads(BASELINE_PATH.read_text())
+    measured = measure_sharded(reps=3, workers=min(2, cpu_count))
+    _update_perf("sharded", measured)
+    print(f"\nsharded fanin: serial {measured['serial_events_per_sec']} ev/s, "
+          f"2-shard/{measured['workers']}w "
+          f"{measured['sharded_events_per_sec']} ev/s")
+
+    reference = baseline_doc["sharded"]["normalized"]["fanin_serial"]
+    floor = reference * 0.90
+    assert measured["normalized"]["serial"] >= floor, (
+        f"fanin_serial: normalized {measured['normalized']['serial']} fell "
+        f"more than 10% below the committed baseline {reference} "
+        f"(floor {floor:.4f}) on a cpu_count={cpu_count} box — "
+        f"a sharded-runner regression"
+    )

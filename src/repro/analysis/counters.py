@@ -46,10 +46,20 @@ class CounterCollector:
     ``client_states`` / ``server_states`` are any objects exposing the
     three queue states — sockets (byte units) or
     :class:`~repro.core.semantic.MessageUnits` adapters.
+
+    With ``batch`` (a :class:`repro.sim.batch.SampleBatch`), each tick
+    lands as a flat row in the batch instead of a
+    :class:`CounterSample` object — the vectorized collection mode of
+    the ``python``/``numpy`` backends.  The :attr:`samples` surface is
+    preserved (materialized lazily from the batch), and
+    :meth:`window_estimate`/:attr:`sample_count` answer the summarize
+    path's queries without materializing anything.  Sample values are
+    identical either way: both paths bring every queue state forward
+    with a ``track(0)`` and record the same three ints per queue.
     """
 
     def __init__(self, sim, client_states, server_states, period_ns: int,
-                 tracer=None):
+                 tracer=None, batch=None):
         from repro.obs.tracer import NULL_TRACER
 
         if period_ns <= 0:
@@ -58,7 +68,8 @@ class CounterCollector:
         self._client = client_states
         self._server = server_states
         self.period_ns = period_ns
-        self.samples: list[CounterSample] = []
+        self.batch = batch
+        self._samples: list[CounterSample] = []
         self._timer = None
         # Observability: each sample is also emitted as two
         # ``queue.sample`` trace records (one per endpoint), named after
@@ -67,36 +78,81 @@ class CounterCollector:
         self._client_src = getattr(client_states, "name", "client")
         self._server_src = getattr(server_states, "name", "server")
 
+    @property
+    def samples(self) -> list[CounterSample]:
+        """The recorded series as :class:`CounterSample` objects.
+
+        In batch mode this materializes (and caches) the whole series —
+        a compatibility surface for offline analysis; hot-path consumers
+        should prefer :meth:`window_estimate`/:attr:`sample_count`.
+        """
+        if self.batch is not None:
+            return self.batch.samples()
+        return self._samples
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples recorded, without materializing any."""
+        if self.batch is not None:
+            return self.batch.sample_count
+        return len(self._samples)
+
+    def window_estimate(self, start_ns: int, end_ns: int):
+        """:func:`~repro.analysis.offline.window_estimate` over the
+        recorded series, bulk-selected in batch mode."""
+        if self.batch is not None:
+            return self.batch.window_estimate(start_ns, end_ns)
+        from repro.analysis.offline import window_estimate
+
+        return window_estimate(self._samples, start_ns, end_ns)
+
     def start(self) -> None:
         """Take an immediate sample and begin periodic sampling."""
         self.sample_now()
         self._timer = self._sim.call_after(self.period_ns, self._tick)
 
     def stop(self) -> None:
-        """Stop sampling (takes one final sample)."""
+        """Stop sampling (takes one final sample; flushes the batch)."""
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         self.sample_now()
+        if self.batch is not None:
+            self.batch.flush()
 
-    def sample_now(self) -> CounterSample:
-        """Record one sample immediately."""
+    def sample_now(self):
+        """Record one sample immediately.
+
+        Returns the :class:`CounterSample` in legacy mode; batch mode
+        returns ``None`` (materializing one would defeat the point —
+        use :meth:`samples` afterwards if objects are needed).
+        """
+        batch = self.batch
+        if batch is not None:
+            batch.append(self._sim.now, self._client, self._server)
+            if self._tracer.enabled:
+                sample = batch.materialize(batch.sample_count - 1)
+                self._emit(sample)
+            return None
         sample = CounterSample(
             time=self._sim.now,
             client=TripleSnapshot.capture(self._client),
             server=TripleSnapshot.capture(self._server),
         )
-        self.samples.append(sample)
-        tracer = self._tracer
-        if tracer.enabled:
-            for src, triple in (
-                (self._client_src, sample.client),
-                (self._server_src, sample.server),
-            ):
-                tracer.queue_sample(
-                    src, triple.unacked, triple.unread, triple.ackdelay
-                )
+        self._samples.append(sample)
+        if self._tracer.enabled:
+            self._emit(sample)
         return sample
+
+    def _emit(self, sample: CounterSample) -> None:
+        tracer = self._tracer
+        for src, triple in (
+            (self._client_src, sample.client),
+            (self._server_src, sample.server),
+        ):
+            tracer.queue_sample(
+                src, triple.unacked, triple.unread, triple.ackdelay
+            )
 
     def _tick(self) -> None:
         self.sample_now()

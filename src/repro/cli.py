@@ -42,6 +42,18 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    from repro.config import BACKENDS
+
+    parser.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="batch-pipeline backend: legacy per-object path, pure-python "
+             "batch, numpy batch, or auto (numpy if importable); default "
+             "follows REPRO_BACKEND, else legacy. Output is byte-identical "
+             "across backends",
+    )
+
+
 def _add_supervise(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--resume", default=None, metavar="DIR",
@@ -220,6 +232,16 @@ def _cmd_run(args) -> int:
         min_rto_ns=msecs(args.min_rto_ms),
         fault_plan=_fault_plan_from(args),
     )
+    if args.backend is not None:
+        # Validated, then exported: the supervised path ships runs to
+        # worker processes, which pick the backend up from the
+        # environment (byte-identity-neutral either way).
+        import os as _os
+
+        from repro.config import BACKEND_ENV, resolve_backend
+
+        resolve_backend(args.backend)
+        _os.environ[BACKEND_ENV] = args.backend
     tracer = _make_tracer(args.trace, label="run")
     policy, checkpoint = _supervise_from(args)
     want_bed = (
@@ -286,6 +308,66 @@ def _cmd_run(args) -> int:
         print(render_stats(dump_testbed(holder.bed)))
     if args.metrics is not None and not restored:
         print(f"metrics written to {args.metrics}")
+    _report_cache(checkpoint)
+    _finish_tracer(tracer, args.trace)
+    return 0
+
+
+def _cmd_fanin(args) -> int:
+    from repro.experiments.fanin import (
+        FaninConfig,
+        run_fanin,
+        run_fanin_sharded,
+    )
+
+    config = FaninConfig(
+        clients=args.clients,
+        total_rate_per_sec=args.rate,
+        nagle=args.nagle,
+        warmup_ns=msecs(args.warmup_ms),
+        measure_ns=msecs(args.measure_ms),
+        seed=args.seed,
+    )
+    policy, checkpoint = _supervise_from(args)
+    tracer = _make_tracer(args.trace, label="fanin")
+    if args.shards is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = run_fanin_sharded(
+            config,
+            shards=args.shards,
+            workers=args.workers,
+            policy=policy,
+            checkpoint=checkpoint,
+            backend=args.backend,
+            tracer=tracer,
+            metrics=registry,
+        )
+        print(f"sharded fan-in: {config.clients} connections, "
+              f"{result.merged_events} merged completions "
+              f"(fingerprint {result.merge_fingerprint[:16]})")
+        for index, mean in enumerate(result.per_client_mean_ns):
+            print(f"  client {index}: mean {to_usecs(mean):.1f} us")
+        print(f"  aggregate mean: "
+              f"{to_usecs(result.aggregate_mean_ns):.1f} us")
+        if result.averaged_estimate_ns is not None:
+            print(f"  averaged estimate (sec. 3.2): "
+                  f"{to_usecs(result.averaged_estimate_ns):.1f} us")
+        print(f"  server replica net util (mean): "
+              f"{result.server_net_util_mean:.0%}")
+    else:
+        result = run_fanin(
+            config, with_toggler=args.toggler, backend=args.backend
+        )
+        print(result.render())
+    if args.json:
+        import pathlib as _pathlib
+
+        target = _pathlib.Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(result.to_json() + "\n")
+        print(f"result JSON written to {args.json}")
     _report_cache(checkpoint)
     _finish_tracer(tracer, args.trace)
     return 0
@@ -376,7 +458,8 @@ def _cmd_profile(args) -> int:
 
     config = shape_config(args.shape, measure_ms=args.measure_ms,
                           seed=args.seed)
-    document = profile_run(config, shape=args.shape, top_n=args.top)
+    document = profile_run(config, shape=args.shape, top_n=args.top,
+                           backend=args.backend)
     rendered = _json.dumps(document, indent=2) + "\n"
     if args.out is not None:
         target = _pathlib.Path(args.out)
@@ -570,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a repro-metrics-v1 JSON snapshot")
     _add_measure(p_run, 120)
     _add_supervise(p_run)
+    _add_backend(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_faults = sub.add_parser(
@@ -594,6 +678,43 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record the sweep as repro-trace-v1 JSONL")
     _add_measure(p_faults, 300)
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_fanin = sub.add_parser(
+        "fanin",
+        help="A10 fan-in: N clients -> 1 server, optionally sharded "
+             "across workers",
+    )
+    p_fanin.add_argument("--clients", type=int, default=4,
+                         help="number of client machines (default 4)")
+    p_fanin.add_argument("--rate", type=float, default=48_000.0,
+                         help="total offered load across all clients "
+                              "(default 48000)")
+    p_fanin.add_argument("--nagle", action="store_true",
+                         help="static Nagle on for every connection")
+    p_fanin.add_argument("--seed", type=int, default=1)
+    p_fanin.add_argument("--warmup-ms", type=int, default=40)
+    p_fanin.add_argument("--toggler", action="store_true",
+                         help="attach the spanning dynamic toggler "
+                              "(monolithic mode only)")
+    p_fanin.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the decomposed model: each connection as an isolated "
+             "sub-simulation with its own server replica, partitioned "
+             "into N shards and merged deterministically; output is "
+             "byte-identical for every N (including N=1). Omit for the "
+             "monolithic shared-server model",
+    )
+    p_fanin.add_argument("--json", default=None, metavar="PATH",
+                         help="write the result as canonical JSON "
+                              "(byte-diffable across shard/worker counts)")
+    p_fanin.add_argument("--trace", default=None, metavar="PATH",
+                         help="record the campaign as repro-trace-v1 JSONL "
+                              "(forces serial execution)")
+    _add_measure(p_fanin, 150)
+    _add_workers(p_fanin)
+    _add_supervise(p_fanin)
+    _add_backend(p_fanin)
+    p_fanin.set_defaults(func=_cmd_fanin)
 
     p_ablation = sub.add_parser("ablation", help="run one ablation by name")
     p_ablation.add_argument(
@@ -627,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
              "profiling (used by the CI docs/schema check)",
     )
     _add_measure(p_profile, 80)
+    _add_backend(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
 
     p_trace = sub.add_parser(

@@ -1,0 +1,99 @@
+"""Runtime configuration for the execution substrate.
+
+:class:`ReproConfig` captures the knobs that select *how* a simulation
+executes — never *what* it computes.  The two members today are the
+batch-pipeline backend (see :mod:`repro.sim.batch`) and the intra-run
+shard count (see :mod:`repro.sim.shard`).  Both are execution details
+with a hard byte-identity contract: switching backend or shard count
+must not change a single output byte, which is why neither lives on
+:class:`~repro.loadgen.lancet.BenchConfig` (whose fields are part of
+every result digest and cache key).
+
+Backend resolution order:
+
+1. an explicit name passed by the caller (``--backend`` on the CLI,
+   ``backend=`` on :func:`~repro.loadgen.lancet.run_benchmark`);
+2. the ``REPRO_BACKEND`` environment variable;
+3. ``"legacy"`` — the per-object pipeline, unchanged from PR 5.
+
+``"auto"`` resolves to ``"numpy"`` when numpy imports, else
+``"python"`` — numpy is never a hard dependency, and the pure-python
+batch backend is a complete fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+#: Selectable backend names.  ``legacy`` is the per-object pipeline
+#: (dataclass snapshots, python-loop summaries); ``python`` collects
+#: into flat python lists; ``numpy`` collects into flat lists and
+#: processes them as ndarray columns; ``auto`` picks numpy if present.
+BACKENDS = ("legacy", "auto", "python", "numpy")
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV = "REPRO_BACKEND"
+
+_numpy_available: bool | None = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be used (import probed once)."""
+    global _numpy_available
+    if _numpy_available is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            _numpy_available = False
+        else:
+            _numpy_available = True
+    return _numpy_available
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend request to ``legacy``, ``python``, or ``numpy``.
+
+    ``None`` consults ``REPRO_BACKEND`` and falls back to ``legacy``.
+    Asking for ``numpy`` where numpy is not importable is an explicit
+    error — silent degradation is reserved for ``auto``.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or "legacy"
+    if name not in BACKENDS:
+        raise WorkloadError(
+            f"unknown backend {name!r}; pick from {', '.join(BACKENDS)}"
+        )
+    if name == "auto":
+        return "numpy" if numpy_available() else "python"
+    if name == "numpy" and not numpy_available():
+        raise WorkloadError(
+            "backend 'numpy' requested but numpy is not importable; "
+            "use 'auto' to fall back to the pure-python batch backend"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Execution-substrate selection for one run or campaign.
+
+    ``backend`` — batch-pipeline backend name (see :data:`BACKENDS`);
+    ``shards`` — intra-run shard count for decomposable scenarios
+    (1 = no sharding).  Both are byte-identity-neutral by contract.
+    """
+
+    backend: str = "legacy"
+    shards: int = 1
+
+    def validate(self) -> None:
+        """Raise on nonsensical parameters."""
+        resolve_backend(self.backend)
+        if self.shards < 1:
+            raise WorkloadError(f"shards must be >= 1, got {self.shards}")
+
+    def resolved_backend(self) -> str:
+        """The concrete backend this config selects."""
+        return resolve_backend(self.backend)

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.counters import CounterCollector
-from repro.analysis.offline import window_estimate
 from repro.analysis.report import format_table
 from repro.apps.kvstore import KVStore
 from repro.apps.redis_client import ClientConfig, RedisClient
@@ -63,8 +62,15 @@ class FaninBed:
     collectors: list[CounterCollector]
 
 
-def build_fanin(config: FaninConfig) -> FaninBed:
-    """Assemble N client machines, a switch, and one server."""
+def build_fanin(config: FaninConfig, backend=None) -> FaninBed:
+    """Assemble N client machines, a switch, and one server.
+
+    ``backend`` selects the batch pipeline (see :mod:`repro.config`);
+    byte-identity-neutral, like everywhere else.
+    """
+    from repro.config import resolve_backend
+
+    backend = resolve_backend(backend)
     sim = Simulator()
     rng = RngRegistry(config.seed)
     server_host = Host(sim, "server", costs=HostCosts())
@@ -90,8 +96,16 @@ def build_fanin(config: FaninConfig) -> FaninBed:
             RedisClient(sim, host, client_sock, config=ClientConfig(),
                         name=f"lancet{index}")
         )
+        sample_batch = None
+        if backend != "legacy":
+            from repro.sim.batch import SampleBatch
+
+            sample_batch = SampleBatch(backend)
         collectors.append(
-            CounterCollector(sim, client_sock, server_sock, period_ns=msecs(10))
+            CounterCollector(
+                sim, client_sock, server_sock, period_ns=msecs(10),
+                batch=sample_batch,
+            )
         )
     server = RedisServer(
         sim, server_host, server_socks[0], store=KVStore(),
@@ -133,12 +147,24 @@ class FaninResult:
         )
         return format_table(["series", "mean latency (us)"], rows, title=title)
 
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) for byte-diffs."""
+        import dataclasses
+        import json
+
+        return json.dumps(
+            dataclasses.asdict(self),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=repr,
+        )
+
 
 def run_fanin(
-    config: FaninConfig, with_toggler: bool = False
+    config: FaninConfig, with_toggler: bool = False, backend=None
 ) -> FaninResult:
     """Run the fan-in scenario, optionally under a spanning toggler."""
-    bed = build_fanin(config)
+    bed = build_fanin(config, backend=backend)
     toggler = None
     if with_toggler:
         toggler = _attach_spanning_toggler(bed)
@@ -180,9 +206,9 @@ def run_fanin(
         all_samples.extend(samples)
 
     estimates = [
-        window_estimate(collector.samples, measure_start, measure_end)
+        collector.window_estimate(measure_start, measure_end)
         for collector in bed.collectors
-        if len(collector.samples) >= 2
+        if collector.sample_count >= 2
     ]
     defined = [e for e in estimates if e.defined and e.throughput_per_sec > 0]
     averaged = None
@@ -198,6 +224,244 @@ def run_fanin(
         server_net_util=bed.server_host.net_core.utilization(),
         toggler_final_mode=toggler.mode if toggler else None,
         toggler_toggles=toggler.toggles if toggler else None,
+    )
+
+
+@dataclass(frozen=True)
+class ConnectionShard:
+    """One connection's sub-simulation output (picklable, shard-neutral).
+
+    ``events`` is the connection's completion stream inside the
+    measurement window — ``(completed_at, (kind, latency_ns))`` in
+    emission order — the merge input of :func:`run_fanin_sharded`.
+    Nothing here depends on which shard ran the connection.
+    """
+
+    index: int
+    mean_ns: float
+    events: tuple
+    estimate_latency_ns: float | None
+    estimate_throughput: float | None
+    server_net_util: float
+    events_executed: int
+
+
+def _run_fanin_connection(
+    config: FaninConfig, index: int, backend=None
+) -> ConnectionShard:
+    """Run one fan-in connection as an isolated sub-simulation.
+
+    The decomposed model: this client and a server *replica* of its own,
+    joined by the same switch fabric — not the shared, contended server
+    of :func:`run_fanin` (see docs/PERFORMANCE.md for when each model
+    applies).  Everything partition-relevant is keyed by the *global*
+    connection index — the RNG stream (``arrivals.{index}``), host and
+    socket names — so this function's output is a pure function of
+    ``(config, index, backend-neutral execution)``, never of the shard
+    that happened to run it.
+    """
+    from repro.config import resolve_backend
+
+    backend = resolve_backend(backend)
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    server_host = Host(sim, "server", costs=HostCosts())
+    client_host = Host(sim, f"client{index}", costs=HostCosts())
+    Star.connect(
+        sim,
+        {client_host.name: client_host.nic, server_host.name: server_host.nic},
+        propagation_delay_ns=config.propagation_delay_ns,
+    )
+    tcp_config = TcpConfig(nagle=config.nagle)
+    client_sock, server_sock = connect_pair(
+        sim, client_host, server_host, tcp_config, tcp_config,
+        name=f"conn{index}",
+    )
+    client = RedisClient(
+        sim, client_host, client_sock, config=ClientConfig(),
+        name=f"lancet{index}",
+    )
+    sample_batch = None
+    if backend != "legacy":
+        from repro.sim.batch import SampleBatch
+
+        sample_batch = SampleBatch(backend)
+    collector = CounterCollector(
+        sim, client_sock, server_sock, period_ns=msecs(10),
+        batch=sample_batch,
+    )
+    server = RedisServer(
+        sim, server_host, server_sock, store=KVStore(), config=ServerConfig(),
+    )
+
+    workload = config.workload
+    for key_index in range(workload.keyspace):
+        server.store.set(workload.make_key(key_index), workload.value_bytes)
+    server.start()
+    schedule = poisson_schedule(
+        rng.stream(f"arrivals.{index}"),
+        workload,
+        config.total_rate_per_sec / config.clients,
+        start_ns=sim.now,
+        duration_ns=config.warmup_ns + config.measure_ns,
+    )
+    client.start(schedule)
+
+    measure_start = sim.now + config.warmup_ns
+    measure_end = measure_start + config.measure_ns
+
+    def begin() -> None:
+        server_host.reset_utilization_windows()
+        collector.start()
+
+    sim.call_at(measure_start, begin)
+    sim.run(until=measure_end)
+    collector.stop()
+
+    events = tuple(
+        (r.completed_at, (r.kind, r.latency_ns))
+        for r in client.records
+        if measure_start <= r.completed_at <= measure_end
+    )
+    estimate_latency = None
+    estimate_throughput = None
+    if collector.sample_count >= 2:
+        estimate = collector.window_estimate(measure_start, measure_end)
+        estimate_latency = estimate.latency_ns
+        estimate_throughput = estimate.throughput_per_sec
+    return ConnectionShard(
+        index=index,
+        mean_ns=summarize([latency for _, (_, latency) in events]).mean_ns,
+        events=events,
+        estimate_latency_ns=estimate_latency,
+        estimate_throughput=estimate_throughput,
+        server_net_util=server_host.net_core.utilization(),
+        events_executed=sim.events_executed,
+    )
+
+
+def _run_fanin_shard(config: FaninConfig, indices, backend=None) -> list:
+    """Worker entry point: run one shard's connections (must be
+    module-level so it pickles under every start method)."""
+    return [
+        _run_fanin_connection(config, index, backend=backend)
+        for index in indices
+    ]
+
+
+@dataclass
+class ShardedFaninResult:
+    """A sharded fan-in run's measurements.
+
+    Deliberately free of execution metadata — no shard count, no worker
+    count — because the byte-identity contract says those must not
+    change the output.  ``merge_fingerprint`` is the order-sensitive
+    digest of the merged completion stream (see
+    :func:`repro.sim.shard.merge_digest`); two runs agree on it iff
+    their merged event streams are identical, which is how CI byte-diffs
+    sharded against serial execution.
+    """
+
+    config: FaninConfig
+    per_client_mean_ns: list[float]
+    aggregate_mean_ns: float
+    averaged_estimate_ns: float | None
+    server_net_util_mean: float
+    merged_events: int
+    merge_fingerprint: str
+    events_executed: int
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) for byte-diffs."""
+        import dataclasses
+        import json
+
+        return json.dumps(
+            dataclasses.asdict(self),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=repr,
+        )
+
+
+def run_fanin_sharded(
+    config: FaninConfig,
+    shards: int = 1,
+    workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    backend=None,
+    tracer=None,
+    metrics=None,
+) -> ShardedFaninResult:
+    """Run the decomposed fan-in scenario across a supervised shard pool.
+
+    Connections are partitioned by :class:`~repro.sim.shard.ShardPlan`
+    (round-robin on global index), each shard runs its connections'
+    sub-simulations in a supervised worker (retries, checkpoints, and
+    traces work exactly as in any campaign — ``checkpoint`` makes the
+    shard set resumable, ``tracer`` forces serial traced execution),
+    and the per-connection completion streams are recombined with the
+    deterministic :func:`~repro.sim.shard.merge_streams` order
+    ``(timestamp, connection, sequence)``.  Output is byte-identical
+    for every ``(shards, workers)`` combination — the contract CI
+    enforces by diffing ``--shards 2`` against the serial run.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
+    the ``sim.shard.merged_events`` counter.
+    """
+    from repro.parallel import ParallelRunner, _require_all_ok
+    from repro.sim.shard import ShardPlan, merge_digest, merge_streams
+
+    plan = ShardPlan.round_robin(config.clients, shards)
+    payloads = [
+        (config, indices, backend) for indices in plan.assignments
+    ]
+    labels = [
+        f"fanin shard {number}/{plan.shards}: conns {list(indices)}"
+        for number, indices in enumerate(plan.assignments, start=1)
+    ]
+    runner = ParallelRunner(workers, policy=policy)
+    outcomes = runner.map_outcomes(
+        _run_fanin_shard, payloads,
+        checkpoint=checkpoint, labels=labels, tracer=tracer,
+    )
+    shard_results = _require_all_ok(outcomes)
+
+    conns = sorted(
+        (conn for shard in shard_results for conn in shard),
+        key=lambda conn: conn.index,
+    )
+    merged = merge_streams((conn.index, list(conn.events)) for conn in conns)
+    if metrics is not None:
+        metrics.counter("sim.shard.merged_events").inc(len(merged))
+
+    defined = [
+        conn for conn in conns
+        if conn.estimate_latency_ns is not None
+        and conn.estimate_throughput is not None
+        and conn.estimate_throughput > 0
+    ]
+    averaged = None
+    if defined:
+        total = sum(conn.estimate_throughput for conn in defined)
+        averaged = sum(
+            conn.estimate_latency_ns * conn.estimate_throughput
+            for conn in defined
+        ) / total
+
+    utils = [conn.server_net_util for conn in conns]
+    return ShardedFaninResult(
+        config=config,
+        per_client_mean_ns=[conn.mean_ns for conn in conns],
+        aggregate_mean_ns=summarize(
+            [latency for _, _, _, (_, latency) in merged]
+        ).mean_ns,
+        averaged_estimate_ns=averaged,
+        server_net_util_mean=sum(utils) / len(utils),
+        merged_events=len(merged),
+        merge_fingerprint=merge_digest(merged),
+        events_executed=sum(conn.events_executed for conn in conns),
     )
 
 

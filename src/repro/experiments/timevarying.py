@@ -106,7 +106,9 @@ def _composite_schedule(rng, workload, plan: PhasePlan, start_ns: int):
     return itertools.chain(*parts)
 
 
-def _run_policy(policy: str, plan: PhasePlan, base: BenchConfig) -> PolicyPhases:
+def _run_policy(
+    policy: str, plan: PhasePlan, base: BenchConfig, backend=None
+) -> PolicyPhases:
     config = replace(
         base,
         rate_per_sec=plan.high_rate,  # only used for validation
@@ -114,7 +116,7 @@ def _run_policy(policy: str, plan: PhasePlan, base: BenchConfig) -> PolicyPhases
         warmup_ns=0,
         measure_ns=plan.total_ns,
     )
-    bed = build_testbed(config)
+    bed = build_testbed(config, backend=backend)
     toggler = None
     if policy == "dynamic":
         toggler = attach_toggler(
@@ -154,13 +156,19 @@ def _run_policy(policy: str, plan: PhasePlan, base: BenchConfig) -> PolicyPhases
 
 
 def run_timevarying(
-    plan: PhasePlan | None = None, base: BenchConfig | None = None
+    plan: PhasePlan | None = None,
+    base: BenchConfig | None = None,
+    backend=None,
 ) -> TimeVaryingResult:
-    """Run static-off, static-on, and the dynamic toggler over the walk."""
+    """Run static-off, static-on, and the dynamic toggler over the walk.
+
+    ``backend`` selects the batch pipeline (see :mod:`repro.config`);
+    byte-identity-neutral, like everywhere else.
+    """
     plan = plan or PhasePlan()
     base = base or default_config()
     policies = [
-        _run_policy(policy, plan, base)
+        _run_policy(policy, plan, base, backend=backend)
         for policy in ("static-off", "static-on", "dynamic")
     ]
     return TimeVaryingResult(plan=plan, policies=policies)

@@ -301,13 +301,40 @@ class ParallelRunner:
         fn: Callable[..., _R],
         items: Sequence,
         checkpoint=None,
+        labels: Sequence[str] | None = None,
+        keys: Sequence[str] | None = None,
+        tracer=None,
     ) -> list[JobOutcome]:
-        """Supervised :meth:`map`: typed outcomes instead of raising."""
+        """Supervised :meth:`map`: typed outcomes instead of raising.
+
+        ``labels`` name the jobs in failure reports and supervision
+        traces; ``keys`` override the checkpoint/dedupe keys (default:
+        content digests of the payloads).  ``tracer`` forces serial
+        in-process execution — one ordered stream — with a
+        ``log.message`` boundary record before each fresh job, exactly
+        like :meth:`run_many_outcomes`.
+        """
         n = len(items)
         payloads = [
             (fn, item if isinstance(item, tuple) else (item,))
             for item in items
         ]
+        if tracer is not None:
+            def traced(payload):
+                index, inner = payload
+                if tracer.enabled:
+                    name = (
+                        labels[index]
+                        if labels is not None
+                        else f"job {index + 1}/{n}"
+                    )
+                    tracer.log_message(f"campaign run {index + 1}/{n}: {name}")
+                return _apply(inner)
+
+            supervisor = self._supervisor(1, checkpoint, tracer)
+            return supervisor.run(
+                traced, list(enumerate(payloads)), keys=keys, labels=labels
+            )
         if min(self.workers, n) > 1 and not _picklable(fn):
             warnings.warn(
                 "function is not picklable; running the campaign serially "
@@ -317,7 +344,7 @@ class ParallelRunner:
             supervisor = self._supervisor(1, checkpoint, None)
         else:
             supervisor = self._supervisor(n, checkpoint, None)
-        return supervisor.run(_apply, payloads)
+        return supervisor.run(_apply, payloads, keys=keys, labels=labels)
 
     def map(self, fn: Callable[..., _R], items: Sequence) -> list[_R]:
         """Apply a module-level function to each item, in input order.

@@ -1,0 +1,486 @@
+"""The vectorized batch pipeline: flat-array collection, bulk processing.
+
+The legacy pipeline materializes one frozen-dataclass tree per counter
+tick (six :class:`~repro.core.qstate.QueueSnapshot`, two
+``TripleSnapshot``, one ``CounterSample``) and summarizes runs with
+python loops over record objects.  At datacenter-sweep sampling rates
+(tens of thousands of ticks per run) that object churn dominates the
+whole pipeline.  This module is the batch stage behind
+``--backend``/:class:`repro.config.ReproConfig`:
+
+- :class:`SampleBatch` collects per-tick queue-state samples as flat
+  integer columns (one ``append`` is nineteen list appends, no object
+  construction) and answers window queries in bulk;
+- :class:`LatencyBatch` flattens completion records into columns once
+  and computes every window summary (latency, send latency, per-kind)
+  with bulk operations;
+- :class:`EstimateBatch` accumulates per-tick estimator updates
+  (time, latency, throughput) as flat arrays for bulk post-analysis.
+
+Two backends share these classes: ``python`` keeps the columns as flat
+lists and reduces with the stock scalar code; ``numpy`` converts flushed
+chunks to ``int64``/``float64`` ndarrays and reduces vectorized.
+
+**The byte-identity contract.**  Backend selection must never change an
+output byte.  Every bulk reduction here is therefore chosen to be
+*provably* equal to its scalar twin, not approximately equal:
+
+- window selection uses ``searchsorted``/``bisect`` over the
+  monotonically non-decreasing time column — set-identical to the
+  scalar ``start <= t <= end`` filter;
+- integer sums use exact ``int64`` arithmetic (guarded against
+  overflow, falling back to python's arbitrary precision);
+- float sums use ``np.add.accumulate`` — defined as the *sequential*
+  left-to-right fold, bit-identical to a python accumulation loop —
+  never ``np.sum``, whose pairwise summation rounds differently;
+- the window *estimate* itself re-materializes the two boundary
+  samples and calls the scalar :func:`~repro.analysis.offline.
+  estimate_between`, so the arithmetic is the same code on the same
+  ints.
+
+``tests/sim/test_batch.py`` fuzzes these identities and
+``tests/perf/test_equivalence.py`` pins whole-run digests per backend.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.errors import WorkloadError
+from repro.loadgen.stats import LatencySummary, percentile, summarize
+
+#: Rows buffered as plain python lists before a flush converts them to
+#: the backend's column representation.  Power of two, large enough to
+#: amortize ndarray construction, small enough to bound the unconverted
+#: tail a query has to fold in.
+FLUSH_CHUNK_ROWS = 1024
+
+_SAMPLE_FIELDS = 18  # 2 endpoints x 3 queues x (time, total, integral)
+
+
+def _np():
+    import numpy
+
+    return numpy
+
+
+def _sequential_float_sum(np, values) -> float:
+    """Left-to-right float64 fold, bit-identical to a python loop.
+
+    ``np.add.accumulate`` applies the ufunc sequentially (``r[i] =
+    r[i-1] + a[i]``), unlike ``np.sum``'s pairwise tree — so the final
+    element is exactly what ``for x in values: total += x`` computes.
+    """
+    if len(values) == 0:
+        return 0.0
+    return float(np.add.accumulate(values)[-1])
+
+
+def _exact_int_sum(np, ordered) -> int:
+    """Exact sum of a sorted non-negative int64 array.
+
+    ``int64`` accumulation is exact until it overflows — and overflow
+    would wrap *silently*, diverging from python's arbitrary-precision
+    sum.  The guard is conservative: if the largest element times the
+    count cannot be represented, fall back to the python sum.
+    """
+    count = len(ordered)
+    if count == 0:
+        return 0
+    if int(ordered[-1]) * count < 2**62:
+        return int(np.add.accumulate(ordered)[-1])
+    return sum(int(v) for v in ordered)
+
+
+def bulk_summarize(values, backend: str) -> LatencySummary:
+    """:func:`~repro.loadgen.stats.summarize`, bulk-reduced.
+
+    ``values`` is a flat sequence (list or ndarray) of latency samples.
+    The numpy path reproduces the scalar formulas term for term: exact
+    integer mean numerator, float64 variance terms folded in sorted
+    order.  The python backend defers to the scalar implementation —
+    its win is on the collection side, not the reduction.
+    """
+    if backend != "numpy":
+        if not isinstance(values, list):
+            values = list(values)
+        return summarize(values)
+    np = _np()
+    array = np.asarray(values)
+    if array.size == 0:
+        return LatencySummary.empty()
+    ordered = np.sort(array)
+    count = int(ordered.size)
+    if ordered.dtype.kind in "iu":
+        mean = _exact_int_sum(np, ordered) / count
+    else:
+        mean = _sequential_float_sum(np, ordered) / count
+    import math
+
+    deviations = (ordered.astype(np.float64) - mean) ** 2
+    variance = _sequential_float_sum(np, deviations) / count
+    return LatencySummary(
+        count=count,
+        mean_ns=mean,
+        p50_ns=_rank_value(ordered, count, 0.50),
+        p90_ns=_rank_value(ordered, count, 0.90),
+        p99_ns=_rank_value(ordered, count, 0.99),
+        max_ns=float(ordered[-1]),
+        stddev_ns=math.sqrt(variance),
+    )
+
+
+def _rank_value(ordered, count: int, fraction: float) -> float:
+    """Nearest-rank percentile on an ascending array (scalar twin:
+    :func:`repro.loadgen.stats.percentile`)."""
+    import math
+
+    rank = min(count - 1, max(0, math.ceil(fraction * count) - 1))
+    return float(ordered[rank])
+
+
+class SampleBatch:
+    """Columnar per-tick queue-state samples for one collector.
+
+    Row layout: ``times[i]`` plus eighteen ints in ``flat[18*i :
+    18*i+18]`` — client then server, each three queues ``(unacked,
+    unread, ackdelay)`` of three ints ``(time, total, integral)`` (the
+    ``TripleSnapshot``-pair of the legacy
+    :class:`~repro.analysis.counters.CounterSample`, flattened).
+
+    Appends go to plain python lists; every :data:`FLUSH_CHUNK_ROWS`
+    rows a *flush* converts the pending chunk into the backend's column
+    store (``flushes`` counts them — surfaced as the
+    ``sim.batch.flushes`` metric).  Queries fold the flushed chunks and
+    the pending tail together, so a batch is always fully queryable.
+    """
+
+    __slots__ = (
+        "backend", "flushes", "_times", "_pending", "_chunks", "_cached"
+    )
+
+    def __init__(self, backend: str):
+        if backend not in ("python", "numpy"):
+            raise WorkloadError(
+                f"batch backend must be 'python' or 'numpy', got {backend!r}"
+            )
+        self.backend = backend
+        self.flushes = 0
+        self._times: list[int] = []   # monotone; kept flat for bisect
+        self._pending: list[int] = []  # stride-12 row tail
+        self._chunks: list = []        # flushed backend columns
+        self._cached = None            # materialized CounterSample list
+
+    # ------------------------------------------------------------------
+    # Collection.
+    # ------------------------------------------------------------------
+
+    def append(self, now: int, client, server) -> None:
+        """Record one sample tick from two endpoints' queue states.
+
+        Equivalent to capturing the legacy ``CounterSample`` — each
+        queue state is brought forward (``track(0)``) exactly as
+        ``snapshot()`` would, then its three ints land in the row.
+        """
+        self._times.append(now)
+        row = self._pending
+        client.qs_unacked.append_snapshot(row)
+        client.qs_unread.append_snapshot(row)
+        client.qs_ackdelay.append_snapshot(row)
+        server.qs_unacked.append_snapshot(row)
+        server.qs_unread.append_snapshot(row)
+        server.qs_ackdelay.append_snapshot(row)
+        self._cached = None
+        if len(row) >= FLUSH_CHUNK_ROWS * _SAMPLE_FIELDS:
+            self.flush()
+
+    def flush(self) -> None:
+        """Convert pending rows into the backend column store."""
+        if not self._pending:
+            return
+        if self.backend == "numpy":
+            np = _np()
+            chunk = np.array(self._pending, dtype=np.int64).reshape(
+                -1, _SAMPLE_FIELDS
+            )
+        else:
+            chunk = self._pending
+        self._chunks.append(chunk)
+        self._pending = []
+        self.flushes += 1
+
+    # ------------------------------------------------------------------
+    # Bulk queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        """Rows recorded so far."""
+        return len(self._times)
+
+    def window_bounds(self, start_ns: int, end_ns: int) -> tuple[int, int]:
+        """Index half-open range of samples with ``start <= t <= end``.
+
+        The time column is non-decreasing (the collector samples in
+        event order), so a bisection is set-identical to the scalar
+        filter ``[s for s in samples if start <= s.time <= end]`` —
+        O(log n) against its O(n), on both backends.
+        """
+        return (
+            bisect_left(self._times, start_ns),
+            bisect_right(self._times, end_ns),
+        )
+
+    def row(self, index: int) -> tuple[int, tuple[int, ...]]:
+        """``(time, twelve-int row)`` for one sample, from any chunk."""
+        if index < 0 or index >= len(self._times):
+            raise WorkloadError(
+                f"sample index {index} out of range 0..{len(self._times) - 1}"
+            )
+        position = index
+        for chunk in self._chunks:
+            rows = (
+                len(chunk)
+                if self.backend == "numpy"
+                else len(chunk) // _SAMPLE_FIELDS
+            )
+            if position < rows:
+                if self.backend == "numpy":
+                    values = tuple(int(v) for v in chunk[position])
+                else:
+                    base = position * _SAMPLE_FIELDS
+                    values = tuple(chunk[base:base + _SAMPLE_FIELDS])
+                return self._times[index], values
+            position -= rows
+        base = position * _SAMPLE_FIELDS
+        return self._times[index], tuple(
+            self._pending[base:base + _SAMPLE_FIELDS]
+        )
+
+    def materialize(self, index: int):
+        """One row as a legacy :class:`~repro.analysis.counters.
+        CounterSample` (identical values, by construction)."""
+        from repro.analysis.counters import CounterSample, TripleSnapshot
+        from repro.core.qstate import QueueSnapshot
+
+        time, row = self.row(index)
+
+        def triple(offset: int) -> TripleSnapshot:
+            return TripleSnapshot(
+                unacked=QueueSnapshot(row[offset], row[offset + 1], row[offset + 2]),
+                unread=QueueSnapshot(row[offset + 3], row[offset + 4], row[offset + 5]),
+                ackdelay=QueueSnapshot(
+                    row[offset + 6], row[offset + 7], row[offset + 8]
+                ),
+            )
+
+        return CounterSample(time=time, client=triple(0), server=triple(9))
+
+    def samples(self) -> list:
+        """The full legacy sample list, materialized lazily and cached.
+
+        Compatibility surface for consumers that iterate samples; the
+        hot summarize path never calls this.
+        """
+        if self._cached is None:
+            self._cached = [
+                self.materialize(index) for index in range(len(self._times))
+            ]
+        return self._cached
+
+    def window_estimate(self, start_ns: int, end_ns: int):
+        """:func:`~repro.analysis.offline.window_estimate`, bulk-selected.
+
+        Bisect the window bounds in bulk, then re-materialize exactly
+        the two boundary samples and hand them to the scalar
+        :func:`~repro.analysis.offline.estimate_between` — identical
+        arithmetic on identical ints, without the O(n) object filter.
+        """
+        from repro.analysis.offline import estimate_between
+        from repro.errors import EstimationError
+
+        lo, hi = self.window_bounds(start_ns, end_ns)
+        inside = hi - lo
+        if inside < 2:
+            raise EstimationError(
+                f"need at least two samples in [{start_ns}, {end_ns}], "
+                f"have {inside}"
+            )
+        return estimate_between(self.materialize(lo), self.materialize(hi - 1))
+
+
+class LatencyBatch:
+    """Completion records flattened into columns, summarized in bulk.
+
+    Built once per run at summarize time: one pass over the per-
+    connection record lists (connection-major, record order — exactly
+    the legacy iteration order) extracts ``completed_at``,
+    ``latency_ns``, ``send_latency_ns``, and an interned kind code per
+    record.  Every subsequent window/kind summary is a bulk mask +
+    :func:`bulk_summarize`, replacing the legacy per-summary python
+    loops over record objects.
+    """
+
+    __slots__ = ("backend", "_completed", "_latency", "_send", "_kind",
+                 "_kind_names")
+
+    def __init__(self, backend: str):
+        if backend not in ("python", "numpy"):
+            raise WorkloadError(
+                f"batch backend must be 'python' or 'numpy', got {backend!r}"
+            )
+        self.backend = backend
+        self._completed: list[int] = []
+        self._latency: list[int] = []
+        self._send: list[int] = []
+        self._kind: list[int] = []
+        self._kind_names: dict[str, int] = {}
+
+    @classmethod
+    def from_connections(cls, record_lists, backend: str) -> "LatencyBatch":
+        """Flatten per-connection ``CompletionRecord`` lists into columns."""
+        batch = cls(backend)
+        completed = batch._completed
+        latency = batch._latency
+        send = batch._send
+        kind_col = batch._kind
+        kinds = batch._kind_names
+        for records in record_lists:
+            for record in records:
+                completed.append(record.completed_at)
+                latency.append(record.latency_ns)
+                send.append(record.send_latency_ns)
+                code = kinds.get(record.kind)
+                if code is None:
+                    code = kinds.setdefault(record.kind, len(kinds))
+                kind_col.append(code)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def window_summaries(
+        self, start_ns: int, end_ns: int, kinds=("SET", "GET")
+    ) -> tuple[int, LatencySummary, LatencySummary, dict]:
+        """``(count, latency, send_latency, per_kind)`` over a window.
+
+        Matches the legacy path byte for byte: the window mask is the
+        same closed-interval comparison, each summary reduces the same
+        multiset of ints, and ``per_kind`` contains exactly the kinds
+        with at least one sample, in the order given.
+        """
+        if self.backend == "numpy":
+            np = _np()
+            completed = np.asarray(self._completed, dtype=np.int64)
+            mask = (completed >= start_ns) & (completed <= end_ns)
+            latency = np.asarray(self._latency, dtype=np.int64)[mask]
+            send = np.asarray(self._send, dtype=np.int64)[mask]
+            kind_col = np.asarray(self._kind, dtype=np.int64)[mask]
+            per_kind = {}
+            for kind in kinds:
+                code = self._kind_names.get(kind)
+                if code is None:
+                    continue
+                kind_latency = latency[kind_col == code]
+                if kind_latency.size:
+                    per_kind[kind] = bulk_summarize(kind_latency, self.backend)
+            return (
+                int(latency.size),
+                bulk_summarize(latency, self.backend),
+                bulk_summarize(send, self.backend),
+                per_kind,
+            )
+        latency, send, kind_col = [], [], []
+        for position, completed in enumerate(self._completed):
+            if start_ns <= completed <= end_ns:
+                latency.append(self._latency[position])
+                send.append(self._send[position])
+                kind_col.append(self._kind[position])
+        per_kind = {}
+        for kind in kinds:
+            code = self._kind_names.get(kind)
+            if code is None:
+                continue
+            kind_latency = [
+                value
+                for value, sample_kind in zip(latency, kind_col)
+                if sample_kind == code
+            ]
+            if kind_latency:
+                per_kind[kind] = summarize(kind_latency)
+        return len(latency), summarize(latency), summarize(send), per_kind
+
+
+class EstimateBatch:
+    """Per-tick estimator updates as flat arrays.
+
+    Attach one to an :class:`~repro.core.estimator.E2EEstimator`
+    (``history=``) and every ``sample()`` lands here as three columns —
+    time, latency (``nan`` when undefined), throughput — instead of a
+    retained object per tick.  ``columns()`` exposes the raw columns
+    (ndarrays under the numpy backend) for bulk analysis; ``summary()``
+    is the standard bulk reduction over the defined updates.
+    """
+
+    __slots__ = ("backend", "times", "latencies", "throughputs")
+
+    def __init__(self, backend: str):
+        if backend not in ("python", "numpy"):
+            raise WorkloadError(
+                f"batch backend must be 'python' or 'numpy', got {backend!r}"
+            )
+        self.backend = backend
+        self.times: list[int] = []
+        self.latencies: list[float] = []
+        self.throughputs: list[float] = []
+
+    def append(self, time_ns: int, sample) -> None:
+        """Record one estimator update (``None`` samples are skipped —
+        they carry no interval yet)."""
+        if sample is None:
+            return
+        self.times.append(time_ns)
+        self.latencies.append(
+            sample.latency_ns if sample.latency_ns is not None else float("nan")
+        )
+        self.throughputs.append(sample.throughput_per_sec)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def columns(self):
+        """``(times, latencies, throughputs)`` in backend representation."""
+        if self.backend == "numpy":
+            np = _np()
+            return (
+                np.asarray(self.times, dtype=np.int64),
+                np.asarray(self.latencies, dtype=np.float64),
+                np.asarray(self.throughputs, dtype=np.float64),
+            )
+        return self.times, self.latencies, self.throughputs
+
+    def summary(self) -> dict:
+        """Bulk reduction: update counts and defined-latency stats."""
+        if self.backend == "numpy":
+            np = _np()
+            latencies = np.asarray(self.latencies, dtype=np.float64)
+            defined = latencies[~np.isnan(latencies)]
+            mean = (
+                _sequential_float_sum(np, defined) / defined.size
+                if defined.size
+                else None
+            )
+            return {
+                "updates": len(self.times),
+                "defined": int(defined.size),
+                "mean_latency_ns": mean,
+            }
+        defined = [value for value in self.latencies if value == value]
+        total = 0.0
+        for value in defined:
+            total += value
+        return {
+            "updates": len(self.times),
+            "defined": len(defined),
+            "mean_latency_ns": total / len(defined) if defined else None,
+        }

@@ -75,9 +75,56 @@ def digest(obj) -> str:
     return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
 
 
-def run_plain(config: BenchConfig):
-    """One run with every instrumentation layer off (the default)."""
-    return run_benchmark(config)
+def run_plain(config: BenchConfig, backend=None):
+    """One run with every instrumentation layer off (the default).
+
+    ``backend`` selects the batch pipeline; the digest must not notice.
+    """
+    return run_benchmark(config, backend=backend)
+
+
+def experiment_shapes() -> dict[str, object]:
+    """Digest-pinned *experiment* runs: realistic many-flow traffic.
+
+    The bench shapes above exercise the single-connection pipeline;
+    these cover the fan-in (N flows into one server) and time-varying
+    (load walk under three policies) experiments, so backend and
+    sharding changes are equivalence-checked against the traffic
+    patterns the batch pipeline was built for.  Windows are shortened
+    to tier-1 size, same as the bench shapes.
+    """
+    from repro.experiments.fanin import FaninConfig
+    from repro.experiments.timevarying import PhasePlan
+
+    return {
+        "fanin_4c": FaninConfig(warmup_ns=msecs(10), measure_ns=msecs(40)),
+        "timevarying_walk": PhasePlan(phase_ns=msecs(40)),
+    }
+
+
+def run_experiment(name: str, backend=None):
+    """Run one experiment shape; returns its result dataclass tree."""
+    shape = experiment_shapes()[name]
+    if name == "fanin_4c":
+        from repro.experiments.fanin import run_fanin
+
+        return run_fanin(shape, backend=backend)
+    if name == "timevarying_walk":
+        from repro.experiments.timevarying import run_timevarying
+
+        return run_timevarying(plan=shape, backend=backend)
+    raise KeyError(name)
+
+
+def run_experiment_sharded(name: str, shards: int, backend=None):
+    """The sharded twin of ``fanin_4c`` (the decomposed model)."""
+    from repro.experiments.fanin import run_fanin_sharded
+
+    if name != "fanin_4c":
+        raise KeyError(f"no sharded variant for {name!r}")
+    return run_fanin_sharded(
+        experiment_shapes()[name], shards=shards, backend=backend
+    )
 
 
 def run_instrumented(config: BenchConfig):
@@ -114,5 +161,11 @@ def current_digests() -> dict[str, dict[str, str]]:
     return out
 
 
+def current_experiment_digests() -> dict[str, str]:
+    """Experiment-shape digests of the current tree (legacy backend)."""
+    return {name: digest(run_experiment(name)) for name in experiment_shapes()}
+
+
 if __name__ == "__main__":
     print(json.dumps(current_digests(), indent=2))
+    print(json.dumps(current_experiment_digests(), indent=2))

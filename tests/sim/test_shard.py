@@ -1,0 +1,130 @@
+"""The sharding primitives' determinism contract."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.shard import ShardPlan, merge_digest, merge_streams
+
+
+# ---------------------------------------------------------------------------
+# ShardPlan: fixed, exhaustive, non-overlapping partitions.
+# ---------------------------------------------------------------------------
+
+
+def test_round_robin_partitions_exhaustively():
+    plan = ShardPlan.round_robin(7, 3)
+    assert plan.count == 7
+    assert plan.shards == 3
+    assert plan.assignments == ((0, 3, 6), (1, 4), (2, 5))
+    # Every component lands exactly once, in its claimed shard.
+    seen = sorted(i for group in plan.assignments for i in group)
+    assert seen == list(range(7))
+    for shard, group in enumerate(plan.assignments):
+        for index in group:
+            assert plan.shard_of(index) == shard
+
+
+def test_round_robin_drops_empty_shards():
+    plan = ShardPlan.round_robin(2, 8)
+    assert plan.shards == 2
+    assert plan.assignments == ((0,), (1,))
+
+
+def test_round_robin_single_shard_is_identity():
+    plan = ShardPlan.round_robin(5, 1)
+    assert plan.assignments == ((0, 1, 2, 3, 4),)
+
+
+def test_round_robin_rejects_degenerate_inputs():
+    with pytest.raises(WorkloadError):
+        ShardPlan.round_robin(0, 2)
+    with pytest.raises(WorkloadError):
+        ShardPlan.round_robin(4, 0)
+    with pytest.raises(WorkloadError):
+        ShardPlan.round_robin(4, 2).shard_of(4)
+
+
+def test_plans_depend_only_on_count_and_shards():
+    assert ShardPlan.round_robin(9, 4) == ShardPlan.round_robin(9, 4)
+
+
+# ---------------------------------------------------------------------------
+# merge_streams: partition-invariant total order.
+# ---------------------------------------------------------------------------
+
+
+def _random_components(rng, count):
+    """Per-component event lists with non-decreasing timestamps,
+    including deliberate cross-component timestamp collisions."""
+    components = []
+    for component in range(count):
+        now = 0
+        events = []
+        for serial in range(rng.randrange(0, 30)):
+            now += rng.randrange(0, 3)  # 0 steps create ties
+            events.append((now, f"c{component}e{serial}"))
+        components.append((component, events))
+    return components
+
+
+def test_merge_is_sorted_by_contract_key():
+    rng = random.Random(41)
+    merged = merge_streams(_random_components(rng, 5))
+    keys = [(t, c, s) for t, c, s, _ in merged]
+    assert keys == sorted(keys)
+    # Per-component sequences are that component's emission order.
+    for component, events in _random_components(random.Random(41), 5):
+        own = [(t, s, p) for t, c, s, p in merged if c == component]
+        assert own == [(t, s, p) for s, (t, p) in enumerate(events)]
+
+
+def test_merge_is_invariant_to_partition_and_stream_order():
+    rng = random.Random(43)
+    components = _random_components(rng, 6)
+    reference = merge_streams(components)
+    fingerprint = merge_digest(reference)
+    for shards in (1, 2, 3, 6):
+        plan = ShardPlan.round_robin(6, shards)
+        # Simulate shard-major arrival: each shard returns its own
+        # components' streams, concatenated in shard order — i.e. NOT
+        # global component order.
+        shard_major = [
+            components[index]
+            for group in plan.assignments
+            for index in group
+        ]
+        merged = merge_streams(shard_major)
+        assert merged == reference
+        assert merge_digest(merged) == fingerprint
+    # Even adversarial stream order (reversed) merges identically.
+    assert merge_streams(list(reversed(components))) == reference
+
+
+def test_merge_orders_timestamp_ties_by_component_then_sequence():
+    merged = merge_streams(
+        [
+            (1, [(10, "b0"), (10, "b1")]),
+            (0, [(10, "a0"), (20, "a1")]),
+        ]
+    )
+    assert [payload for _, _, _, payload in merged] == [
+        "a0", "b0", "b1", "a1"
+    ]
+
+
+def test_merge_rejects_out_of_order_component_stream():
+    with pytest.raises(WorkloadError):
+        merge_streams([(0, [(5, "x"), (3, "y")])])
+
+
+def test_merge_digest_is_order_sensitive():
+    forward = merge_streams([(0, [(1, "x")]), (1, [(1, "y")])])
+    # Same event multiset, different order: a digest must tell them apart
+    # where a sorted comparison would not.
+    swapped = [forward[1], forward[0]]
+    assert sorted(forward) == sorted(swapped)
+    assert merge_digest(forward) != merge_digest(swapped)
