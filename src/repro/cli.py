@@ -132,13 +132,16 @@ def _cmd_fig2(args) -> int:
 
     tracer = _make_tracer(args.trace, label="fig2")
     policy, checkpoint = _supervise_from(args)
+    diagnosis = _diagnosis_from(args)
     result = run_fig2(seeds=tuple(args.seeds),
                       measure_ns=msecs(args.measure_ms),
                       workers=args.workers,
                       tracer=tracer,
                       policy=policy,
-                      checkpoint=checkpoint)
+                      checkpoint=checkpoint,
+                      diagnosis=diagnosis)
     print(result.render())
+    _report_diagnosis(diagnosis)
     _report_cache(checkpoint)
     _finish_tracer(tracer, args.trace)
     return 0
@@ -544,6 +547,150 @@ def _cmd_trace_record(args) -> int:
     return 0
 
 
+def _diagnosis_from(args):
+    """A DiagnosisHook from --diagnose/--quarantine-on-diagnosis, or None."""
+    if not (getattr(args, "diagnose", False)
+            or getattr(args, "quarantine_on_diagnosis", False)):
+        return None
+    if not getattr(args, "trace", None):
+        print("error: --diagnose needs --trace PATH (diagnosis reads the "
+              "campaign's trace stream)", file=sys.stderr)
+        raise SystemExit(2)
+    from repro.diagnose import DiagnosisHook
+
+    return DiagnosisHook(
+        quarantine=getattr(args, "quarantine_on_diagnosis", False)
+    )
+
+
+def _report_diagnosis(diagnosis) -> None:
+    """Print the campaign-wide diagnosis after a --diagnose run."""
+    if diagnosis is None:
+        return
+    summary = diagnosis.report().summary()
+    flagged = [v for v in diagnosis.verdicts if v.findings]
+    print(f"diagnosis: {summary['runs']} run(s), "
+          f"{summary['connections']} connection(s), "
+          f"{summary['findings']} finding(s)"
+          + (f" {summary['by_class']}" if summary["by_class"] else ""))
+    for verdict in flagged:
+        print(f"  job {verdict.index}: {verdict.describe()}")
+
+
+def _add_diagnose(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--diagnose", action="store_true",
+        help="run the streaming diagnosis service over the campaign's "
+             "trace (requires --trace); per-job verdicts are printed, "
+             "recorded as diagnose.* metrics and diagnosis.verdict trace "
+             "records",
+    )
+    parser.add_argument(
+        "--quarantine-on-diagnosis", action="store_true",
+        help="with --diagnose: a pathological verdict (frozen/oscillating "
+             "toggler, estimator divergence) quarantines the job instead "
+             "of completing it",
+    )
+
+
+def _cmd_diagnose(args) -> int:
+    import json as _json
+    import pathlib as _pathlib
+
+    from repro.diagnose import (
+        diagnose_records,
+        follow_trace,
+        render_report,
+        require_valid_report,
+        score_report,
+    )
+    from repro.diagnose.scoring import render_score
+    from repro.errors import DiagnosisError
+    from repro.obs import read_jsonl
+
+    if args.follow:
+        def on_progress(classifier, new_records):
+            summary = classifier.report().summary()
+            print(f"  ... {classifier.records} records, "
+                  f"{summary['runs']} run(s), "
+                  f"{summary['findings']} finding(s)", file=sys.stderr)
+
+        report = follow_trace(
+            args.path,
+            poll_s=args.poll,
+            idle_timeout_s=args.idle_timeout,
+            on_progress=on_progress if not args.quiet else None,
+        )
+    else:
+        try:
+            records = read_jsonl(args.path)
+        except OSError as exc:
+            print(f"{args.path}: unreadable trace: {exc}", file=sys.stderr)
+            return 1
+        report = diagnose_records(records)
+
+    document = report.to_json()
+    if args.validate:
+        problems = []
+        try:
+            require_valid_report(document)
+        except DiagnosisError as exc:
+            problems.append(str(exc))
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        print(f"{args.path}: repro-diagnosis-v1 OK "
+              f"({document['summary']['runs']} runs, "
+              f"{document['summary']['findings']} findings)")
+
+    if args.json is not None:
+        if args.json == "-":
+            sys.stdout.write(report.to_canonical())
+        else:
+            target = _pathlib.Path(args.json)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(report.to_canonical())
+            print(f"diagnosis report written to {args.json}")
+    elif not args.validate:
+        print(render_report(report))
+
+    status = 0
+    if args.expect_clean and document["summary"]["findings"]:
+        print(f"expected a clean trace but found "
+              f"{document['summary']['findings']} finding(s): "
+              f"{document['summary']['by_class']}", file=sys.stderr)
+        status = 1
+    if args.score is not None:
+        try:
+            truth = _json.loads(_pathlib.Path(args.score).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{args.score}: unreadable robustness JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            score = score_report(report, truth.get("points", []))
+        except DiagnosisError as exc:
+            print(f"scoring failed: {exc}", file=sys.stderr)
+            return 1
+        print(render_score(score))
+        if args.min_recall is not None:
+            low = {
+                cls: stats["recall"]
+                for cls, stats in score["classes"].items()
+                if stats["recall"] < args.min_recall
+            }
+            if low:
+                print(f"recall below {args.min_recall:g}: {low}",
+                      file=sys.stderr)
+                status = 1
+            if score["false_positives"]:
+                print(f"{len(score['false_positives'])} unexplained "
+                      f"finding(s)", file=sys.stderr)
+                status = 1
+    return status
+
+
 def _cmd_trace_summarize(args) -> int:
     from repro.obs import render_summary, summarize_records
 
@@ -608,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_measure(p_fig2, 150)
     _add_workers(p_fig2)
     _add_supervise(p_fig2)
+    _add_diagnose(p_fig2)
     p_fig2.set_defaults(func=_cmd_fig2)
 
     for name, helptext, fn in (
@@ -750,6 +898,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_measure(p_profile, 80)
     _add_backend(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_diagnose = sub.add_parser(
+        "diagnose",
+        help="streaming fault diagnosis over a repro-trace-v1 stream: "
+             "per-connection limit labels and typed misbehavior findings",
+    )
+    p_diagnose.add_argument("path", help="JSONL trace file (a finished "
+                                         "trace, or a growing one with "
+                                         "--follow)")
+    p_diagnose.add_argument("--json", default=None, metavar="PATH",
+                            help="write the repro-diagnosis-v1 report as "
+                                 "canonical JSON ('-' for stdout)")
+    p_diagnose.add_argument("--follow", action="store_true",
+                            help="tail a live trace: poll for appended "
+                                 "records and diagnose as they arrive, "
+                                 "finishing after --idle-timeout of silence")
+    p_diagnose.add_argument("--poll", type=float, default=0.5,
+                            metavar="SECONDS",
+                            help="--follow poll interval (default 0.5)")
+    p_diagnose.add_argument("--idle-timeout", type=float, default=10.0,
+                            metavar="SECONDS",
+                            help="--follow gives up after this much "
+                                 "silence (default 10)")
+    p_diagnose.add_argument("--quiet", action="store_true",
+                            help="suppress --follow progress on stderr")
+    p_diagnose.add_argument("--validate", action="store_true",
+                            help="check the generated report against the "
+                                 "repro-diagnosis-v1 schema instead of "
+                                 "printing it")
+    p_diagnose.add_argument("--expect-clean", action="store_true",
+                            help="exit 1 if the diagnosis contains any "
+                                 "finding (golden-trace regression gate)")
+    p_diagnose.add_argument("--score", default=None, metavar="PATH",
+                            help="score findings against the labeled "
+                                 "fault episodes in a repro-robustness-v1 "
+                                 "JSON (from `repro faults --json`)")
+    p_diagnose.add_argument("--min-recall", type=float, default=None,
+                            help="with --score: exit 1 if any class's "
+                                 "recall is below this, or any finding "
+                                 "is unexplained")
+    p_diagnose.set_defaults(func=_cmd_diagnose)
 
     p_trace = sub.add_parser(
         "trace",

@@ -1,0 +1,195 @@
+"""The streaming classifier: one pass over a trace, a diagnosis out.
+
+:class:`StreamingClassifier` consumes ``repro-trace-v1`` records in
+stream order — from a finished JSONL file, a live tail, or a Tracer's
+in-memory sink; the source does not matter because the classifier holds
+all its state in per-run :class:`RunState` objects and never looks
+backwards.  Feeding the same records in the same order always yields a
+byte-identical report, whether they arrive one at a time over minutes or
+in one batch (the determinism contract ``tests/diagnose`` enforces).
+
+Run segmentation: simulated time within one run is monotonic (the
+tracer stamps the simulator clock), so a record whose ``t`` is strictly
+less than its predecessor's marks the next run of a multi-run stream
+(each run's simulator restarts at zero).  Campaign-level records that
+ride between runs (``job.*``, ``log.message``) are counted but carry no
+diagnostic signal.
+
+``fault.verdict`` records are **ignored by design**: they are the
+injector's own narration — the ground truth detection is scored against
+— and using them would make every detection claim circular.
+"""
+
+from __future__ import annotations
+
+from repro.diagnose.connection import ConnState, TogglerState, connection_stem
+from repro.diagnose.report import DiagnosisReport, RunReport
+from repro.diagnose.rules import DiagnosisConfig
+from repro.errors import DiagnosisError
+
+#: Record types that carry no diagnostic signal (campaign plumbing and
+#: the injector's own narration).
+_IGNORED_TYPES = frozenset({
+    "trace.header",
+    "fault.verdict",
+    "diagnosis.verdict",
+    "log.message",
+    "metrics.snapshot",
+    "job.retry",
+    "job.timeout",
+    "job.quarantine",
+})
+
+
+class RunState:
+    """All diagnosis state for one run segment (pure-snapshot reports)."""
+
+    def __init__(self, index: int, start_ns: int, config: DiagnosisConfig):
+        self.index = index
+        self.start_ns = start_ns
+        self.end_ns = start_ns
+        self.records = 0
+        self._config = config
+        self._conns: dict[str, ConnState] = {}
+        self._togglers: dict[str, TogglerState] = {}
+
+    def _conn(self, stem: str) -> ConnState:
+        state = self._conns.get(stem)
+        if state is None:
+            state = self._conns[stem] = ConnState(stem, self._config)
+        return state
+
+    def feed(self, record: dict) -> None:
+        """Dispatch one record into the per-entity state machines."""
+        t = record["t"]
+        self.end_ns = max(self.end_ns, t)
+        self.records += 1
+        rtype = record["type"]
+        if rtype in _IGNORED_TYPES:
+            return
+        if rtype == "toggler.decision":
+            src = record["src"]
+            state = self._togglers.get(src)
+            if state is None:
+                state = self._togglers[src] = TogglerState(src, self._config)
+            state.on_decision(t, record)
+            return
+        src = record["src"]
+        stem = connection_stem(src)
+        if stem is None:
+            return
+        conn = self._conn(stem)
+        conn.saw(t)
+        if rtype == "tcp.event":
+            conn.on_tcp_event(t, record)
+        elif rtype == "exchange.recv":
+            conn.on_exchange_recv(t, src, record)
+        elif rtype == "exchange.send":
+            conn.on_exchange_send(t, src)
+        elif rtype == "estimator.sample":
+            conn.on_estimator_sample(t, src, record)
+        elif rtype == "estimator.reject":
+            conn.on_estimator_reject(t)
+        # queue.sample establishes contact (saw) but has no rule of its
+        # own: the estimator re-derives everything it carries.
+
+    def snapshot(self) -> RunReport:
+        """This run's report so far — pure, repeatable, state untouched."""
+        connections = []
+        findings = []
+        for stem in sorted(self._conns):
+            conn = self._conns[stem]
+            connections.append(conn.verdict(self.end_ns))
+            findings.extend(conn.findings(self.end_ns))
+        for src in sorted(self._togglers):
+            findings.extend(self._togglers[src].findings())
+        findings.sort(key=lambda f: (f.start_ns, f.connection, f.cls))
+        return RunReport(
+            index=self.index,
+            start_ns=self.start_ns,
+            end_ns=self.end_ns,
+            records=self.records,
+            connections=connections,
+            findings=findings,
+        )
+
+
+class StreamingClassifier:
+    """Single-pass diagnosis over a ``repro-trace-v1`` stream.
+
+    Feed records with :meth:`feed` / :meth:`feed_many`; take a report at
+    any point with :meth:`report` (a pure snapshot — safe to call
+    repeatedly, e.g. for the live mode's periodic output).  The final
+    report of a stream is identical however the feeding was chunked.
+    """
+
+    def __init__(self, config: DiagnosisConfig | None = None):
+        self.config = config if config is not None else DiagnosisConfig()
+        self.config.validate()
+        self.label: str | None = None
+        self.records = 0
+        self._finished_runs: list[RunReport] = []
+        self._run: RunState | None = None
+        self._last_t: int | None = None
+        self._force_new = False
+
+    @property
+    def runs(self) -> int:
+        """Run segments seen so far (current one included)."""
+        return len(self._finished_runs) + (1 if self._run is not None else 0)
+
+    def feed(self, record: dict) -> None:
+        """Consume one record."""
+        if not isinstance(record, dict):
+            raise DiagnosisError(
+                f"trace records must be dicts, got {type(record).__name__}"
+            )
+        t = record.get("t")
+        rtype = record.get("type")
+        if not isinstance(t, int) or not isinstance(rtype, str):
+            raise DiagnosisError(
+                "record lacks the common t/type fields; "
+                "not a repro-trace-v1 stream"
+            )
+        self.records += 1
+        if rtype == "trace.header":
+            if self.label is None:
+                self.label = record.get("label")
+            # A header mid-stream is a fresh trace at the same path
+            # (the follow mode's rewrite case): close the current run.
+            self._force_new = self._run is not None
+            self._last_t = None  # header t is the previous run's clock
+            return
+        if self._run is None or self._force_new or (
+            self._last_t is not None and t < self._last_t
+        ):
+            self._force_new = False
+            if self._run is not None:
+                self._finished_runs.append(self._run.snapshot())
+            self._run = RunState(
+                index=len(self._finished_runs), start_ns=t,
+                config=self.config,
+            )
+        self._last_t = t
+        self._run.feed(record)
+
+    def feed_many(self, records) -> None:
+        """Consume an iterable of records in order."""
+        for record in records:
+            self.feed(record)
+
+    def report(self) -> DiagnosisReport:
+        """The diagnosis so far — a pure snapshot, state untouched."""
+        runs = list(self._finished_runs)
+        if self._run is not None:
+            runs.append(self._run.snapshot())
+        return DiagnosisReport(
+            label=self.label, records=self.records, runs=runs,
+        )
+
+
+def diagnose_records(records, config: DiagnosisConfig | None = None) -> DiagnosisReport:
+    """One-shot offline diagnosis of an in-memory record stream."""
+    classifier = StreamingClassifier(config)
+    classifier.feed_many(records)
+    return classifier.report()

@@ -1,0 +1,427 @@
+"""Per-connection and per-controller diagnosis state machines.
+
+One :class:`ConnState` accumulates everything the classifier knows about
+one socket pair (``redis.0.a``/``redis.0.b`` fold into stem ``redis.0``)
+within one run segment; one :class:`TogglerState` does the same for one
+controller src.  Both are strictly single-pass: every trace record is
+examined once, updates O(1) state, and is dropped — the classifier never
+buffers the stream, which is what lets the live ``--follow`` mode and
+the supervisor hook run always-on.
+
+All evidence accumulates into :class:`~repro.diagnose.rules.Clusters`
+per finding class; :meth:`ConnState.findings` / :meth:`ConnState.verdict`
+are pure snapshots so mid-stream reports don't perturb the final one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.diagnose.report import ConnectionVerdict, Finding
+from repro.diagnose.rules import (
+    CLASS_BLACKOUT,
+    CLASS_ESTIMATOR_DIVERGENCE,
+    CLASS_LOSS,
+    CLASS_STALE_EXCHANGE,
+    CLASS_STALL,
+    CLASS_TOGGLER_FROZEN,
+    CLASS_TOGGLER_OSCILLATING,
+    Clusters,
+    DiagnosisConfig,
+    FROZEN_PHASES,
+    LIMIT_IDLE,
+    LIMIT_NETWORK,
+    LIMIT_RECEIVER,
+    LIMIT_SENDER,
+    limit_label,
+)
+from repro.units import to_msecs, to_usecs
+
+#: Verdict tie-break severity (higher wins on equal sample counts).
+_SEVERITY = {
+    LIMIT_NETWORK: 3,
+    LIMIT_RECEIVER: 2,
+    LIMIT_SENDER: 1,
+    LIMIT_IDLE: 0,
+}
+
+
+def connection_stem(src: str) -> str | None:
+    """Map a record src to its socket-pair stem, or ``None``.
+
+    Connection endpoints are named ``{stem}.a`` (client side) and
+    ``{stem}.b`` (server side) by :func:`repro.tcp.connect.connect_pair`,
+    and every per-connection record type (queue/estimator/exchange/tcp)
+    uses the endpoint name as its src.  Anything else — toggler, log,
+    supervisor, fault hooks — is not a connection.
+    """
+    if src.endswith(".a") or src.endswith(".b"):
+        return src[:-2]
+    return None
+
+
+class _SideState:
+    """Adaptive baselines for one endpoint of a connection.
+
+    The two endpoints of a pair are *different* streams — their own
+    exchange cadence, their own candidate counter clock, their own
+    benign queue-delay profile — so every EWMA and monotonicity check
+    lives per side.  Folding them (the obvious per-stem shortcut) makes
+    the interleaving itself look pathological: two clean 10 ms cadences
+    offset by 5 ms read as a wildly erratic 5 ms one, and the peers'
+    independent counter clocks read as constant replays.
+    """
+
+    __slots__ = (
+        "unread_ewma", "latency_ewma", "latency_samples",
+        "last_candidate_time", "sends_in_flight",
+    )
+
+    def __init__(self):
+        self.unread_ewma: float | None = None
+        self.latency_ewma: float | None = None
+        self.latency_samples = 0
+        self.last_candidate_time: int | None = None
+        # Timestamps of exchange.sends not yet observed at the peer.
+        self.sends_in_flight: deque[int] = deque()
+
+
+class ConnState:
+    """Single-pass diagnosis state for one socket pair in one run."""
+
+    def __init__(self, stem: str, config: DiagnosisConfig):
+        self.stem = stem
+        self._config = config
+        # Dapper triage.
+        self._limits = {
+            LIMIT_SENDER: 0, LIMIT_NETWORK: 0,
+            LIMIT_RECEIVER: 0, LIMIT_IDLE: 0,
+        }
+        self._samples = 0
+        self._timeline: list[list] = []  # [start, end, label], mutable tail
+        # Traffic liveness (dead-air rule).
+        self.first_seen: int | None = None  # any record for this stem
+        self._last_traffic: int | None = None
+        self._traffic_events = 0
+        # Evidence clusters, one per finding class.
+        self._loss = Clusters(config.merge_gap_ns)
+        self._dead_air = Clusters(config.merge_gap_ns)
+        self._stall = Clusters(config.merge_gap_ns)
+        self._stale = Clusters(config.merge_gap_ns)
+        self._divergence = Clusters(config.merge_gap_ns)
+        # Per-endpoint adaptive baselines.
+        self._sides: dict[str, _SideState] = {}
+        # Peak evidence magnitudes, for finding detail strings.
+        self._worst_stall_ns = 0
+        self._worst_gap_ns = 0
+        self._worst_latency_ns = 0.0
+
+    def _side(self, src: str) -> _SideState:
+        state = self._sides.get(src)
+        if state is None:
+            state = self._sides[src] = _SideState()
+        return state
+
+    # ------------------------------------------------------------------
+    # Record intake (one method per relevant record type).
+    # ------------------------------------------------------------------
+
+    def saw(self, t: int) -> None:
+        """Note any record for this stem; advance time-driven rules."""
+        if self.first_seen is None:
+            self.first_seen = t
+        self._expire_sends(t)
+
+    def on_traffic(self, t: int) -> None:
+        """A wire-level event (``tcp.event`` or ``exchange.recv``).
+
+        Traffic is proof the path delivers; a gap between consecutive
+        proofs longer than ``dead_air_ns`` is a blackout interval, as is
+        a silent tail (checked by :meth:`at_end`).
+        """
+        if (
+            self._last_traffic is not None
+            and t - self._last_traffic > self._config.dead_air_ns
+        ):
+            self._dead_air.add(self._last_traffic, t)
+        self._last_traffic = t
+        self._traffic_events += 1
+
+    def on_tcp_event(self, t: int, record: dict) -> None:
+        """A ``tcp.event``: traffic proof, plus the loss rule."""
+        self.on_traffic(t)
+        detail = record.get("detail")
+        if (
+            record.get("event") == "tx"
+            and isinstance(detail, dict)
+            and detail.get("retransmit")
+        ):
+            self._loss.add(t)
+
+    def on_exchange_send(self, t: int, src: str) -> None:
+        """An ``exchange.send``: a state is now in flight to the peer.
+
+        A send is *not* traffic proof (it is an attempt; blackout
+        detection depends on attempts failing silently) — it opens a
+        delivery obligation that :meth:`_expire_sends` enforces.
+        """
+        self._side(src).sends_in_flight.append(t)
+
+    def on_exchange_recv(self, t: int, src: str, record: dict) -> None:
+        """An ``exchange.recv``: traffic proof, plus the staleness rules."""
+        self.on_traffic(t)
+        side = self._side(src)
+        # The arrival satisfies the oldest in-flight send of the *peer*
+        # endpoint (exchange delivery is FIFO on a TCP stream).  If an
+        # older send was dropped, FIFO pairing retires the dropped one
+        # here and leaves this one pending — the count of expiries
+        # still equals the count of drops, just one cadence late.
+        peer = self._side(self._peer_src(src))
+        if peer.sends_in_flight:
+            peer.sends_in_flight.popleft()
+        if record.get("outcome") != "accepted":
+            self._stale.add(t)
+        else:
+            candidate_time = record.get("unacked", {}).get("time")
+            if (
+                isinstance(candidate_time, int)
+                and side.last_candidate_time is not None
+                and candidate_time < side.last_candidate_time
+            ):
+                # Counter time ran backwards: a replayed stale state.
+                self._stale.add(t)
+            if isinstance(candidate_time, int):
+                side.last_candidate_time = candidate_time
+
+    @staticmethod
+    def _peer_src(src: str) -> str:
+        return src[:-2] + (".b" if src.endswith(".a") else ".a")
+
+    def _expire_sends(self, now: int) -> None:
+        """Turn overdue in-flight sends into stale-exchange evidence."""
+        timeout = self._config.exchange_timeout_ns
+        for side in self._sides.values():
+            pending = side.sends_in_flight
+            while pending and now - pending[0] > timeout:
+                sent = pending.popleft()
+                self._stale.add(sent, sent + timeout)
+                self._worst_gap_ns = max(self._worst_gap_ns, now - sent)
+
+    def on_estimator_reject(self, t: int) -> None:
+        """An ``estimator.reject``: the remote view was unusable."""
+        self._stale.add(t)
+
+    def on_estimator_sample(self, t: int, src: str, record: dict) -> None:
+        """An ``estimator.sample``: triage, stall, and divergence rules."""
+        cfg = self._config
+        side = self._side(src)
+        local = record.get("local") or {}
+        remote = record.get("remote") or {}
+        unacked = local.get("unacked")
+        unread = local.get("unread")
+        ackdelay = local.get("ackdelay")
+        label = limit_label(unacked, unread, ackdelay)
+        self._limits[label] += 1
+        self._samples += 1
+        if self._timeline and self._timeline[-1][2] == label:
+            self._timeline[-1][1] = t
+        else:
+            self._timeline.append([t, t, label])
+        # Stalled receiver: an unread delay — ours, or the peer's as the
+        # exchange reported it — spikes over this side's own baseline.
+        # A stalled *remote* receiver is only visible in the remote
+        # component, so both views feed the same rule.
+        unread_signal = None
+        for value in (unread, remote.get("unread")):
+            if value is not None and (
+                unread_signal is None or value > unread_signal
+            ):
+                unread_signal = value
+        if unread_signal is not None:
+            threshold = cfg.stall_floor_ns
+            if side.unread_ewma is not None:
+                threshold = max(threshold, cfg.stall_factor * side.unread_ewma)
+            if unread_signal > threshold:
+                self._stall.add(t)
+                self._worst_stall_ns = max(self._worst_stall_ns, unread_signal)
+            else:
+                alpha = cfg.baseline_alpha
+                side.unread_ewma = (
+                    unread_signal if side.unread_ewma is None
+                    else (1 - alpha) * side.unread_ewma + alpha * unread_signal
+                )
+        # Divergence: a clamped estimate, or one far beyond its EWMA.
+        latency = record.get("latency_ns")
+        if record.get("clamped") is not None:
+            self._divergence.add(t)
+        elif latency is not None:
+            if (
+                side.latency_samples >= cfg.divergence_min_samples
+                and side.latency_ewma is not None
+                and latency > cfg.divergence_floor_ns
+                and latency > cfg.divergence_factor * side.latency_ewma
+            ):
+                self._divergence.add(t)
+                self._worst_latency_ns = max(self._worst_latency_ns, latency)
+            else:
+                alpha = cfg.baseline_alpha
+                side.latency_ewma = (
+                    latency if side.latency_ewma is None
+                    else (1 - alpha) * side.latency_ewma + alpha * latency
+                )
+                side.latency_samples += 1
+
+    # ------------------------------------------------------------------
+    # Snapshots (pure: no state mutated).
+    # ------------------------------------------------------------------
+
+    def _tail_gap(self, end_ns: int) -> tuple[int, int] | None:
+        """The silent-tail blackout interval, if the rule fires."""
+        cfg = self._config
+        if (
+            self._last_traffic is not None
+            and end_ns - self._last_traffic > cfg.dead_air_ns
+        ):
+            return (self._last_traffic, end_ns)
+        if (
+            self._traffic_events == 0
+            and self.first_seen is not None
+            and end_ns - self.first_seen > cfg.dead_air_ns
+        ):
+            # Collected all run long, yet the wire never delivered once.
+            return (self.first_seen, end_ns)
+        return None
+
+    def findings(self, end_ns: int) -> list[Finding]:
+        """Every finding for this connection, class-grouped, time-ordered."""
+        out: list[Finding] = []
+        for start, end, events in self._loss.closed():
+            out.append(Finding(
+                CLASS_LOSS, self.stem, start, end, events,
+                f"{events} retransmission(s) over "
+                f"{to_msecs(end - start):.1f} ms",
+            ))
+        dead = [list(ep) for ep in self._dead_air.closed()]
+        tail = self._tail_gap(end_ns)
+        if tail is not None:
+            if dead and tail[0] - dead[-1][1] <= self._config.merge_gap_ns:
+                dead[-1][1] = tail[1]
+                dead[-1][2] += 1
+            else:
+                dead.append([tail[0], tail[1], 1])
+        for start, end, events in dead:
+            out.append(Finding(
+                CLASS_BLACKOUT, self.stem, start, end, events,
+                f"no traffic for {to_msecs(end - start):.1f} ms "
+                f"on a previously live path",
+            ))
+        for start, end, events in self._stall.closed():
+            out.append(Finding(
+                CLASS_STALL, self.stem, start, end, events,
+                f"unread delay spiked to {to_usecs(self._worst_stall_ns):.0f} "
+                f"µs ({events} sample(s))",
+            ))
+        stale = [list(ep) for ep in self._stale.closed()]
+        timeout = self._config.exchange_timeout_ns
+        overdue = sorted(
+            sent
+            for side in self._sides.values()
+            for sent in side.sends_in_flight
+            if end_ns - sent > timeout
+        )
+        for sent in overdue:
+            end = sent + timeout
+            if stale and sent - stale[-1][1] <= self._config.merge_gap_ns:
+                stale[-1][1] = max(stale[-1][1], end)
+                stale[-1][2] += 1
+            else:
+                stale.append([sent, end, 1])
+        for start, end, events in stale:
+            out.append(Finding(
+                CLASS_STALE_EXCHANGE, self.stem, start, end, events,
+                f"{events} stale-exchange sign(s): undelivered, rejected, "
+                f"or replayed states",
+            ))
+        for start, end, events in self._divergence.closed():
+            out.append(Finding(
+                CLASS_ESTIMATOR_DIVERGENCE, self.stem, start, end, events,
+                f"{events} clamped or runaway estimate(s)",
+            ))
+        return out
+
+    def verdict(self, end_ns: int) -> ConnectionVerdict:
+        """The connection's Dapper verdict plus attributed finding classes."""
+        best_label = LIMIT_IDLE
+        best = (0, 0)
+        for label, count in self._limits.items():
+            key = (count, _SEVERITY[label])
+            if count > 0 and key > best:
+                best = key
+                best_label = label
+        classes = sorted({f.cls for f in self.findings(end_ns)})
+        return ConnectionVerdict(
+            id=self.stem,
+            verdict=best_label,
+            samples=self._samples,
+            limits={k: v for k, v in self._limits.items() if v},
+            timeline=[tuple(seg) for seg in self._timeline],
+            finding_classes=classes,
+        )
+
+
+class TogglerState:
+    """Single-pass diagnosis state for one controller src in one run."""
+
+    def __init__(self, src: str, config: DiagnosisConfig):
+        self.src = src
+        self._config = config
+        self._frozen = Clusters(config.merge_gap_ns)
+        self._oscillating = Clusters(config.merge_gap_ns)
+        self._streak = 0
+        self._streak_start: int | None = None
+        self._toggle_ewma = 0.0
+        self._decisions = 0
+        self._longest_streak = 0
+        self._peak_ewma = 0.0
+
+    def on_decision(self, t: int, record: dict) -> None:
+        """A ``toggler.decision``: freeze-streak and oscillation rules."""
+        cfg = self._config
+        self._decisions += 1
+        phase = record.get("phase")
+        if phase in FROZEN_PHASES:
+            if self._streak == 0:
+                self._streak_start = t
+            self._streak += 1
+            self._longest_streak = max(self._longest_streak, self._streak)
+            if self._streak >= cfg.frozen_ticks:
+                # The whole streak (so far) is one frozen episode; the
+                # cluster merge folds successive ticks together.
+                self._frozen.add(self._streak_start, t)
+        else:
+            self._streak = 0
+            self._streak_start = None
+        toggled = 1.0 if record.get("toggled") else 0.0
+        self._toggle_ewma = (
+            (1 - cfg.osc_alpha) * self._toggle_ewma + cfg.osc_alpha * toggled
+        )
+        self._peak_ewma = max(self._peak_ewma, self._toggle_ewma)
+        if self._toggle_ewma > cfg.osc_threshold:
+            self._oscillating.add(t)
+
+    def findings(self) -> list[Finding]:
+        """Controller findings (pure snapshot)."""
+        out: list[Finding] = []
+        for start, end, events in self._frozen.closed():
+            out.append(Finding(
+                CLASS_TOGGLER_FROZEN, self.src, start, end, events,
+                f"frozen for {self._longest_streak} consecutive tick(s) "
+                f"(threshold {self._config.frozen_ticks})",
+            ))
+        for start, end, events in self._oscillating.closed():
+            out.append(Finding(
+                CLASS_TOGGLER_OSCILLATING, self.src, start, end, events,
+                f"toggle rate EWMA peaked at {self._peak_ewma:.2f} "
+                f"(threshold {self._config.osc_threshold})",
+            ))
+        return out

@@ -1,0 +1,78 @@
+"""Live diagnosis: tail a growing JSONL trace and classify as it lands.
+
+:func:`follow_trace` is the engine behind ``repro diagnose --follow``:
+a poll loop over :class:`repro.obs.sinks.JsonlTail` feeding one
+:class:`~repro.diagnose.classifier.StreamingClassifier`.  The tail
+reader only surfaces whole newline-terminated lines, so a torn write by
+the live producer is invisible here; and because the classifier is
+single-pass and order-driven, the report produced after the stream goes
+quiet is byte-identical to an offline pass over the finished file.
+
+Time sources are injectable (``clock``/``sleep``) so tests drive the
+loop deterministically; only the *pacing* ever touches the wall clock —
+report content is pure simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.diagnose.classifier import StreamingClassifier
+from repro.diagnose.report import DiagnosisReport
+from repro.diagnose.rules import DiagnosisConfig
+from repro.errors import DiagnosisError
+from repro.obs.sinks import JsonlTail
+
+
+def follow_trace(
+    path,
+    config: DiagnosisConfig | None = None,
+    poll_s: float = 0.5,
+    idle_timeout_s: float | None = 10.0,
+    on_progress: Callable[[StreamingClassifier, int], None] | None = None,
+    stop: Callable[[], bool] | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> DiagnosisReport:
+    """Tail ``path`` until the stream goes quiet; return the diagnosis.
+
+    Polls every ``poll_s`` seconds.  After each poll that delivered new
+    records, ``on_progress(classifier, new_records)`` is invoked (the
+    CLI prints a snapshot line from it).  The loop ends when no new
+    record has arrived for ``idle_timeout_s`` seconds (``None`` means
+    wait forever), or when ``stop()`` returns true — whichever comes
+    first — and the final report is returned.
+    """
+    if poll_s <= 0:
+        raise DiagnosisError(f"poll_s must be positive, got {poll_s}")
+    if idle_timeout_s is not None and idle_timeout_s <= 0:
+        raise DiagnosisError(
+            f"idle_timeout_s must be positive, got {idle_timeout_s}"
+        )
+    classifier = StreamingClassifier(config)
+    tail = JsonlTail(path)
+    last_news = clock()
+    while True:
+        records = tail.poll()
+        if records:
+            classifier.feed_many(records)
+            last_news = clock()
+            if on_progress is not None:
+                on_progress(classifier, len(records))
+        if stop is not None and stop():
+            break
+        if (
+            not records
+            and idle_timeout_s is not None
+            and clock() - last_news >= idle_timeout_s
+        ):
+            break
+        sleep(poll_s)
+    # Drain anything that landed during the final sleep.
+    records = tail.poll()
+    if records:
+        classifier.feed_many(records)
+        if on_progress is not None:
+            on_progress(classifier, len(records))
+    return classifier.report()

@@ -1,0 +1,137 @@
+"""Supervisor integration: diagnose each job's trace as it completes.
+
+:class:`DiagnosisHook` turns the offline classifier into an always-on
+service inside a supervised campaign.  It tees the campaign tracer's
+sink — every record flows to the original sink *and* into one
+:class:`~repro.diagnose.classifier.StreamingClassifier` — and when the
+supervisor completes a job it asks the hook to score the segment that
+job contributed (each traced job is its own run segment: its simulator
+restarts the clock, which is exactly the classifier's run boundary).
+
+The supervisor records the verdict as ``diagnose.*`` metrics and a
+``diagnosis.verdict`` trace record; with ``quarantine=True`` a verdict
+containing a *pathological* class (a misbehaving controller — see
+:attr:`DiagnosisConfig.pathological_classes`) escalates into the
+poison-quarantine path instead of completing, so a campaign cannot
+silently accumulate results produced by a broken control loop.
+
+Tee placement keeps the byte-identity contract: the hook only *reads*
+the record stream; it never emits, reorders, or drops, so the sink's
+file is byte-identical with and without diagnosis attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diagnose.classifier import StreamingClassifier
+from repro.diagnose.report import DiagnosisReport
+from repro.diagnose.rules import DiagnosisConfig
+
+
+@dataclass(frozen=True)
+class JobDiagnosis:
+    """The diagnosis verdict for one completed job's trace segment."""
+
+    index: int
+    key: str
+    connections: int  # diagnosed so far, stream-wide
+    findings: int     # attributed to this job's segment
+    classes: tuple    # distinct finding classes in the segment, sorted
+    pathological: bool
+
+    def describe(self) -> str:
+        if not self.findings:
+            return "clean"
+        flag = " PATHOLOGICAL" if self.pathological else ""
+        return f"{self.findings} finding(s): {', '.join(self.classes)}{flag}"
+
+
+class _TeeSink:
+    """Forward every record to the wrapped sink and the classifier."""
+
+    __slots__ = ("_inner", "_classifier")
+
+    def __init__(self, inner, classifier: StreamingClassifier):
+        self._inner = inner
+        self._classifier = classifier
+
+    def append(self, record: dict) -> None:
+        self._classifier.feed(record)
+        self._inner.append(record)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def records(self):
+        """Pass through retained records (memory sinks only)."""
+        return getattr(self._inner, "records", [])
+
+
+class DiagnosisHook:
+    """Score each supervised job's trace segment on completion.
+
+    Attach with :meth:`attach` (wraps the tracer's sink in a tee), hand
+    the hook to :class:`repro.supervise.Supervisor` as ``diagnosis=``,
+    and read the campaign-wide picture afterwards via :meth:`report`.
+    ``quarantine=True`` makes pathological verdicts quarantine the job.
+    """
+
+    def __init__(
+        self,
+        config: DiagnosisConfig | None = None,
+        quarantine: bool = False,
+    ):
+        self.classifier = StreamingClassifier(config)
+        self.quarantine = quarantine
+        self.verdicts: list[JobDiagnosis] = []
+        self._counted: dict[int, int] = {}  # run index -> findings credited
+        self._attached: list = []  # tracers already teed (idempotence)
+
+    def attach(self, tracer) -> None:
+        """Interpose the tee between ``tracer`` and its current sink.
+
+        Idempotent per tracer, so a hook pre-attached by the caller is
+        not teed twice when the campaign attaches it again.
+        """
+        if any(seen is tracer for seen in self._attached):
+            return
+        self._attached.append(tracer)
+        tracer.sink = _TeeSink(tracer.sink, self.classifier)
+
+    def job_completed(self, index: int, key: str) -> JobDiagnosis:
+        """Score the segment(s) this job added since the previous call.
+
+        A traced job contributes exactly one run segment, so the normal
+        case credits that run's findings wholesale.  Attribution is
+        per-run count deltas, so a run that straddles two calls (late
+        records extending a previous segment) is never counted twice
+        and never lost.
+        """
+        report = self.classifier.report()
+        findings = 0
+        classes: set[str] = set()
+        for run in report.runs:
+            credited = self._counted.get(run.index, 0)
+            if len(run.findings) > credited:
+                findings += len(run.findings) - credited
+                classes.update(f.cls for f in run.findings)
+            self._counted[run.index] = len(run.findings)
+        pathological = bool(
+            classes & set(self.classifier.config.pathological_classes)
+        )
+        verdict = JobDiagnosis(
+            index=index,
+            key=key,
+            connections=report.summary()["connections"],
+            findings=findings,
+            classes=tuple(sorted(classes)),
+            pathological=pathological,
+        )
+        self.verdicts.append(verdict)
+        return verdict
+
+    def report(self) -> DiagnosisReport:
+        """The campaign-wide diagnosis so far (pure snapshot)."""
+        return self.classifier.report()

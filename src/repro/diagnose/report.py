@@ -1,0 +1,193 @@
+"""The ``repro-diagnosis-v1`` report: typed results of a diagnosis pass.
+
+A report is a plain tree of dataclasses mirroring the JSON document the
+CLI emits.  Serialization is **canonical** — keys in a fixed order,
+compact separators, newline-terminated — so the acceptance contract
+"streaming and offline passes over the same trace produce byte-identical
+reports" is checkable with ``==`` on bytes, and goldens diff cleanly.
+
+Nothing here reads the wall clock: every timestamp in a report is
+simulated time copied from trace records, which is what makes the
+same-trace→same-bytes property hold across machines and reruns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.units import to_msecs
+
+SCHEMA = "repro-diagnosis-v1"
+
+
+@dataclass
+class Finding:
+    """One detected misbehavior episode.
+
+    ``connection`` is the socket-pair stem (``redis.0``) for data-plane
+    findings and the controller src (``toggler``) for control-plane
+    ones.  ``events`` counts the evidence points clustered into the
+    episode; ``detail`` is a short human-readable justification.
+    """
+
+    cls: str
+    connection: str
+    start_ns: int
+    end_ns: int
+    events: int
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "class": self.cls,
+            "connection": self.connection,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "events": self.events,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ConnectionVerdict:
+    """One connection's diagnosis over one run.
+
+    ``verdict`` is the dominant limit label over the run (Dapper's
+    triage); ``limits`` the per-label sample counts behind it;
+    ``timeline`` the compressed label segments ``[start_ns, end_ns,
+    label]`` in time order.
+    """
+
+    id: str
+    verdict: str
+    samples: int
+    limits: dict = field(default_factory=dict)
+    timeline: list = field(default_factory=list)
+    finding_classes: list = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "verdict": self.verdict,
+            "samples": self.samples,
+            "limits": dict(sorted(self.limits.items())),
+            "timeline": [
+                {"start_ns": s, "end_ns": e, "label": label}
+                for s, e, label in self.timeline
+            ],
+            "finding_classes": sorted(self.finding_classes),
+        }
+
+
+@dataclass
+class RunReport:
+    """Diagnosis of one run segment (sim clock restart = new run)."""
+
+    index: int
+    start_ns: int
+    end_ns: int
+    records: int
+    connections: list = field(default_factory=list)  # [ConnectionVerdict]
+    findings: list = field(default_factory=list)  # [Finding]
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "records": self.records,
+            "connections": [c.to_json() for c in self.connections],
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+@dataclass
+class DiagnosisReport:
+    """The full document: every run plus the campaign summary."""
+
+    label: str | None
+    records: int
+    runs: list = field(default_factory=list)  # [RunReport]
+
+    @property
+    def findings(self) -> list:
+        """Every finding across every run, in report order."""
+        return [f for run in self.runs for f in run.findings]
+
+    def summary(self) -> dict:
+        by_class: dict[str, int] = {}
+        flagged: set[tuple[int, str]] = set()
+        connections = 0
+        for run in self.runs:
+            connections += len(run.connections)
+            for finding in run.findings:
+                by_class[finding.cls] = by_class.get(finding.cls, 0) + 1
+                flagged.add((run.index, finding.connection))
+        return {
+            "runs": len(self.runs),
+            "connections": connections,
+            "findings": sum(len(run.findings) for run in self.runs),
+            "flagged": len(flagged),
+            "by_class": dict(sorted(by_class.items())),
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "label": self.label,
+            "records": self.records,
+            "runs": [run.to_json() for run in self.runs],
+            "summary": self.summary(),
+        }
+
+    def to_canonical(self) -> str:
+        """The canonical byte form: compact, fixed key order, one ``\\n``."""
+        return json.dumps(self.to_json(), separators=(",", ":")) + "\n"
+
+
+def render_report(report: DiagnosisReport) -> str:
+    """Human-readable rendering of a report, for the CLI's default mode."""
+    lines: list[str] = []
+    summary = report.summary()
+    label = f" label={report.label!r}" if report.label else ""
+    lines.append(
+        f"diagnosis{label}: {report.records} records, "
+        f"{summary['runs']} run(s), {summary['connections']} connection(s), "
+        f"{summary['findings']} finding(s)"
+    )
+    for run in report.runs:
+        span = to_msecs(run.end_ns - run.start_ns)
+        lines.append(
+            f"  run {run.index}: [{run.start_ns}..{run.end_ns}] ns "
+            f"({span:.1f} ms, {run.records} records)"
+        )
+        for conn in run.connections:
+            limits = ", ".join(
+                f"{label.split('-')[0]}={count}"
+                for label, count in sorted(conn.limits.items())
+                if count
+            ) or "no samples"
+            flags = (
+                f" !{','.join(sorted(conn.finding_classes))}"
+                if conn.finding_classes else ""
+            )
+            lines.append(
+                f"    {conn.id}: {conn.verdict} ({limits}){flags}"
+            )
+        for finding in run.findings:
+            span = to_msecs(finding.end_ns - finding.start_ns)
+            lines.append(
+                f"    finding {finding.cls} @ {finding.connection}: "
+                f"[{finding.start_ns}..{finding.end_ns}] ns "
+                f"({span:.1f} ms, {finding.events} event(s)) — "
+                f"{finding.detail}"
+            )
+    if summary["findings"] == 0:
+        lines.append("  no findings: every connection looks healthy")
+    else:
+        by_class = ", ".join(
+            f"{cls}={count}" for cls, count in summary["by_class"].items()
+        )
+        lines.append(f"  by class: {by_class}")
+    return "\n".join(lines)

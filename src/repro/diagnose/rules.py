@@ -1,0 +1,237 @@
+"""Decision rules for the streaming diagnosis service.
+
+Following *Dapper: Data Plane Performance Diagnosis of TCP* (PAPERS.md),
+the classifier never consults the components it diagnoses — it watches
+only the lightweight state the trace stream already carries and applies
+fixed, deterministic decision rules.  ``fault.verdict`` records (the
+injector narrating what it did) are deliberately **ignored** by every
+rule: they are the ground truth the diagnosis is scored *against*, and
+reading them would make detection circular.
+
+Two kinds of output:
+
+- **limit labels** — every estimator sample is attributed to the queue
+  that dominates it, Dapper's sender-/network-/receiver-limited triage
+  adapted to the paper's three §3.1 queues:
+
+  ========== ===================== ==============================
+  label      dominating queue       meaning
+  ========== ===================== ==============================
+  network    ``unacked``            bytes sit un-ACKed on the wire
+  receiver   ``unread``             the peer is not reading
+  sender     ``ackdelay``           ACK/batching holds at the ends
+  ========== ===================== ==============================
+
+- **findings** — typed misbehavior episodes (:data:`FINDING_CLASSES`),
+  each produced by one rule over one evidence stream.  Thresholds live
+  on :class:`DiagnosisConfig`; the defaults are validated against
+  fault-free golden traces (zero findings) and the chaos matrix
+  (per-class recall) by ``tests/diagnose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiagnosisError
+from repro.units import msecs, usecs
+
+#: Connection limit labels (Dapper's triage, adapted).
+LIMIT_SENDER = "sender-limited"
+LIMIT_NETWORK = "network-limited"
+LIMIT_RECEIVER = "receiver-limited"
+LIMIT_IDLE = "idle"
+
+#: Finding classes the classifier can emit.  The first four mirror the
+#: injectable fault classes and are what detection recall is scored
+#: over; the last three are the misbehaving-controller diagnoses.
+CLASS_LOSS = "loss"
+CLASS_BLACKOUT = "blackout"
+CLASS_STALL = "stall"
+CLASS_STALE_EXCHANGE = "stale-exchange"
+CLASS_TOGGLER_FROZEN = "toggler-frozen"
+CLASS_TOGGLER_OSCILLATING = "toggler-oscillating"
+CLASS_ESTIMATOR_DIVERGENCE = "estimator-divergence"
+
+FINDING_CLASSES = (
+    CLASS_LOSS,
+    CLASS_BLACKOUT,
+    CLASS_STALL,
+    CLASS_STALE_EXCHANGE,
+    CLASS_TOGGLER_FROZEN,
+    CLASS_TOGGLER_OSCILLATING,
+    CLASS_ESTIMATOR_DIVERGENCE,
+)
+
+#: Toggler phases in which the controller is deliberately not deciding.
+FROZEN_PHASES = frozenset({"loss-freeze", "freeze-hold"})
+
+
+@dataclass(frozen=True)
+class DiagnosisConfig:
+    """Thresholds for every decision rule; defaults are golden-trace safe.
+
+    Clustering: evidence points closer than ``merge_gap_ns`` fold into
+    one episode, so a retransmission train is one loss finding, not
+    fifty.
+
+    Loss — any ``tcp.event tx`` with ``retransmit=true`` is evidence (a
+    clean simulated wire never retransmits, so the rule has no
+    fault-free false positives by construction).
+
+    Dead air (blackout) — a connection that *has* carried traffic and
+    then carries none for ``dead_air_ns`` while run time demonstrably
+    advances (ticks/samples keep arriving) is dark; so is a connection
+    that never carries traffic at all despite being collected.
+
+    Stall (receiver-limited) — an estimator sample whose ``unread``
+    delay exceeds ``max(stall_floor_ns, stall_factor × EWMA)`` is a
+    stalled-receiver spike; the EWMA (weight ``baseline_alpha``) tracks
+    the connection's own benign baseline.
+
+    Stale exchange — evidence is any of: a non-``accepted``
+    ``exchange.recv`` outcome; an accepted candidate whose counter
+    timestamps run backwards (a replay); an ``estimator.reject``; a
+    sent state (``exchange.send``) with no matching arrival at the peer
+    within ``exchange_timeout_ns`` — send/receipt matching is exact, so
+    every dropped exchange is its own evidence point with no baseline
+    to contaminate.
+
+    Toggler — ``frozen_ticks`` consecutive frozen-phase decisions (or
+    an equally long decision drought while estimator samples keep
+    flowing) is a frozen controller; an EWMA (weight ``osc_alpha``) of
+    the per-tick toggle indicator above ``osc_threshold`` is an
+    oscillating one.
+
+    Estimator divergence — after ``divergence_min_samples`` samples, a
+    latency estimate beyond ``divergence_factor ×`` its own EWMA (and
+    above ``divergence_floor_ns``) diverges; any clamped sample is
+    divergence evidence outright.
+    """
+
+    merge_gap_ns: int = msecs(20)
+    dead_air_ns: int = msecs(25)
+    stall_floor_ns: int = usecs(200)
+    stall_factor: float = 8.0
+    baseline_alpha: float = 0.2
+    exchange_timeout_ns: int = msecs(8)
+    frozen_ticks: int = 8
+    osc_alpha: float = 0.25
+    osc_threshold: float = 0.4
+    divergence_factor: float = 16.0
+    divergence_floor_ns: int = msecs(2)
+    divergence_min_samples: int = 4
+    #: Finding classes that make a job's verdict *pathological* (the
+    #: supervisor's opt-in quarantine trigger): controller misbehavior,
+    #: not environmental faults.
+    pathological_classes: tuple = (
+        CLASS_TOGGLER_FROZEN,
+        CLASS_TOGGLER_OSCILLATING,
+        CLASS_ESTIMATOR_DIVERGENCE,
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`DiagnosisError` on out-of-range thresholds."""
+        for name in ("merge_gap_ns", "dead_air_ns", "stall_floor_ns",
+                     "exchange_timeout_ns", "divergence_floor_ns"):
+            if getattr(self, name) <= 0:
+                raise DiagnosisError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        for name in ("stall_factor", "divergence_factor"):
+            if getattr(self, name) < 1.0:
+                raise DiagnosisError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        for name in ("baseline_alpha", "osc_alpha"):
+            if not 0.0 < getattr(self, name) <= 1.0:
+                raise DiagnosisError(
+                    f"{name} must be in (0, 1], got {getattr(self, name)}"
+                )
+        if not 0.0 < self.osc_threshold <= 1.0:
+            raise DiagnosisError(
+                f"osc_threshold must be in (0, 1], got {self.osc_threshold}"
+            )
+        if self.frozen_ticks < 1:
+            raise DiagnosisError(
+                f"frozen_ticks must be >= 1, got {self.frozen_ticks}"
+            )
+        if self.divergence_min_samples < 1:
+            raise DiagnosisError(
+                f"divergence_min_samples must be >= 1, "
+                f"got {self.divergence_min_samples}"
+            )
+        unknown = set(self.pathological_classes) - set(FINDING_CLASSES)
+        if unknown:
+            raise DiagnosisError(
+                f"unknown pathological classes: {sorted(unknown)}"
+            )
+
+
+def limit_label(
+    network_ns: float | None,
+    receiver_ns: float | None,
+    sender_ns: float | None,
+) -> str:
+    """Dapper triage for one sample: which queue dominates its delay.
+
+    ``None`` components are undefined (no window yet); a sample with no
+    defined component is ``idle``.  Ties break in severity order
+    network > receiver > sender so the label is deterministic.
+    """
+    candidates = [
+        (network_ns, LIMIT_NETWORK),
+        (receiver_ns, LIMIT_RECEIVER),
+        (sender_ns, LIMIT_SENDER),
+    ]
+    best = None
+    label = LIMIT_IDLE
+    for value, name in candidates:
+        if value is not None and (best is None or value > best):
+            best = value
+            label = name
+    return label
+
+
+class Clusters:
+    """Online gap-clustering of evidence points into episodes.
+
+    ``add(t, end_t)`` extends the open cluster when the new point is
+    within ``merge_gap_ns`` of its end, else closes it and opens a new
+    one.  ``closed()`` returns every episode including the still-open
+    one *without mutating state*, so report snapshots are pure.
+    """
+
+    __slots__ = ("_gap", "_done", "_start", "_end", "_count")
+
+    def __init__(self, merge_gap_ns: int):
+        self._gap = merge_gap_ns
+        self._done: list[tuple[int, int, int]] = []  # (start, end, events)
+        self._start = None
+        self._end = None
+        self._count = 0
+
+    def add(self, t: int, end_t: int | None = None) -> None:
+        """Fold one evidence point (or interval) into the clustering."""
+        end_t = t if end_t is None else max(t, end_t)
+        if self._start is not None and t - self._end <= self._gap:
+            self._end = max(self._end, end_t)
+            self._count += 1
+            return
+        if self._start is not None:
+            self._done.append((self._start, self._end, self._count))
+        self._start = t
+        self._end = end_t
+        self._count = 1
+
+    def closed(self) -> list[tuple[int, int, int]]:
+        """Every episode, oldest first, open cluster included."""
+        episodes = list(self._done)
+        if self._start is not None:
+            episodes.append((self._start, self._end, self._count))
+        return episodes
+
+    @property
+    def events(self) -> int:
+        """Total evidence points folded in."""
+        return sum(count for _, _, count in self._done) + self._count

@@ -1,0 +1,195 @@
+"""``repro-diagnosis-v1`` document schema: definition and validation.
+
+Mirrors the :mod:`repro.obs.schema` idiom for traces: the field tables
+here are the single source of truth — :func:`validate_report` checks a
+parsed document against them, and ``tools/check_docs.py`` regenerates
+the schema table embedded in ``docs/OBSERVABILITY.md`` from the same
+structure, so documentation cannot drift from code.
+"""
+
+from __future__ import annotations
+
+from repro.diagnose.rules import FINDING_CLASSES, LIMIT_IDLE, LIMIT_NETWORK, \
+    LIMIT_RECEIVER, LIMIT_SENDER
+from repro.diagnose.report import SCHEMA
+from repro.errors import DiagnosisError
+
+_LIMIT_LABELS = (LIMIT_SENDER, LIMIT_NETWORK, LIMIT_RECEIVER, LIMIT_IDLE)
+
+#: The document layout, one table per JSON object kind, in render order.
+#: Field specs are ``name -> (python type(s), description)`` exactly as
+#: in :data:`repro.obs.schema.RECORD_TYPES`.
+DOCUMENT: dict[str, dict] = {
+    "report": {
+        "doc": "Top-level document emitted by ``repro diagnose --json``.",
+        "fields": {
+            "schema": (str, f"schema version; always {SCHEMA!r}"),
+            "label": ((str, type(None)), "run label from the trace header"),
+            "records": (int, "trace records consumed"),
+            "runs": (list, "one ``run`` object per detected run segment"),
+            "summary": (dict, "the campaign-wide ``summary`` object"),
+        },
+    },
+    "run": {
+        "doc": (
+            "One run segment (a simulated-clock restart in the stream "
+            "starts the next segment)."
+        ),
+        "fields": {
+            "index": (int, "segment position in the stream (0-based)"),
+            "start_ns": (int, "first record timestamp in the segment"),
+            "end_ns": (int, "last record timestamp in the segment"),
+            "records": (int, "records in the segment"),
+            "connections": (list, "one ``connection`` object per socket pair"),
+            "findings": (list, "``finding`` objects, detection order"),
+        },
+    },
+    "connection": {
+        "doc": "One connection's Dapper-style verdict over the segment.",
+        "fields": {
+            "id": (str, "socket-pair stem, e.g. 'redis.0'"),
+            "verdict": (
+                str,
+                "dominant limit: 'sender-limited' | 'network-limited' | "
+                "'receiver-limited' | 'idle'",
+            ),
+            "samples": (int, "estimator samples the verdict is built on"),
+            "limits": (dict, "per-label sample counts behind the verdict"),
+            "timeline": (
+                list,
+                "compressed label segments {start_ns, end_ns, label}",
+            ),
+            "finding_classes": (
+                list,
+                "distinct finding classes attributed to this connection",
+            ),
+        },
+    },
+    "finding": {
+        "doc": "One detected misbehavior episode.",
+        "fields": {
+            "class": (str, " | ".join(f"'{c}'" for c in FINDING_CLASSES)),
+            "connection": (
+                str,
+                "socket-pair stem, or controller src for control-plane classes",
+            ),
+            "start_ns": (int, "first evidence timestamp"),
+            "end_ns": (int, "last evidence timestamp"),
+            "events": (int, "evidence points clustered into the episode"),
+            "detail": (str, "human-readable justification"),
+        },
+    },
+    "summary": {
+        "doc": "Campaign-wide rollup over every run segment.",
+        "fields": {
+            "runs": (int, "run segments diagnosed"),
+            "connections": (int, "connection verdicts across all segments"),
+            "findings": (int, "findings across all segments"),
+            "flagged": (int, "distinct (run, connection) pairs with findings"),
+            "by_class": (dict, "finding counts keyed by class"),
+        },
+    },
+}
+
+
+def _check(value, expected) -> bool:
+    if isinstance(expected, tuple):
+        return isinstance(value, expected)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def _check_object(obj, kind: str, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"{where}: must be an object, got {type(obj).__name__}"]
+    fields = DOCUMENT[kind]["fields"]
+    for name, (expected, _) in fields.items():
+        if name not in obj:
+            problems.append(f"{where}: missing field {name!r}")
+        elif not _check(obj[name], expected):
+            problems.append(
+                f"{where}: field {name!r} has wrong type "
+                f"{type(obj[name]).__name__}"
+            )
+    extras = set(obj) - set(fields)
+    if extras:
+        problems.append(f"{where}: unexpected fields {sorted(extras)}")
+    return problems
+
+
+def validate_report(document) -> list[str]:
+    """Check a parsed report document; return a list of problems.
+
+    Empty list means the document is a valid ``repro-diagnosis-v1``
+    report.  Checks structure, field types, enum values, and internal
+    consistency (summary counts match the runs they summarize).
+    """
+    problems = _check_object(document, "report", "report")
+    if problems:
+        return problems
+    if document["schema"] != SCHEMA:
+        problems.append(
+            f"report: schema is {document['schema']!r}, expected {SCHEMA!r}"
+        )
+    total_findings = 0
+    total_connections = 0
+    for rindex, run in enumerate(document["runs"]):
+        where = f"runs[{rindex}]"
+        problems.extend(_check_object(run, "run", where))
+        if problems:
+            continue
+        if run["end_ns"] < run["start_ns"]:
+            problems.append(f"{where}: end_ns precedes start_ns")
+        for cindex, conn in enumerate(run["connections"]):
+            cwhere = f"{where}.connections[{cindex}]"
+            problems.extend(_check_object(conn, "connection", cwhere))
+            if not problems and conn["verdict"] not in _LIMIT_LABELS:
+                problems.append(
+                    f"{cwhere}: unknown verdict {conn['verdict']!r}"
+                )
+        for findex, finding in enumerate(run["findings"]):
+            fwhere = f"{where}.findings[{findex}]"
+            problems.extend(_check_object(finding, "finding", fwhere))
+            if not problems and finding["class"] not in FINDING_CLASSES:
+                problems.append(
+                    f"{fwhere}: unknown class {finding['class']!r}"
+                )
+        total_findings += len(run["findings"])
+        total_connections += len(run["connections"])
+    summary = document["summary"]
+    problems.extend(_check_object(summary, "summary", "summary"))
+    if not problems:
+        if summary["runs"] != len(document["runs"]):
+            problems.append(
+                f"summary: runs={summary['runs']} but document has "
+                f"{len(document['runs'])}"
+            )
+        if summary["findings"] != total_findings:
+            problems.append(
+                f"summary: findings={summary['findings']} but runs hold "
+                f"{total_findings}"
+            )
+        if summary["connections"] != total_connections:
+            problems.append(
+                f"summary: connections={summary['connections']} but runs "
+                f"hold {total_connections}"
+            )
+        if sum(summary["by_class"].values()) != total_findings:
+            problems.append("summary: by_class counts do not sum to findings")
+    return problems
+
+
+def require_valid_report(document) -> None:
+    """Raise :class:`DiagnosisError` unless the document validates."""
+    problems = validate_report(document)
+    if problems:
+        shown = "\n  ".join(problems[:20])
+        more = (
+            f"\n  ... and {len(problems) - 20} more"
+            if len(problems) > 20 else ""
+        )
+        raise DiagnosisError(
+            f"document does not conform to {SCHEMA}:\n  {shown}{more}"
+        )

@@ -1,0 +1,187 @@
+"""Score a diagnosis against the injector's labeled ground truth.
+
+The fault injector (PR: repro.faults) now records every episode it
+inflicts — class, interval, target — into the ``repro-robustness-v1``
+document (``points[].fault_episodes``).  :func:`score_report` matches a
+``repro-diagnosis-v1`` report against those labels and computes
+per-class detection **recall** (did the classifier notice each inflicted
+episode?) and overall **precision** (was anything flagged that nothing
+explains?).
+
+Matching is interval overlap with slack: detection inherently lags
+injection (a drop is invisible until the retransmission ~RTO later; a
+stalled receiver until the next estimator tick; a dead path until the
+dead-air threshold), so a ground-truth interval is widened by
+``slack_ns`` on both ends before testing overlap.  Classes match via
+:data:`COMPATIBLE`: a blackout at full intensity manifests as loss
+first (drops before the silence), a NIC overrun *is* loss at the ring,
+so those pairs count as detections rather than misses.
+
+Run alignment is positional: run segment *i* of the trace is point *i*
+of the sweep — both are emitted in sweep order by construction.
+"""
+
+from __future__ import annotations
+
+from repro.diagnose.report import DiagnosisReport
+from repro.errors import DiagnosisError
+from repro.units import msecs
+
+#: Ground-truth class → finding classes that count as detecting it.
+COMPATIBLE: dict[str, frozenset] = {
+    "loss": frozenset({"loss"}),
+    "blackout": frozenset({"blackout", "loss"}),
+    "nic-overrun": frozenset({"loss", "blackout"}),
+    "jitter": frozenset({"loss", "stale-exchange", "estimator-divergence"}),
+    "stall": frozenset({"stall"}),
+    "stale-exchange": frozenset({"stale-exchange"}),
+}
+
+#: Ground-truth class → finding classes it *explains* (for precision).
+#: Wider than :data:`COMPATIBLE`: losing segments also loses the §3.2
+#: metadata riding on them and a dark or stalled path starves the
+#: exchange, so stale-exchange findings during those faults are honest
+#: consequences — they just don't count as *detecting* the fault.
+EXPLAINS: dict[str, frozenset] = {
+    gt: accept | frozenset({"stale-exchange", "stall"})
+    for gt, accept in COMPATIBLE.items()
+}
+
+#: Finding classes that ground truth can explain at all.  Control-plane
+#: findings (frozen/oscillating toggler, divergence) are legitimate
+#: *consequences* of injected faults, so they never count as false
+#: positives in a faulted run — but they are still false positives in a
+#: fault-free one.
+_DATA_PLANE = frozenset({"loss", "blackout", "stall", "stale-exchange"})
+
+
+def _overlaps(f_start, f_end, g_start, g_end, slack) -> bool:
+    return f_start <= g_end + slack and f_end >= g_start - slack
+
+
+def score_report(
+    report,
+    points: list,
+    slack_ns: int = msecs(30),
+) -> dict:
+    """Match findings to labeled episodes; return the score document.
+
+    ``report`` is a :class:`DiagnosisReport` or a parsed report JSON;
+    ``points`` is the ``points`` list of a ``repro-robustness-v1``
+    document whose entries carry ``fault_episodes``.  Returns::
+
+        {"classes": {cls: {"episodes": N, "detected": M, "recall": r}},
+         "episodes": N, "detected": M, "recall": r,      # micro-average
+         "findings": F, "explained": E, "precision": p,
+         "false_positives": [ ...unexplained findings... ],
+         "clean_runs": C, "clean_run_findings": X}
+
+    Raises :class:`DiagnosisError` when the report has more runs than
+    the sweep has points (nothing to score against).
+    """
+    if isinstance(report, DiagnosisReport):
+        document = report.to_json()
+    else:
+        document = report
+    runs = document["runs"]
+    if len(runs) > len(points):
+        raise DiagnosisError(
+            f"report has {len(runs)} run(s) but ground truth covers "
+            f"{len(points)} point(s); cannot align"
+        )
+    per_class: dict[str, dict] = {}
+    total_episodes = 0
+    total_detected = 0
+    findings_scored = 0
+    explained = 0
+    false_positives: list[dict] = []
+    clean_runs = 0
+    clean_run_findings = 0
+    for run, point in zip(runs, points):
+        episodes = point.get("fault_episodes") or []
+        findings = run["findings"]
+        if not episodes:
+            clean_runs += 1
+            clean_run_findings += len(findings)
+            false_positives.extend(
+                dict(f, run=run["index"]) for f in findings
+            )
+            continue
+        for episode in episodes:
+            cls = episode["class"]
+            accept = COMPATIBLE.get(cls)
+            if accept is None:
+                raise DiagnosisError(
+                    f"ground-truth episode has unknown class {cls!r}"
+                )
+            stats = per_class.setdefault(
+                cls, {"episodes": 0, "detected": 0, "recall": 0.0}
+            )
+            stats["episodes"] += 1
+            total_episodes += 1
+            hit = any(
+                f["class"] in accept
+                and _overlaps(
+                    f["start_ns"], f["end_ns"],
+                    episode["start_ns"], episode["end_ns"], slack_ns,
+                )
+                for f in findings
+            )
+            if hit:
+                stats["detected"] += 1
+                total_detected += 1
+        for f in findings:
+            if f["class"] not in _DATA_PLANE:
+                continue  # control-plane fallout of injected faults
+            findings_scored += 1
+            if any(
+                f["class"] in EXPLAINS.get(ep["class"], frozenset())
+                and _overlaps(
+                    f["start_ns"], f["end_ns"],
+                    ep["start_ns"], ep["end_ns"], slack_ns,
+                )
+                for ep in episodes
+            ):
+                explained += 1
+            else:
+                false_positives.append(dict(f, run=run["index"]))
+    for stats in per_class.values():
+        stats["recall"] = (
+            stats["detected"] / stats["episodes"] if stats["episodes"] else 0.0
+        )
+    return {
+        "classes": dict(sorted(per_class.items())),
+        "episodes": total_episodes,
+        "detected": total_detected,
+        "recall": total_detected / total_episodes if total_episodes else 1.0,
+        "findings": findings_scored,
+        "explained": explained,
+        "precision": explained / findings_scored if findings_scored else 1.0,
+        "false_positives": false_positives,
+        "clean_runs": clean_runs,
+        "clean_run_findings": clean_run_findings,
+    }
+
+
+def render_score(score: dict) -> str:
+    """Human-readable rendering of a :func:`score_report` result."""
+    lines = [
+        f"detection: {score['detected']}/{score['episodes']} episode(s) "
+        f"(recall {score['recall']:.2f}), precision {score['precision']:.2f}"
+    ]
+    for cls, stats in score["classes"].items():
+        lines.append(
+            f"  {cls}: {stats['detected']}/{stats['episodes']} "
+            f"(recall {stats['recall']:.2f})"
+        )
+    lines.append(
+        f"  clean runs: {score['clean_runs']} with "
+        f"{score['clean_run_findings']} finding(s)"
+    )
+    if score["false_positives"]:
+        for f in score["false_positives"][:10]:
+            lines.append(
+                f"  unexplained: run {f['run']} {f['class']} @ "
+                f"{f['connection']} [{f['start_ns']}..{f['end_ns']}]"
+            )
+    return "\n".join(lines)

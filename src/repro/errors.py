@@ -50,6 +50,12 @@ class ObservabilityError(ReproError):
     violate the ``repro-trace-v1`` schema, invalid sink configuration."""
 
 
+class DiagnosisError(ReproError):
+    """Diagnosis-service misuse: out-of-range decision thresholds, a
+    malformed ``repro-diagnosis-v1`` report, or scoring a report against
+    ground truth it does not cover."""
+
+
 class FaultError(ReproError):
     """Invalid fault plan or fault-injector misuse (e.g. out-of-range
     probabilities, a blackout longer than its flap period, or attaching

@@ -73,6 +73,10 @@ class ChaosPoint:
     frozen_ticks: int
     freeze_holds: int
     fault_summary: dict | None
+    #: Labeled ground-truth episodes the injector inflicted (class,
+    #: target, interval, event count) — what ``repro diagnose --score``
+    #: matches detection findings against.  Empty for fault-free points.
+    fault_episodes: list | None = None
 
     @property
     def error_fraction(self) -> float | None:
@@ -315,6 +319,9 @@ def run_faults(
                 freeze_holds=toggler.freeze_holds,
                 fault_summary=(
                     bed.faults.summary() if bed.faults is not None else None
+                ),
+                fault_episodes=(
+                    bed.faults.episodes() if bed.faults is not None else []
                 ),
             )
         )

@@ -134,7 +134,8 @@ def run_fig2(seeds: tuple[int, ...] = DEFAULT_SEEDS,
              tracer=None,
              policy=None,
              checkpoint=None,
-             watchdog=None) -> Fig2Result:
+             watchdog=None,
+             diagnosis=None) -> Fig2Result:
     """Run all four cells, averaging each over the given seeds.
 
     The 4 x len(seeds) grid is one campaign, so ``workers > 1`` keeps a
@@ -145,7 +146,9 @@ def run_fig2(seeds: tuple[int, ...] = DEFAULT_SEEDS,
     ``checkpoint`` and ``watchdog`` forward to
     :func:`repro.parallel.run_campaign`; pointing ``checkpoint`` at a
     directory makes the campaign resumable (completed cells are skipped
-    on a rerun, with identical results).
+    on a rerun, with identical results).  ``diagnosis`` (a
+    :class:`repro.diagnose.DiagnosisHook`; requires ``tracer``) scores
+    each cell's trace segment as it completes.
     """
     grid = [(vm, nagle) for vm in (False, True) for nagle in (False, True)]
     configs = [
@@ -156,6 +159,7 @@ def run_fig2(seeds: tuple[int, ...] = DEFAULT_SEEDS,
     results = run_campaign(
         configs, workers=workers, tracer=tracer,
         policy=policy, checkpoint=checkpoint, watchdog=watchdog,
+        diagnosis=diagnosis,
     )
     cells = {}
     for i, (vm, nagle) in enumerate(grid):

@@ -12,6 +12,7 @@ identical to builds without this package.
 
 from repro.faults.injector import (
     DROP,
+    EpisodeLog,
     ExchangeFaultHook,
     FaultInjector,
     LinkFaultHook,
@@ -32,6 +33,7 @@ from repro.faults.plan import (
 __all__ = [
     "DROP",
     "DelayJitter",
+    "EpisodeLog",
     "ExchangeFaultHook",
     "ExchangeFaults",
     "FAULT_PLANS",

@@ -25,11 +25,74 @@ from __future__ import annotations
 from repro.core.exchange import OPTION_E2E, WirePeerState, WireQueueState
 from repro.errors import FaultError
 from repro.faults.plan import FaultPlan
+from repro.units import msecs
 
 #: Verdict constant for per-packet hooks: drop the packet.  Any
 #: non-negative verdict is an extra delay in nanoseconds (0 = deliver
 #: untouched).
 DROP = -1
+
+#: Episode clustering: fault events on one (class, target) closer than
+#: this fold into a single labeled ground-truth episode.
+EPISODE_MERGE_GAP_NS = msecs(20)
+
+
+class EpisodeLog:
+    """Labeled ground-truth episodes of what the injector inflicted.
+
+    Hooks report each fault event (or window) as it happens; events on
+    the same ``(class, target)`` within :data:`EPISODE_MERGE_GAP_NS` of
+    each other merge into one episode, so a loss burst is one labeled
+    interval rather than a hundred points.  The log is what detection
+    recall is scored against (``repro diagnose --score``), exported via
+    :meth:`FaultInjector.episodes` into the robustness JSON.
+
+    Recording draws no randomness and schedules no events, so attaching
+    it never perturbs the run it is labeling.
+    """
+
+    def __init__(self, merge_gap_ns: int = EPISODE_MERGE_GAP_NS):
+        self._gap = merge_gap_ns
+        self._open: dict[tuple[str, str], list] = {}
+        self._closed: list[dict] = []
+
+    def record(
+        self, cls: str, target: str, start_ns: int, end_ns: int | None = None
+    ) -> None:
+        """Fold one fault event (or window) into the episode clustering."""
+        end_ns = start_ns if end_ns is None else end_ns
+        key = (cls, target)
+        episode = self._open.get(key)
+        if episode is not None and start_ns - episode[1] <= self._gap:
+            episode[1] = max(episode[1], end_ns)
+            episode[2] += 1
+            return
+        if episode is not None:
+            self._close(key, episode)
+        self._open[key] = [start_ns, end_ns, 1]
+
+    def _close(self, key: tuple[str, str], episode: list) -> None:
+        self._closed.append({
+            "class": key[0],
+            "target": key[1],
+            "start_ns": episode[0],
+            "end_ns": episode[1],
+            "events": episode[2],
+        })
+
+    def episodes(self) -> list[dict]:
+        """Every episode, open ones included, in (start, class) order."""
+        out = list(self._closed)
+        for key, episode in self._open.items():
+            out.append({
+                "class": key[0],
+                "target": key[1],
+                "start_ns": episode[0],
+                "end_ns": episode[1],
+                "events": episode[2],
+            })
+        out.sort(key=lambda e: (e["start_ns"], e["class"], e["target"]))
+        return out
 
 
 class _GilbertElliottChain:
@@ -60,7 +123,10 @@ class _GilbertElliottChain:
 class LinkFaultHook:
     """Per-packet link verdicts: blackout, bursty loss, then jitter."""
 
-    def __init__(self, sim, plan: FaultPlan, rng, tracer=None, src="link"):
+    def __init__(
+        self, sim, plan: FaultPlan, rng, tracer=None, src="link",
+        episodes: EpisodeLog | None = None,
+    ):
         from repro.obs.tracer import NULL_TRACER
 
         self._sim = sim
@@ -75,6 +141,7 @@ class LinkFaultHook:
         self.jittered = 0
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._src = src
+        self._episodes = episodes
 
     def _in_blackout(self) -> bool:
         flap = self._flap
@@ -86,11 +153,22 @@ class LinkFaultHook:
     def __call__(self, packet) -> int:
         if self._flap is not None and self._in_blackout():
             self.blackout_drops += 1
+            if self._episodes is not None:
+                flap = self._flap
+                since = (self._sim.now - flap.start_ns) % flap.period_ns
+                start = self._sim.now - since
+                # Label the whole analytic down-window, not just the one
+                # packet that happened to probe it.
+                self._episodes.record(
+                    "blackout", self._src, start, start + flap.down_ns
+                )
             if self._tracer.enabled:
                 self._tracer.fault_verdict(self._src, "link", "blackout-drop")
             return DROP
         if self._chain is not None and self._chain.lost():
             self.loss_drops += 1
+            if self._episodes is not None:
+                self._episodes.record("loss", self._src, self._sim.now)
             if self._tracer.enabled:
                 self._tracer.fault_verdict(self._src, "link", "loss-drop")
             return DROP
@@ -102,6 +180,8 @@ class LinkFaultHook:
         ):
             self.jittered += 1
             delay = self._rng.uniform_ns(0, jitter.jitter_ns)
+            if self._episodes is not None:
+                self._episodes.record("jitter", self._src, self._sim.now)
             if self._tracer.enabled:
                 self._tracer.fault_verdict(
                     self._src, "link", "jitter", delay_ns=delay
@@ -118,15 +198,20 @@ class LinkFaultHook:
 class NicFaultHook:
     """Ingress NIC verdicts: ring-overrun drops and deferred IRQs."""
 
-    def __init__(self, plan: FaultPlan, rng, tracer=None, src="nic"):
+    def __init__(
+        self, plan: FaultPlan, rng, tracer=None, src="nic",
+        episodes: EpisodeLog | None = None, sim=None,
+    ):
         from repro.obs.tracer import NULL_TRACER
 
+        self._sim = sim
         self._spec = plan.nic
         self._rng = rng
         self.drops = 0
         self.deferred = 0
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._src = src
+        self._episodes = episodes if sim is not None else None
 
     def __call__(self, packet) -> int:
         spec = self._spec
@@ -134,6 +219,8 @@ class NicFaultHook:
             spec.rx_drop_probability
         ):
             self.drops += 1
+            if self._episodes is not None:
+                self._episodes.record("nic-overrun", self._src, self._sim.now)
             if self._tracer.enabled:
                 self._tracer.fault_verdict(self._src, "nic", "ring-drop")
             return DROP
@@ -144,6 +231,8 @@ class NicFaultHook:
         ):
             self.deferred += 1
             delay = self._rng.uniform_ns(0, spec.rx_defer_ns)
+            if self._episodes is not None:
+                self._episodes.record("jitter", self._src, self._sim.now)
             if self._tracer.enabled:
                 self._tracer.fault_verdict(
                     self._src, "nic", "irq-defer", delay_ns=delay
@@ -183,9 +272,13 @@ class ExchangeFaultHook:
     belongs to the segment.
     """
 
-    def __init__(self, plan: FaultPlan, rng, tracer=None, src="exchange"):
+    def __init__(
+        self, plan: FaultPlan, rng, tracer=None, src="exchange",
+        episodes: EpisodeLog | None = None, sim=None,
+    ):
         from repro.obs.tracer import NULL_TRACER
 
+        self._sim = sim
         self._spec = plan.exchange
         self._rng = rng
         self._last_state: WirePeerState | None = None
@@ -194,6 +287,11 @@ class ExchangeFaultHook:
         self.staled = 0
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._src = src
+        self._episodes = episodes if sim is not None else None
+
+    def _mark(self) -> None:
+        if self._episodes is not None:
+            self._episodes.record("stale-exchange", self._src, self._sim.now)
 
     def __call__(self, options: dict) -> dict | None:
         state = options.get(OPTION_E2E)
@@ -204,6 +302,7 @@ class ExchangeFaultHook:
             spec.drop_probability
         ):
             self.dropped += 1
+            self._mark()
             if self._tracer.enabled:
                 self._tracer.fault_verdict(self._src, "exchange", "drop-option")
             rewritten = {
@@ -218,6 +317,7 @@ class ExchangeFaultHook:
             and self._rng.bernoulli(spec.stale_probability)
         ):
             self.staled += 1
+            self._mark()
             if self._tracer.enabled:
                 self._tracer.fault_verdict(self._src, "exchange", "stale-replay")
             rewritten = dict(options)
@@ -227,6 +327,7 @@ class ExchangeFaultHook:
             spec.corrupt_probability
         ):
             self.corrupted += 1
+            self._mark()
             if self._tracer.enabled:
                 self._tracer.fault_verdict(self._src, "exchange", "corrupt")
             rewritten = dict(options)
@@ -261,6 +362,7 @@ class FaultInjector:
         self.exchange_hooks: dict[str, ExchangeFaultHook] = {}
         self.stall_windows = 0
         self._stalled_sockets: list = []
+        self.episode_log = EpisodeLog()
 
     # ------------------------------------------------------------------
     # Layer attachment.
@@ -282,6 +384,7 @@ class FaultInjector:
             self._rng.stream(f"faults.link.{direction}"),
             tracer=self._tracer,
             src=f"link.{direction}",
+            episodes=self.episode_log,
         )
         link.set_fault_hook(hook)
         self.link_hooks[direction] = hook
@@ -296,6 +399,8 @@ class FaultInjector:
             self._rng.stream(f"faults.nic.{direction}"),
             tracer=self._tracer,
             src=f"nic.{direction}",
+            episodes=self.episode_log,
+            sim=self.sim,
         )
         nic.set_rx_fault_hook(hook)
         self.nic_hooks[direction] = hook
@@ -309,6 +414,8 @@ class FaultInjector:
             self._rng.stream(f"faults.exchange.{name}"),
             tracer=self._tracer,
             src=f"exchange.{name}",
+            episodes=self.episode_log,
+            sim=self.sim,
         )
         exchange.fault_hook = hook
         self.exchange_hooks[name] = hook
@@ -325,6 +432,9 @@ class FaultInjector:
         def stall_on() -> None:
             self.stall_windows += 1
             socket.set_read_stall(True)
+            self.episode_log.record(
+                "stall", src, self.sim.now, self.sim.now + spec.stall_ns
+            )
             if tracer.enabled:
                 tracer.fault_verdict(src, "socket", "stall-on")
             self.sim.call_after(spec.stall_ns, stall_off)
@@ -367,3 +477,7 @@ class FaultInjector:
             },
             "stall_windows": self.stall_windows,
         }
+
+    def episodes(self) -> list[dict]:
+        """Labeled ground-truth fault episodes inflicted so far."""
+        return self.episode_log.episodes()

@@ -46,7 +46,14 @@ from repro.obs.schema import (
     validate_stream,
 )
 from repro.obs.report import filter_records, render_summary, summarize_records
-from repro.obs.sinks import JsonlSink, ListSink, RingSink, iter_records, read_jsonl
+from repro.obs.sinks import (
+    JsonlSink,
+    JsonlTail,
+    ListSink,
+    RingSink,
+    iter_records,
+    read_jsonl,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -54,6 +61,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "JsonlTail",
     "ListSink",
     "METRICS_SCHEMA",
     "MetricsRegistry",

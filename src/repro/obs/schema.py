@@ -216,6 +216,24 @@ RECORD_TYPES: dict[str, dict] = {
             "message": (str, "the final failure message"),
         },
     },
+    "diagnosis.verdict": {
+        "doc": (
+            "The streaming diagnosis service scored one supervised "
+            "job's trace segment (see docs/OBSERVABILITY.md, "
+            "'Always-on diagnosis')."
+        ),
+        "fields": {
+            "index": (int, "job position in the submitted campaign"),
+            "key": (str, "content digest of the job's config"),
+            "connections": (int, "connections diagnosed so far, stream-wide"),
+            "findings": (int, "findings attributed to this job's segment"),
+            "classes": (list, "distinct finding classes in the segment, sorted"),
+            "pathological": (
+                bool,
+                "a finding class configured as pathological was present",
+            ),
+        },
+    },
     "metrics.snapshot": {
         "doc": (
             "A repro-metrics-v1 registry snapshot, typically appended "

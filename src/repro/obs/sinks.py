@@ -106,31 +106,100 @@ class JsonlSink:
             self._file = None
 
 
-def read_jsonl(path) -> list[dict]:
+def read_jsonl(path, tolerate_truncated_tail: bool = True) -> list[dict]:
     """Load a JSONL trace written by :class:`JsonlSink`.
 
     Raises :class:`ObservabilityError` on a line that is not a JSON
-    object, with the offending line number.
+    object, with the offending line number — with one exception: a
+    *final* line that does not end in a newline and fails to parse is a
+    record a live (or killed) writer had not finished flushing, not
+    corruption, and is silently dropped.  That is exactly the state a
+    JSONL sink is left in by a SIGKILL mid-write, and what a reader
+    tailing a running campaign sees between flushes; pass
+    ``tolerate_truncated_tail=False`` to fault on it instead.
     """
     records: list[dict] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
+    text = Path(path).read_text(encoding="utf-8")
+    ends_complete = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    last = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if (
+                tolerate_truncated_tail
+                and lineno == last
+                and not ends_complete
+            ):
+                break
+            raise ObservabilityError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ObservabilityError(
+                f"{path}:{lineno}: trace records must be JSON objects, "
+                f"got {type(record).__name__}"
+            )
+        records.append(record)
+    return records
+
+
+class JsonlTail:
+    """Incremental reader of a (possibly still growing) JSONL file.
+
+    Each :meth:`poll` returns the records completed since the last
+    poll.  Only whole lines — terminated by a newline — are parsed; a
+    partial trailing line (the writer mid-record) is buffered until its
+    newline arrives, so a live reader never crashes on a torn write and
+    never yields a record twice.  The file may not exist yet (poll
+    returns nothing); a file that *shrinks* is a fresh stream at the
+    same path and is re-read from the start.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._offset = 0
+        self._carry = b""
+        self.records_read = 0
+
+    def poll(self) -> list[dict]:
+        """Parse and return every newly completed record."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size < self._offset:
+                    # Truncated/rewritten: start over on the new stream.
+                    self._offset = 0
+                    self._carry = b""
+                handle.seek(self._offset)
+                chunk = handle.read()
+                self._offset = handle.tell()
+        except FileNotFoundError:
+            return []
+        data = self._carry + chunk
+        lines = data.split(b"\n")
+        self._carry = lines.pop()  # b"" when data ended on a newline
+        records: list[dict] = []
+        for line in lines:
             line = line.strip()
             if not line:
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ObservabilityError(
-                    f"{path}:{lineno}: not valid JSON: {exc}"
-                ) from exc
+            record = json.loads(line.decode("utf-8"))
             if not isinstance(record, dict):
                 raise ObservabilityError(
-                    f"{path}:{lineno}: trace records must be JSON objects, "
+                    f"{self.path}: trace records must be JSON objects, "
                     f"got {type(record).__name__}"
                 )
             records.append(record)
-    return records
+        self.records_read += len(records)
+        return records
 
 
 def iter_records(source) -> Iterable[dict]:

@@ -252,6 +252,24 @@ class Tracer:
                 kind=kind, error=error, message=message,
             )
 
+    def diagnosis_verdict(
+        self,
+        index: int,
+        key: str,
+        connections: int,
+        findings: int,
+        classes: list,
+        pathological: bool,
+    ) -> None:
+        """A ``diagnosis.verdict``: one job's trace segment was scored."""
+        if self.enabled:
+            self.emit(
+                "diagnosis.verdict", "diagnosis",
+                index=index, key=key, connections=connections,
+                findings=findings, classes=classes,
+                pathological=pathological,
+            )
+
     def log_message(self, message: str) -> None:
         """A ``log.message``: a progress line mirrored into the trace."""
         if self.enabled:

@@ -119,6 +119,20 @@ def _picklable(obj) -> bool:
     return True
 
 
+def _check_diagnosis(diagnosis, tracer) -> None:
+    """Diagnosis reads the trace stream, so it demands a tracer."""
+    if diagnosis is None:
+        return
+    if tracer is None:
+        from repro.errors import DiagnosisError
+
+        raise DiagnosisError(
+            "a DiagnosisHook needs the campaign's trace stream; "
+            "pass tracer= alongside diagnosis="
+        )
+    diagnosis.attach(tracer)
+
+
 def _as_store(checkpoint) -> CheckpointStore | None:
     """Accept a :class:`CheckpointStore`, a directory path, or None."""
     if checkpoint is None or isinstance(checkpoint, CheckpointStore):
@@ -186,13 +200,16 @@ class ParallelRunner:
         #: Metrics registry of the most recent campaign (supervise.*).
         self.last_metrics = None
 
-    def _supervisor(self, n: int, checkpoint, tracer) -> Supervisor:
+    def _supervisor(
+        self, n: int, checkpoint, tracer, diagnosis=None
+    ) -> Supervisor:
         supervisor = Supervisor(
             workers=min(self.workers, n),
             start_method=self.start_method,
             policy=self.policy,
             checkpoint=_as_store(checkpoint),
             tracer=tracer,
+            diagnosis=diagnosis,
         )
         self.last_metrics = supervisor.metrics
         return supervisor
@@ -208,6 +225,7 @@ class ParallelRunner:
         tracer=None,
         checkpoint=None,
         watchdog: Watchdog | None = None,
+        diagnosis=None,
     ) -> list[JobOutcome]:
         """Supervised campaign; outcomes align index-for-index.
 
@@ -222,12 +240,19 @@ class ParallelRunner:
         preceded by a ``log.message`` boundary record naming its
         position and config, so a campaign trace can be split back into
         runs (checkpoint-skipped runs emit nothing).
+
+        ``diagnosis`` (a :class:`repro.diagnose.DiagnosisHook`) scores
+        each completed run's trace segment; it requires ``tracer`` (the
+        hook reads the trace stream) and is attached to it here if not
+        already.  Raises :class:`~repro.errors.DiagnosisError` when
+        given without a tracer.
         """
         from repro.loadgen.lancet import run_benchmark
 
         n = len(configs)
         if watchdog is not None:
             watchdog.validate()
+        _check_diagnosis(diagnosis, tracer)
         keys = derive_keys(
             [(config, tweak, watchdog) for config in configs],
             durable=checkpoint is not None,
@@ -246,7 +271,7 @@ class ParallelRunner:
                     config, tweak=tweak, tracer=tracer, watchdog=watchdog
                 )
 
-            supervisor = self._supervisor(1, checkpoint, tracer)
+            supervisor = self._supervisor(1, checkpoint, tracer, diagnosis)
             return supervisor.run(
                 traced, list(enumerate(configs)), keys=keys, labels=labels
             )
@@ -276,6 +301,7 @@ class ParallelRunner:
         tracer=None,
         checkpoint=None,
         watchdog: Watchdog | None = None,
+        diagnosis=None,
     ) -> list[RunResult]:
         """Run every config; results align index-for-index with ``configs``.
 
@@ -289,6 +315,7 @@ class ParallelRunner:
             self.run_many_outcomes(
                 configs, tweak=tweak, tracer=tracer,
                 checkpoint=checkpoint, watchdog=watchdog,
+                diagnosis=diagnosis,
             )
         )
 
@@ -304,6 +331,7 @@ class ParallelRunner:
         labels: Sequence[str] | None = None,
         keys: Sequence[str] | None = None,
         tracer=None,
+        diagnosis=None,
     ) -> list[JobOutcome]:
         """Supervised :meth:`map`: typed outcomes instead of raising.
 
@@ -312,9 +340,11 @@ class ParallelRunner:
         content digests of the payloads).  ``tracer`` forces serial
         in-process execution — one ordered stream — with a
         ``log.message`` boundary record before each fresh job, exactly
-        like :meth:`run_many_outcomes`.
+        like :meth:`run_many_outcomes`; ``diagnosis`` (requires a
+        tracer) scores each job's segment exactly as there.
         """
         n = len(items)
+        _check_diagnosis(diagnosis, tracer)
         payloads = [
             (fn, item if isinstance(item, tuple) else (item,))
             for item in items
@@ -331,7 +361,7 @@ class ParallelRunner:
                     tracer.log_message(f"campaign run {index + 1}/{n}: {name}")
                 return _apply(inner)
 
-            supervisor = self._supervisor(1, checkpoint, tracer)
+            supervisor = self._supervisor(1, checkpoint, tracer, diagnosis)
             return supervisor.run(
                 traced, list(enumerate(payloads)), keys=keys, labels=labels
             )
@@ -365,12 +395,13 @@ def run_campaign(
     policy: SupervisePolicy | None = None,
     checkpoint=None,
     watchdog: Watchdog | None = None,
+    diagnosis=None,
 ) -> list[RunResult]:
     """One-shot convenience: ``ParallelRunner(workers).run_many(configs)``."""
     runner = ParallelRunner(workers, start_method=start_method, policy=policy)
     return runner.run_many(
         configs, tweak=tweak, tracer=tracer,
-        checkpoint=checkpoint, watchdog=watchdog,
+        checkpoint=checkpoint, watchdog=watchdog, diagnosis=diagnosis,
     )
 
 
@@ -383,10 +414,11 @@ def run_campaign_outcomes(
     policy: SupervisePolicy | None = None,
     checkpoint=None,
     watchdog: Watchdog | None = None,
+    diagnosis=None,
 ) -> list[JobOutcome]:
     """Salvage-friendly :func:`run_campaign`: typed outcomes, no raise."""
     runner = ParallelRunner(workers, start_method=start_method, policy=policy)
     return runner.run_many_outcomes(
         configs, tweak=tweak, tracer=tracer,
-        checkpoint=checkpoint, watchdog=watchdog,
+        checkpoint=checkpoint, watchdog=watchdog, diagnosis=diagnosis,
     )

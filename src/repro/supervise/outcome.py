@@ -15,9 +15,10 @@ from dataclasses import dataclass
 from typing import Union
 
 #: Failure kinds, in the order the supervisor distinguishes them.
-KIND_ERROR = "error"        # the job raised inside the worker
-KIND_TIMEOUT = "timeout"    # the job exceeded its wall-clock budget
-KIND_CRASH = "crash"        # the worker process died under the job
+KIND_ERROR = "error"          # the job raised inside the worker
+KIND_TIMEOUT = "timeout"      # the job exceeded its wall-clock budget
+KIND_CRASH = "crash"          # the worker process died under the job
+KIND_DIAGNOSIS = "diagnosis"  # the diagnosis hook flagged it pathological
 
 
 @dataclass(frozen=True)

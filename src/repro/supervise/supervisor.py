@@ -58,6 +58,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.supervise.checkpoint import CheckpointStore, derive_keys
 from repro.supervise.outcome import (
     KIND_CRASH,
+    KIND_DIAGNOSIS,
     KIND_ERROR,
     KIND_TIMEOUT,
     JobFailure,
@@ -118,6 +119,15 @@ class Supervisor:
     faults cannot occur).  ``tracer`` receives ``job.retry`` /
     ``job.timeout`` / ``job.quarantine`` records; :attr:`metrics` counts
     the same events for the ``repro-metrics-v1`` catalog.
+
+    ``diagnosis`` is a :class:`repro.diagnose.DiagnosisHook` already
+    attached to the campaign tracer: each completed job's trace segment
+    is scored, recorded as ``diagnose.*`` metrics and a
+    ``diagnosis.verdict`` trace record, and — when the hook was built
+    with ``quarantine=True`` — a pathological verdict quarantines the
+    job (kind ``diagnosis``) instead of completing it.  Diagnosis needs
+    the trace stream, which only exists in-process, so it pairs with
+    ``workers=1`` + a tracer (the configuration tracing already forces).
     """
 
     def __init__(
@@ -128,6 +138,7 @@ class Supervisor:
         checkpoint: CheckpointStore | None = None,
         tracer=None,
         log=None,
+        diagnosis=None,
     ):
         self.workers = max(1, workers)
         self.start_method = start_method
@@ -137,6 +148,7 @@ class Supervisor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.log = log if log is not None else NULL_LOG
         self.metrics = MetricsRegistry()
+        self.diagnosis = diagnosis
 
     # ------------------------------------------------------------------
     # Entry point.
@@ -245,6 +257,8 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def _complete(self, outcomes, job: _Job, result) -> None:
+        if self.diagnosis is not None and not self._diagnose(outcomes, job):
+            return  # pathological verdict escalated to quarantine
         outcome = JobSuccess(
             index=job.index, key=job.key, result=result,
             attempts=job.attempts + 1,
@@ -254,6 +268,38 @@ class Supervisor:
             self.checkpoint.record_success(
                 job.key, result, attempts=outcome.attempts, label=job.label,
             )
+
+    def _diagnose(self, outcomes, job: _Job) -> bool:
+        """Score the job's trace segment; False quarantines the job.
+
+        Runs before the success is recorded so a quarantined-by-verdict
+        job is never checkpointed (a later resume re-runs and re-judges
+        it).
+        """
+        verdict = self.diagnosis.job_completed(job.index, job.key)
+        self.metrics.gauge("diagnose.connections").set(verdict.connections)
+        self.metrics.counter("diagnose.findings").inc(verdict.findings)
+        if verdict.findings:
+            self.metrics.counter("diagnose.flagged_jobs").inc()
+            self.log.info(
+                f"diagnosis: job {job.index} ({job.key[:12]}): "
+                f"{verdict.describe()}"
+            )
+        if self.tracer.enabled:
+            self.tracer.diagnosis_verdict(
+                job.index, job.key, verdict.connections,
+                verdict.findings, list(verdict.classes),
+                verdict.pathological,
+            )
+        if verdict.pathological and self.diagnosis.quarantine:
+            self.metrics.counter("diagnose.quarantined").inc()
+            self._quarantine(
+                outcomes, job, KIND_DIAGNOSIS, None,
+                f"diagnosis flagged pathological behavior: "
+                f"{', '.join(verdict.classes)}", None,
+            )
+            return False
+        return True
 
     def _quarantine(
         self, outcomes, job: _Job, kind: str,

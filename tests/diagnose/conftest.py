@@ -1,0 +1,108 @@
+"""Shared fixtures: recorded chaos traces and synthetic record builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.faults import run_faults
+from repro.obs import Tracer
+from repro.obs.sinks import ListSink
+from repro.units import msecs
+
+#: Fault plans whose headline class the detection gate covers, with the
+#: finding class each inflicts.
+CHAOS_PLANS = {
+    "bursty-loss": "loss",
+    "blackout": "blackout",
+    "slow-receiver": "stall",
+    "exchange-chaos": "stale-exchange",
+}
+
+
+@pytest.fixture(scope="session")
+def chaos_traces():
+    """{plan: (records, points)} for a fault-free + full-intensity sweep.
+
+    One short sweep per plan; every test that needs real traces shares
+    these (the sweeps are deterministic, so sharing changes nothing).
+    """
+    out = {}
+    for plan in CHAOS_PLANS:
+        tracer = Tracer(ListSink(), label=f"faults:{plan}")
+        result = run_faults(
+            plan_name=plan,
+            intensities=(0.0, 1.0),
+            measure_ns=msecs(80),
+            tracer=tracer,
+        )
+        out[plan] = (list(tracer.sink.records), result.to_json()["points"])
+    return out
+
+
+@pytest.fixture(scope="session")
+def clean_records(chaos_traces):
+    """One fault-free traced run (the stall sweep's intensity-0 segment)."""
+    records, _ = chaos_traces["slow-receiver"]
+    # The second run starts where simulated time resets; keep run 0 plus
+    # its header.
+    boundary = None
+    last_t = None
+    for i, record in enumerate(records):
+        if record["type"] == "trace.header":
+            continue
+        if last_t is not None and record["t"] < last_t:
+            boundary = i
+            break
+        last_t = record["t"]
+    assert boundary is not None
+    return records[:boundary]
+
+
+# ----------------------------------------------------------------------
+# Synthetic record builders (minimal valid shapes for each rule).
+# ----------------------------------------------------------------------
+
+def header(label="test"):
+    return {"t": 0, "type": "trace.header", "src": "tracer", "label": label}
+
+
+def tcp_tx(t, src="conn.0.a", retransmit=False):
+    return {
+        "t": t, "type": "tcp.event", "src": src, "event": "tx",
+        "detail": {"retransmit": retransmit},
+    }
+
+
+def exchange_send(t, src="conn.0.a"):
+    return {"t": t, "type": "exchange.send", "src": src}
+
+
+def exchange_recv(t, src="conn.0.b", outcome="accepted", candidate_time=None):
+    record = {"t": t, "type": "exchange.recv", "src": src, "outcome": outcome}
+    if candidate_time is not None:
+        record["unacked"] = {"time": candidate_time}
+    return record
+
+
+def estimator_sample(
+    t, src="conn.0.a", unacked=None, unread=None, ackdelay=None,
+    remote_unread=None, latency_ns=None, clamped=None,
+):
+    record = {
+        "t": t, "type": "estimator.sample", "src": src,
+        "local": {"unacked": unacked, "unread": unread,
+                  "ackdelay": ackdelay},
+        "remote": {"unread": remote_unread},
+    }
+    if latency_ns is not None:
+        record["latency_ns"] = latency_ns
+    if clamped is not None:
+        record["clamped"] = clamped
+    return record
+
+
+def toggler_decision(t, phase="apply", toggled=False, src="toggler"):
+    return {
+        "t": t, "type": "toggler.decision", "src": src,
+        "phase": phase, "toggled": toggled,
+    }

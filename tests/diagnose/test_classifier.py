@@ -1,0 +1,126 @@
+"""The streaming classifier: segmentation, determinism, purity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.diagnose import StreamingClassifier, diagnose_records
+from repro.errors import DiagnosisError
+from tests.diagnose.conftest import estimator_sample, header, tcp_tx
+
+
+class TestInputValidation:
+    def test_non_dict_rejected(self):
+        with pytest.raises(DiagnosisError):
+            StreamingClassifier().feed("not a record")
+
+    def test_missing_common_fields_rejected(self):
+        with pytest.raises(DiagnosisError):
+            StreamingClassifier().feed({"type": "tcp.event"})
+        with pytest.raises(DiagnosisError):
+            StreamingClassifier().feed({"t": 0})
+
+
+class TestRunSegmentation:
+    def test_time_reset_starts_new_run(self):
+        report = diagnose_records([
+            header(),
+            tcp_tx(1000),
+            tcp_tx(2000),
+            tcp_tx(500),   # clock went backwards: a new run began
+            tcp_tx(1500),
+        ])
+        assert len(report.runs) == 2
+        assert report.runs[0].records == 2
+        assert report.runs[1].records == 2
+
+    def test_header_label_captured(self):
+        report = diagnose_records([header(label="my-sweep"), tcp_tx(1)])
+        assert report.label == "my-sweep"
+
+    def test_midstream_header_forces_new_run(self):
+        # A rewritten file replays a header mid-stream; even if the new
+        # run's clock happens to continue forward, it is a new run.
+        report = diagnose_records([
+            header(),
+            tcp_tx(1000),
+            header(label="rewritten"),
+            tcp_tx(2000),
+        ])
+        assert len(report.runs) == 2
+
+    def test_monotone_stream_is_one_run(self):
+        report = diagnose_records([header()] + [
+            tcp_tx(t) for t in range(0, 10_000, 1000)
+        ])
+        assert len(report.runs) == 1
+
+
+class TestDeterminism:
+    def test_chunked_feeding_is_byte_identical(self, clean_records):
+        offline = diagnose_records(clean_records).to_canonical()
+        for chunk in (1, 7, 997):
+            classifier = StreamingClassifier()
+            for i in range(0, len(clean_records), chunk):
+                classifier.feed_many(clean_records[i:i + chunk])
+            assert classifier.report().to_canonical() == offline, (
+                f"chunk size {chunk} diverged from the offline pass"
+            )
+
+    def test_fuzzed_chunking_is_byte_identical(self, chaos_traces):
+        # Random chunk boundaries over a fault-heavy stream (the case
+        # with the most classifier state in play).
+        records, _ = chaos_traces["bursty-loss"]
+        offline = diagnose_records(records).to_canonical()
+        rng = random.Random(0xD1A6)
+        for _ in range(5):
+            classifier = StreamingClassifier()
+            i = 0
+            while i < len(records):
+                step = rng.randint(1, 2000)
+                classifier.feed_many(records[i:i + step])
+                i += step
+            assert classifier.report().to_canonical() == offline
+
+    def test_midstream_reports_do_not_perturb(self, clean_records):
+        offline = diagnose_records(clean_records).to_canonical()
+        classifier = StreamingClassifier()
+        for i, record in enumerate(clean_records):
+            classifier.feed(record)
+            if i % 500 == 0:
+                classifier.report()  # snapshot must not mutate state
+        assert classifier.report().to_canonical() == offline
+
+    def test_report_is_repeatable(self, clean_records):
+        classifier = StreamingClassifier()
+        classifier.feed_many(clean_records)
+        assert (classifier.report().to_canonical()
+                == classifier.report().to_canonical())
+
+
+class TestRunsProperty:
+    def test_counts_open_run(self):
+        classifier = StreamingClassifier()
+        assert classifier.runs == 0
+        classifier.feed(tcp_tx(1))
+        assert classifier.runs == 1
+        classifier.feed(tcp_tx(0))  # reset
+        assert classifier.runs == 2
+
+
+class TestIgnoredTypes:
+    def test_fault_verdicts_never_influence_findings(self):
+        # Detection must not read the injector's own narration.
+        base = [header()] + [
+            tcp_tx(t) for t in range(0, 40_000_000, 4_000_000)
+        ]
+        verdicts = [
+            {"t": t, "type": "fault.verdict", "src": "link.forward",
+             "layer": "link", "action": "loss-drop"}
+            for t in range(0, 40_000_000, 1_000_000)
+        ]
+        with_verdicts = sorted(base + verdicts, key=lambda r: r["t"])
+        findings = diagnose_records(with_verdicts).findings
+        assert findings == []

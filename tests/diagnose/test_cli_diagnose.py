@@ -1,0 +1,142 @@
+"""The ``repro diagnose`` command and the campaign --diagnose flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.diagnose import validate_report
+from tests.diagnose.conftest import header, tcp_tx
+
+
+def _write_trace(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+@pytest.fixture()
+def lossy_trace(tmp_path):
+    path = tmp_path / "lossy.jsonl"
+    _write_trace(path, [header(label="cli")] + [
+        tcp_tx(t * 1_000_000, retransmit=(t % 5 == 0)) for t in range(1, 60)
+    ])
+    return path
+
+
+@pytest.fixture()
+def clean_trace(tmp_path):
+    path = tmp_path / "clean.jsonl"
+    _write_trace(path, [header(label="cli")] + [
+        tcp_tx(t * 1_000_000) for t in range(1, 60)
+    ])
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["diagnose", "trace.jsonl"])
+        assert args.path == "trace.jsonl"
+        assert not args.follow
+        assert args.json is None
+        assert args.score is None
+
+    def test_fig2_gained_diagnose_flags(self):
+        args = build_parser().parse_args(
+            ["fig2", "--diagnose", "--quarantine-on-diagnosis"]
+        )
+        assert args.diagnose
+        assert args.quarantine_on_diagnosis
+
+
+class TestOffline:
+    def test_renders_report(self, lossy_trace, capsys):
+        assert main(["diagnose", str(lossy_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "diagnosis" in out
+        assert "loss" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["diagnose", str(tmp_path / "absent.jsonl")]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_validate_mode(self, lossy_trace, capsys):
+        assert main(["diagnose", str(lossy_trace), "--validate"]) == 0
+        assert "repro-diagnosis-v1 OK" in capsys.readouterr().out
+
+    def test_json_to_stdout_is_valid(self, lossy_trace, capsys):
+        assert main(["diagnose", str(lossy_trace), "--json", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert validate_report(document) == []
+        assert document["summary"]["findings"] >= 1
+
+    def test_json_to_file(self, lossy_trace, tmp_path, capsys):
+        out = tmp_path / "report" / "diagnosis.json"
+        assert main(["diagnose", str(lossy_trace), "--json", str(out)]) == 0
+        assert validate_report(json.loads(out.read_text())) == []
+
+    def test_expect_clean_passes_on_clean(self, clean_trace, capsys):
+        assert main(["diagnose", str(clean_trace), "--expect-clean"]) == 0
+
+    def test_expect_clean_fails_on_findings(self, lossy_trace, capsys):
+        assert main(["diagnose", str(lossy_trace), "--expect-clean"]) == 1
+        assert "expected a clean trace" in capsys.readouterr().err
+
+
+class TestScore:
+    def _truth(self, tmp_path, episodes):
+        path = tmp_path / "robustness.json"
+        path.write_text(json.dumps(
+            {"schema": "repro-robustness-v1",
+             "points": [{"fault_episodes": episodes}]}
+        ))
+        return path
+
+    def test_detected_episode_passes_gate(self, lossy_trace, tmp_path,
+                                          capsys):
+        truth = self._truth(tmp_path, [
+            {"class": "loss", "target": "link", "start_ns": 5_000_000,
+             "end_ns": 55_000_000, "events": 11},
+        ])
+        code = main(["diagnose", str(lossy_trace), "--score", str(truth),
+                     "--min-recall", "0.8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recall 1.00" in out
+
+    def test_missed_episode_fails_gate(self, clean_trace, tmp_path, capsys):
+        truth = self._truth(tmp_path, [
+            {"class": "stall", "target": "sock", "start_ns": 5_000_000,
+             "end_ns": 55_000_000, "events": 1},
+        ])
+        code = main(["diagnose", str(clean_trace), "--score", str(truth),
+                     "--min-recall", "0.8"])
+        assert code == 1
+        assert "recall below" in capsys.readouterr().err
+
+    def test_unreadable_truth_fails(self, lossy_trace, tmp_path, capsys):
+        code = main(["diagnose", str(lossy_trace), "--score",
+                     str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "unreadable robustness JSON" in capsys.readouterr().err
+
+
+class TestCampaignFlags:
+    def test_diagnose_without_trace_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig2", "--diagnose"])
+        assert exc.value.code == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_fig2_diagnose_runs_clean(self, tmp_path, capsys):
+        trace = tmp_path / "fig2.jsonl"
+        code = main([
+            "fig2", "--seeds", "1", "--measure-ms", "20",
+            "--trace", str(trace), "--diagnose",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diagnosis:" in out
+        assert "0 finding(s)" in out

@@ -1,0 +1,202 @@
+"""Detection quality: synthetic rule triggers and the real recall gate."""
+
+from __future__ import annotations
+
+from repro.diagnose import DiagnosisConfig, diagnose_records, score_report
+from repro.units import msecs
+from tests.diagnose.conftest import (
+    CHAOS_PLANS,
+    estimator_sample,
+    exchange_recv,
+    exchange_send,
+    header,
+    tcp_tx,
+    toggler_decision,
+)
+
+#: The acceptance bar: every gated class detected at >= this recall.
+MIN_RECALL = 0.8
+
+
+def _classes(records):
+    return {f.cls for f in diagnose_records(records).findings}
+
+
+class TestSyntheticRules:
+    def test_retransmissions_are_loss(self):
+        records = [header()] + [
+            tcp_tx(t * 1_000_000, retransmit=(t % 5 == 0))
+            for t in range(1, 60)
+        ]
+        assert "loss" in _classes(records)
+
+    def test_clean_traffic_is_not_loss(self):
+        records = [header()] + [
+            tcp_tx(t * 1_000_000) for t in range(1, 60)
+        ]
+        assert _classes(records) == set()
+
+    def test_mid_run_silence_is_blackout(self):
+        live = [tcp_tx(t * 1_000_000) for t in range(1, 20)]
+        dark_then_back = [tcp_tx(t * 1_000_000) for t in range(80, 100)]
+        records = [header()] + live + dark_then_back
+        assert "blackout" in _classes(records)
+
+    def test_silent_tail_is_blackout(self):
+        # Traffic stops, but estimator samples prove the run continued.
+        records = [header()]
+        records += [tcp_tx(t * 1_000_000) for t in range(1, 20)]
+        records += [
+            estimator_sample(t * 1_000_000, unacked=10.0)
+            for t in range(20, 80, 4)
+        ]
+        assert "blackout" in _classes(records)
+
+    def test_unread_spike_is_stall(self):
+        records = [header()]
+        baseline = [
+            estimator_sample(t * 4_000_000, unread=3_000.0)
+            for t in range(1, 10)
+        ]
+        spike = [estimator_sample(44_000_000, unread=3_000_000.0)]
+        records += baseline + spike
+        assert "stall" in _classes(records)
+
+    def test_remote_unread_spike_is_stall(self):
+        # A stalled peer is only visible through the exchanged view.
+        records = [header()]
+        records += [
+            estimator_sample(t * 4_000_000, unread=3_000.0,
+                             remote_unread=3_000.0)
+            for t in range(1, 10)
+        ]
+        records += [estimator_sample(44_000_000, unread=3_000.0,
+                                     remote_unread=3_000_000.0)]
+        assert "stall" in _classes(records)
+
+    def test_undelivered_send_is_stale_exchange(self):
+        records = [header(), exchange_send(1_000_000, src="conn.0.a")]
+        # The peer keeps seeing traffic, but this send never arrives.
+        records += [
+            tcp_tx(t * 1_000_000) for t in range(2, 30)
+        ]
+        assert "stale-exchange" in _classes(records)
+
+    def test_delivered_sends_are_clean(self):
+        records = [header()]
+        for t in range(1, 20):
+            records.append(exchange_send(t * 10_000_000, src="conn.0.a"))
+            records.append(
+                exchange_recv(t * 10_000_000 + 2_000_000, src="conn.0.b",
+                              candidate_time=t * 10_000_000)
+            )
+        assert _classes(records) == set()
+
+    def test_rejected_outcome_is_stale_exchange(self):
+        records = [header(),
+                   exchange_recv(1_000_000, outcome="rejected")]
+        assert "stale-exchange" in _classes(records)
+
+    def test_replayed_counter_is_stale_exchange(self):
+        records = [header(),
+                   exchange_recv(1_000_000, candidate_time=500_000),
+                   exchange_recv(11_000_000, candidate_time=400_000)]
+        assert "stale-exchange" in _classes(records)
+
+    def test_frozen_streak_is_toggler_frozen(self):
+        records = [header()] + [
+            toggler_decision(t * 4_000_000, phase="loss-freeze")
+            for t in range(1, 12)
+        ]
+        assert "toggler-frozen" in _classes(records)
+
+    def test_short_freeze_hold_is_benign(self):
+        records = [header()]
+        for t in range(1, 40):
+            phase = "freeze-hold" if t % 8 < 3 else "apply"
+            records.append(toggler_decision(t * 4_000_000, phase=phase))
+        assert _classes(records) == set()
+
+    def test_constant_toggling_is_oscillating(self):
+        records = [header()] + [
+            toggler_decision(t * 4_000_000, toggled=True)
+            for t in range(1, 30)
+        ]
+        assert "toggler-oscillating" in _classes(records)
+
+    def test_occasional_toggles_are_benign(self):
+        records = [header()] + [
+            toggler_decision(t * 4_000_000, toggled=(t % 9 == 0))
+            for t in range(1, 60)
+        ]
+        assert _classes(records) == set()
+
+    def test_clamped_estimate_is_divergence(self):
+        records = [header(),
+                   estimator_sample(1_000_000, latency_ns=50_000.0,
+                                    clamped="absurd")]
+        assert "estimator-divergence" in _classes(records)
+
+    def test_runaway_latency_is_divergence(self):
+        records = [header()]
+        records += [
+            estimator_sample(t * 4_000_000, latency_ns=100_000.0)
+            for t in range(1, 10)
+        ]
+        records += [estimator_sample(44_000_000, latency_ns=50_000_000.0)]
+        assert "estimator-divergence" in _classes(records)
+
+    def test_steady_latency_is_benign(self):
+        records = [header()]
+        for t in range(1, 40):
+            records.append(tcp_tx(t * 4_000_000 - 1))
+            records.append(
+                estimator_sample(t * 4_000_000, latency_ns=100_000.0 + t)
+            )
+        assert _classes(records) == set()
+
+
+class TestRecallGate:
+    """The headline acceptance: recall per class, zero clean-trace FPs."""
+
+    def test_every_class_detected(self, chaos_traces):
+        for plan, cls in CHAOS_PLANS.items():
+            records, points = chaos_traces[plan]
+            score = score_report(diagnose_records(records), points)
+            stats = score["classes"].get(cls)
+            assert stats is not None, (
+                f"{plan}: ground truth recorded no {cls} episodes"
+            )
+            assert stats["recall"] >= MIN_RECALL, (
+                f"{plan}: {cls} recall {stats['recall']:.2f} "
+                f"below {MIN_RECALL}"
+            )
+
+    def test_fault_free_runs_are_clean(self, chaos_traces):
+        for plan, (records, points) in chaos_traces.items():
+            score = score_report(diagnose_records(records), points)
+            assert score["clean_run_findings"] == 0, (
+                f"{plan}: false positives on the fault-free run: "
+                f"{score['false_positives']}"
+            )
+
+    def test_no_unexplained_findings(self, chaos_traces):
+        for plan, (records, points) in chaos_traces.items():
+            score = score_report(diagnose_records(records), points)
+            assert score["false_positives"] == [], plan
+
+    def test_ground_truth_episodes_recorded(self, chaos_traces):
+        for plan, (_, points) in chaos_traces.items():
+            assert points[0].get("fault_episodes") == [], (
+                f"{plan}: fault-free point must carry no episodes"
+            )
+            assert points[1]["fault_episodes"], (
+                f"{plan}: faulted point recorded no ground truth"
+            )
+
+    def test_stricter_thresholds_still_validate(self, clean_records):
+        # The clean gate holds under a moderately tightened config too
+        # (margin against threshold drift).
+        config = DiagnosisConfig(dead_air_ns=msecs(20), stall_factor=6.0)
+        report = diagnose_records(clean_records, config)
+        assert report.findings == []

@@ -1,0 +1,179 @@
+"""DiagnosisHook: tee transparency, attribution, supervisor wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnose import DiagnosisHook
+from repro.diagnose.hook import _TeeSink
+from repro.errors import DiagnosisError
+from repro.obs import Tracer
+from repro.obs.sinks import ListSink
+from repro.parallel import _check_diagnosis
+from repro.supervise import Supervisor
+from repro.supervise.outcome import KIND_DIAGNOSIS
+from tests.diagnose.conftest import header, tcp_tx, toggler_decision
+
+
+def _run_records(t0=0, *, retransmit=False):
+    """One run segment: a header plus a short burst of traffic."""
+    records = [header()]
+    records += [
+        tcp_tx(t0 + t * 1_000_000, retransmit=retransmit and t % 4 == 0)
+        for t in range(1, 40)
+    ]
+    return records
+
+
+class TestTeeSink:
+    def test_records_pass_through_unchanged(self):
+        plain, teed = ListSink(), ListSink()
+        hook = DiagnosisHook()
+        tee = _TeeSink(teed, hook.classifier)
+        for record in _run_records(retransmit=True):
+            plain.append(record)
+            tee.append(record)
+        assert list(teed.records) == list(plain.records)
+        assert hook.classifier.records == len(plain.records)
+
+    def test_records_property_passes_through(self):
+        inner = ListSink()
+        tee = _TeeSink(inner, DiagnosisHook().classifier)
+        tee.append(header())
+        assert tee.records is inner.records
+
+    def test_close_closes_inner(self):
+        class _Closeable(ListSink):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        inner = _Closeable()
+        _TeeSink(inner, DiagnosisHook().classifier).close()
+        assert inner.closed
+
+
+class TestAttach:
+    def test_attach_tees_the_tracer(self):
+        tracer = Tracer(ListSink())
+        hook = DiagnosisHook()
+        hook.attach(tracer)
+        assert isinstance(tracer.sink, _TeeSink)
+
+    def test_attach_is_idempotent_per_tracer(self):
+        tracer = Tracer(ListSink())
+        hook = DiagnosisHook()
+        hook.attach(tracer)
+        hook.attach(tracer)
+        tracer.sink.append(header())
+        # Double-teed would feed the classifier the record twice.
+        assert hook.classifier.records == 1
+
+    def test_attach_covers_multiple_tracers(self):
+        hook = DiagnosisHook()
+        tracers = [Tracer(ListSink()), Tracer(ListSink())]
+        for tracer in tracers:
+            hook.attach(tracer)
+        tracers[0].sink.append(header())
+        tracers[1].sink.append(tcp_tx(1))
+        assert hook.classifier.records == 2
+
+
+class TestAttribution:
+    def test_deltas_credit_each_job_once(self):
+        hook = DiagnosisHook()
+        # Job 0's segment has loss; job 1's is clean.
+        for record in _run_records(retransmit=True):
+            hook.classifier.feed(record)
+        first = hook.job_completed(0, "job-0")
+        assert first.findings > 0
+        assert "loss" in first.classes
+
+        for record in _run_records():
+            hook.classifier.feed(record)
+        second = hook.job_completed(1, "job-1")
+        assert second.findings == 0
+        assert second.describe() == "clean"
+        assert len(hook.verdicts) == 2
+
+    def test_pathological_flag(self):
+        hook = DiagnosisHook()
+        hook.classifier.feed(header())
+        for t in range(1, 12):
+            hook.classifier.feed(
+                toggler_decision(t * 4_000_000, phase="loss-freeze")
+            )
+        verdict = hook.job_completed(0, "job-0")
+        assert verdict.pathological
+        assert "PATHOLOGICAL" in verdict.describe()
+
+
+class TestSupervisorIntegration:
+    def _campaign(self, fault_jobs, quarantine):
+        """Run a 3-job serial campaign; job indices in ``fault_jobs``
+        emit a pathological toggler segment into the shared tracer."""
+        tracer = Tracer(ListSink())
+        hook = DiagnosisHook(quarantine=quarantine)
+        hook.attach(tracer)
+        supervisor = Supervisor(workers=1, tracer=tracer, diagnosis=hook)
+
+        def job(index):
+            tracer.sink.append(header(label=f"job-{index}"))
+            for t in range(1, 12):
+                if index in fault_jobs:
+                    tracer.sink.append(
+                        toggler_decision(t * 4_000_000, phase="loss-freeze")
+                    )
+                else:
+                    tracer.sink.append(tcp_tx(t * 4_000_000))
+            return index
+
+        outcomes = supervisor.run(job, [0, 1, 2])
+        return supervisor, hook, tracer, outcomes
+
+    def test_clean_campaign_completes_with_verdicts(self):
+        supervisor, hook, tracer, outcomes = self._campaign(set(), False)
+        assert all(o.ok for o in outcomes)
+        assert [v.findings for v in hook.verdicts] == [0, 0, 0]
+        verdict_records = [
+            r for r in tracer.records if r["type"] == "diagnosis.verdict"
+        ]
+        assert len(verdict_records) == 3
+        assert supervisor.metrics.counter("diagnose.findings").value == 0
+        assert supervisor.metrics.counter("diagnose.flagged_jobs").value == 0
+
+    def test_flagging_without_quarantine_still_completes(self):
+        supervisor, hook, tracer, outcomes = self._campaign({1}, False)
+        assert all(o.ok for o in outcomes)
+        assert hook.verdicts[1].pathological
+        assert supervisor.metrics.counter("diagnose.flagged_jobs").value == 1
+        assert supervisor.metrics.counter("diagnose.quarantined").value == 0
+
+    def test_pathological_verdict_quarantines(self):
+        supervisor, hook, tracer, outcomes = self._campaign({1}, True)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert outcomes[1].kind == KIND_DIAGNOSIS
+        assert "pathological" in outcomes[1].message
+        assert supervisor.metrics.counter("diagnose.quarantined").value == 1
+        kinds = [
+            r["kind"] for r in tracer.records
+            if r["type"] == "job.quarantine"
+        ]
+        assert KIND_DIAGNOSIS in kinds
+
+
+class TestCheckDiagnosis:
+    def test_requires_a_tracer(self):
+        with pytest.raises(DiagnosisError, match="tracer"):
+            _check_diagnosis(DiagnosisHook(), None)
+
+    def test_attaches_when_traced(self):
+        tracer = Tracer(ListSink())
+        hook = DiagnosisHook()
+        _check_diagnosis(hook, tracer)
+        assert isinstance(tracer.sink, _TeeSink)
+
+    def test_none_is_a_no_op(self):
+        _check_diagnosis(None, None)

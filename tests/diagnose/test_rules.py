@@ -1,0 +1,122 @@
+"""Decision-rule primitives: config validation, triage, clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnose.rules import (
+    LIMIT_IDLE,
+    LIMIT_NETWORK,
+    LIMIT_RECEIVER,
+    LIMIT_SENDER,
+    Clusters,
+    DiagnosisConfig,
+    limit_label,
+)
+from repro.errors import DiagnosisError
+from repro.faults.injector import EpisodeLog
+
+
+class TestDiagnosisConfig:
+    def test_defaults_validate(self):
+        DiagnosisConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("merge_gap_ns", 0),
+        ("dead_air_ns", -1),
+        ("stall_factor", 0.5),
+        ("baseline_alpha", 0.0),
+        ("baseline_alpha", 1.5),
+        ("osc_threshold", 0.0),
+        ("frozen_ticks", 0),
+        ("divergence_min_samples", 0),
+        ("pathological_classes", ("no-such-class",)),
+    ])
+    def test_bad_values_raise(self, field, value):
+        config = DiagnosisConfig(**{field: value})
+        with pytest.raises(DiagnosisError):
+            config.validate()
+
+
+class TestLimitLabel:
+    def test_dominating_queue_wins(self):
+        assert limit_label(100, 10, 10) == LIMIT_NETWORK
+        assert limit_label(10, 100, 10) == LIMIT_RECEIVER
+        assert limit_label(10, 10, 100) == LIMIT_SENDER
+
+    def test_all_undefined_is_idle(self):
+        assert limit_label(None, None, None) == LIMIT_IDLE
+
+    def test_ties_break_by_severity(self):
+        # network > receiver > sender on equal delays.
+        assert limit_label(10, 10, 10) == LIMIT_NETWORK
+        assert limit_label(None, 10, 10) == LIMIT_RECEIVER
+
+    def test_partial_definition(self):
+        assert limit_label(None, None, 5) == LIMIT_SENDER
+
+
+class TestClusters:
+    def test_merges_within_gap(self):
+        c = Clusters(10)
+        c.add(0)
+        c.add(5)
+        c.add(14)
+        assert c.closed() == [(0, 14, 3)]
+
+    def test_splits_beyond_gap(self):
+        c = Clusters(10)
+        c.add(0)
+        c.add(100)
+        assert c.closed() == [(0, 0, 1), (100, 100, 1)]
+
+    def test_intervals_extend_end(self):
+        c = Clusters(10)
+        c.add(0, 50)
+        c.add(55)
+        assert c.closed() == [(0, 55, 2)]
+
+    def test_closed_is_pure(self):
+        c = Clusters(10)
+        c.add(0)
+        first = c.closed()
+        second = c.closed()
+        assert first == second == [(0, 0, 1)]
+        c.add(5)  # still merges: closed() did not seal the open cluster
+        assert c.closed() == [(0, 5, 2)]
+
+    def test_events_counts_everything(self):
+        c = Clusters(10)
+        for t in (0, 5, 100, 105, 300):
+            c.add(t)
+        assert c.events == 5
+
+
+class TestEpisodeLog:
+    def test_clusters_per_class_and_target(self):
+        log = EpisodeLog(merge_gap_ns=10)
+        log.record("loss", "link.forward", 0)
+        log.record("loss", "link.forward", 5)
+        log.record("loss", "link.backward", 6)   # other target: own episode
+        log.record("stall", "link.forward", 7)   # other class: own episode
+        episodes = log.episodes()
+        assert [(e["class"], e["target"], e["events"]) for e in episodes] == [
+            ("loss", "link.forward", 2),
+            ("loss", "link.backward", 1),
+            ("stall", "link.forward", 1),
+        ]
+
+    def test_gap_splits_episodes(self):
+        log = EpisodeLog(merge_gap_ns=10)
+        log.record("loss", "link", 0)
+        log.record("loss", "link", 100)
+        assert [e["start_ns"] for e in log.episodes()] == [0, 100]
+
+    def test_windows_extend(self):
+        log = EpisodeLog(merge_gap_ns=10)
+        log.record("stall", "sock", 0, 40)
+        log.record("stall", "sock", 45, 80)
+        (episode,) = log.episodes()
+        assert episode["start_ns"] == 0
+        assert episode["end_ns"] == 80
+        assert episode["events"] == 2

@@ -1,0 +1,161 @@
+"""Scoring findings against labeled ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnose import diagnose_records, score_report
+from repro.errors import DiagnosisError
+from tests.diagnose.conftest import header, tcp_tx
+
+
+def _report(findings_by_run):
+    """A minimal parsed report with the given findings per run."""
+    runs = []
+    for index, findings in enumerate(findings_by_run):
+        runs.append({
+            "index": index, "start_ns": 0, "end_ns": 100, "records": 1,
+            "connections": [], "findings": findings,
+        })
+    return {
+        "schema": "repro-diagnosis-v1", "label": None, "records": 1,
+        "runs": runs,
+        "summary": {
+            "runs": len(runs), "connections": 0,
+            "findings": sum(len(f) for f in findings_by_run),
+            "flagged": 0, "by_class": {},
+        },
+    }
+
+
+def _finding(cls, start, end):
+    return {"class": cls, "connection": "conn.0", "start_ns": start,
+            "end_ns": end, "events": 1, "detail": "test"}
+
+
+def _episode(cls, start, end):
+    return {"class": cls, "target": "link", "start_ns": start,
+            "end_ns": end, "events": 1}
+
+
+def _point(episodes):
+    return {"fault_episodes": episodes}
+
+
+class TestMatching:
+    def test_overlap_counts_as_detection(self):
+        score = score_report(
+            _report([[_finding("loss", 50, 60)]]),
+            [_point([_episode("loss", 40, 55)])],
+        )
+        assert score["classes"]["loss"]["recall"] == 1.0
+        assert score["false_positives"] == []
+
+    def test_slack_bridges_detection_lag(self):
+        # Finding starts 20ms after the episode ended: within slack.
+        score = score_report(
+            _report([[_finding("loss", 120_000_000, 125_000_000)]]),
+            [_point([_episode("loss", 90_000_000, 100_000_000)])],
+        )
+        assert score["classes"]["loss"]["recall"] == 1.0
+
+    def test_beyond_slack_is_a_miss(self):
+        score = score_report(
+            _report([[_finding("loss", 500_000_000, 505_000_000)]]),
+            [_point([_episode("loss", 0, 1_000_000)])],
+        )
+        assert score["classes"]["loss"]["recall"] == 0.0
+        # ... and the distant finding explains nothing: false positive.
+        assert len(score["false_positives"]) == 1
+
+    def test_blackout_detected_as_loss(self):
+        # COMPATIBLE: loss findings count as detecting a blackout.
+        score = score_report(
+            _report([[_finding("loss", 10, 20)]]),
+            [_point([_episode("blackout", 0, 30)])],
+        )
+        assert score["classes"]["blackout"]["recall"] == 1.0
+
+    def test_loss_not_detected_by_stall(self):
+        score = score_report(
+            _report([[_finding("stall", 10, 20)]]),
+            [_point([_episode("loss", 10, 20)])],
+        )
+        assert score["classes"]["loss"]["recall"] == 0.0
+
+    def test_stale_exchange_explained_but_not_detecting(self):
+        # EXPLAINS is wider than COMPATIBLE: a stale-exchange finding
+        # during a blackout is an honest consequence (no FP), but it
+        # does not count as having *detected* the blackout.
+        score = score_report(
+            _report([[_finding("stale-exchange", 10, 20)]]),
+            [_point([_episode("blackout", 0, 30)])],
+        )
+        assert score["classes"]["blackout"]["recall"] == 0.0
+        assert score["false_positives"] == []
+        assert score["precision"] == 1.0
+
+    def test_control_plane_findings_never_fp_in_faulted_runs(self):
+        score = score_report(
+            _report([[_finding("toggler-frozen", 10, 20)]]),
+            [_point([_episode("loss", 0, 30)])],
+        )
+        assert score["false_positives"] == []
+        assert score["findings"] == 0  # not scored for precision either
+
+    def test_control_plane_findings_are_fps_in_clean_runs(self):
+        score = score_report(
+            _report([[_finding("toggler-frozen", 10, 20)]]),
+            [_point([])],
+        )
+        assert score["clean_runs"] == 1
+        assert score["clean_run_findings"] == 1
+        assert len(score["false_positives"]) == 1
+
+    def test_clean_run_clean_report(self):
+        score = score_report(_report([[]]), [_point([])])
+        assert score["clean_runs"] == 1
+        assert score["clean_run_findings"] == 0
+        assert score["recall"] == 1.0  # vacuous
+        assert score["precision"] == 1.0
+
+    def test_positional_alignment(self):
+        # Run 0 ↔ point 0 and run 1 ↔ point 1 — findings never match
+        # across the pairing even when intervals overlap.
+        score = score_report(
+            _report([[], [_finding("loss", 10, 20)]]),
+            [_point([_episode("loss", 10, 20)]), _point([])],
+        )
+        assert score["classes"]["loss"]["recall"] == 0.0
+        assert score["clean_run_findings"] == 1
+
+    def test_fewer_runs_than_points_is_fine(self):
+        # A sweep whose tail wasn't traced still scores the prefix.
+        score = score_report(
+            _report([[_finding("loss", 10, 20)]]),
+            [_point([_episode("loss", 10, 20)]), _point([])],
+        )
+        assert score["recall"] == 1.0
+
+
+class TestErrors:
+    def test_more_runs_than_points_raises(self):
+        with pytest.raises(DiagnosisError, match="align"):
+            score_report(_report([[], []]), [_point([])])
+
+    def test_unknown_ground_truth_class_raises(self):
+        with pytest.raises(DiagnosisError, match="gremlins"):
+            score_report(
+                _report([[]]),
+                [_point([_episode("gremlins", 0, 1)])],
+            )
+
+
+class TestReportObjects:
+    def test_accepts_diagnosis_report_directly(self):
+        report = diagnose_records(
+            [header()] + [tcp_tx(t * 1_000_000) for t in range(1, 20)]
+        )
+        score = score_report(report, [_point([])])
+        assert score["clean_runs"] == 1
+        assert score["clean_run_findings"] == 0

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ObservabilityError
 from repro.obs.sinks import (
     JsonlSink,
+    JsonlTail,
     ListSink,
     RingSink,
     iter_records,
@@ -86,3 +87,75 @@ class TestIterRecords:
         assert list(iter_records(sink)) == records
         assert list(iter_records(records)) == records
         assert list(iter_records(path)) == records
+
+
+class TestTruncatedTail:
+    def test_torn_final_line_dropped_by_default(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"t": 1}\n{"t": 2}\n{"t": 3, "ty')
+        assert [r["t"] for r in read_jsonl(path)] == [1, 2]
+
+    def test_torn_final_line_faults_when_strict(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"t": 1}\n{"t": 2, "ty')
+        with pytest.raises(ObservabilityError):
+            read_jsonl(path, tolerate_truncated_tail=False)
+
+    def test_garbage_mid_file_always_faults(self, tmp_path):
+        # Tolerance is for the *tail* only: an unterminated broken line
+        # followed by nothing is a torn write; broken JSON with records
+        # after it is corruption.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1, "ty\n{"t": 2}\n')
+        with pytest.raises(ObservabilityError):
+            read_jsonl(path)
+
+    def test_complete_final_line_must_parse(self, tmp_path):
+        # A newline-terminated line was fully flushed; failures there
+        # are corruption even with tolerance on.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1}\nnot json\n')
+        with pytest.raises(ObservabilityError):
+            read_jsonl(path)
+
+
+class TestJsonlTail:
+    def test_polls_deliver_increments_once(self, tmp_path):
+        path = tmp_path / "grow.jsonl"
+        tail = JsonlTail(path)
+        path.write_text('{"t": 1}\n')
+        assert [r["t"] for r in tail.poll()] == [1]
+        assert tail.poll() == []
+        with path.open("a") as handle:
+            handle.write('{"t": 2}\n{"t": 3}\n')
+        assert [r["t"] for r in tail.poll()] == [2, 3]
+        assert tail.records_read == 3
+
+    def test_partial_line_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"t": 1}\n{"t": 2')
+        tail = JsonlTail(path)
+        assert [r["t"] for r in tail.poll()] == [1]
+        with path.open("a") as handle:
+            handle.write(', "x": 0}\n')
+        assert [r["t"] for r in tail.poll()] == [2]
+
+    def test_missing_file_is_quiet(self, tmp_path):
+        tail = JsonlTail(tmp_path / "absent.jsonl")
+        assert tail.poll() == []
+        (tmp_path / "absent.jsonl").write_text('{"t": 9}\n')
+        assert [r["t"] for r in tail.poll()] == [9]
+
+    def test_shrunk_file_reread_from_start(self, tmp_path):
+        path = tmp_path / "rotate.jsonl"
+        path.write_text('{"t": 1}\n{"t": 2}\n')
+        tail = JsonlTail(path)
+        assert len(tail.poll()) == 2
+        path.write_text('{"t": 7}\n')  # rewritten: a fresh stream
+        assert [r["t"] for r in tail.poll()] == [7]
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1]\n")
+        with pytest.raises(ObservabilityError):
+            JsonlTail(path).poll()

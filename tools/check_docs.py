@@ -10,7 +10,10 @@ delimited by HTML-comment markers:
   fixed 80-column width so the text is stable across terminals;
 - ``<!-- repro-trace-schema -->`` … ``<!-- /repro-trace-schema -->`` —
   the ``repro-trace-v1`` field tables, generated from
-  ``repro.obs.schema.RECORD_TYPES`` (the single source of truth).
+  ``repro.obs.schema.RECORD_TYPES`` (the single source of truth);
+- ``<!-- repro-diagnosis-schema -->`` … ``<!-- /repro-diagnosis-schema -->``
+  — the ``repro-diagnosis-v1`` document tables, generated from
+  ``repro.diagnose.schema.DOCUMENT`` the same way.
 
 Run with no arguments to check (exit 1 on drift, printing what moved);
 run with ``--write`` to rewrite the files in place.  CI runs the check
@@ -44,6 +47,11 @@ _HELP_BLOCK = re.compile(
 )
 _SCHEMA_BLOCK = re.compile(
     r"(<!-- repro-trace-schema -->\n)(?P<body>.*?)(<!-- /repro-trace-schema -->)",
+    re.DOTALL,
+)
+_DIAGNOSIS_BLOCK = re.compile(
+    r"(<!-- repro-diagnosis-schema -->\n)(?P<body>.*?)"
+    r"(<!-- /repro-diagnosis-schema -->)",
     re.DOTALL,
 )
 
@@ -110,6 +118,30 @@ def render_schema() -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_diagnosis_schema() -> str:
+    """The repro-diagnosis-v1 tables, from the live document definition."""
+    from repro.diagnose.report import SCHEMA
+    from repro.diagnose.schema import DOCUMENT
+
+    lines = [
+        f"Schema version: **`{SCHEMA}`** (generated from "
+        "`repro.diagnose.schema.DOCUMENT` by `tools/check_docs.py`; "
+        "edit the schema module, not this section).",
+    ]
+    for kind, spec in DOCUMENT.items():
+        lines += [
+            "",
+            f"### `{kind}`",
+            "",
+            spec["doc"],
+            "",
+            "| field | type | meaning |",
+            "|---|---|---|",
+        ]
+        lines += _field_rows(spec["fields"])
+    return "\n".join(lines) + "\n"
+
+
 def regenerate(text: str) -> str:
     """One file's content with every generated block refreshed."""
 
@@ -121,8 +153,12 @@ def regenerate(text: str) -> str:
     def _schema(match: re.Match) -> str:
         return match.group(1) + render_schema() + match.group(3)
 
+    def _diagnosis(match: re.Match) -> str:
+        return match.group(1) + render_diagnosis_schema() + match.group(3)
+
     text = _HELP_BLOCK.sub(_help, text)
     text = _SCHEMA_BLOCK.sub(_schema, text)
+    text = _DIAGNOSIS_BLOCK.sub(_diagnosis, text)
     return text
 
 
