@@ -1,0 +1,56 @@
+"""Declarative campaign specs and the ablation/importance engine.
+
+A campaign spec (``repro-campaign-v1``, YAML or JSON) names a scenario,
+a set of toggleable components, tweak variants, sweep axes, metrics,
+and repetitions; :func:`expand` turns it into a deterministic run
+matrix, :func:`run_spec` executes the matrix through the supervised
+runner with content-addressed dedupe and checkpointing, and the result
+is a ``repro-importance-v1`` component leaderboard.  See
+``docs/CAMPAIGNS.md`` for the spec reference.
+"""
+
+from repro.campaign.engine import CampaignRun, build_cells, run_spec
+from repro.campaign.importance import compute_importance
+from repro.campaign.matrix import MatrixCell, RunMatrix, expand
+from repro.campaign.report import ImportanceReport
+from repro.campaign.schema import (
+    IMPORTANCE_SCHEMA,
+    SPEC_SCHEMA,
+    validate_importance_document,
+    validate_spec_document,
+)
+from repro.campaign.spec import (
+    SCENARIOS,
+    CampaignSpec,
+    ComponentSpec,
+    Scenario,
+    SweepSpec,
+    TweakSpec,
+    load_document,
+    load_spec,
+    parse_spec,
+)
+
+__all__ = [
+    "CampaignRun",
+    "CampaignSpec",
+    "ComponentSpec",
+    "IMPORTANCE_SCHEMA",
+    "ImportanceReport",
+    "MatrixCell",
+    "RunMatrix",
+    "SCENARIOS",
+    "SPEC_SCHEMA",
+    "Scenario",
+    "SweepSpec",
+    "TweakSpec",
+    "build_cells",
+    "compute_importance",
+    "expand",
+    "load_document",
+    "load_spec",
+    "parse_spec",
+    "run_spec",
+    "validate_importance_document",
+    "validate_spec_document",
+]

@@ -1,0 +1,128 @@
+"""Component-importance scoring from matrix metric deltas.
+
+The ablation literature's standard question — *which component matters?*
+— answered with the aumai-ablation shape: compare each component's
+removal from the full system and its solitary addition to the empty
+system, normalize by the baseline's magnitude, and rank.
+
+For one component ``c`` and one metric ``m`` (all means taken over every
+cell of the named variant family, pooled across tweaks, sweep points,
+and repetitions; cells whose metric is undefined are excluded):
+
+- ``ablate_delta = mean(all_but_one:c) − mean(all_on)`` — what removing
+  ``c`` from the full system does to ``m``;
+- ``solo_delta = mean(only_one:c) − mean(baseline)`` — what ``c`` alone
+  adds to the empty system;
+- ``importance = mean(|delta| / norm)`` over whichever of the two
+  deltas are available, with ``norm = max(|mean(baseline)|, 1e-9)``
+  (falling back to the ``all_on`` mean when the baseline family is
+  absent from the matrix) — a scale-free "fraction of baseline moved".
+
+A component's **score** is the mean of its per-metric importance values;
+the **ranking** sorts by score descending, ties broken by name, and
+components with no computable score last.  Absences propagate as
+``None``/null rather than zero — a spec whose matrix omits a family
+gets honest nulls, not a fake "unimportant".
+"""
+
+from __future__ import annotations
+
+from repro.campaign.matrix import RunMatrix
+from repro.campaign.spec import CampaignSpec
+
+#: Normalization floor: keeps importance finite when the baseline mean
+#: is exactly zero (e.g. a counter metric that never fired).
+TINY = 1e-9
+
+
+def _mean(values: list) -> float | None:
+    defined = [value for value in values if value is not None]
+    if not defined:
+        return None
+    return sum(defined) / len(defined)
+
+
+def _family_means(
+    matrix: RunMatrix, values: list[dict], metrics: tuple[str, ...]
+) -> dict[str, dict[str, float | None]]:
+    """variant label -> {metric -> mean over that family's cells}."""
+    by_family: dict[str, list[dict]] = {}
+    for cell, cell_values in zip(matrix.cells, values):
+        by_family.setdefault(cell.variant, []).append(cell_values)
+    return {
+        family: {
+            metric: _mean([entry[metric] for entry in entries])
+            for metric in metrics
+        }
+        for family, entries in by_family.items()
+    }
+
+
+def _delta(a: float | None, b: float | None) -> float | None:
+    if a is None or b is None:
+        return None
+    return a - b
+
+
+def compute_importance(
+    spec: CampaignSpec, matrix: RunMatrix, values: list[dict]
+) -> dict:
+    """Scores/deltas for every component (see the module doc for math).
+
+    ``values`` aligns index-for-index with ``matrix.cells``; each entry
+    maps metric name to the harvested value (or ``None``).  Returns
+    ``{"baseline": .., "all_on": .., "components": [..], "ranking": [..]}``
+    in the ``repro-importance-v1`` component layout.
+    """
+    means = _family_means(matrix, values, spec.metrics)
+    baseline = means.get("baseline", {m: None for m in spec.metrics})
+    all_on = means.get("all_on", {m: None for m in spec.metrics})
+
+    components = []
+    for component in spec.components:
+        ablated = means.get(f"all_but_one:{component.name}", {})
+        solo = means.get(f"only_one:{component.name}", {})
+        per_metric = {}
+        importances = []
+        for metric in spec.metrics:
+            ablate_delta = _delta(ablated.get(metric), all_on.get(metric))
+            solo_delta = _delta(solo.get(metric), baseline.get(metric))
+            norm_source = (
+                baseline.get(metric) if baseline.get(metric) is not None
+                else all_on.get(metric)
+            )
+            importance = None
+            deltas = [d for d in (ablate_delta, solo_delta) if d is not None]
+            if deltas and norm_source is not None:
+                norm = max(abs(norm_source), TINY)
+                importance = sum(abs(d) / norm for d in deltas) / len(deltas)
+            per_metric[metric] = {
+                "ablate_delta": ablate_delta,
+                "solo_delta": solo_delta,
+                "importance": importance,
+            }
+            if importance is not None:
+                importances.append(importance)
+        components.append({
+            "name": component.name,
+            "score": _mean(importances) if importances else None,
+            "metrics": per_metric,
+        })
+
+    ranking = [
+        entry["name"]
+        for entry in sorted(
+            components,
+            key=lambda entry: (
+                entry["score"] is None,
+                -(entry["score"] or 0.0),
+                entry["name"],
+            ),
+        )
+    ]
+    return {
+        "baseline": baseline,
+        "all_on": all_on,
+        "components": components,
+        "ranking": ranking,
+    }

@@ -1,0 +1,195 @@
+"""Deterministic run-matrix expansion for campaign specs.
+
+:func:`expand` turns a :class:`~repro.campaign.spec.CampaignSpec` into
+the ordered list of cells the engine executes.  The ordering is part of
+the ``repro-campaign-v1`` contract — the same spec always produces the
+same matrix, byte for byte — and nests, outermost first:
+
+1. **tweaks**, in spec order (one implicit unnamed tweak when empty);
+2. **variant families**, in the spec's ``matrix`` order; within
+   ``all_but_one``/``only_one``, components in spec order;
+3. **sweep points**: the cross product of the ``sweeps`` axes, earlier
+   axes outermost, values in spec order;
+4. **repetitions**: repetition ``r`` runs with seed ``spec.seed + r``.
+
+Each cell's final override dict merges, lowest priority first: the
+repetition seed, ``base``, the tweak's overrides, each enabled/disabled
+component's ``on``/``off`` dict (components in spec order), then the
+sweep assignments.  Later writers win, so a sweep axis can override a
+component and a component can override the base — the precedence a
+reader would guess from the spec's visual nesting.
+
+Distinct cells can merge to identical override dicts (with one
+component, ``baseline`` == ``all_but_one`` and ``all_on`` ==
+``only_one``); the engine content-addresses the built runner arguments,
+so such cells execute once and the supervisor mirrors the result into
+every position (``supervise.deduped``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+
+from repro.campaign.schema import MATRIX_FAMILIES
+from repro.campaign.spec import CampaignSpec, TweakSpec
+from repro.errors import CampaignSpecError
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One expanded run: where it came from and what it overrides."""
+
+    index: int
+    tweak: str                               # tweak name, "" when implicit
+    variant: str                             # e.g. "all_but_one:nagle"
+    components: tuple[tuple[str, bool], ...]  # (name, enabled), spec order
+    sweep: tuple[tuple[str, object], ...]     # (field, value), spec order
+    repetition: int
+    seed: int
+    overrides: dict                           # the final merged overrides
+
+    @property
+    def label(self) -> str:
+        """A human-readable cell name, unique within the matrix."""
+        parts = []
+        if self.tweak:
+            parts.append(self.tweak)
+        parts.append(self.variant)
+        parts += [f"{field}={value}" for field, value in self.sweep]
+        parts.append(f"rep{self.repetition}")
+        return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class RunMatrix:
+    """The full expansion of one spec."""
+
+    campaign: str
+    scenario: str
+    spec_digest: str
+    cells: tuple[MatrixCell, ...]
+
+    def to_document(self) -> dict:
+        """A JSON-able view (``repro campaign expand --json``)."""
+        return {
+            "campaign": self.campaign,
+            "scenario": self.scenario,
+            "spec_digest": self.spec_digest,
+            "cells": [
+                {
+                    "index": cell.index,
+                    "label": cell.label,
+                    "tweak": cell.tweak,
+                    "variant": cell.variant,
+                    "components": {
+                        name: enabled for name, enabled in cell.components
+                    },
+                    "sweep": {field: value for field, value in cell.sweep},
+                    "repetition": cell.repetition,
+                    "seed": cell.seed,
+                    "overrides": cell.overrides,
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) for byte-diffs."""
+        return json.dumps(
+            self.to_document(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def _variants(spec: CampaignSpec) -> list[tuple[str, dict]]:
+    """(variant label, {component: enabled}) in canonical order."""
+    names = [component.name for component in spec.components]
+    variants: list[tuple[str, dict]] = []
+    for family in spec.matrix:
+        if family == "baseline":
+            variants.append(("baseline", {name: False for name in names}))
+        elif family == "all_on":
+            variants.append(("all_on", {name: True for name in names}))
+        elif family == "all_but_one":
+            for ablated in names:
+                variants.append((
+                    f"all_but_one:{ablated}",
+                    {name: name != ablated for name in names},
+                ))
+        elif family == "only_one":
+            for solo in names:
+                variants.append((
+                    f"only_one:{solo}",
+                    {name: name == solo for name in names},
+                ))
+        else:  # parse_spec already validated; belt and suspenders
+            raise CampaignSpecError(
+                f"unknown matrix family {family!r}; choose from "
+                f"{list(MATRIX_FAMILIES)}"
+            )
+    return variants
+
+
+def _sweep_points(spec: CampaignSpec) -> list[tuple[tuple[str, object], ...]]:
+    """The cross product of the sweep axes (one empty point when none)."""
+    axes = [
+        [(sweep.field, value) for value in sweep.values]
+        for sweep in spec.sweeps
+    ]
+    return [tuple(point) for point in itertools.product(*axes)]
+
+
+def expand(spec: CampaignSpec) -> RunMatrix:
+    """The spec's ordered run matrix (see the module doc for the order).
+
+    Raises :class:`~repro.errors.CampaignSpecError` when the expansion
+    is empty — a matrix of ``all_but_one``/``only_one`` families with no
+    components declares intent the spec cannot satisfy.
+    """
+    tweaks = spec.tweaks or (TweakSpec(name=""),)
+    variants = _variants(spec)
+    points = _sweep_points(spec)
+    cells: list[MatrixCell] = []
+    for tweak in tweaks:
+        for variant, states in variants:
+            for point in points:
+                for repetition in range(spec.repetitions):
+                    seed = spec.seed + repetition
+                    overrides: dict = {"seed": seed}
+                    overrides.update(spec.base)
+                    overrides.update(tweak.overrides)
+                    for component in spec.components:
+                        overrides.update(
+                            component.on if states[component.name]
+                            else component.off
+                        )
+                    for field, value in point:
+                        overrides[field] = value
+                    seed = overrides.get("seed", seed)
+                    cells.append(MatrixCell(
+                        index=len(cells),
+                        tweak=tweak.name,
+                        variant=variant,
+                        components=tuple(
+                            (component.name, states[component.name])
+                            for component in spec.components
+                        ),
+                        sweep=point,
+                        repetition=repetition,
+                        seed=seed,
+                        overrides=overrides,
+                    ))
+    if not cells:
+        raise CampaignSpecError(
+            f"campaign {spec.name!r} expands to zero cells: matrix "
+            f"{list(spec.matrix)} over {len(spec.components)} component(s) "
+            "produces nothing to run (baseline/all_on need no components; "
+            "all_but_one/only_one need at least one)"
+        )
+    return RunMatrix(
+        campaign=spec.name,
+        scenario=spec.scenario,
+        spec_digest=spec.digest(),
+        cells=tuple(cells),
+    )

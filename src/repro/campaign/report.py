@@ -1,0 +1,118 @@
+"""The ``repro-importance-v1`` report object and its renderings.
+
+:class:`ImportanceReport` is what a campaign run produces: the spec's
+identity, the per-family metric means, and every component's deltas,
+importance values, and rank.  Two renderings:
+
+- :meth:`ImportanceReport.to_canonical` — canonical JSON (sorted keys,
+  no whitespace).  Deliberately excludes execution accounting (cache
+  hits, dedupe counts, worker counts): those vary across reruns of the
+  same spec, and the determinism contract says the same spec produces
+  the same report *bytes*.  Accounting lives in the CLI summary line
+  instead (:meth:`repro.campaign.engine.CampaignRun.describe`).
+- :meth:`ImportanceReport.render` — the component leaderboard as a
+  fixed-width table, most important first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.campaign.schema import IMPORTANCE_SCHEMA
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """One campaign's scored outcome (layout: ``repro-importance-v1``)."""
+
+    campaign: str
+    scenario: str
+    spec_digest: str
+    seed: int
+    repetitions: int
+    cells: int
+    metrics: tuple[str, ...]
+    baseline: dict
+    all_on: dict
+    components: tuple[dict, ...]
+    ranking: tuple[str, ...]
+
+    def component(self, name: str) -> dict:
+        """Fetch one component's entry."""
+        for entry in self.components:
+            if entry["name"] == name:
+                return entry
+        raise KeyError(name)
+
+    def to_document(self) -> dict:
+        """The ``repro-importance-v1`` document."""
+        return {
+            "schema": IMPORTANCE_SCHEMA,
+            "campaign": self.campaign,
+            "scenario": self.scenario,
+            "spec_digest": self.spec_digest,
+            "seed": self.seed,
+            "repetitions": self.repetitions,
+            "cells": self.cells,
+            "metrics": list(self.metrics),
+            "baseline": dict(self.baseline),
+            "all_on": dict(self.all_on),
+            "components": [
+                {
+                    "name": entry["name"],
+                    "score": entry["score"],
+                    "metrics": {
+                        metric: dict(cell)
+                        for metric, cell in entry["metrics"].items()
+                    },
+                }
+                for entry in self.components
+            ],
+            "ranking": list(self.ranking),
+        }
+
+    def to_canonical(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) + newline."""
+        return json.dumps(
+            self.to_document(), sort_keys=True, separators=(",", ":")
+        ) + "\n"
+
+    def render(self) -> str:
+        """The importance leaderboard as a table plus family means."""
+        headers = ["rank", "component", "score"] + [
+            f"{metric}" for metric in self.metrics
+        ]
+        rows = []
+        for rank, name in enumerate(self.ranking, start=1):
+            entry = self.component(name)
+            rows.append(
+                [rank, name, _cell(entry["score"])]
+                + [
+                    _cell(entry["metrics"][metric]["importance"])
+                    for metric in self.metrics
+                ]
+            )
+        table = format_table(
+            headers, rows,
+            title=(
+                f"Campaign importance: {self.campaign} "
+                f"({self.scenario}, {self.cells} cells, "
+                f"{self.repetitions} rep(s))"
+            ),
+        )
+        lines = [table]
+        for family, means in (("baseline", self.baseline),
+                              ("all_on", self.all_on)):
+            shown = {
+                metric: (round(mean, 3) if mean is not None else None)
+                for metric, mean in means.items()
+            }
+            lines.append(f"{family} means: {json.dumps(shown)}")
+        return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    """A score/importance cell: fixed precision, '-' for unavailable."""
+    return "-" if value is None else f"{value:.4f}"

@@ -718,6 +718,113 @@ def _cmd_trace_filter(args) -> int:
     return 0
 
 
+def _cmd_campaign_run(args) -> int:
+    import pathlib as _pathlib
+
+    from repro.campaign import load_spec, run_spec
+    from repro.errors import CampaignSpecError
+
+    try:
+        spec = load_spec(args.spec)
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.measure_ms is not None:
+        base = dict(spec.base)
+        base.pop("measure_ns", None)
+        base["measure_ms"] = args.measure_ms
+        spec = replace(spec, base=base)
+    tracer = _make_tracer(args.trace, label=f"campaign:{spec.name}")
+    policy, checkpoint = _supervise_from(args)
+    diagnosis = _diagnosis_from(args)
+    try:
+        run = run_spec(
+            spec, workers=args.workers, policy=policy,
+            checkpoint=checkpoint, tracer=tracer, diagnosis=diagnosis,
+        )
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(run.report.render())
+    print(run.describe())
+    if args.json:
+        if args.json == "-":
+            sys.stdout.write(run.report.to_canonical())
+        else:
+            target = _pathlib.Path(args.json)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(run.report.to_canonical())
+            print(f"importance report written to {args.json}")
+    _report_diagnosis(diagnosis)
+    _report_cache(checkpoint)
+    _finish_tracer(tracer, args.trace)
+    return 0
+
+
+def _cmd_campaign_expand(args) -> int:
+    import pathlib as _pathlib
+
+    from repro.campaign import expand, load_spec
+    from repro.errors import CampaignSpecError
+
+    try:
+        matrix = expand(load_spec(args.spec))
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        rendered = matrix.to_json() + "\n"
+        if args.json == "-":
+            sys.stdout.write(rendered)
+        else:
+            target = _pathlib.Path(args.json)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(rendered)
+            print(f"run matrix written to {args.json}")
+    else:
+        print(f"campaign {matrix.campaign}: {len(matrix.cells)} cell(s) "
+              f"(spec digest {matrix.spec_digest[:16]})")
+        for cell in matrix.cells:
+            print(f"  {cell.index:3d}  {cell.label}")
+    return 0
+
+
+def _cmd_campaign_validate(args) -> int:
+    from repro.campaign import (
+        IMPORTANCE_SCHEMA,
+        SPEC_SCHEMA,
+        expand,
+        load_document,
+        parse_spec,
+        validate_importance_document,
+    )
+    from repro.errors import CampaignSpecError
+
+    try:
+        document = load_document(args.path)
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    schema = document.get("schema", SPEC_SCHEMA)
+    if schema == IMPORTANCE_SCHEMA:
+        problems = validate_importance_document(document)
+        if problems:
+            for problem in problems[:20]:
+                print(f"{args.path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: {IMPORTANCE_SCHEMA} OK "
+              f"({len(document['components'])} component(s), "
+              f"{document['cells']} cells)")
+        return 0
+    try:
+        matrix = expand(parse_spec(document))
+    except CampaignSpecError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: {SPEC_SCHEMA} OK ({len(matrix.cells)} cell(s))")
+    return 0
+
+
 def _cmd_trace_validate(args) -> int:
     from repro.obs import read_jsonl, validate_stream
 
@@ -733,12 +840,37 @@ def _cmd_trace_validate(args) -> int:
     return 0
 
 
+#: One line per subcommand, rendered into ``repro --help``'s epilog.
+#: A test asserts every registered subcommand appears here, so adding a
+#: command without a summary fails fast.
+_COMMAND_SUMMARY: tuple[tuple[str, str], ...] = (
+    ("fig1", "analytic batching model (Figure 1)"),
+    ("fig2", "VM client flip at 20 kRPS (Figure 2)"),
+    ("fig4a", "SET 16KiB load sweep (Figure 4a)"),
+    ("fig4b", "95:5 SET:GET mix sweep (Figure 4b)"),
+    ("run", "one benchmark run with explicit knobs"),
+    ("faults", "chaos sweep: robustness vs fault intensity"),
+    ("fanin", "N clients -> 1 server, optionally sharded"),
+    ("ablation", "run one named ablation study"),
+    ("profile", "cProfile a bench shape (repro-profile-v1)"),
+    ("diagnose", "fault diagnosis over a trace (repro-diagnosis-v1)"),
+    ("trace", "record/summarize/filter/validate repro-trace-v1"),
+    ("campaign", "declarative ablation campaigns (repro-campaign-v1)"),
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
+    width = max(len(name) for name, _ in _COMMAND_SUMMARY)
+    epilog = "commands:\n" + "\n".join(
+        f"  {name:<{width}}  {summary}" for name, summary in _COMMAND_SUMMARY
+    ) + "\n\nrun `repro <command> --help` for each command's options"
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Batching with End-to-End Performance Estimation — "
                     "experiment runner",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -816,8 +948,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="intensity multipliers (0 = fault-free)")
     p_faults.add_argument("--rate", type=float, default=15_000.0)
     p_faults.add_argument("--seed", type=int, default=1)
-    p_faults.add_argument("--json", default=None,
-                          help="write robustness metrics JSON to this path")
+    p_faults.add_argument("--json", default=None, metavar="PATH",
+                          help="write the repro-robustness-v1 metrics "
+                               "JSON to this path")
     p_faults.add_argument("--quick", action="store_true",
                           help="two intensities only, for CI smoke")
     p_faults.add_argument("--quiet", action="store_true",
@@ -853,8 +986,9 @@ def build_parser() -> argparse.ArgumentParser:
              "monolithic shared-server model",
     )
     p_fanin.add_argument("--json", default=None, metavar="PATH",
-                         help="write the result as canonical JSON "
-                              "(byte-diffable across shard/worker counts)")
+                         help="write the result as canonical unversioned "
+                              "JSON (byte-diffable across shard/worker "
+                              "counts)")
     p_fanin.add_argument("--trace", default=None, metavar="PATH",
                          help="record the campaign as repro-trace-v1 JSONL "
                               "(forces serial execution)")
@@ -996,6 +1130,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_validate.add_argument("path", help="JSONL trace file")
     p_validate.set_defaults(func=_cmd_trace_validate)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="declarative ablation campaigns: run, expand, or validate a "
+             "repro-campaign-v1 spec (see docs/CAMPAIGNS.md)",
+    )
+    campaign_sub = p_campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    p_crun = campaign_sub.add_parser(
+        "run",
+        help="execute a spec's full run matrix and print the "
+             "component-importance leaderboard",
+    )
+    p_crun.add_argument("spec", help="campaign spec file (JSON always; "
+                                     ".yaml/.yml when pyyaml is installed)")
+    p_crun.add_argument("--json", default=None, metavar="PATH",
+                        help="write the repro-importance-v1 report as "
+                             "canonical JSON ('-' for stdout); byte-"
+                             "identical across reruns of the same spec")
+    p_crun.add_argument("--trace", default=None, metavar="PATH",
+                        help="record the campaign as repro-trace-v1 JSONL "
+                             "(forces serial execution)")
+    p_crun.add_argument("--measure-ms", type=int, default=None,
+                        help="override the spec's measurement window in "
+                             "simulated ms (replaces base measure_ms/"
+                             "measure_ns; default: use the spec's)")
+    _add_workers(p_crun)
+    _add_supervise(p_crun)
+    _add_diagnose(p_crun)
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cexpand = campaign_sub.add_parser(
+        "expand",
+        help="print a spec's deterministic run matrix without executing it",
+    )
+    p_cexpand.add_argument("spec", help="campaign spec file")
+    p_cexpand.add_argument("--json", default=None, metavar="PATH",
+                           help="write the matrix as canonical JSON ('-' "
+                                "for stdout) instead of the cell listing")
+    p_cexpand.set_defaults(func=_cmd_campaign_expand)
+
+    p_cvalidate = campaign_sub.add_parser(
+        "validate",
+        help="check a repro-campaign-v1 spec or repro-importance-v1 "
+             "report (auto-detected by its schema field)",
+    )
+    p_cvalidate.add_argument("path", help="spec or report file")
+    p_cvalidate.set_defaults(func=_cmd_campaign_validate)
 
     return parser
 

@@ -84,3 +84,9 @@ class CampaignError(SuperviseError):
     def __init__(self, message: str, outcomes=None):
         super().__init__(message)
         self.outcomes = outcomes if outcomes is not None else []
+
+
+class CampaignSpecError(ReproError):
+    """A declarative campaign spec is malformed: unknown schema,
+    invalid field, unresolvable override, or a matrix/metric selection
+    the spec's scenario cannot satisfy."""

@@ -584,6 +584,32 @@ VARIANTS = {
 }
 
 
+def variant_ablation_spec(
+    rates: tuple[float, ...] = (8_000.0, 50_000.0),
+    measure_ns: int = msecs(120),
+):
+    """The A7 grid as a declarative ``repro-campaign-v1`` spec.
+
+    Each heuristic variant is a tweak and the load axis is a sweep, so
+    the expansion order (tweak-major, then rate) reproduces the
+    historical cell order exactly.
+    """
+    from repro.campaign import CampaignSpec, SweepSpec, TweakSpec
+
+    return CampaignSpec(
+        name="variant-ablation",
+        scenario="run",
+        base={"measure_ns": measure_ns},
+        tweaks=tuple(
+            TweakSpec(name=variant, overrides=dict(overrides))
+            for variant, overrides in VARIANTS.items()
+        ),
+        sweeps=(SweepSpec(field="rate_per_sec", values=tuple(rates)),),
+        matrix=("baseline",),
+        metrics=("latency_mean_ns",),
+    )
+
+
 def run_variant_ablation(
     rates: tuple[float, ...] = (8_000.0, 50_000.0),
     measure_ns: int = msecs(120),
@@ -600,31 +626,28 @@ def run_variant_ablation(
     path — the §2 point that *every* static policy embeds assumptions
     that hold only sometimes.
 
-    The variants x rates grid is one campaign; ``workers > 1`` fans it
-    over a process pool with results identical to serial.
-    ``policy``/``checkpoint``/``watchdog`` supervise the campaign (see
-    :func:`repro.parallel.run_campaign`).
+    The grid runs as a declarative campaign
+    (:func:`variant_ablation_spec` through
+    :func:`repro.campaign.run_spec`), so ``workers > 1`` fans it over a
+    process pool with results identical to serial and
+    ``policy``/``checkpoint``/``watchdog`` supervise it like any other
+    campaign.  Rows come back in the historical order: variant-major,
+    then rate.
     """
-    cells = [
-        (variant, overrides, rate)
-        for variant, overrides in VARIANTS.items()
-        for rate in rates
-    ]
-    results = run_campaign(
-        [
-            replace(
-                default_config(measure_ns=measure_ns),
-                rate_per_sec=rate,
-                **overrides,
-            )
-            for _, overrides, rate in cells
-        ],
+    from repro.campaign import run_spec
+
+    run = run_spec(
+        variant_ablation_spec(rates=tuple(rates), measure_ns=measure_ns),
         workers=workers,
         policy=policy, checkpoint=checkpoint, watchdog=watchdog,
     )
     return VariantAblationResult(rows=[
-        VariantRow(variant=variant, rate=rate, latency_ns=result.latency.mean_ns)
-        for (variant, _, rate), result in zip(cells, results)
+        VariantRow(
+            variant=cell.tweak,
+            rate=cell.sweep[0][1],
+            latency_ns=values["latency_mean_ns"],
+        )
+        for cell, values in zip(run.matrix.cells, run.values)
     ])
 
 

@@ -243,6 +243,36 @@ RECORD_TYPES: dict[str, dict] = {
             "metrics": (dict, "the snapshot (see the metrics catalog)"),
         },
     },
+    "campaign.plan": {
+        "doc": (
+            "A campaign spec was expanded and is about to execute "
+            "(see docs/CAMPAIGNS.md)."
+        ),
+        "fields": {
+            "campaign": (str, "the spec's campaign name"),
+            "scenario": (str, "the scenario the cells run through"),
+            "spec_digest": (str, "sha256 of the spec's canonical JSON"),
+            "cells": (int, "expanded matrix size"),
+            "components": (list, "component names, spec order"),
+            "tweaks": (list, "tweak names, spec order"),
+            "metrics": (list, "metric names the campaign harvests"),
+        },
+    },
+    "campaign.importance": {
+        "doc": (
+            "A campaign finished scoring: the repro-importance-v1 "
+            "ranking, one record per campaign."
+        ),
+        "fields": {
+            "campaign": (str, "the spec's campaign name"),
+            "ranking": (list, "component names, most important first"),
+            "scores": (
+                dict,
+                "component name -> importance score (null when "
+                "uncomputable)",
+            ),
+        },
+    },
 }
 
 

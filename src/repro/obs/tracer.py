@@ -280,6 +280,35 @@ class Tracer:
         if self.enabled:
             self.emit("metrics.snapshot", "metrics", metrics=snapshot)
 
+    def campaign_plan(
+        self,
+        campaign: str,
+        scenario: str,
+        spec_digest: str,
+        cells: int,
+        components: list,
+        tweaks: list,
+        metrics: list,
+    ) -> None:
+        """A ``campaign.plan``: a spec expanded and is about to run."""
+        if self.enabled:
+            self.emit(
+                "campaign.plan", "campaign",
+                campaign=campaign, scenario=scenario,
+                spec_digest=spec_digest, cells=cells,
+                components=components, tweaks=tweaks, metrics=metrics,
+            )
+
+    def campaign_importance(
+        self, campaign: str, ranking: list, scores: dict
+    ) -> None:
+        """A ``campaign.importance``: the final component ranking."""
+        if self.enabled:
+            self.emit(
+                "campaign.importance", "campaign",
+                campaign=campaign, ranking=ranking, scores=scores,
+            )
+
 
 #: Shared always-disabled tracer: the default every instrumented
 #: component holds, so "no tracing" costs one attribute read per site.

@@ -1,0 +1,51 @@
+"""The A7 port: the declarative engine reproduces the legacy grid."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.campaign import expand
+from repro.experiments.ablations import (
+    VARIANTS,
+    run_variant_ablation,
+    variant_ablation_spec,
+)
+from repro.experiments.fig4a import default_config
+from repro.loadgen.lancet import run_benchmark
+from repro.units import msecs
+
+RATES = (8_000.0, 30_000.0)
+MEASURE_NS = msecs(15)
+
+
+def legacy_rows():
+    """The pre-engine loop, verbatim: variant-major, then rate."""
+    rows = []
+    for variant, overrides in VARIANTS.items():
+        for rate in RATES:
+            config = replace(
+                default_config(measure_ns=MEASURE_NS),
+                rate_per_sec=rate,
+                **overrides,
+            )
+            result = run_benchmark(config)
+            rows.append((variant, rate, result.latency.mean_ns))
+    return rows
+
+
+class TestPortParity:
+    def test_engine_matches_legacy_loop_exactly(self):
+        ported = run_variant_ablation(
+            rates=RATES, measure_ns=MEASURE_NS, workers=2
+        )
+        assert [
+            (row.variant, row.rate, row.latency_ns) for row in ported.rows
+        ] == legacy_rows()
+
+    def test_spec_expansion_order_is_the_historical_order(self):
+        matrix = expand(variant_ablation_spec(rates=RATES))
+        assert [
+            (cell.tweak, cell.sweep[0][1]) for cell in matrix.cells
+        ] == [
+            (variant, rate) for variant in VARIANTS for rate in RATES
+        ]

@@ -1,0 +1,131 @@
+"""The `repro campaign` subcommands and the top-level help epilog."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _COMMAND_SUMMARY, build_parser, main
+
+EXAMPLE_JSON = "examples/campaign_ablation.json"
+
+
+def spec_file(tmp_path, document: dict):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+def tiny_doc(**extra) -> dict:
+    doc = {
+        "schema": "repro-campaign-v1",
+        "name": "cli-t",
+        "base": {"measure_ms": 10, "warmup_ms": 5, "rate_per_sec": 5000.0},
+        "components": [
+            {"name": "nagle", "on": {"nagle": True},
+             "off": {"nagle": False}},
+        ],
+        "metrics": ["latency_mean_ns"],
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestHelpEpilog:
+    def test_every_subcommand_is_summarized(self):
+        parser = build_parser()
+        summarized = {name for name, _ in _COMMAND_SUMMARY}
+        subcommands = set()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                subcommands = set(action.choices)
+        assert subcommands  # the parser does have subcommands
+        assert subcommands == summarized
+        for name in subcommands:
+            assert name in parser.epilog
+
+    def test_epilog_reaches_help_text(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "commands:" in out
+        assert "campaign" in out
+
+
+class TestValidate:
+    def test_example_specs_validate(self, capsys):
+        for path in ("examples/campaign_ablation.yaml", EXAMPLE_JSON):
+            if path.endswith(".yaml"):
+                pytest.importorskip("yaml")
+            assert main(["campaign", "validate", path]) == 0
+            out = capsys.readouterr().out
+            assert "repro-campaign-v1 OK" in out
+
+    def test_invalid_spec_exits_nonzero(self, tmp_path, capsys):
+        path = spec_file(tmp_path, {"schema": "repro-campaign-v1"})
+        assert main(["campaign", "validate", str(path)]) == 1
+        assert "name" in capsys.readouterr().err
+
+    def test_importance_document_detected(self, tmp_path, capsys):
+        run = main([
+            "campaign", "run", str(spec_file(tmp_path, tiny_doc())),
+            "--json", str(tmp_path / "imp.json"),
+        ])
+        assert run == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "validate", str(tmp_path / "imp.json"),
+        ]) == 0
+        assert "repro-importance-v1 OK" in capsys.readouterr().out
+
+
+class TestExpand:
+    def test_expand_json_to_stdout(self, tmp_path, capsys):
+        path = spec_file(tmp_path, tiny_doc())
+        assert main(["campaign", "expand", str(path), "--json", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["campaign"] == "cli-t"
+        assert len(document["cells"]) == 4
+
+    def test_expand_listing(self, tmp_path, capsys):
+        path = spec_file(tmp_path, tiny_doc())
+        assert main(["campaign", "expand", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 cell(s)" in out
+        assert "all_but_one:nagle" in out
+
+
+class TestRun:
+    def test_run_prints_leaderboard_and_accounting(self, tmp_path, capsys):
+        path = spec_file(tmp_path, tiny_doc())
+        assert main(["campaign", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign importance: cli-t" in out
+        assert "2 executed, 2 deduped" in out
+
+    def test_run_json_matches_rerun(self, tmp_path, capsys):
+        path = spec_file(tmp_path, tiny_doc())
+        outputs = []
+        for name in ("a.json", "b.json"):
+            assert main([
+                "campaign", "run", str(path),
+                "--json", str(tmp_path / name),
+            ]) == 0
+            outputs.append((tmp_path / name).read_bytes())
+        capsys.readouterr()
+        assert outputs[0] == outputs[1]
+
+    def test_measure_ms_flag_overrides_base(self, tmp_path, capsys):
+        doc = tiny_doc()
+        del doc["base"]["measure_ms"]
+        path = spec_file(tmp_path, doc)
+        assert main([
+            "campaign", "run", str(path), "--measure-ms", "10",
+        ]) == 0
+        assert "4 cell(s)" in capsys.readouterr().out
+
+    def test_spec_error_exits_one(self, tmp_path, capsys):
+        path = spec_file(tmp_path, tiny_doc(metrics=["nope"]))
+        assert main(["campaign", "run", str(path)]) == 1
+        assert "nope" in capsys.readouterr().err

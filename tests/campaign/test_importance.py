@@ -1,0 +1,180 @@
+"""Importance math, exact on hand-computed fixtures."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ComponentSpec,
+    ImportanceReport,
+    compute_importance,
+    expand,
+    validate_importance_document,
+)
+
+
+def two_component_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="imp",
+        components=(
+            ComponentSpec("a", on={"nagle": True}, off={"nagle": False}),
+            ComponentSpec("b", on={"autocork": True},
+                          off={"autocork": False}),
+        ),
+        matrix=("baseline", "all_on", "all_but_one", "only_one"),
+        metrics=("m",),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def values_for(matrix, table: dict) -> list[dict]:
+    """Per-cell metric dicts keyed off each cell's variant label."""
+    return [dict(table[cell.variant]) for cell in matrix.cells]
+
+
+class TestExactMath:
+    def test_hand_computed_fixture(self):
+        spec = two_component_spec()
+        matrix = expand(spec)
+        scored = compute_importance(spec, matrix, values_for(matrix, {
+            "baseline": {"m": 10.0},
+            "all_on": {"m": 20.0},
+            "all_but_one:a": {"m": 12.0},
+            "all_but_one:b": {"m": 18.0},
+            "only_one:a": {"m": 19.0},
+            "only_one:b": {"m": 11.0},
+        }))
+        a = scored["components"][0]["metrics"]["m"]
+        # removing a: 12 - 20; a alone: 19 - 10; norm = |baseline| = 10
+        assert a["ablate_delta"] == pytest.approx(-8.0)
+        assert a["solo_delta"] == pytest.approx(9.0)
+        assert a["importance"] == pytest.approx((0.8 + 0.9) / 2)
+        b = scored["components"][1]["metrics"]["m"]
+        assert b["ablate_delta"] == pytest.approx(-2.0)
+        assert b["solo_delta"] == pytest.approx(1.0)
+        assert b["importance"] == pytest.approx((0.2 + 0.1) / 2)
+        assert scored["components"][0]["score"] == pytest.approx(0.85)
+        assert scored["ranking"] == ["a", "b"]
+
+    def test_family_means_pool_repetitions(self):
+        spec = two_component_spec(
+            components=(
+                ComponentSpec("a", on={"nagle": True}, off={}),
+            ),
+            matrix=("baseline", "only_one"),
+            repetitions=2,
+        )
+        matrix = expand(spec)
+        # rep0/rep1 pairs average: baseline -> 10, only_one:a -> 16
+        per_variant = {"baseline": iter([8.0, 12.0]),
+                       "only_one:a": iter([14.0, 18.0])}
+        values = [
+            {"m": next(per_variant[cell.variant])} for cell in matrix.cells
+        ]
+        scored = compute_importance(spec, matrix, values)
+        entry = scored["components"][0]["metrics"]["m"]
+        assert scored["baseline"]["m"] == pytest.approx(10.0)
+        assert entry["solo_delta"] == pytest.approx(6.0)
+        assert entry["importance"] == pytest.approx(0.6)
+
+    def test_none_values_excluded_from_means(self):
+        spec = two_component_spec(
+            components=(ComponentSpec("a", on={"nagle": True}, off={}),),
+            matrix=("baseline", "only_one"),
+            repetitions=2,
+        )
+        matrix = expand(spec)
+        seen: dict = {}
+        values = []
+        for cell in matrix.cells:
+            first = seen.setdefault(cell.variant, True)
+            seen[cell.variant] = False
+            values.append({"m": 10.0 if first else None})
+        scored = compute_importance(spec, matrix, values)
+        assert scored["baseline"]["m"] == pytest.approx(10.0)
+
+    def test_zero_baseline_uses_tiny_norm(self):
+        spec = two_component_spec(
+            components=(ComponentSpec("a", on={"nagle": True}, off={}),),
+            matrix=("baseline", "only_one"),
+        )
+        matrix = expand(spec)
+        scored = compute_importance(spec, matrix, values_for(matrix, {
+            "baseline": {"m": 0.0},
+            "only_one:a": {"m": 1e-3},
+        }))
+        entry = scored["components"][0]["metrics"]["m"]
+        assert entry["importance"] == pytest.approx(1e-3 / 1e-9)
+
+
+class TestAbsences:
+    def test_missing_families_propagate_none(self):
+        spec = two_component_spec(matrix=("all_on", "all_but_one"))
+        matrix = expand(spec)
+        scored = compute_importance(spec, matrix, values_for(matrix, {
+            "all_on": {"m": 20.0},
+            "all_but_one:a": {"m": 12.0},
+            "all_but_one:b": {"m": 18.0},
+        }))
+        assert scored["baseline"]["m"] is None
+        a = scored["components"][0]["metrics"]["m"]
+        assert a["solo_delta"] is None
+        # norm falls back to the all_on mean when baseline is absent
+        assert a["importance"] == pytest.approx(8.0 / 20.0)
+
+    def test_scoreless_components_rank_last(self):
+        spec = two_component_spec(matrix=("baseline",))
+        matrix = expand(spec)
+        scored = compute_importance(
+            spec, matrix, values_for(matrix, {"baseline": {"m": 10.0}})
+        )
+        assert all(c["score"] is None for c in scored["components"])
+        # name breaks the tie among the scoreless
+        assert scored["ranking"] == ["a", "b"]
+
+
+class TestReport:
+    def make_report(self) -> ImportanceReport:
+        spec = two_component_spec()
+        matrix = expand(spec)
+        scored = compute_importance(spec, matrix, values_for(matrix, {
+            "baseline": {"m": 10.0},
+            "all_on": {"m": 20.0},
+            "all_but_one:a": {"m": 12.0},
+            "all_but_one:b": {"m": 18.0},
+            "only_one:a": {"m": 19.0},
+            "only_one:b": {"m": 11.0},
+        }))
+        return ImportanceReport(
+            campaign=spec.name,
+            scenario=spec.scenario,
+            spec_digest=spec.digest(),
+            seed=spec.seed,
+            repetitions=spec.repetitions,
+            cells=len(matrix.cells),
+            metrics=spec.metrics,
+            baseline=scored["baseline"],
+            all_on=scored["all_on"],
+            components=tuple(scored["components"]),
+            ranking=tuple(scored["ranking"]),
+        )
+
+    def test_document_validates(self):
+        report = self.make_report()
+        assert validate_importance_document(report.to_document()) == []
+
+    def test_canonical_bytes_are_stable(self):
+        report = self.make_report()
+        assert report.to_canonical() == report.to_canonical()
+        assert report.to_canonical().endswith("\n")
+        assert json.loads(report.to_canonical())["ranking"] == ["a", "b"]
+
+    def test_render_leaderboard_order(self):
+        rendered = self.make_report().render()
+        assert rendered.index(" a ") < rendered.index(" b ")
+        assert "0.8500" in rendered
+        assert "baseline means" in rendered

@@ -1,0 +1,186 @@
+"""Canonical matrix expansion: ordering, merging, determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ComponentSpec,
+    SweepSpec,
+    TweakSpec,
+    expand,
+    parse_spec,
+)
+from repro.errors import CampaignSpecError
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="m",
+        components=(
+            ComponentSpec("a", on={"nagle": True}, off={"nagle": False}),
+            ComponentSpec("b", on={"autocork": True},
+                          off={"autocork": False}),
+        ),
+        metrics=("latency_mean_ns",),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestOrdering:
+    def test_canonical_cell_order(self):
+        spec = small_spec(
+            tweaks=(TweakSpec("t1"), TweakSpec("t2")),
+            sweeps=(SweepSpec("rate_per_sec", (1.0, 2.0)),),
+            matrix=("baseline", "all_but_one"),
+            repetitions=2,
+        )
+        labels = [cell.label for cell in expand(spec).cells]
+        expected = [
+            f"{tweak}/{variant}/rate_per_sec={rate}/rep{rep}"
+            for tweak in ("t1", "t2")
+            for variant in ("baseline", "all_but_one:a", "all_but_one:b")
+            for rate in (1.0, 2.0)
+            for rep in (0, 1)
+        ]
+        assert labels == expected
+
+    def test_indices_are_sequential(self):
+        matrix = expand(small_spec())
+        assert [cell.index for cell in matrix.cells] == list(
+            range(len(matrix.cells))
+        )
+
+    def test_implicit_tweak_when_none_declared(self):
+        matrix = expand(small_spec())
+        assert {cell.tweak for cell in matrix.cells} == {""}
+        assert matrix.cells[0].label.startswith("baseline/")
+
+    def test_sweep_axis_nesting_outermost_first(self):
+        spec = small_spec(
+            components=(),
+            matrix=("baseline",),
+            sweeps=(
+                SweepSpec("rate_per_sec", (1.0, 2.0)),
+                SweepSpec("clients", (3, 4)),
+            ),
+        )
+        points = [cell.sweep for cell in expand(spec).cells]
+        assert points == [
+            (("rate_per_sec", 1.0), ("clients", 3)),
+            (("rate_per_sec", 1.0), ("clients", 4)),
+            (("rate_per_sec", 2.0), ("clients", 3)),
+            (("rate_per_sec", 2.0), ("clients", 4)),
+        ]
+
+
+class TestMerging:
+    def test_override_precedence(self):
+        # sweep > component > tweak > base > repetition seed
+        spec = small_spec(
+            base={"rate_per_sec": 1.0, "nagle": False},
+            tweaks=(TweakSpec("t", {"rate_per_sec": 2.0}),),
+            components=(
+                ComponentSpec("a", on={"rate_per_sec": 3.0}, off={}),
+            ),
+            sweeps=(SweepSpec("rate_per_sec", (4.0,)),),
+            matrix=("all_on",),
+        )
+        (cell,) = expand(spec).cells
+        assert cell.overrides["rate_per_sec"] == 4.0
+
+    def test_component_beats_base(self):
+        spec = small_spec(base={"nagle": True}, matrix=("baseline",))
+        (cell,) = expand(spec).cells
+        assert cell.overrides["nagle"] is False
+
+    def test_repetition_seeds(self):
+        spec = small_spec(matrix=("baseline",), repetitions=3, seed=7)
+        seeds = [cell.seed for cell in expand(spec).cells]
+        assert seeds == [7, 8, 9]
+        assert [c.overrides["seed"] for c in expand(spec).cells] == seeds
+
+    def test_base_seed_override_wins(self):
+        spec = small_spec(base={"seed": 42}, matrix=("baseline",))
+        (cell,) = expand(spec).cells
+        assert cell.seed == 42
+
+    def test_component_states_recorded(self):
+        spec = small_spec(matrix=("only_one",))
+        states = {
+            cell.variant: dict(cell.components)
+            for cell in expand(spec).cells
+        }
+        assert states == {
+            "only_one:a": {"a": True, "b": False},
+            "only_one:b": {"a": False, "b": True},
+        }
+
+
+class TestErrors:
+    def test_zero_cell_matrix_rejected(self):
+        spec = small_spec(components=(), matrix=("all_but_one",))
+        with pytest.raises(CampaignSpecError, match="zero cells"):
+            expand(spec)
+
+
+def _random_document(rng: random.Random) -> dict:
+    keys = ["nagle", "autocork", "rate_per_sec", "seed"]
+    def block():
+        return {
+            rng.choice(keys): rng.choice([True, False, 1.0, 2, 5])
+            for _ in range(rng.randint(0, 2))
+        }
+    families = ["baseline", "all_on", "all_but_one", "only_one"]
+    return {
+        "schema": "repro-campaign-v1",
+        "name": f"fuzz-{rng.randint(0, 999)}",
+        "base": block(),
+        "components": [
+            {"name": f"c{i}", "on": block(), "off": block()}
+            for i in range(rng.randint(0, 3))
+        ],
+        "tweaks": [
+            {"name": f"t{i}", "overrides": block()}
+            for i in range(rng.randint(0, 2))
+        ],
+        "sweeps": [
+            {
+                "field": field,
+                "values": [rng.uniform(1, 9) for _ in range(
+                    rng.randint(1, 3))],
+            }
+            for field in rng.sample(
+                ["rate_per_sec", "value_bytes"], rng.randint(0, 2)
+            )
+        ],
+        "matrix": ["baseline"] + rng.sample(
+            families[1:], rng.randint(0, 3)
+        ),
+        "metrics": ["latency_mean_ns", "achieved_rate"],
+        "repetitions": rng.randint(1, 3),
+        "seed": rng.randint(1, 100),
+    }
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("fuzz_seed", range(25))
+    def test_expand_twice_is_byte_identical(self, fuzz_seed):
+        document = _random_document(random.Random(fuzz_seed))
+        spec = parse_spec(document)
+        assert expand(spec).to_json() == expand(spec).to_json()
+
+    @pytest.mark.parametrize("fuzz_seed", range(25))
+    def test_document_round_trip_preserves_matrix(self, fuzz_seed):
+        document = _random_document(random.Random(fuzz_seed))
+        spec = parse_spec(document)
+        again = parse_spec(spec.to_document())
+        assert expand(again).to_json() == expand(spec).to_json()
+
+    def test_digest_embedded_in_matrix(self):
+        spec = small_spec()
+        assert expand(spec).spec_digest == spec.digest()

@@ -13,7 +13,14 @@ delimited by HTML-comment markers:
   ``repro.obs.schema.RECORD_TYPES`` (the single source of truth);
 - ``<!-- repro-diagnosis-schema -->`` … ``<!-- /repro-diagnosis-schema -->``
   — the ``repro-diagnosis-v1`` document tables, generated from
-  ``repro.diagnose.schema.DOCUMENT`` the same way.
+  ``repro.diagnose.schema.DOCUMENT`` the same way;
+- ``<!-- repro-campaign-schema -->`` … ``<!-- /repro-campaign-schema -->``
+  — the ``repro-campaign-v1`` spec tables, generated from
+  ``repro.campaign.schema.SPEC_SECTIONS`` (field, type, default,
+  meaning);
+- ``<!-- repro-importance-schema -->`` … ``<!-- /repro-importance-schema -->``
+  — the ``repro-importance-v1`` report tables, generated from
+  ``repro.campaign.schema.IMPORTANCE_DOCUMENT``.
 
 Run with no arguments to check (exit 1 on drift, printing what moved);
 run with ``--write`` to rewrite the files in place.  CI runs the check
@@ -39,6 +46,7 @@ DOC_FILES = [
     REPO / "docs" / "OBSERVABILITY.md",
     REPO / "docs" / "ARCHITECTURE.md",
     REPO / "docs" / "PERFORMANCE.md",
+    REPO / "docs" / "CAMPAIGNS.md",
 ]
 
 _HELP_BLOCK = re.compile(
@@ -52,6 +60,16 @@ _SCHEMA_BLOCK = re.compile(
 _DIAGNOSIS_BLOCK = re.compile(
     r"(<!-- repro-diagnosis-schema -->\n)(?P<body>.*?)"
     r"(<!-- /repro-diagnosis-schema -->)",
+    re.DOTALL,
+)
+_CAMPAIGN_BLOCK = re.compile(
+    r"(<!-- repro-campaign-schema -->\n)(?P<body>.*?)"
+    r"(<!-- /repro-campaign-schema -->)",
+    re.DOTALL,
+)
+_IMPORTANCE_BLOCK = re.compile(
+    r"(<!-- repro-importance-schema -->\n)(?P<body>.*?)"
+    r"(<!-- /repro-importance-schema -->)",
     re.DOTALL,
 )
 
@@ -142,6 +160,63 @@ def render_diagnosis_schema() -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_campaign_schema() -> str:
+    """The repro-campaign-v1 spec tables, from the live definitions."""
+    from repro.campaign.schema import SPEC_SCHEMA, SPEC_SECTIONS, _type_name
+
+    lines = [
+        f"Schema version: **`{SPEC_SCHEMA}`** (generated from "
+        "`repro.campaign.schema.SPEC_SECTIONS` by `tools/check_docs.py`; "
+        "edit the schema module, not this section).",
+    ]
+    for section, spec in SPEC_SECTIONS.items():
+        lines += [
+            "",
+            f"### `{section}`",
+            "",
+            spec["doc"],
+            "",
+            "| field | type | default | meaning |",
+            "|---|---|---|---|",
+        ]
+        for name, (expected, default, description) in spec["fields"].items():
+            lines.append(
+                f"| `{name}` | `{_type_name(expected)}` | `{default}` "
+                f"| {description} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_importance_schema() -> str:
+    """The repro-importance-v1 report tables, from the live definitions."""
+    from repro.campaign.schema import (
+        IMPORTANCE_DOCUMENT,
+        IMPORTANCE_SCHEMA,
+        _type_name,
+    )
+
+    lines = [
+        f"Schema version: **`{IMPORTANCE_SCHEMA}`** (generated from "
+        "`repro.campaign.schema.IMPORTANCE_DOCUMENT` by "
+        "`tools/check_docs.py`; edit the schema module, not this section).",
+    ]
+    for kind, spec in IMPORTANCE_DOCUMENT.items():
+        lines += [
+            "",
+            f"### `{kind}`",
+            "",
+            spec["doc"],
+            "",
+            "| field | type | meaning |",
+            "|---|---|---|",
+        ]
+        for name, (expected, description) in spec["fields"].items():
+            lines.append(
+                f"| `{name}` | `{_type_name(expected)}` | {description} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def regenerate(text: str) -> str:
     """One file's content with every generated block refreshed."""
 
@@ -156,9 +231,17 @@ def regenerate(text: str) -> str:
     def _diagnosis(match: re.Match) -> str:
         return match.group(1) + render_diagnosis_schema() + match.group(3)
 
+    def _campaign(match: re.Match) -> str:
+        return match.group(1) + render_campaign_schema() + match.group(3)
+
+    def _importance(match: re.Match) -> str:
+        return match.group(1) + render_importance_schema() + match.group(3)
+
     text = _HELP_BLOCK.sub(_help, text)
     text = _SCHEMA_BLOCK.sub(_schema, text)
     text = _DIAGNOSIS_BLOCK.sub(_diagnosis, text)
+    text = _CAMPAIGN_BLOCK.sub(_campaign, text)
+    text = _IMPORTANCE_BLOCK.sub(_importance, text)
     return text
 
 
