@@ -593,6 +593,31 @@ def _add_diagnose(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_remedy(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remediate", action="store_true",
+        help="fire remediation playbooks on diagnosis findings and "
+             "quarantines: flagged cells are re-run with their fault "
+             "plan stripped (environment-vs-config root cause), "
+             "watchdog quarantines retried with a relaxed budget, other "
+             "quarantines re-run in isolation; prints a "
+             "repro-remediation-v1 report. Never changes campaign "
+             "output",
+    )
+    parser.add_argument(
+        "--playbooks", default=None, metavar="PATH",
+        help="with --remediate: a repro-remedy-config-v1 JSON naming "
+             "the playbooks to run (in order) and the probe budget "
+             "(see examples/remedy_playbooks.json; default: all "
+             "playbooks)",
+    )
+    parser.add_argument(
+        "--remedy-budget", type=int, default=None, metavar="N",
+        help="with --remediate: cap on probe re-executions for the "
+             "whole campaign (default 8; overrides --playbooks)",
+    )
+
+
 def _cmd_diagnose(args) -> int:
     import json as _json
     import pathlib as _pathlib
@@ -718,11 +743,45 @@ def _cmd_trace_filter(args) -> int:
     return 0
 
 
+def _remedy_from(args):
+    """A RemedyEngine from --remediate/--playbooks/--remedy-budget."""
+    if not getattr(args, "remediate", False):
+        return None
+    from repro.remedy import DEFAULT_BUDGET, RemedyEngine, load_playbook_config
+
+    playbooks, budget = None, DEFAULT_BUDGET
+    if getattr(args, "playbooks", None):
+        playbooks, budget = load_playbook_config(args.playbooks)
+    if getattr(args, "remedy_budget", None) is not None:
+        budget = args.remedy_budget
+    return RemedyEngine(playbooks=playbooks, budget=budget)
+
+
+def _report_remedy(remedy, campaign: str, spec_digest, json_path) -> None:
+    """Print (and optionally write) the remediation report."""
+    import pathlib as _pathlib
+
+    from repro.remedy import render_report
+
+    if remedy is None:
+        return
+    report = remedy.report(campaign, spec_digest)
+    print(render_report(report))
+    if json_path:
+        if json_path == "-":
+            sys.stdout.write(report.to_canonical())
+        else:
+            target = _pathlib.Path(json_path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(report.to_canonical())
+            print(f"remediation report written to {json_path}")
+
+
 def _cmd_campaign_run(args) -> int:
     import pathlib as _pathlib
 
     from repro.campaign import load_spec, run_spec
-    from repro.errors import CampaignSpecError
+    from repro.errors import CampaignError, CampaignSpecError, RemedyError
 
     try:
         spec = load_spec(args.spec)
@@ -738,12 +797,29 @@ def _cmd_campaign_run(args) -> int:
     policy, checkpoint = _supervise_from(args)
     diagnosis = _diagnosis_from(args)
     try:
+        remedy = _remedy_from(args)
+    except RemedyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
         run = run_spec(
             spec, workers=args.workers, policy=policy,
             checkpoint=checkpoint, tracer=tracer, diagnosis=diagnosis,
+            remedy=remedy,
         )
     except CampaignSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except CampaignError as exc:
+        # Quarantined cells: the campaign is a failure, but remediation
+        # has already probed every quarantine — surface its verdicts
+        # before exiting nonzero.
+        print(f"error: {exc}", file=sys.stderr)
+        _report_remedy(
+            remedy, spec.name, spec.digest(),
+            getattr(args, "remedy_json", None),
+        )
+        _finish_tracer(tracer, args.trace)
         return 1
     print(run.report.render())
     print(run.describe())
@@ -755,10 +831,41 @@ def _cmd_campaign_run(args) -> int:
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_text(run.report.to_canonical())
             print(f"importance report written to {args.json}")
+    _report_remedy(
+        remedy, spec.name, run.matrix.spec_digest,
+        getattr(args, "remedy_json", None),
+    )
     _report_diagnosis(diagnosis)
     _report_cache(checkpoint)
     _finish_tracer(tracer, args.trace)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        spool=args.spool,
+        state_dir=args.state,
+        host=args.host,
+        port=args.port,
+        poll_s=args.poll,
+        workers=args.workers,
+        measure_ms=args.measure_ms,
+        remediate=args.remediate,
+        playbooks=args.playbooks,
+        remedy_budget=args.remedy_budget,
+        once=args.once,
+        quiet=args.quiet,
+    )
+    try:
+        service = ReproService(config)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    service.install_signal_handlers()
+    return service.serve_forever()
 
 
 def _cmd_campaign_expand(args) -> int:
@@ -856,6 +963,7 @@ _COMMAND_SUMMARY: tuple[tuple[str, str], ...] = (
     ("diagnose", "fault diagnosis over a trace (repro-diagnosis-v1)"),
     ("trace", "record/summarize/filter/validate repro-trace-v1"),
     ("campaign", "declarative ablation campaigns (repro-campaign-v1)"),
+    ("serve", "long-running campaign service over a spool directory"),
 )
 
 
@@ -1161,6 +1269,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p_crun)
     _add_supervise(p_crun)
     _add_diagnose(p_crun)
+    _add_remedy(p_crun)
+    p_crun.add_argument("--remedy-json", default=None, metavar="PATH",
+                        help="with --remediate: write the "
+                             "repro-remediation-v1 report as canonical "
+                             "JSON ('-' for stdout)")
     p_crun.set_defaults(func=_cmd_campaign_run)
 
     p_cexpand = campaign_sub.add_parser(
@@ -1181,6 +1294,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_cvalidate.add_argument("path", help="spec or report file")
     p_cvalidate.set_defaults(func=_cmd_campaign_validate)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running campaign service: watch a spool directory "
+             "for repro-campaign-v1 specs, execute each through the "
+             "supervised engine with checkpoints, and expose read-only "
+             "HTTP status (see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--spool", required=True, metavar="DIR",
+                         help="directory watched for campaign specs "
+                              "(.json/.yaml/.yml; created if missing)")
+    p_serve.add_argument("--state", required=True, metavar="DIR",
+                         help="service state directory: the "
+                              "repro-service-v1 journal, the heartbeat "
+                              "file, and one checkpointed subdirectory "
+                              "per campaign")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="HTTP status bind address (default "
+                              "127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="HTTP status port (default 0 = ephemeral; "
+                              "the bound port is in the heartbeat file)")
+    p_serve.add_argument("--poll", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="spool scan interval (default 0.5)")
+    p_serve.add_argument("--measure-ms", type=int, default=None,
+                         help="override every spec's measurement window "
+                              "in simulated ms (part of the campaign's "
+                              "identity: changing it is a new campaign)")
+    p_serve.add_argument("--once", action="store_true",
+                         help="process the spool's current contents, "
+                              "then exit instead of watching")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress progress lines on stderr")
+    _add_workers(p_serve)
+    _add_remedy(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
     return parser
 
 
@@ -1195,6 +1345,21 @@ def main(argv: list[str] | None = None) -> int:
 
         os.close(sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        # ^C mid-campaign: no traceback.  The checkpoint store fsyncs
+        # every record as it lands, so everything completed before the
+        # interrupt is durable and a rerun resumes from it.
+        print("\ninterrupted", file=sys.stderr)
+        store = getattr(args, "resume", None) or getattr(
+            args, "cache_dir", None
+        )
+        if store:
+            print(
+                f"hint: completed runs are checkpointed in {store}; "
+                f"re-run the same command to resume from them",
+                file=sys.stderr,
+            )
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

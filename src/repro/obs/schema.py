@@ -234,6 +234,36 @@ RECORD_TYPES: dict[str, dict] = {
             ),
         },
     },
+    "remedy.action": {
+        "doc": (
+            "A remediation playbook fired on a supervised job (see "
+            "docs/SERVICE.md, 'Remediation playbooks')."
+        ),
+        "fields": {
+            "playbook": (str, "playbook name, e.g. 'confirm-environment'"),
+            "index": (int, "job position in the submitted campaign"),
+            "key": (str, "content digest of the job's config"),
+            "trigger": (str, "'finding' | 'quarantine' — what fired it"),
+        },
+    },
+    "remedy.verdict": {
+        "doc": (
+            "A remediation playbook finished its probe and classified "
+            "the episode's root cause."
+        ),
+        "fields": {
+            "playbook": (str, "playbook name, e.g. 'confirm-environment'"),
+            "index": (int, "job position in the submitted campaign"),
+            "key": (str, "content digest of the job's config"),
+            "verdict": (
+                str,
+                "'environment' | 'config' | 'recovered-with-slack' | "
+                "'persistent' | 'transient' | 'skipped'",
+            ),
+            "probes": (int, "probe re-executions the playbook performed"),
+            "detail": (str, "human-readable justification"),
+        },
+    },
     "metrics.snapshot": {
         "doc": (
             "A repro-metrics-v1 registry snapshot, typically appended "

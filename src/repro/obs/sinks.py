@@ -17,6 +17,7 @@ contract), so every sink can serialize without knowing record types.
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -158,29 +159,59 @@ class JsonlTail:
     partial trailing line (the writer mid-record) is buffered until its
     newline arrives, so a live reader never crashes on a torn write and
     never yields a record twice.  The file may not exist yet (poll
-    returns nothing); a file that *shrinks* is a fresh stream at the
-    same path and is re-read from the start.
+    returns nothing); a *rotated* file — truncated in place, or
+    unlinked and recreated (the service's log-rotation pattern) — is a
+    fresh stream at the same path and is re-read from the start.
+    Rotation is detected three ways: a size below the read offset (a
+    truncate), an inode change (a recreate), and a changed *content
+    fingerprint* — the first bytes already consumed no longer match
+    what was read before.  The fingerprint is the authoritative check:
+    it catches a replacement file that has already grown past the old
+    offset by the time the follower polls again, even when the
+    filesystem reused the inode number or the file was rewritten in
+    place.
     """
+
+    #: Bytes of file head remembered as the rotation fingerprint.
+    _PREFIX_LEN = 256
 
     def __init__(self, path):
         self.path = Path(path)
         self._offset = 0
         self._carry = b""
+        self._ino: int | None = None
+        self._prefix = b""  # first bytes consumed from this incarnation
         self.records_read = 0
 
     def poll(self) -> list[dict]:
         """Parse and return every newly completed record."""
         try:
             with self.path.open("rb") as handle:
-                handle.seek(0, 2)
-                size = handle.tell()
-                if size < self._offset:
-                    # Truncated/rewritten: start over on the new stream.
+                stat = os.fstat(handle.fileno())
+                size = stat.st_size
+                rotated = (
+                    (self._ino is not None and stat.st_ino != self._ino)
+                    or size < self._offset
+                )
+                if not rotated and self._prefix:
+                    # Same inode, size >= offset — still possibly a
+                    # rewritten file.  The head bytes settle it.
+                    if handle.read(len(self._prefix)) != self._prefix:
+                        rotated = True
+                if rotated:
+                    # A fresh stream lives at this path: start over and
+                    # forget any partial line from the old incarnation.
                     self._offset = 0
                     self._carry = b""
+                    self._prefix = b""
+                self._ino = stat.st_ino
                 handle.seek(self._offset)
                 chunk = handle.read()
                 self._offset = handle.tell()
+                if len(self._prefix) < self._PREFIX_LEN:
+                    head = (self._prefix + chunk if self._offset == len(chunk)
+                            else self._prefix)
+                    self._prefix = head[:self._PREFIX_LEN]
         except FileNotFoundError:
             return []
         data = self._carry + chunk

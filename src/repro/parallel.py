@@ -201,7 +201,7 @@ class ParallelRunner:
         self.last_metrics = None
 
     def _supervisor(
-        self, n: int, checkpoint, tracer, diagnosis=None
+        self, n: int, checkpoint, tracer, diagnosis=None, remedy=None
     ) -> Supervisor:
         supervisor = Supervisor(
             workers=min(self.workers, n),
@@ -210,6 +210,7 @@ class ParallelRunner:
             checkpoint=_as_store(checkpoint),
             tracer=tracer,
             diagnosis=diagnosis,
+            remedy=remedy,
         )
         self.last_metrics = supervisor.metrics
         return supervisor
@@ -226,6 +227,7 @@ class ParallelRunner:
         checkpoint=None,
         watchdog: Watchdog | None = None,
         diagnosis=None,
+        remedy=None,
     ) -> list[JobOutcome]:
         """Supervised campaign; outcomes align index-for-index.
 
@@ -246,6 +248,10 @@ class ParallelRunner:
         hook reads the trace stream) and is attached to it here if not
         already.  Raises :class:`~repro.errors.DiagnosisError` when
         given without a tracer.
+
+        ``remedy`` (a :class:`repro.remedy.RemedyEngine`) receives
+        flagged completions and quarantines; it observes only and never
+        changes an outcome.
         """
         from repro.loadgen.lancet import run_benchmark
 
@@ -271,7 +277,9 @@ class ParallelRunner:
                     config, tweak=tweak, tracer=tracer, watchdog=watchdog
                 )
 
-            supervisor = self._supervisor(1, checkpoint, tracer, diagnosis)
+            supervisor = self._supervisor(
+                1, checkpoint, tracer, diagnosis, remedy
+            )
             return supervisor.run(
                 traced, list(enumerate(configs)), keys=keys, labels=labels
             )
@@ -282,7 +290,9 @@ class ParallelRunner:
                 "(use a module-level tweak function, or workers=1)",
                 stacklevel=2,
             )
-            supervisor = self._supervisor(1, checkpoint, tracer)
+            supervisor = self._supervisor(
+                1, checkpoint, tracer, remedy=remedy
+            )
             return supervisor.run(
                 lambda config: run_benchmark(
                     config, tweak=tweak, watchdog=watchdog
@@ -290,7 +300,7 @@ class ParallelRunner:
                 list(configs), keys=keys, labels=labels,
             )
 
-        supervisor = self._supervisor(n, checkpoint, tracer)
+        supervisor = self._supervisor(n, checkpoint, tracer, remedy=remedy)
         payloads = [(config, tweak, watchdog) for config in configs]
         return supervisor.run(_run_config, payloads, keys=keys, labels=labels)
 
@@ -302,6 +312,7 @@ class ParallelRunner:
         checkpoint=None,
         watchdog: Watchdog | None = None,
         diagnosis=None,
+        remedy=None,
     ) -> list[RunResult]:
         """Run every config; results align index-for-index with ``configs``.
 
@@ -315,7 +326,7 @@ class ParallelRunner:
             self.run_many_outcomes(
                 configs, tweak=tweak, tracer=tracer,
                 checkpoint=checkpoint, watchdog=watchdog,
-                diagnosis=diagnosis,
+                diagnosis=diagnosis, remedy=remedy,
             )
         )
 
@@ -332,6 +343,7 @@ class ParallelRunner:
         keys: Sequence[str] | None = None,
         tracer=None,
         diagnosis=None,
+        remedy=None,
     ) -> list[JobOutcome]:
         """Supervised :meth:`map`: typed outcomes instead of raising.
 
@@ -361,7 +373,9 @@ class ParallelRunner:
                     tracer.log_message(f"campaign run {index + 1}/{n}: {name}")
                 return _apply(inner)
 
-            supervisor = self._supervisor(1, checkpoint, tracer, diagnosis)
+            supervisor = self._supervisor(
+                1, checkpoint, tracer, diagnosis, remedy
+            )
             return supervisor.run(
                 traced, list(enumerate(payloads)), keys=keys, labels=labels
             )
@@ -371,9 +385,9 @@ class ParallelRunner:
                 "(use a module-level function, or workers=1)",
                 stacklevel=2,
             )
-            supervisor = self._supervisor(1, checkpoint, None)
+            supervisor = self._supervisor(1, checkpoint, None, remedy=remedy)
         else:
-            supervisor = self._supervisor(n, checkpoint, None)
+            supervisor = self._supervisor(n, checkpoint, None, remedy=remedy)
         return supervisor.run(_apply, payloads, keys=keys, labels=labels)
 
     def map(self, fn: Callable[..., _R], items: Sequence) -> list[_R]:
@@ -396,12 +410,14 @@ def run_campaign(
     checkpoint=None,
     watchdog: Watchdog | None = None,
     diagnosis=None,
+    remedy=None,
 ) -> list[RunResult]:
     """One-shot convenience: ``ParallelRunner(workers).run_many(configs)``."""
     runner = ParallelRunner(workers, start_method=start_method, policy=policy)
     return runner.run_many(
         configs, tweak=tweak, tracer=tracer,
         checkpoint=checkpoint, watchdog=watchdog, diagnosis=diagnosis,
+        remedy=remedy,
     )
 
 
@@ -415,10 +431,12 @@ def run_campaign_outcomes(
     checkpoint=None,
     watchdog: Watchdog | None = None,
     diagnosis=None,
+    remedy=None,
 ) -> list[JobOutcome]:
     """Salvage-friendly :func:`run_campaign`: typed outcomes, no raise."""
     runner = ParallelRunner(workers, start_method=start_method, policy=policy)
     return runner.run_many_outcomes(
         configs, tweak=tweak, tracer=tracer,
         checkpoint=checkpoint, watchdog=watchdog, diagnosis=diagnosis,
+        remedy=remedy,
     )

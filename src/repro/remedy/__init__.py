@@ -1,0 +1,70 @@
+"""Automated remediation: typed playbooks over supervision events.
+
+When the always-on diagnosis layer flags a job — or the supervisor
+quarantines one — the remediation engine fires deterministic
+*playbooks* that re-execute the cell with a targeted edit and classify
+the episode's root cause (environment vs configuration, tight budget vs
+runaway, transient vs persistent), producing the canonical
+``repro-remediation-v1`` report.  See :mod:`repro.remedy.playbooks` for
+the recipes and :mod:`repro.remedy.engine` for the firing rules.
+"""
+
+from repro.remedy.engine import RemedyEngine
+from repro.remedy.playbooks import (
+    CONFIRM_ENVIRONMENT,
+    DEFAULT_BUDGET,
+    ISOLATE_AND_RERUN,
+    PLAYBOOKS,
+    RELAX_WATCHDOG,
+    WATCHDOG_SLACK,
+    FlaggedJob,
+    Playbook,
+    ProbeOutcome,
+    ProbeRun,
+    QuarantinedJob,
+    load_playbook_config,
+    resolve_playbooks,
+    result_digest,
+)
+from repro.remedy.report import (
+    SCHEMA,
+    TRIGGER_FINDING,
+    TRIGGER_QUARANTINE,
+    TRIGGERS,
+    VERDICTS,
+    RemediationReport,
+    RemedyAction,
+    render_report,
+)
+from repro.remedy.schema import (
+    require_valid_remediation_report,
+    validate_remediation_report,
+)
+
+__all__ = [
+    "RemedyEngine",
+    "Playbook",
+    "PLAYBOOKS",
+    "CONFIRM_ENVIRONMENT",
+    "RELAX_WATCHDOG",
+    "ISOLATE_AND_RERUN",
+    "DEFAULT_BUDGET",
+    "WATCHDOG_SLACK",
+    "FlaggedJob",
+    "QuarantinedJob",
+    "ProbeRun",
+    "ProbeOutcome",
+    "load_playbook_config",
+    "resolve_playbooks",
+    "result_digest",
+    "RemediationReport",
+    "RemedyAction",
+    "render_report",
+    "SCHEMA",
+    "VERDICTS",
+    "TRIGGERS",
+    "TRIGGER_FINDING",
+    "TRIGGER_QUARANTINE",
+    "validate_remediation_report",
+    "require_valid_remediation_report",
+]

@@ -1,0 +1,197 @@
+"""The remediation engine: fire playbooks on supervision events.
+
+:class:`RemedyEngine` sits beside the :class:`~repro.supervise.Supervisor`
+the way :class:`~repro.diagnose.DiagnosisHook` does: the supervisor calls
+:meth:`job_flagged` when a completed job drew diagnosis findings and
+:meth:`job_quarantined` when a job is given up on, and the engine walks
+its playbooks **in configured order**, fires every one whose trigger and
+match predicate apply, and collects the resulting
+:class:`~repro.remedy.report.RemedyAction` records.
+
+Probes — the targeted re-executions playbooks request — go through a
+*prober* the campaign layer binds (:meth:`bind_prober`): a callable
+``prober(index, edit)`` that either returns a
+:class:`~repro.remedy.playbooks.ProbeRun`, returns ``None`` when the
+edit does not apply to that cell (e.g. no fault plan to strip), or
+raises the probe's own failure.  The engine enforces the per-campaign
+probe *budget* around it: once ``budget`` probes have executed, further
+playbook firings record verdict ``skipped`` instead of re-executing
+anything.
+
+Observability: each firing emits a ``remedy.action`` trace record and a
+``remedy.verdict`` record with the classification, plus ``remedy.*``
+metrics (``remedy.actions``, ``remedy.probes``,
+``remedy.budget_exhausted``, and per-verdict counters).  Remediation is
+strictly *diagnostic*: it never changes a job's outcome, touches the
+checkpoint store, or feeds the diagnosis stream, so campaign output is
+byte-identical with and without it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RemedyError
+from repro.obs.log import NULL_LOG
+from repro.obs.tracer import NULL_TRACER
+from repro.remedy.playbooks import (
+    DEFAULT_BUDGET,
+    FlaggedJob,
+    ProbeOutcome,
+    ProbeRun,
+    QuarantinedJob,
+    resolve_playbooks,
+)
+from repro.remedy.report import RemediationReport, RemedyAction
+
+
+class RemedyEngine:
+    """Deterministic remediation over one supervised campaign.
+
+    ``playbooks`` is an ordered list of names or
+    :class:`~repro.remedy.playbooks.Playbook` objects (default: the full
+    registry in its canonical order); ``budget`` caps probe
+    re-executions for the whole campaign.  The engine is single-use: one
+    campaign, then :meth:`report`.
+    """
+
+    def __init__(self, playbooks=None, budget: int = DEFAULT_BUDGET, log=None):
+        if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+            raise RemedyError(
+                f"remediation budget must be a non-negative integer, "
+                f"got {budget!r}"
+            )
+        self.playbooks = resolve_playbooks(playbooks)
+        self.budget = budget
+        self.actions: list[RemedyAction] = []
+        self._prober = None
+        self._probes_used = 0
+        self._tracer = NULL_TRACER
+        self._metrics = None
+        self._log = log if log is not None else NULL_LOG
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind_prober(self, prober) -> None:
+        """Attach the campaign layer's re-execution hook.
+
+        ``prober(index, edit)`` re-runs the cell at ``index`` with the
+        named edit (``strip-faults`` / ``relax-watchdog`` / ``traced``)
+        and returns a :class:`ProbeRun`, or ``None`` when the edit does
+        not apply to that cell.  Exceptions it raises are the probe's
+        own failure and become part of the verdict.
+        """
+        self._prober = prober
+
+    def bind_runtime(self, tracer=None, metrics=None, log=None) -> None:
+        """Called by the supervisor: share its tracer/metrics/log."""
+        if tracer is not None:
+            self._tracer = tracer
+        if metrics is not None:
+            self._metrics = metrics
+        if log is not None and log is not NULL_LOG:
+            self._log = log
+
+    # -- budget ---------------------------------------------------------
+
+    @property
+    def probes_used(self) -> int:
+        return self._probes_used
+
+    @property
+    def probes_remaining(self) -> int:
+        return max(0, self.budget - self._probes_used)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
+
+    # -- supervision hooks ----------------------------------------------
+
+    def job_flagged(
+        self, index: int, key: str, label: str | None,
+        findings: int, classes, result,
+    ) -> None:
+        """A completed (not quarantined) job drew diagnosis findings."""
+        self._fire(FlaggedJob(
+            index=index, key=key, label=label,
+            findings=findings, classes=tuple(classes), result=result,
+        ))
+
+    def job_quarantined(
+        self, index: int, key: str, label: str | None,
+        kind: str, error_type: str | None, message: str,
+    ) -> None:
+        """The supervisor gave up on a job."""
+        self._fire(QuarantinedJob(
+            index=index, key=key, label=label,
+            kind=kind, error_type=error_type, message=message,
+        ))
+
+    # -- the firing loop ------------------------------------------------
+
+    def _probe(self, index: int, edit: str) -> ProbeOutcome:
+        if self._prober is None:
+            return ProbeOutcome(status="no-prober")
+        if self._probes_used >= self.budget:
+            self._count("remedy.budget_exhausted")
+            return ProbeOutcome(status="budget")
+        try:
+            run = self._prober(index, edit)
+        except Exception as exc:
+            self._probes_used += 1
+            self._count("remedy.probes")
+            return ProbeOutcome(
+                status="failed",
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+        if run is None:
+            return ProbeOutcome(status="inapplicable")
+        if not isinstance(run, ProbeRun):
+            run = ProbeRun(result=run)
+        self._probes_used += 1
+        self._count("remedy.probes")
+        return ProbeOutcome(status="ok", run=run)
+
+    def _fire(self, event) -> None:
+        for playbook in self.playbooks:
+            if playbook.trigger != event.trigger:
+                continue
+            if not playbook.matches(event):
+                continue
+            self._count("remedy.actions")
+            self._tracer.remedy_action(
+                playbook.name, event.index, event.key, event.trigger,
+            )
+            verdict, probes, detail = playbook.run(
+                event, lambda edit: self._probe(event.index, edit),
+            )
+            self._count(f"remedy.verdict.{verdict}")
+            self._tracer.remedy_verdict(
+                playbook.name, event.index, event.key,
+                verdict, probes, detail,
+            )
+            action = RemedyAction(
+                playbook=playbook.name,
+                index=event.index,
+                key=event.key,
+                label=event.label,
+                trigger=event.trigger,
+                verdict=verdict,
+                probes=probes,
+                detail=detail,
+            )
+            self.actions.append(action)
+            self._log.info(f"remedy: {action.describe()}")
+
+    # -- output ---------------------------------------------------------
+
+    def report(
+        self, campaign: str, spec_digest: str | None = None
+    ) -> RemediationReport:
+        """The campaign's canonical ``repro-remediation-v1`` report."""
+        return RemediationReport(
+            campaign=campaign,
+            spec_digest=spec_digest,
+            budget=self.budget,
+            actions=tuple(self.actions),
+        )

@@ -1,0 +1,152 @@
+"""The ``repro-remediation-v1`` report: what remediation did and found.
+
+A report is the typed record of every remediation playbook that fired
+during one supervised campaign — which job triggered it, what probe it
+ran, and the root-cause verdict it reached.  Serialization is
+**canonical** (fixed key order, compact separators, newline-terminated)
+like every other report in the repo, so the self-healing acceptance
+contract — "the same campaign produces the same remediation report
+bytes" — is checkable with ``==`` on bytes.
+
+Verdict vocabulary (:data:`VERDICTS`):
+
+- ``environment`` — the fault-plan-stripped probe diverged from the
+  flagged run: the injected environment, not the configuration, caused
+  the pathology;
+- ``config`` — the stripped probe reproduced the flagged result (or
+  there was no fault plan to strip): the configuration itself is the
+  root cause;
+- ``recovered-with-slack`` — a quarantined job succeeded when re-run
+  with a scaled watchdog budget: the budget was too tight;
+- ``persistent`` — the probe failed the same way the original did;
+- ``transient`` — an isolated re-run of a quarantined job succeeded:
+  the failure did not reproduce;
+- ``skipped`` — the playbook matched but did not probe (remediation
+  budget exhausted, or no prober bound).
+
+Nothing here reads the wall clock; a remediation report is a pure
+function of the campaign's jobs, their outcomes, and the probes' own
+deterministic results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+SCHEMA = "repro-remediation-v1"
+
+#: Closed verdict vocabulary (see the module doc).
+VERDICTS = (
+    "environment",
+    "config",
+    "recovered-with-slack",
+    "persistent",
+    "transient",
+    "skipped",
+)
+
+#: What fired a playbook.
+TRIGGER_FINDING = "finding"
+TRIGGER_QUARANTINE = "quarantine"
+TRIGGERS = (TRIGGER_FINDING, TRIGGER_QUARANTINE)
+
+
+@dataclass(frozen=True)
+class RemedyAction:
+    """One playbook invocation on one supervised job.
+
+    ``index``/``key``/``label`` identify the job exactly as supervision
+    outcomes do; ``trigger`` says what fired the playbook (a diagnosis
+    ``finding`` or a ``quarantine``); ``probes`` counts the re-executions
+    the playbook performed (0 for a verdict reached without one).
+    """
+
+    playbook: str
+    index: int
+    key: str
+    label: str | None
+    trigger: str
+    verdict: str
+    probes: int
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "playbook": self.playbook,
+            "index": self.index,
+            "key": self.key,
+            "label": self.label,
+            "trigger": self.trigger,
+            "verdict": self.verdict,
+            "probes": self.probes,
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        name = self.label if self.label else f"job {self.index}"
+        return (
+            f"{self.playbook} on {name} ({self.trigger}): "
+            f"{self.verdict} — {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class RemediationReport:
+    """The full document: every action plus the campaign rollup."""
+
+    campaign: str
+    spec_digest: str | None
+    budget: int
+    actions: tuple[RemedyAction, ...] = ()
+
+    def summary(self) -> dict:
+        by_verdict: dict[str, int] = {}
+        by_playbook: dict[str, int] = {}
+        probes = 0
+        for action in self.actions:
+            by_verdict[action.verdict] = by_verdict.get(action.verdict, 0) + 1
+            by_playbook[action.playbook] = (
+                by_playbook.get(action.playbook, 0) + 1
+            )
+            probes += action.probes
+        return {
+            "actions": len(self.actions),
+            "probes": probes,
+            "by_verdict": dict(sorted(by_verdict.items())),
+            "by_playbook": dict(sorted(by_playbook.items())),
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "campaign": self.campaign,
+            "spec_digest": self.spec_digest,
+            "budget": self.budget,
+            "actions": [action.to_json() for action in self.actions],
+            "summary": self.summary(),
+        }
+
+    def to_canonical(self) -> str:
+        """The canonical byte form: compact, fixed key order, one ``\\n``."""
+        return json.dumps(self.to_json(), separators=(",", ":")) + "\n"
+
+
+def render_report(report: RemediationReport) -> str:
+    """Human-readable rendering, for the CLI's default output."""
+    summary = report.summary()
+    lines = [
+        f"remediation {report.campaign}: {summary['actions']} action(s), "
+        f"{summary['probes']} probe(s), budget {report.budget}"
+    ]
+    for action in report.actions:
+        lines.append(f"  {action.describe()}")
+    if summary["by_verdict"]:
+        verdicts = ", ".join(
+            f"{verdict}={count}"
+            for verdict, count in summary["by_verdict"].items()
+        )
+        lines.append(f"  by verdict: {verdicts}")
+    else:
+        lines.append("  no playbook fired: nothing needed remediation")
+    return "\n".join(lines)

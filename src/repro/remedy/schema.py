@@ -1,0 +1,148 @@
+"""``repro-remediation-v1`` document schema: definition and validation.
+
+Mirrors the :mod:`repro.diagnose.schema` idiom: the field tables here
+are the single source of truth — :func:`validate_remediation_report`
+checks a parsed document against them, and ``tools/check_docs.py``
+regenerates the schema table embedded in ``docs/SERVICE.md`` from the
+same structure, so documentation cannot drift from code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RemedyError
+from repro.remedy.report import SCHEMA, TRIGGERS, VERDICTS
+
+#: The document layout, one table per JSON object kind, in render order.
+#: Field specs are ``name -> (python type(s), description)`` exactly as
+#: in :data:`repro.obs.schema.RECORD_TYPES`.
+DOCUMENT: dict[str, dict] = {
+    "report": {
+        "doc": (
+            "Top-level document emitted by "
+            "``repro campaign run --remediate --remedy-json``."
+        ),
+        "fields": {
+            "schema": (str, f"schema version; always {SCHEMA!r}"),
+            "campaign": (str, "the campaign spec's name"),
+            "spec_digest": (
+                (str, type(None)),
+                "sha256 of the spec's canonical JSON, when known",
+            ),
+            "budget": (int, "per-campaign probe budget the engine ran with"),
+            "actions": (list, "one ``action`` object per playbook firing"),
+            "summary": (dict, "the campaign-wide ``summary`` object"),
+        },
+    },
+    "action": {
+        "doc": "One playbook invocation on one supervised job.",
+        "fields": {
+            "playbook": (
+                str,
+                "'confirm-environment' | 'relax-watchdog' | "
+                "'isolate-and-rerun'",
+            ),
+            "index": (int, "job position in the submitted campaign"),
+            "key": (str, "content digest of the job's config"),
+            "label": ((str, type(None)), "the job's human-readable label"),
+            "trigger": (str, " | ".join(f"'{t}'" for t in TRIGGERS)),
+            "verdict": (str, " | ".join(f"'{v}'" for v in VERDICTS)),
+            "probes": (int, "probe re-executions performed (0 or 1)"),
+            "detail": (str, "human-readable justification"),
+        },
+    },
+    "summary": {
+        "doc": "Campaign-wide rollup over every action.",
+        "fields": {
+            "actions": (int, "playbook firings"),
+            "probes": (int, "probe re-executions across all actions"),
+            "by_verdict": (dict, "action counts keyed by verdict"),
+            "by_playbook": (dict, "action counts keyed by playbook"),
+        },
+    },
+}
+
+
+def _check(value, expected) -> bool:
+    if isinstance(expected, tuple):
+        return isinstance(value, expected)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def _check_object(obj, kind: str, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"{where}: must be an object, got {type(obj).__name__}"]
+    fields = DOCUMENT[kind]["fields"]
+    for name, (expected, _) in fields.items():
+        if name not in obj:
+            problems.append(f"{where}: missing field {name!r}")
+        elif not _check(obj[name], expected):
+            problems.append(
+                f"{where}: field {name!r} has wrong type "
+                f"{type(obj[name]).__name__}"
+            )
+    extras = set(obj) - set(fields)
+    if extras:
+        problems.append(f"{where}: unexpected fields {sorted(extras)}")
+    return problems
+
+
+def validate_remediation_report(document) -> list[str]:
+    """Check a parsed report document; return a list of problems.
+
+    Empty list means the document is a valid ``repro-remediation-v1``
+    report.  Checks structure, field types, verdict/trigger enums, and
+    internal consistency (the summary matches the actions it rolls up).
+    """
+    problems = _check_object(document, "report", "report")
+    if problems:
+        return problems
+    if document["schema"] != SCHEMA:
+        problems.append(
+            f"report: schema is {document['schema']!r}, expected {SCHEMA!r}"
+        )
+    probes = 0
+    by_verdict: dict[str, int] = {}
+    for aindex, action in enumerate(document["actions"]):
+        where = f"actions[{aindex}]"
+        problems.extend(_check_object(action, "action", where))
+        if problems:
+            continue
+        if action["verdict"] not in VERDICTS:
+            problems.append(f"{where}: unknown verdict {action['verdict']!r}")
+        if action["trigger"] not in TRIGGERS:
+            problems.append(f"{where}: unknown trigger {action['trigger']!r}")
+        probes += action["probes"]
+        by_verdict[action["verdict"]] = by_verdict.get(action["verdict"], 0) + 1
+    summary = document["summary"]
+    problems.extend(_check_object(summary, "summary", "summary"))
+    if not problems:
+        if summary["actions"] != len(document["actions"]):
+            problems.append(
+                f"summary: actions={summary['actions']} but document has "
+                f"{len(document['actions'])}"
+            )
+        if summary["probes"] != probes:
+            problems.append(
+                f"summary: probes={summary['probes']} but actions hold "
+                f"{probes}"
+            )
+        if summary["by_verdict"] != dict(sorted(by_verdict.items())):
+            problems.append("summary: by_verdict does not match the actions")
+    return problems
+
+
+def require_valid_remediation_report(document) -> None:
+    """Raise :class:`RemedyError` unless the document validates."""
+    problems = validate_remediation_report(document)
+    if problems:
+        shown = "\n  ".join(problems[:20])
+        more = (
+            f"\n  ... and {len(problems) - 20} more"
+            if len(problems) > 20 else ""
+        )
+        raise RemedyError(
+            f"document does not conform to {SCHEMA}:\n  {shown}{more}"
+        )

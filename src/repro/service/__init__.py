@@ -1,0 +1,41 @@
+"""The long-running campaign service behind ``repro serve``.
+
+A daemon that watches a *spool* directory for ``repro-campaign-v1``
+specs, executes each through the supervised campaign engine (with
+checkpoints and, optionally, remediation playbooks), and exposes a
+read-only HTTP status surface.  Crash-safety comes from two layers: the
+per-campaign checkpoint store (every completed cell is fsynced as it
+lands) and the service's own ``repro-service-v1`` state journal, so a
+killed service restarts, resumes in-flight campaigns, and finishes with
+reports byte-identical to an uninterrupted run.
+"""
+
+from repro.service.daemon import ReproService, ServiceConfig, campaign_id
+from repro.service.http import StatusServer
+from repro.service.schema import (
+    HEARTBEAT_FILE,
+    JOURNAL_FILE,
+    SERVICE_SCHEMA,
+    STATUSES,
+    validate_journal_record,
+)
+from repro.service.state import (
+    ServiceJournal,
+    read_heartbeat,
+    write_heartbeat,
+)
+
+__all__ = [
+    "ReproService",
+    "ServiceConfig",
+    "StatusServer",
+    "ServiceJournal",
+    "campaign_id",
+    "read_heartbeat",
+    "write_heartbeat",
+    "SERVICE_SCHEMA",
+    "STATUSES",
+    "JOURNAL_FILE",
+    "HEARTBEAT_FILE",
+    "validate_journal_record",
+]

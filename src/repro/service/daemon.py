@@ -1,0 +1,409 @@
+"""The ``repro serve`` daemon: a spool-driven campaign service.
+
+Operation model::
+
+    spool/                 <- drop repro-campaign-v1 specs here
+      nightly.json
+    state/
+      journal.jsonl        <- repro-service-v1 state transitions (fsynced)
+      heartbeat.json       <- atomically rewritten liveness (pid/port/seq)
+      campaigns/<id>/
+        checkpoint/        <- repro-checkpoint-v1 shards for the campaign
+        report.json        <- finished repro-importance-v1 report (canonical)
+        remedy.json        <- repro-remediation-v1 report (with remediation)
+
+A campaign's **id** is a prefix of its *effective* spec digest (the
+spec after the service's ``measure_ms`` override) — so the same spec
+dropped twice is one campaign, a restarted service maps each spec back
+to the same state directory, and resuming an interrupted campaign
+replays its fsynced checkpoints into a report **byte-identical** to an
+uninterrupted run.
+
+Crash/restart contract: every state transition is journaled durably
+*before* the work it announces; on startup the journal is replayed and
+anything left ``queued`` or ``running`` (or ``done`` with its report
+missing) is simply re-run — the checkpoint store makes that a cheap
+replay, not a recompute.  Graceful drain: SIGTERM/SIGINT ask the
+service to stop, the in-flight campaign finishes (its checkpoints mean
+even that is optional), state is journaled, and the process exits 0.
+SIGKILL is the covered-by-design crash path the CI smoke exercises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import ServiceError
+from repro.service.http import StatusServer
+from repro.service.schema import HEARTBEAT_FILE, JOURNAL_FILE, SERVICE_SCHEMA
+from repro.service.state import ServiceJournal, write_heartbeat
+
+#: Spec digest prefix length used as the campaign id.
+ID_LEN = 16
+
+#: Spool extensions the scanner picks up, in scan order.
+SPEC_SUFFIXES = (".json", ".yaml", ".yml")
+
+
+def campaign_id(spec) -> str:
+    """The service id of one (effective) campaign spec."""
+    return spec.digest()[:ID_LEN]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to run (see the CLI flags)."""
+
+    spool: str
+    state_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    poll_s: float = 0.5
+    workers: int = 1
+    measure_ms: int | None = None
+    remediate: bool = False
+    playbooks: str | None = None
+    remedy_budget: int | None = None
+    once: bool = False
+    quiet: bool = False
+
+    def validate(self) -> None:
+        if self.poll_s <= 0:
+            raise ServiceError(
+                f"poll interval must be positive, got {self.poll_s}"
+            )
+        if self.port < 0 or self.port > 65535:
+            raise ServiceError(f"invalid port {self.port}")
+
+
+class ReproService:
+    """The long-running campaign service (one instance per state dir)."""
+
+    def __init__(self, config: ServiceConfig):
+        config.validate()
+        self.config = config
+        import pathlib
+
+        self.spool = pathlib.Path(config.spool)
+        self.state_dir = pathlib.Path(config.state_dir)
+        for directory in (self.spool, self.state_dir):
+            try:
+                directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ServiceError(
+                    f"unusable service directory {directory}: {exc}"
+                ) from exc
+        self.journal = ServiceJournal(self.state_dir / JOURNAL_FILE)
+        self._lock = threading.Lock()
+        #: id -> {id, status, spec, name, digest, detail}
+        self._campaigns: dict[str, dict] = {}
+        self._seq = 0
+        self._stop = threading.Event()
+        self._http: StatusServer | None = None
+        self._replay()
+
+    # -- logging --------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(f"repro serve: {message}", file=sys.stderr)
+
+    # -- state ----------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Rebuild in-memory state from the journal (startup only).
+
+        ``queued``/``running`` entries are re-queued — the dead service
+        never journaled their completion, so the work (or its cheap
+        checkpoint replay) is still owed.  ``done`` entries whose report
+        file vanished are re-queued too: the journal promises a report.
+        """
+        for id_, record in self.journal.replay().items():
+            entry = dict(record)
+            if entry["status"] == "running":
+                entry["status"] = "queued"
+                entry["detail"] = "re-queued after service restart"
+            if (
+                entry["status"] == "done"
+                and not self._report_path(id_).exists()
+            ):
+                entry["status"] = "queued"
+                entry["detail"] = "report missing; re-running"
+            self._campaigns[id_] = entry
+        if self._campaigns:
+            self._log(
+                f"journal replayed: {len(self._campaigns)} campaign(s)"
+            )
+
+    def _campaign_dir(self, id_: str):
+        return self.state_dir / "campaigns" / id_
+
+    def _report_path(self, id_: str):
+        return self._campaign_dir(id_) / "report.json"
+
+    def _remedy_path(self, id_: str):
+        return self._campaign_dir(id_) / "remedy.json"
+
+    def _transition(self, entry: dict, status: str, detail: str = "") -> None:
+        """Journal first, then update live state (write-ahead order)."""
+        self.journal.campaign(
+            entry["id"], status, entry["spec"], entry["name"],
+            entry["digest"], detail,
+        )
+        with self._lock:
+            entry = dict(entry)
+            entry["status"] = status
+            entry["detail"] = detail
+            self._campaigns[entry["id"]] = entry
+
+    # -- spool ----------------------------------------------------------
+
+    def _load_spec(self, path):
+        """The *effective* spec for one spool file (override applied)."""
+        from repro.campaign import load_spec
+
+        spec = load_spec(path)
+        if self.config.measure_ms is not None:
+            base = dict(spec.base)
+            base.pop("measure_ns", None)
+            base["measure_ms"] = self.config.measure_ms
+            spec = replace(spec, base=base)
+        return spec
+
+    def scan_spool(self) -> int:
+        """Pick up new specs from the spool; returns how many were new."""
+        from repro.errors import CampaignSpecError
+
+        new = 0
+        for path in sorted(self.spool.iterdir()):
+            if path.suffix not in SPEC_SUFFIXES or not path.is_file():
+                continue
+            try:
+                spec = self._load_spec(path)
+            except CampaignSpecError as exc:
+                # A broken spec is a campaign too — identified by its
+                # raw bytes, permanently failed, visible in /status.
+                raw_id = hashlib.sha256(path.read_bytes()).hexdigest()[:ID_LEN]
+                with self._lock:
+                    known = raw_id in self._campaigns
+                if not known:
+                    entry = {
+                        "id": raw_id, "spec": path.name, "name": path.stem,
+                        "digest": "", "status": "queued", "detail": "",
+                    }
+                    self._transition(entry, "failed", str(exc)[:500])
+                    self._log(f"{path.name}: invalid spec: {exc}")
+                continue
+            id_ = campaign_id(spec)
+            with self._lock:
+                known = id_ in self._campaigns
+            if known:
+                continue
+            entry = {
+                "id": id_, "spec": path.name, "name": spec.name,
+                "digest": spec.digest(), "status": "queued", "detail": "",
+            }
+            self._transition(entry, "queued", f"from {path.name}")
+            self._log(f"queued campaign {id_} ({spec.name}) from {path.name}")
+            new += 1
+        return new
+
+    def _next_queued(self) -> dict | None:
+        with self._lock:
+            queued = [
+                entry for entry in self._campaigns.values()
+                if entry["status"] == "queued" and entry["digest"]
+            ]
+        queued.sort(key=lambda entry: (entry["spec"], entry["id"]))
+        return queued[0] if queued else None
+
+    # -- execution ------------------------------------------------------
+
+    def _make_remedy(self):
+        if not self.config.remediate:
+            return None
+        from repro.remedy import (
+            DEFAULT_BUDGET,
+            RemedyEngine,
+            load_playbook_config,
+        )
+
+        playbooks, budget = None, DEFAULT_BUDGET
+        if self.config.playbooks is not None:
+            playbooks, budget = load_playbook_config(self.config.playbooks)
+        if self.config.remedy_budget is not None:
+            budget = self.config.remedy_budget
+        return RemedyEngine(playbooks=playbooks, budget=budget)
+
+    def run_campaign(self, entry: dict) -> None:
+        """Execute one queued campaign end to end."""
+        from repro.campaign import run_spec
+        from repro.errors import ReproError
+        from repro.remedy import render_report
+        from repro.supervise import CheckpointStore
+
+        id_ = entry["id"]
+        directory = self._campaign_dir(id_)
+        spec = self._load_spec(self.spool / entry["spec"])
+        self._transition(entry, "running")
+        self._log(f"running campaign {id_} ({spec.name})")
+        store = CheckpointStore(directory / "checkpoint", label=spec.name)
+        remedy = self._make_remedy()
+        try:
+            run = run_spec(
+                spec,
+                workers=self.config.workers,
+                checkpoint=store,
+                remedy=remedy,
+            )
+        except ReproError as exc:
+            self._emit_remedy(id_, spec, remedy)
+            self._transition(entry, "failed", str(exc)[:500])
+            self._log(f"campaign {id_} failed: {exc}")
+            return
+        finally:
+            store.close()
+        self._report_path(id_).write_text(run.report.to_canonical())
+        remedy_note = self._emit_remedy(id_, spec, remedy)
+        self._transition(
+            entry, "done",
+            f"{run.cells} cell(s), {run.executed} executed, "
+            f"{run.cached} from checkpoint" + remedy_note,
+        )
+        self._log(f"campaign {id_} done: {run.describe()}")
+        if remedy is not None and remedy.actions and not self.config.quiet:
+            print(
+                render_report(remedy.report(spec.name, run.matrix.spec_digest)),
+                file=sys.stderr,
+            )
+
+    def _emit_remedy(self, id_: str, spec, remedy) -> str:
+        if remedy is None:
+            return ""
+        report = remedy.report(spec.name, spec.digest())
+        self._remedy_path(id_).parent.mkdir(parents=True, exist_ok=True)
+        self._remedy_path(id_).write_text(report.to_canonical())
+        return f", {len(report.actions)} remediation action(s)"
+
+    # -- status surface (called from HTTP handler threads) ---------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            campaigns = [dict(entry) for entry in self._campaigns.values()]
+            seq = self._seq
+        campaigns.sort(key=lambda entry: (entry["spec"], entry["id"]))
+        counts: dict[str, int] = {}
+        for entry in campaigns:
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return {
+            "schema": SERVICE_SCHEMA,
+            "pid": os.getpid(),
+            "port": self._http.port if self._http is not None else 0,
+            "seq": seq,
+            "spool": str(self.spool),
+            "campaigns": campaigns,
+            "counts": counts,
+        }
+
+    def campaign_detail(self, id_: str) -> dict | None:
+        import json
+
+        with self._lock:
+            entry = self._campaigns.get(id_)
+            if entry is None:
+                return None
+            detail = dict(entry)
+        report_path = self._report_path(id_)
+        detail["report"] = None
+        if report_path.exists():
+            try:
+                detail["report"] = json.loads(report_path.read_text())
+            except ValueError:
+                pass
+        return detail
+
+    def campaign_findings(self, id_: str) -> dict | None:
+        import json
+
+        with self._lock:
+            if id_ not in self._campaigns:
+                return None
+        findings: dict = {"id": id_, "remediation": None}
+        remedy_path = self._remedy_path(id_)
+        if remedy_path.exists():
+            try:
+                findings["remediation"] = json.loads(remedy_path.read_text())
+            except ValueError:
+                pass
+        return findings
+
+    # -- lifecycle ------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the run loop to drain and exit (signal-handler safe)."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT drain gracefully (main thread only)."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: self.request_stop())
+
+    def heartbeat(self) -> None:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        snapshot = self.snapshot()
+        write_heartbeat(
+            self.state_dir / HEARTBEAT_FILE,
+            pid=os.getpid(),
+            port=snapshot["port"],
+            seq=seq,
+            campaigns=snapshot["counts"],
+        )
+
+    def serve_forever(self) -> int:
+        """The run loop: scan, execute, heartbeat, repeat until drained.
+
+        Returns the process exit code (0 on a clean drain; ``--once``
+        exits once the spool is fully processed).
+        """
+        self._http = StatusServer(
+            self, host=self.config.host, port=self.config.port
+        )
+        self._http.start()
+        self._log(
+            f"listening on http://{self._http.host}:{self._http.port} "
+            f"(spool {self.spool}, state {self.state_dir})"
+        )
+        try:
+            self.heartbeat()
+            while not self._stop.is_set():
+                self.scan_spool()
+                self.heartbeat()
+                ran = False
+                while not self._stop.is_set():
+                    entry = self._next_queued()
+                    if entry is None:
+                        break
+                    self.run_campaign(entry)
+                    self.heartbeat()
+                    ran = True
+                if self.config.once and self._next_queued() is None:
+                    break
+                if not ran:
+                    # Idle: wait out the poll interval, but wake
+                    # immediately on a stop request.
+                    self._stop.wait(self.config.poll_s)
+            self.heartbeat()
+            self._log("drained; exiting")
+            return 0
+        finally:
+            self._http.stop()
+            self._http = None
+            self.journal.close()

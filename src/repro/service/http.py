@@ -1,0 +1,98 @@
+"""Read-only HTTP status surface for the campaign service.
+
+Stdlib-only (``http.server``), bound to localhost, GET-only — an
+observation port, not a control plane.  Endpoints:
+
+- ``GET /healthz`` — liveness: ``{"ok": true, "seq": N}``;
+- ``GET /status`` — the full service snapshot (spool, counts, every
+  campaign's status);
+- ``GET /campaigns/<id>`` — one campaign's detail, including its
+  finished ``repro-importance-v1`` report document when done;
+- ``GET /campaigns/<id>/findings`` — what self-healing saw: the
+  campaign's ``repro-remediation-v1`` report document (when
+  remediation ran) and its diagnosis summary (when one was captured).
+
+Everything returned is a snapshot copy built under the service's lock;
+handlers never touch live engine state, so a slow or hostile client
+cannot perturb a running campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+
+    def _send(self, status: int, document) -> None:
+        body = json.dumps(document, indent=2).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        service = self.server.repro_service  # type: ignore[attr-defined]
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            snapshot = service.snapshot()
+            self._send(200, {"ok": True, "seq": snapshot["seq"]})
+            return
+        if path == "/status":
+            self._send(200, service.snapshot())
+            return
+        if path.startswith("/campaigns/"):
+            parts = path.split("/")[2:]  # ['', 'campaigns', id, ...]
+            if len(parts) == 1:
+                detail = service.campaign_detail(parts[0])
+                if detail is None:
+                    self._send(404, {"error": f"no campaign {parts[0]!r}"})
+                else:
+                    self._send(200, detail)
+                return
+            if len(parts) == 2 and parts[1] == "findings":
+                findings = service.campaign_findings(parts[0])
+                if findings is None:
+                    self._send(404, {"error": f"no campaign {parts[0]!r}"})
+                else:
+                    self._send(200, findings)
+                return
+        self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        """Silence per-request stderr noise (the journal is the log)."""
+
+
+class StatusServer:
+    """A localhost ThreadingHTTPServer in a daemon thread.
+
+    ``port=0`` binds an ephemeral port; the resolved one is in
+    :attr:`port` after :meth:`start` (and in the service heartbeat, which
+    is how the CI smoke discovers it).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.repro_service = service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self.host = self._server.server_address[0]
+        self.port = self._server.server_address[1]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,111 @@
+"""``repro-service-v1``: the service's on-disk state contract.
+
+Two artifacts share the schema name:
+
+- the **journal** (``journal.jsonl`` in the state directory): one JSON
+  object per line recording every campaign state transition the service
+  makes.  The journal is append-only and fsynced per record, and its
+  loader tolerates a truncated tail, so replaying it after a SIGKILL
+  reconstructs exactly the acknowledged state;
+- the **heartbeat** (``heartbeat.json``): a single JSON object rewritten
+  atomically (temp file + rename) on every service loop tick, carrying
+  the live pid, the bound HTTP port, and a monotonically increasing
+  sequence number — how an operator (or the CI smoke) finds a running
+  service and tells a live one from a stale file.
+
+As with every schema in the repo, the field tables here are the single
+source of truth: :func:`validate_journal_record` checks records against
+them and ``tools/check_docs.py`` renders the same tables into
+``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+SERVICE_SCHEMA = "repro-service-v1"
+
+#: File names inside the service state directory.
+JOURNAL_FILE = "journal.jsonl"
+HEARTBEAT_FILE = "heartbeat.json"
+
+#: Campaign lifecycle, in order.  ``queued`` -> ``running`` -> one of
+#: ``done`` / ``failed``; a restart replays the journal and re-queues
+#: anything left ``running`` (its checkpoints make the re-run cheap and
+#: its report byte-identical).
+STATUSES = ("queued", "running", "done", "failed")
+
+#: The document layout, one table per JSON object kind, in render
+#: order.  Field specs are ``name -> (python type(s), description)``
+#: exactly as in :data:`repro.obs.schema.RECORD_TYPES`.
+DOCUMENT: dict[str, dict] = {
+    "journal-header": {
+        "doc": "First line of every journal file.",
+        "fields": {
+            "schema": (str, f"always {SERVICE_SCHEMA!r}"),
+        },
+    },
+    "campaign": {
+        "doc": (
+            "One campaign state transition (the only journal record "
+            "kind).  The last record per id wins on replay."
+        ),
+        "fields": {
+            "kind": (str, "always 'campaign'"),
+            "id": (str, "campaign id: prefix of the spec's sha256 digest"),
+            "status": (str, " | ".join(f"'{s}'" for s in STATUSES)),
+            "spec": (str, "spool file name the spec came from"),
+            "name": (str, "the campaign spec's name field"),
+            "digest": (str, "full sha256 of the spec's canonical JSON"),
+            "detail": (str, "human-readable note (error text on 'failed')"),
+        },
+    },
+    "heartbeat": {
+        "doc": (
+            "The atomically rewritten liveness file "
+            "(``heartbeat.json``)."
+        ),
+        "fields": {
+            "schema": (str, f"always {SERVICE_SCHEMA!r}"),
+            "kind": (str, "always 'heartbeat'"),
+            "pid": (int, "the service process id"),
+            "port": (int, "bound HTTP status port (0 until the server is up)"),
+            "seq": (int, "monotonically increasing tick counter"),
+            "campaigns": (dict, "campaign counts keyed by status"),
+        },
+    },
+}
+
+
+def _check(value, expected) -> bool:
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def validate_journal_record(record) -> list[str]:
+    """Problems with one parsed journal record (empty list = valid)."""
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    if "schema" in record:
+        if record["schema"] != SERVICE_SCHEMA:
+            return [
+                f"header schema is {record['schema']!r}, "
+                f"expected {SERVICE_SCHEMA!r}"
+            ]
+        return []
+    problems: list[str] = []
+    fields = DOCUMENT["campaign"]["fields"]
+    if record.get("kind") != "campaign":
+        return [f"unknown journal record kind {record.get('kind')!r}"]
+    for name, (expected, _) in fields.items():
+        if name not in record:
+            problems.append(f"campaign record: missing field {name!r}")
+        elif not _check(record[name], expected):
+            problems.append(
+                f"campaign record: field {name!r} has wrong type "
+                f"{type(record[name]).__name__}"
+            )
+    if not problems and record["status"] not in STATUSES:
+        problems.append(
+            f"campaign record: unknown status {record['status']!r}"
+        )
+    return problems

@@ -1,0 +1,151 @@
+"""Crash-safe service state: the journal and the heartbeat file.
+
+:class:`ServiceJournal` is the service's write-ahead record of campaign
+state transitions — append-only JSONL, one fsync per record (the same
+durability contract as the checkpoint store: a record the service
+acted on cannot be lost to a SIGKILL), truncated-tail-tolerant on
+replay.  :func:`replay` folds the journal into "last status per
+campaign id", which is all a restarting service needs to pick up where
+the dead one stopped.
+
+The heartbeat is a single JSON object rewritten via temp-file +
+``os.replace`` so a reader never observes a torn write: either the old
+heartbeat or the new one, never half of each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.errors import ServiceError
+from repro.service.schema import SERVICE_SCHEMA, validate_journal_record
+
+
+class ServiceJournal:
+    """Append-only ``repro-service-v1`` journal with fsync-per-record."""
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._file = None
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (validated first)."""
+        problems = validate_journal_record(record)
+        if problems:
+            raise ServiceError(
+                f"refusing to journal an invalid record: "
+                + "; ".join(problems)
+            )
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._file = self.path.open("a", encoding="utf-8")
+            if fresh:
+                self._file.write(
+                    json.dumps(
+                        {"schema": SERVICE_SCHEMA}, separators=(",", ":")
+                    ) + "\n"
+                )
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def campaign(
+        self, id: str, status: str, spec: str, name: str,
+        digest: str, detail: str = "",
+    ) -> None:
+        """Journal one campaign state transition."""
+        self.append({
+            "kind": "campaign", "id": id, "status": status,
+            "spec": spec, "name": name, "digest": digest, "detail": detail,
+        })
+
+    def load(self) -> list[dict]:
+        """Every journal record, tolerating a truncated tail.
+
+        A final line without its newline is a record a killed writer had
+        not finished — dropped, exactly like the checkpoint loader.  Any
+        *other* malformed line is corruption and raises
+        :class:`~repro.errors.ServiceError`.
+        """
+        if not self.path.exists():
+            return []
+        text = self.path.read_text(encoding="utf-8")
+        ends_complete = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records: list[dict] = []
+        last = len(lines)
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == last and not ends_complete:
+                    break  # torn tail of a killed service
+                raise ServiceError(
+                    f"{self.path}:{lineno}: corrupt journal line: {exc}"
+                ) from exc
+            problems = validate_journal_record(record)
+            if problems:
+                raise ServiceError(
+                    f"{self.path}:{lineno}: " + "; ".join(problems)
+                )
+            if "schema" not in record:
+                records.append(record)
+        return records
+
+    def replay(self) -> dict[str, dict]:
+        """Last journal record per campaign id (the effective state)."""
+        state: dict[str, dict] = {}
+        for record in self.load():
+            state[record["id"]] = record
+        return state
+
+    def close(self) -> None:
+        """Close the journal file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def write_heartbeat(path, pid: int, port: int, seq: int,
+                    campaigns: dict) -> None:
+    """Atomically (re)write the heartbeat file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": SERVICE_SCHEMA,
+        "kind": "heartbeat",
+        "pid": pid,
+        "port": port,
+        "seq": seq,
+        "campaigns": dict(campaigns),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, separators=(",", ":")) + "\n")
+    os.replace(tmp, path)
+
+
+def read_heartbeat(path) -> dict | None:
+    """The parsed heartbeat, or ``None`` if absent/unreadable.
+
+    Unreadable covers the impossible-but-cheap torn-write case; the
+    atomic rename makes it unreachable in practice, and a service that
+    died mid-``write_text`` leaves only the ``.tmp`` behind.
+    """
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("schema") != SERVICE_SCHEMA:
+        return None
+    return document

@@ -10,8 +10,10 @@ run's result (pickled whole, not summarized).
 
 Durability model:
 
-- every record is one line, flushed as written — a SIGKILL loses at most
-  the line being written, and the loader tolerates a truncated tail;
+- every record is one line, flushed *and fsynced* as written — a
+  SIGKILL (or power loss) after :meth:`CheckpointStore.record_success`
+  returns cannot lose the acknowledged record, and the loader tolerates
+  a truncated tail from a kill mid-write;
 - each store *open* appends to a fresh ``shard-NNN.jsonl``, so a resumed
   campaign never rewrites (or even reopens for write) bytes an earlier
   campaign already made durable;
@@ -39,6 +41,7 @@ import base64
 import dataclasses
 import hashlib
 import json
+import os
 import pathlib
 import pickle
 
@@ -238,7 +241,12 @@ class CheckpointStore:
                 json.dumps(header, separators=(",", ":")) + "\n"
             )
         self._shard_file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        # Flush to the kernel, then fsync to the platter: a record is
+        # "acknowledged" the moment this method returns, so a SIGKILL —
+        # or a power cut — in the window between append and a later
+        # flush must not be able to take it back.
         self._shard_file.flush()
+        os.fsync(self._shard_file.fileno())
 
     def record_success(
         self, key: str, result, attempts: int = 1, label: str | None = None

@@ -128,6 +128,12 @@ class Supervisor:
     job (kind ``diagnosis``) instead of completing it.  Diagnosis needs
     the trace stream, which only exists in-process, so it pairs with
     ``workers=1`` + a tracer (the configuration tracing already forces).
+
+    ``remedy`` is a :class:`repro.remedy.RemedyEngine`: completed jobs
+    that drew diagnosis findings and every quarantine are forwarded to
+    it so remediation playbooks can probe and classify the root cause.
+    Remediation observes only — it never changes an outcome, the
+    checkpoint store, or the campaign's trace-derived diagnosis.
     """
 
     def __init__(
@@ -139,6 +145,7 @@ class Supervisor:
         tracer=None,
         log=None,
         diagnosis=None,
+        remedy=None,
     ):
         self.workers = max(1, workers)
         self.start_method = start_method
@@ -149,6 +156,11 @@ class Supervisor:
         self.log = log if log is not None else NULL_LOG
         self.metrics = MetricsRegistry()
         self.diagnosis = diagnosis
+        self.remedy = remedy
+        if remedy is not None:
+            remedy.bind_runtime(
+                tracer=self.tracer, metrics=self.metrics, log=self.log,
+            )
 
     # ------------------------------------------------------------------
     # Entry point.
@@ -257,7 +269,9 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def _complete(self, outcomes, job: _Job, result) -> None:
-        if self.diagnosis is not None and not self._diagnose(outcomes, job):
+        if self.diagnosis is not None and not self._diagnose(
+            outcomes, job, result
+        ):
             return  # pathological verdict escalated to quarantine
         outcome = JobSuccess(
             index=job.index, key=job.key, result=result,
@@ -269,12 +283,13 @@ class Supervisor:
                 job.key, result, attempts=outcome.attempts, label=job.label,
             )
 
-    def _diagnose(self, outcomes, job: _Job) -> bool:
+    def _diagnose(self, outcomes, job: _Job, result) -> bool:
         """Score the job's trace segment; False quarantines the job.
 
         Runs before the success is recorded so a quarantined-by-verdict
         job is never checkpointed (a later resume re-runs and re-judges
-        it).
+        it).  A flagged-but-not-quarantined job is handed to the remedy
+        engine (with its result, for digest comparison probes).
         """
         verdict = self.diagnosis.job_completed(job.index, job.key)
         self.metrics.gauge("diagnose.connections").set(verdict.connections)
@@ -299,6 +314,11 @@ class Supervisor:
                 f"{', '.join(verdict.classes)}", None,
             )
             return False
+        if verdict.findings and self.remedy is not None:
+            self.remedy.job_flagged(
+                job.index, job.key, job.label,
+                verdict.findings, verdict.classes, result,
+            )
         return True
 
     def _quarantine(
@@ -320,6 +340,10 @@ class Supervisor:
         if self.checkpoint is not None:
             self.checkpoint.record_failure(job.key, failure)
         self.log.info(f"quarantined: {failure.describe()}")
+        if self.remedy is not None:
+            self.remedy.job_quarantined(
+                job.index, job.key, job.label, kind, error_type, message,
+            )
 
     def _schedule_retry(self, job: _Job, kind: str) -> None:
         """Embargo a failed job for its deterministic backoff window."""

@@ -1,0 +1,109 @@
+"""Remediation acceptance: chaos classification and report neutrality.
+
+The closed loop, end to end through the real campaign engine: a chaos
+campaign sweeps fault intensity over seeded cells, always-on diagnosis
+flags the pathological ones, and the ``confirm-environment`` playbook
+re-executes each flagged cell with its fault plan stripped.  Cells the
+injector actually faulted must be classified ``environment`` (the
+stripped re-run diverges); fault-free cells must never be — they have
+no plan to strip, so the playbook rules them ``config`` without
+probing.  And because probes bypass the checkpoint store and the
+campaign tracer, attaching the whole apparatus must not change one
+byte of the importance report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, SweepSpec, run_spec
+from repro.diagnose import DiagnosisHook
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import Tracer
+from repro.remedy import RemedyEngine, require_valid_remediation_report
+
+#: Intensity 0.0 scales the plan to a no-op (fault-free cell); 1.0 is
+#: the injector's labeled chaos.  Crossed with two seeds -> cells 0/1
+#: are clean, cells 2/3 are faulted.
+FAULT_INTENSITIES = (0.0, 1.0)
+SEEDS = (1, 2)
+
+
+def chaos_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="chaos-remedy",
+        scenario="faults",
+        base={"measure_ms": 120},
+        sweeps=(
+            SweepSpec(field="fault_intensity", values=FAULT_INTENSITIES),
+            SweepSpec(field="seed", values=SEEDS),
+        ),
+        matrix=("baseline",),
+        metrics=("latency_mean_ns", "achieved_rate"),
+    )
+
+
+def _cell_intensity(run, index: int) -> float:
+    return run.matrix.cells[index].overrides["fault_intensity"]
+
+
+@pytest.fixture(scope="module")
+def remediated():
+    """One remediated chaos campaign, shared across the assertions."""
+    spec = chaos_spec()
+    sink = ListSink()
+    tracer = Tracer(sink, label="chaos-remedy")
+    diagnosis = DiagnosisHook()
+    remedy = RemedyEngine()
+    run = run_spec(
+        spec, tracer=tracer, diagnosis=diagnosis, remedy=remedy,
+    )
+    tracer.close()
+    return spec, run, remedy, diagnosis
+
+
+class TestChaosClassification:
+    def test_faulted_cells_classified_environment(self, remediated):
+        _, run, remedy, diagnosis = remediated
+        flagged = [v for v in diagnosis.verdicts if v.findings]
+        assert flagged, "the chaos cells must draw diagnosis findings"
+        faulted_actions = [
+            a for a in remedy.actions
+            if _cell_intensity(run, a.index) > 0.0
+        ]
+        assert faulted_actions, "faulted cells must trigger remediation"
+        environment = [
+            a for a in faulted_actions if a.verdict == "environment"
+        ]
+        # The acceptance bar: >= 0.8 of injector-labeled episodes
+        # correctly blamed on the environment.
+        assert len(environment) / len(faulted_actions) >= 0.8
+
+    def test_zero_misclassifications_on_fault_free_cells(self, remediated):
+        _, run, remedy, _ = remediated
+        clean_actions = [
+            a for a in remedy.actions
+            if _cell_intensity(run, a.index) == 0.0
+        ]
+        assert all(a.verdict != "environment" for a in clean_actions)
+
+    def test_probes_stayed_within_budget(self, remediated):
+        _, _, remedy, _ = remediated
+        assert 0 < remedy.probes_used <= remedy.budget
+
+    def test_report_validates(self, remediated):
+        spec, run, remedy, _ = remediated
+        document = remedy.report(
+            spec.name, spec_digest=run.matrix.spec_digest
+        ).to_json()
+        require_valid_remediation_report(document)
+        assert document["summary"]["actions"] == len(remedy.actions)
+
+
+class TestReportNeutrality:
+    def test_remediation_never_changes_report_bytes(self, remediated):
+        spec, run, _, _ = remediated
+        plain = run_spec(chaos_spec())
+        assert (
+            plain.report.to_canonical() == run.report.to_canonical()
+        ), "attaching diagnosis+remediation must not move a report byte"

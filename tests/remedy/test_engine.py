@@ -1,0 +1,198 @@
+"""RemedyEngine behavior: firing order, budget, probes, observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RemedyError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_stream
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import Tracer
+from repro.remedy import ProbeRun, RemedyEngine, require_valid_remediation_report
+
+
+def _flag(engine, index=0, result=None):
+    engine.job_flagged(
+        index=index, key="k" * 64, label=f"cell {index}",
+        findings=1, classes=("loss",), result=result,
+    )
+
+
+def _quarantine(engine, index=0, error_type="WatchdogError"):
+    engine.job_quarantined(
+        index=index, key="q" * 64, label=f"cell {index}",
+        kind="poison", error_type=error_type, message="boom",
+    )
+
+
+class TestFiring:
+    def test_no_prober_records_skipped(self):
+        engine = RemedyEngine()
+        _flag(engine, result={"x": 1})
+        assert [a.verdict for a in engine.actions] == ["skipped"]
+        assert engine.probes_used == 0
+
+    def test_flagged_job_with_diverging_probe_is_environment(self):
+        engine = RemedyEngine()
+        engine.bind_prober(lambda index, edit: ProbeRun(result={"x": 2}))
+        _flag(engine, result={"x": 1})
+        action = engine.actions[0]
+        assert action.playbook == "confirm-environment"
+        assert action.verdict == "environment"
+        assert action.probes == 1
+        assert engine.probes_used == 1
+
+    def test_inapplicable_probe_spends_no_budget(self):
+        engine = RemedyEngine()
+        engine.bind_prober(lambda index, edit: None)
+        _flag(engine, result={"x": 1})
+        assert engine.actions[0].verdict == "config"
+        assert engine.probes_used == 0
+
+    def test_raising_prober_consumes_budget_and_classifies(self):
+        def prober(index, edit):
+            raise RuntimeError("probe died")
+
+        engine = RemedyEngine()
+        engine.bind_prober(prober)
+        _flag(engine, result={"x": 1})
+        action = engine.actions[0]
+        assert action.verdict == "config"
+        assert "RuntimeError" in action.detail
+        assert engine.probes_used == 1
+
+    def test_bare_result_is_coerced_into_a_probe_run(self):
+        engine = RemedyEngine()
+        engine.bind_prober(lambda index, edit: {"x": 1})
+        _flag(engine, result={"x": 1})
+        assert engine.actions[0].verdict == "config"
+        assert engine.actions[0].probes == 1
+
+    def test_quarantine_routes_by_error_type(self):
+        engine = RemedyEngine()
+        engine.bind_prober(lambda index, edit: ProbeRun(result=1))
+        _quarantine(engine, index=0, error_type="WatchdogError")
+        _quarantine(engine, index=1, error_type="RuntimeError")
+        assert [(a.playbook, a.verdict) for a in engine.actions] == [
+            ("relax-watchdog", "recovered-with-slack"),
+            ("isolate-and-rerun", "transient"),
+        ]
+
+    def test_probe_receives_the_event_index(self):
+        seen = []
+
+        def prober(index, edit):
+            seen.append((index, edit))
+            return ProbeRun(result=1)
+
+        engine = RemedyEngine()
+        engine.bind_prober(prober)
+        _quarantine(engine, index=7, error_type="RuntimeError")
+        assert seen == [(7, "traced")]
+
+
+class TestBudget:
+    def test_budget_exhaustion_skips_further_probes(self):
+        engine = RemedyEngine(budget=1)
+        engine.bind_prober(lambda index, edit: ProbeRun(result={"x": 2}))
+        _flag(engine, index=0, result={"x": 1})
+        _flag(engine, index=1, result={"x": 1})
+        assert [a.verdict for a in engine.actions] == [
+            "environment", "skipped",
+        ]
+        assert engine.probes_used == 1
+        assert engine.probes_remaining == 0
+
+    def test_zero_budget_never_probes(self):
+        calls = []
+
+        def prober(index, edit):
+            calls.append(edit)
+            return ProbeRun(result=1)
+
+        engine = RemedyEngine(budget=0)
+        engine.bind_prober(prober)
+        _flag(engine, result=1)
+        assert calls == []
+        assert engine.actions[0].verdict == "skipped"
+
+    @pytest.mark.parametrize("budget", [-1, 1.5, "8", True])
+    def test_invalid_budget_rejected(self, budget):
+        with pytest.raises(RemedyError, match="budget"):
+            RemedyEngine(budget=budget)
+
+
+class TestObservability:
+    def _engine_with_runtime(self):
+        engine = RemedyEngine()
+        sink = ListSink()
+        tracer = Tracer(sink, label="remedy-test")
+        metrics = MetricsRegistry()
+        engine.bind_runtime(tracer=tracer, metrics=metrics)
+        return engine, sink, tracer, metrics
+
+    def test_metrics_count_actions_probes_and_verdicts(self):
+        engine, _, _, metrics = self._engine_with_runtime()
+        engine.bind_prober(lambda index, edit: ProbeRun(result={"x": 2}))
+        _flag(engine, result={"x": 1})
+        counters = metrics.snapshot()["counters"]
+        assert counters["remedy.actions"] == 1
+        assert counters["remedy.probes"] == 1
+        assert counters["remedy.verdict.environment"] == 1
+
+    def test_budget_exhaustion_is_counted(self):
+        engine, _, _, metrics = self._engine_with_runtime()
+        engine.budget = 0
+        engine.bind_prober(lambda index, edit: ProbeRun(result=1))
+        _flag(engine, result=1)
+        counters = metrics.snapshot()["counters"]
+        assert counters["remedy.budget_exhausted"] == 1
+        assert "remedy.probes" not in counters
+
+    def test_trace_records_validate_against_the_schema(self):
+        engine, sink, tracer, _ = self._engine_with_runtime()
+        engine.bind_prober(lambda index, edit: ProbeRun(result={"x": 2}))
+        _flag(engine, result={"x": 1})
+        _quarantine(engine, index=1, error_type="RuntimeError")
+        tracer.close()
+        validate_stream(sink.records)
+        types = [r["type"] for r in sink.records]
+        assert types.count("remedy.action") == 2
+        assert types.count("remedy.verdict") == 2
+        verdicts = [
+            r for r in sink.records if r["type"] == "remedy.verdict"
+        ]
+        assert verdicts[0]["verdict"] == "environment"
+        assert verdicts[0]["probes"] == 1
+
+
+class TestReport:
+    def test_report_round_trips_and_validates(self):
+        engine = RemedyEngine(budget=5)
+        engine.bind_prober(lambda index, edit: ProbeRun(result={"x": 2}))
+        _flag(engine, index=0, result={"x": 1})
+        _quarantine(engine, index=1, error_type="RuntimeError")
+        report = engine.report("my-campaign", spec_digest="ab" * 32)
+        document = report.to_json()
+        require_valid_remediation_report(document)
+        assert document["campaign"] == "my-campaign"
+        assert document["budget"] == 5
+        assert document["summary"]["actions"] == 2
+        assert document["summary"]["by_verdict"] == {
+            "environment": 1, "transient": 1,
+        }
+
+    def test_empty_report_is_valid(self):
+        report = RemedyEngine().report("quiet")
+        require_valid_remediation_report(report.to_json())
+        assert report.summary()["actions"] == 0
+
+    def test_canonical_rendering_is_deterministic(self):
+        engine = RemedyEngine()
+        engine.bind_prober(lambda index, edit: ProbeRun(result=2))
+        _flag(engine, result=1)
+        first = engine.report("c").to_canonical()
+        second = engine.report("c").to_canonical()
+        assert first == second
+        assert first.endswith("\n")

@@ -1,0 +1,78 @@
+"""repro-remediation-v1 validation: structure, enums, summary math."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RemedyError
+from repro.remedy import (
+    ProbeRun,
+    RemedyEngine,
+    require_valid_remediation_report,
+    validate_remediation_report,
+)
+
+
+def _valid_document():
+    engine = RemedyEngine(budget=4)
+    engine.bind_prober(lambda index, edit: ProbeRun(result={"x": 2}))
+    engine.job_flagged(
+        index=0, key="k" * 64, label="cell", findings=1,
+        classes=("loss",), result={"x": 1},
+    )
+    return engine.report("campaign", spec_digest="cd" * 32).to_json()
+
+
+class TestValidation:
+    def test_engine_output_is_valid(self):
+        assert validate_remediation_report(_valid_document()) == []
+
+    def test_json_round_trip_stays_valid(self):
+        document = json.loads(json.dumps(_valid_document()))
+        assert validate_remediation_report(document) == []
+
+    def test_non_object_rejected(self):
+        problems = validate_remediation_report(["not", "a", "report"])
+        assert problems and "must be an object" in problems[0]
+
+    def test_missing_field_reported(self):
+        document = _valid_document()
+        del document["budget"]
+        assert any("budget" in p for p in validate_remediation_report(document))
+
+    def test_wrong_schema_reported(self):
+        document = _valid_document()
+        document["schema"] = "repro-remediation-v0"
+        assert any("schema" in p for p in validate_remediation_report(document))
+
+    def test_unknown_verdict_reported(self):
+        document = _valid_document()
+        document["actions"][0]["verdict"] = "vibes"
+        assert any(
+            "verdict" in p for p in validate_remediation_report(document)
+        )
+
+    def test_unknown_trigger_reported(self):
+        document = _valid_document()
+        document["actions"][0]["trigger"] = "hunch"
+        assert any(
+            "trigger" in p for p in validate_remediation_report(document)
+        )
+
+    def test_inconsistent_summary_reported(self):
+        document = _valid_document()
+        document["summary"]["probes"] += 1
+        assert any(
+            "probes" in p for p in validate_remediation_report(document)
+        )
+
+    def test_unexpected_fields_reported(self):
+        document = _valid_document()
+        document["bonus"] = True
+        assert any("bonus" in str(p) for p in validate_remediation_report(document))
+
+    def test_require_raises_typed_error(self):
+        with pytest.raises(RemedyError, match="does not conform"):
+            require_valid_remediation_report({"schema": "nope"})

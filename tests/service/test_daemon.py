@@ -1,0 +1,217 @@
+"""ReproService behavior: spool, journal replay, resume byte-identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import load_spec, run_spec
+from repro.service import (
+    ReproService,
+    ServiceConfig,
+    ServiceJournal,
+    campaign_id,
+    read_heartbeat,
+)
+
+TINY_SPEC = {
+    "schema": "repro-campaign-v1",
+    "name": "tiny",
+    "scenario": "run",
+    "base": {"measure_ms": 10, "warmup_ms": 5, "rate_per_sec": 5000.0},
+    "components": [
+        {"name": "nagle", "on": {"nagle": True}, "off": {"nagle": False}},
+    ],
+    "matrix": ["baseline", "all_on"],
+    "metrics": ["latency_mean_ns"],
+}
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    options = {
+        "spool": str(tmp_path / "spool"),
+        "state_dir": str(tmp_path / "state"),
+        "workers": 0,
+        "poll_s": 0.05,
+        "once": True,
+        "quiet": True,
+    }
+    options.update(overrides)
+    return ServiceConfig(**options)
+
+
+def _drop_spec(tmp_path, name="tiny.json", document=None):
+    spool = tmp_path / "spool"
+    spool.mkdir(parents=True, exist_ok=True)
+    path = spool / name
+    path.write_text(json.dumps(document or TINY_SPEC))
+    return path
+
+
+class TestOnce:
+    def test_processes_the_spool_and_exits_clean(self, tmp_path):
+        spec_path = _drop_spec(tmp_path)
+        service = ReproService(_config(tmp_path))
+        assert service.serve_forever() == 0
+
+        id_ = campaign_id(load_spec(spec_path))
+        state = tmp_path / "state"
+        report = state / "campaigns" / id_ / "report.json"
+        assert report.exists()
+        document = json.loads(report.read_text())
+        assert document["schema"] == "repro-importance-v1"
+
+        journal_state = ServiceJournal(state / "journal.jsonl").replay()
+        assert journal_state[id_]["status"] == "done"
+        heartbeat = read_heartbeat(state / "heartbeat.json")
+        assert heartbeat["campaigns"] == {"done": 1}
+
+    def test_report_matches_a_direct_run_byte_for_byte(self, tmp_path):
+        spec_path = _drop_spec(tmp_path)
+        service = ReproService(_config(tmp_path))
+        service.serve_forever()
+        id_ = campaign_id(load_spec(spec_path))
+        served = (
+            tmp_path / "state" / "campaigns" / id_ / "report.json"
+        ).read_text()
+        direct = run_spec(load_spec(spec_path), workers=0)
+        assert served == direct.report.to_canonical()
+
+    def test_same_spec_under_two_names_is_one_campaign(self, tmp_path):
+        _drop_spec(tmp_path, "first.json")
+        _drop_spec(tmp_path, "second.json")
+        service = ReproService(_config(tmp_path))
+        service.serve_forever()
+        assert service.snapshot()["counts"] == {"done": 1}
+
+    def test_broken_spec_is_journaled_failed_not_retried(self, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir(parents=True)
+        (spool / "broken.json").write_text('{"schema": "wrong"}')
+        service = ReproService(_config(tmp_path))
+        assert service.serve_forever() == 0
+        snapshot = service.snapshot()
+        assert snapshot["counts"] == {"failed": 1}
+        (entry,) = snapshot["campaigns"]
+        assert entry["detail"]
+        # A fresh scan must not re-queue the known-bad file.
+        rescan = ReproService(_config(tmp_path))
+        assert rescan.scan_spool() == 0
+
+    def test_non_spec_files_are_ignored(self, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir(parents=True)
+        (spool / "notes.txt").write_text("not a spec")
+        service = ReproService(_config(tmp_path))
+        assert service.serve_forever() == 0
+        assert service.snapshot()["campaigns"] == []
+
+
+class TestMeasureOverride:
+    def test_override_changes_the_effective_spec_and_id(self, tmp_path):
+        spec_path = _drop_spec(tmp_path)
+        service = ReproService(_config(tmp_path, measure_ms=20))
+        effective = service._load_spec(spec_path)
+        assert effective.base["measure_ms"] == 20
+        assert campaign_id(effective) != campaign_id(load_spec(spec_path))
+
+
+class TestRestart:
+    def test_running_campaign_is_requeued_and_finishes_identically(
+        self, tmp_path
+    ):
+        spec_path = _drop_spec(tmp_path)
+        spec = load_spec(spec_path)
+        id_ = campaign_id(spec)
+        reference = run_spec(spec, workers=0).report.to_canonical()
+
+        # Simulate a service that died mid-campaign: the journal
+        # acknowledged `running` but never `done`.
+        state = tmp_path / "state"
+        journal = ServiceJournal(state / "journal.jsonl")
+        journal.campaign(id_, "queued", "tiny.json", spec.name, spec.digest())
+        journal.campaign(id_, "running", "tiny.json", spec.name, spec.digest())
+        journal.close()
+
+        revived = ReproService(_config(tmp_path))
+        with revived._lock:
+            assert revived._campaigns[id_]["status"] == "queued"
+        assert revived.serve_forever() == 0
+        report = state / "campaigns" / id_ / "report.json"
+        assert report.read_text() == reference
+
+    def test_done_with_missing_report_is_requeued(self, tmp_path):
+        spec_path = _drop_spec(tmp_path)
+        first = ReproService(_config(tmp_path))
+        first.serve_forever()
+        id_ = campaign_id(load_spec(spec_path))
+        report = tmp_path / "state" / "campaigns" / id_ / "report.json"
+        original = report.read_text()
+        report.unlink()
+
+        revived = ReproService(_config(tmp_path))
+        with revived._lock:
+            assert revived._campaigns[id_]["status"] == "queued"
+        revived.serve_forever()
+        assert report.read_text() == original
+
+    def test_done_campaign_is_not_rerun(self, tmp_path):
+        _drop_spec(tmp_path)
+        first = ReproService(_config(tmp_path))
+        first.serve_forever()
+        revived = ReproService(_config(tmp_path))
+        assert revived._next_queued() is None
+
+
+class TestRemediation:
+    def test_remediate_emits_a_valid_remedy_report(self, tmp_path):
+        import pathlib
+
+        example = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "remedy_playbooks.json"
+        )
+        spec_path = _drop_spec(tmp_path)
+        service = ReproService(_config(
+            tmp_path, remediate=True, playbooks=str(example),
+        ))
+        assert service.serve_forever() == 0
+        id_ = campaign_id(load_spec(spec_path))
+        remedy = tmp_path / "state" / "campaigns" / id_ / "remedy.json"
+        document = json.loads(remedy.read_text())
+        assert document["schema"] == "repro-remediation-v1"
+        findings = service.campaign_findings(id_)
+        assert findings["remediation"] == document
+
+    def test_remediation_does_not_change_report_bytes(self, tmp_path):
+        spec_path = _drop_spec(tmp_path)
+        plain = ReproService(_config(tmp_path))
+        plain.serve_forever()
+        id_ = campaign_id(load_spec(spec_path))
+        reference = (
+            tmp_path / "state" / "campaigns" / id_ / "report.json"
+        ).read_text()
+
+        other = tmp_path / "other"
+        _drop_spec(other)
+        remediated = ReproService(_config(other, remediate=True))
+        remediated.serve_forever()
+        served = (
+            other / "state" / "campaigns" / id_ / "report.json"
+        ).read_text()
+        assert served == reference
+
+
+class TestConfigValidation:
+    def test_bad_poll_rejected(self, tmp_path):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="poll"):
+            ReproService(_config(tmp_path, poll_s=0))
+
+    def test_bad_port_rejected(self, tmp_path):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="port"):
+            ReproService(_config(tmp_path, port=70000))

@@ -1,0 +1,114 @@
+"""The read-only HTTP status surface, exercised over real sockets."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ReproService, ServiceConfig, campaign_id
+from repro.campaign import load_spec
+
+from tests.service.test_daemon import TINY_SPEC, _drop_spec
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    """A ReproService draining its spool in a background thread."""
+    spec_path = _drop_spec(tmp_path)
+    service = ReproService(ServiceConfig(
+        spool=str(tmp_path / "spool"),
+        state_dir=str(tmp_path / "state"),
+        workers=0,
+        poll_s=0.05,
+        quiet=True,
+    ))
+    thread = threading.Thread(target=service.serve_forever, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 30
+    while service._http is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert service._http is not None, "HTTP server did not start"
+    try:
+        yield service, campaign_id(load_spec(spec_path))
+    finally:
+        service.request_stop()
+        thread.join(timeout=30)
+
+
+def _get(service, path):
+    port = service._http.port
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+def _wait_done(service, id_, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = _get(service, "/status")
+        entries = {e["id"]: e for e in status["campaigns"]}
+        if entries.get(id_, {}).get("status") == "done":
+            return
+        time.sleep(0.05)
+    raise AssertionError("campaign never reached done")
+
+
+class TestEndpoints:
+    def test_healthz(self, live_service):
+        service, _ = live_service
+        status, document = _get(service, "/healthz")
+        assert status == 200
+        assert document["ok"] is True
+        assert isinstance(document["seq"], int)
+
+    def test_status_snapshot(self, live_service):
+        service, id_ = live_service
+        _wait_done(service, id_)
+        _, document = _get(service, "/status")
+        assert document["schema"] == "repro-service-v1"
+        assert document["counts"] == {"done": 1}
+        (entry,) = document["campaigns"]
+        assert entry["id"] == id_
+        assert entry["spec"] == "tiny.json"
+
+    def test_campaign_detail_includes_the_report(self, live_service):
+        service, id_ = live_service
+        _wait_done(service, id_)
+        status, document = _get(service, f"/campaigns/{id_}")
+        assert status == 200
+        assert document["report"]["schema"] == "repro-importance-v1"
+        assert document["report"]["campaign"] == TINY_SPEC["name"]
+
+    def test_campaign_findings_without_remediation(self, live_service):
+        service, id_ = live_service
+        _wait_done(service, id_)
+        status, document = _get(service, f"/campaigns/{id_}/findings")
+        assert status == 200
+        assert document == {"id": id_, "remediation": None}
+
+    def test_unknown_campaign_is_404(self, live_service):
+        service, _ = live_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(service, "/campaigns/ffffffffffffffff")
+        assert excinfo.value.code == 404
+
+    def test_unknown_path_is_404(self, live_service):
+        service, _ = live_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(service, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_graceful_stop_drains(self, live_service):
+        service, id_ = live_service
+        _wait_done(service, id_)
+        service.request_stop()
+        deadline = time.monotonic() + 30
+        while service._http is not None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service._http is None

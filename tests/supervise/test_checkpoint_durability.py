@@ -1,0 +1,73 @@
+"""Checkpoint durability: fsync-on-append and the SIGKILL crash window.
+
+The store's contract is that a record is durable the moment
+``record_success``/``record_failure`` returns — a SIGKILL (or power
+cut) immediately after must not be able to take it back.  These tests
+pin the mechanism (flush + fsync per append, idempotent close) and
+then prove the contract the honest way: a child process records a
+result and SIGKILLs itself with no chance to flush or close, and the
+parent must read the record back.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+from repro.supervise import CheckpointStore
+
+
+class TestFsyncOnAppend:
+    def test_every_append_fsyncs_the_shard(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            "repro.supervise.checkpoint.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)),
+        )
+        store = CheckpointStore(tmp_path)
+        store.record_success("k1", 1)
+        store.record_success("k2", 2)
+        store.close()
+        assert len(synced) == 2
+
+    def test_record_is_on_disk_before_close(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.record_success("k1", {"value": 1})
+        # Read back through the filesystem while the writer is open.
+        reloaded = CheckpointStore(tmp_path)
+        assert reloaded.get("k1") == ({"value": 1}, 1)
+        store.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.record_success("k1", 1)
+        store.close()
+        store.close()  # must not raise on the already-closed shard
+
+
+class TestCrashWindow:
+    def test_sigkill_after_record_success_loses_nothing(self, tmp_path):
+        """A child records a result, then SIGKILLs itself mid-flight."""
+        child = textwrap.dedent(f"""
+            import os, signal
+            from repro.supervise import CheckpointStore
+
+            store = CheckpointStore({str(tmp_path)!r})
+            store.record_success("crash-key", {{"survived": True}}, attempts=3)
+            # No close(), no flush — the process dies right here.
+            os.kill(os.getpid(), signal.SIGKILL)
+        """)
+        env = dict(os.environ)
+        proc = subprocess.run(
+            [sys.executable, "-c", child],
+            env=env, capture_output=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        survivor = CheckpointStore(tmp_path)
+        assert survivor.get("crash-key") == ({"survived": True}, 3)
+        survivor.close()

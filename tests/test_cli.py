@@ -35,6 +35,77 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_serve_requires_spool_and_state(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--spool", "s"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args([
+            "serve", "--spool", "in", "--state", "st",
+        ])
+        assert args.spool == "in"
+        assert args.state == "st"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.poll == 0.5
+        assert args.once is False
+        assert args.remediate is False
+
+    def test_serve_options(self):
+        args = build_parser().parse_args([
+            "serve", "--spool", "in", "--state", "st",
+            "--port", "8080", "--poll", "0.1", "--once", "--quiet",
+            "--measure-ms", "30", "--remediate",
+            "--playbooks", "pb.json",
+        ])
+        assert args.port == 8080
+        assert args.poll == 0.1
+        assert args.once
+        assert args.quiet
+        assert args.measure_ms == 30
+        assert args.remediate
+        assert args.playbooks == "pb.json"
+
+
+class TestInterrupt:
+    """^C lands as a clean exit, not a traceback (POSIX 128+SIGINT)."""
+
+    def _interrupt(self, monkeypatch, argv):
+        def boom(args):
+            raise KeyboardInterrupt
+        parser = build_parser()
+        real_parse = parser.parse_args
+
+        def parse(argv_inner=None):
+            args = real_parse(argv_inner)
+            args.func = boom
+            return args
+
+        monkeypatch.setattr("repro.cli.build_parser", lambda: parser)
+        monkeypatch.setattr(parser, "parse_args", parse)
+        return main(argv)
+
+    def test_interrupted_run_exits_130(self, monkeypatch, capsys):
+        code = self._interrupt(monkeypatch, ["run", "--rate", "5000"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_interrupted_campaign_hints_at_resume(
+        self, monkeypatch, capsys
+    ):
+        code = self._interrupt(monkeypatch, [
+            "campaign", "run", "spec.json", "--cache-dir", "/tmp/ckpt",
+        ])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "/tmp/ckpt" in err
+        assert "resume" in err
+
 
 class TestCommands:
     def test_fig1_prints_table(self, capsys):

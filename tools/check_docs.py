@@ -20,7 +20,13 @@ delimited by HTML-comment markers:
   meaning);
 - ``<!-- repro-importance-schema -->`` … ``<!-- /repro-importance-schema -->``
   — the ``repro-importance-v1`` report tables, generated from
-  ``repro.campaign.schema.IMPORTANCE_DOCUMENT``.
+  ``repro.campaign.schema.IMPORTANCE_DOCUMENT``;
+- ``<!-- repro-remedy-schema -->`` … ``<!-- /repro-remedy-schema -->``
+  — the ``repro-remediation-v1`` report tables, generated from
+  ``repro.remedy.schema.DOCUMENT``;
+- ``<!-- repro-service-schema -->`` … ``<!-- /repro-service-schema -->``
+  — the ``repro-service-v1`` journal/heartbeat tables, generated from
+  ``repro.service.schema.DOCUMENT``.
 
 Run with no arguments to check (exit 1 on drift, printing what moved);
 run with ``--write`` to rewrite the files in place.  CI runs the check
@@ -47,6 +53,7 @@ DOC_FILES = [
     REPO / "docs" / "ARCHITECTURE.md",
     REPO / "docs" / "PERFORMANCE.md",
     REPO / "docs" / "CAMPAIGNS.md",
+    REPO / "docs" / "SERVICE.md",
 ]
 
 _HELP_BLOCK = re.compile(
@@ -70,6 +77,16 @@ _CAMPAIGN_BLOCK = re.compile(
 _IMPORTANCE_BLOCK = re.compile(
     r"(<!-- repro-importance-schema -->\n)(?P<body>.*?)"
     r"(<!-- /repro-importance-schema -->)",
+    re.DOTALL,
+)
+_REMEDY_BLOCK = re.compile(
+    r"(<!-- repro-remedy-schema -->\n)(?P<body>.*?)"
+    r"(<!-- /repro-remedy-schema -->)",
+    re.DOTALL,
+)
+_SERVICE_BLOCK = re.compile(
+    r"(<!-- repro-service-schema -->\n)(?P<body>.*?)"
+    r"(<!-- /repro-service-schema -->)",
     re.DOTALL,
 )
 
@@ -217,6 +234,53 @@ def render_importance_schema() -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_remedy_schema() -> str:
+    """The repro-remediation-v1 tables, from the live definitions."""
+    from repro.remedy.report import SCHEMA
+    from repro.remedy.schema import DOCUMENT
+
+    lines = [
+        f"Schema version: **`{SCHEMA}`** (generated from "
+        "`repro.remedy.schema.DOCUMENT` by `tools/check_docs.py`; "
+        "edit the schema module, not this section).",
+    ]
+    for kind, spec in DOCUMENT.items():
+        lines += [
+            "",
+            f"### `{kind}`",
+            "",
+            spec["doc"],
+            "",
+            "| field | type | meaning |",
+            "|---|---|---|",
+        ]
+        lines += _field_rows(spec["fields"])
+    return "\n".join(lines) + "\n"
+
+
+def render_service_schema() -> str:
+    """The repro-service-v1 tables, from the live definitions."""
+    from repro.service.schema import DOCUMENT, SERVICE_SCHEMA
+
+    lines = [
+        f"Schema version: **`{SERVICE_SCHEMA}`** (generated from "
+        "`repro.service.schema.DOCUMENT` by `tools/check_docs.py`; "
+        "edit the schema module, not this section).",
+    ]
+    for kind, spec in DOCUMENT.items():
+        lines += [
+            "",
+            f"### `{kind}`",
+            "",
+            spec["doc"],
+            "",
+            "| field | type | meaning |",
+            "|---|---|---|",
+        ]
+        lines += _field_rows(spec["fields"])
+    return "\n".join(lines) + "\n"
+
+
 def regenerate(text: str) -> str:
     """One file's content with every generated block refreshed."""
 
@@ -237,11 +301,19 @@ def regenerate(text: str) -> str:
     def _importance(match: re.Match) -> str:
         return match.group(1) + render_importance_schema() + match.group(3)
 
+    def _remedy(match: re.Match) -> str:
+        return match.group(1) + render_remedy_schema() + match.group(3)
+
+    def _service(match: re.Match) -> str:
+        return match.group(1) + render_service_schema() + match.group(3)
+
     text = _HELP_BLOCK.sub(_help, text)
     text = _SCHEMA_BLOCK.sub(_schema, text)
     text = _DIAGNOSIS_BLOCK.sub(_diagnosis, text)
     text = _CAMPAIGN_BLOCK.sub(_campaign, text)
     text = _IMPORTANCE_BLOCK.sub(_importance, text)
+    text = _REMEDY_BLOCK.sub(_remedy, text)
+    text = _SERVICE_BLOCK.sub(_service, text)
     return text
 
 

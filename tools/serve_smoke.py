@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Service smoke test: SIGKILL ``repro serve`` mid-campaign, restart, diff.
+
+The service's promise is crash-safety end to end: a ``repro serve``
+process SIGKILLed at an arbitrary instant restarts, replays its
+``repro-service-v1`` journal, resumes the in-flight campaign from its
+fsynced checkpoints, and finishes with an importance report
+**byte-identical** to an uninterrupted run.  This tool is the CI
+version against the real CLI:
+
+1. compute the reference report with ``repro campaign run --json``;
+2. start ``repro serve`` watching an empty spool, drop the spec in,
+   wait until the campaign has checkpointed at least one cell, then
+   SIGKILL the whole process group — no drain, no cleanup;
+3. restart ``repro serve`` on the same directories, wait for
+   ``/healthz`` to answer on the restarted service's port, then wait
+   for the campaign to reach ``done`` via ``/campaigns/<id>``;
+4. SIGTERM the service (graceful drain must exit 0) and fail unless
+   the finished ``report.json`` is byte-identical to the reference.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+    PYTHONPATH=src python tools/serve_smoke.py --measure-ms 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_SPEC = REPO / "examples" / "campaign_ablation.json"
+
+
+def _serve_cmd(args, spool, state) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--spool", str(spool), "--state", str(state),
+        "--measure-ms", str(args.measure_ms),
+        "--poll", "0.2",
+    ]
+
+
+def _checkpointed_results(state: pathlib.Path) -> int:
+    count = 0
+    for shard in state.glob("campaigns/*/checkpoint/shard-*.jsonl"):
+        try:
+            lines = shard.read_text().splitlines()
+        except OSError:
+            continue
+        count += sum(1 for line in lines if '"status":"ok"' in line)
+    return count
+
+
+def _heartbeat_port(state: pathlib.Path) -> int | None:
+    try:
+        document = json.loads((state / "heartbeat.json").read_text())
+    except (OSError, ValueError):
+        return None
+    port = document.get("port", 0)
+    return port or None
+
+
+def _get(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return json.loads(response.read())
+
+
+def _wait(predicate, deadline: float, what: str):
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    print(f"FAIL: timed out waiting for {what}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default=str(DEFAULT_SPEC))
+    parser.add_argument("--measure-ms", type=int, default=30)
+    parser.add_argument("--kill-after", type=int, default=1, metavar="N",
+                        help="SIGKILL once N cells are checkpointed")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+
+    print("[1/4] reference: repro campaign run --json", flush=True)
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        reference_path = tmpdir / "reference.json"
+        clean = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "campaign", "run", args.spec,
+                "--measure-ms", str(args.measure_ms),
+                "--json", str(reference_path),
+            ],
+            env=env, capture_output=True, text=True, timeout=args.timeout,
+        )
+        if clean.returncode != 0:
+            print(clean.stderr, file=sys.stderr)
+            print("FAIL: reference campaign did not run", file=sys.stderr)
+            return 1
+        reference = reference_path.read_bytes()
+
+        spool = tmpdir / "spool"
+        state = tmpdir / "state"
+        spool.mkdir()
+
+        print(f"[2/4] interrupt: SIGKILL serve after {args.kill_after} "
+              "checkpointed cell(s)", flush=True)
+        victim = subprocess.Popen(
+            _serve_cmd(args, spool, state), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        deadline = time.monotonic() + args.timeout
+        # Only hand the service the spec once it is up (port bound and
+        # heartbeat written), so the kill window is inside the campaign.
+        _wait(lambda: _heartbeat_port(state), deadline, "first heartbeat")
+        (spool / pathlib.Path(args.spec).name).write_bytes(
+            pathlib.Path(args.spec).read_bytes()
+        )
+        _wait(
+            lambda: (
+                victim.poll() is not None
+                or _checkpointed_results(state) >= args.kill_after
+            ),
+            deadline, "checkpointed cells",
+        )
+        if victim.poll() is not None:
+            print("FAIL: serve exited before it could be killed",
+                  file=sys.stderr)
+            return 1
+        os.killpg(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+        done_at_kill = _checkpointed_results(state)
+        print(f"      killed with {done_at_kill} cell(s) checkpointed",
+              flush=True)
+
+        print("[3/4] restart: same spool and state", flush=True)
+        revived = subprocess.Popen(
+            _serve_cmd(args, spool, state), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        try:
+            deadline = time.monotonic() + args.timeout
+
+            def healthz():
+                port = _heartbeat_port(state)
+                if port is None:
+                    return None
+                try:
+                    document = _get(port, "/healthz")
+                except (urllib.error.URLError, OSError):
+                    return None
+                return port if document.get("ok") else None
+
+            port = _wait(healthz, deadline, "/healthz after restart")
+            print(f"      /healthz OK on port {port}", flush=True)
+
+            def campaign_done():
+                try:
+                    status = _get(port, "/status")
+                except (urllib.error.URLError, OSError):
+                    return None
+                campaigns = status.get("campaigns", [])
+                if not campaigns:
+                    return None
+                entry = campaigns[0]
+                if entry["status"] == "failed":
+                    print(f"FAIL: campaign failed: {entry['detail']}",
+                          file=sys.stderr)
+                    raise SystemExit(1)
+                return entry if entry["status"] == "done" else None
+
+            entry = _wait(campaign_done, deadline, "campaign completion")
+            detail = _get(port, f"/campaigns/{entry['id']}")
+            if detail.get("report") is None:
+                print("FAIL: done campaign served no report", file=sys.stderr)
+                return 1
+
+            print("[4/4] drain: SIGTERM must exit 0", flush=True)
+            revived.send_signal(signal.SIGTERM)
+            code = revived.wait(timeout=60)
+            if code != 0:
+                print(f"FAIL: graceful drain exited {code}", file=sys.stderr)
+                return 1
+        finally:
+            if revived.poll() is None:
+                os.killpg(revived.pid, signal.SIGKILL)
+
+        report = (state / "campaigns" / entry["id"] / "report.json")
+        finished = report.read_bytes()
+        if finished != reference:
+            print("FAIL: post-crash report differs from the uninterrupted "
+                  "reference", file=sys.stderr)
+            return 1
+        resumed = done_at_kill > 0
+        print(f"OK: service survived SIGKILL (resumed "
+              f"{done_at_kill} checkpointed cell(s): "
+              f"{'yes' if resumed else 'n/a'}); report byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
