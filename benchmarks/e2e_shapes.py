@@ -209,7 +209,62 @@ def measure_sharded(reps: int = 3, workers: int = 1) -> dict:
     }
 
 
+def measure_cross_shard(reps: int = 3) -> dict:
+    """The windowed engine's sync-machinery cost, serial and native.
+
+    Two shapes:
+
+    - ``fanin_synced`` — the decomposed fan-in *through* the windowed
+      engine.  The fan-in has no cross links, so the lookahead is
+      infinite and the plan collapses to one window: the engine
+      degenerates to the plain shard map, and this ratio should track
+      ``sharded.fanin_serial`` — any gap is pure sync-machinery
+      overhead.  This is the gated number.
+    - ``bottleneck`` — the engine's native consumer (N flows × one
+      shared link, one window per lookahead).  Its ratio depends on the
+      window count, so it is recorded for the trajectory, not gated.
+    """
+    from repro.experiments.bottleneck import (
+        BottleneckConfig,
+        run_shared_bottleneck,
+    )
+    from repro.experiments.fanin import FaninConfig, run_fanin_synced
+
+    fanin_config = FaninConfig(warmup_ns=msecs(10), measure_ns=msecs(40))
+    bottleneck_config = BottleneckConfig(
+        warmup_ns=msecs(10), measure_ns=msecs(30)
+    )
+
+    def timed(run) -> float:
+        start = time.perf_counter()
+        result = run()
+        return result.events_executed / (time.perf_counter() - start)
+
+    fanin_eps = max(
+        timed(lambda: run_fanin_synced(fanin_config)) for _ in range(reps)
+    )
+    windows = run_shared_bottleneck(bottleneck_config).windows
+    bottleneck_eps = max(
+        timed(lambda: run_shared_bottleneck(bottleneck_config))
+        for _ in range(reps)
+    )
+    kernel = kernel_reference(reps)
+    return {
+        "shapes": {
+            "fanin_synced": round(fanin_eps),
+            "bottleneck": round(bottleneck_eps),
+        },
+        "bottleneck_windows": windows,
+        "kernel_chained": round(kernel),
+        "normalized": {
+            "fanin_synced": round(fanin_eps / kernel, 4),
+            "bottleneck": round(bottleneck_eps / kernel, 4),
+        },
+    }
+
+
 if __name__ == "__main__":
     print(json.dumps(measure_all(), indent=2))
     print(json.dumps(measure_vectorized(), indent=2))
     print(json.dumps(measure_sharded(), indent=2))
+    print(json.dumps(measure_cross_shard(), indent=2))

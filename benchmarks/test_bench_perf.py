@@ -370,3 +370,35 @@ def test_perf_sharded_pipeline():
         f"(floor {floor:.4f}) on a cpu_count={cpu_count} box — "
         f"a sharded-runner regression"
     )
+
+
+def test_perf_cross_shard_sync_overhead():
+    """The windowed engine on the fan-in shape: sync machinery gated.
+
+    The fan-in run through the conservative engine collapses to a
+    single infinite-lookahead window, so its serial normalized ratio
+    must track the plain shard map's (``sharded.fanin_serial``) — the
+    gate fails if the sync machinery (mailboxes, chain digests, the
+    per-window exchange scaffolding) grows real overhead on the shape
+    that should pay ~nothing for it.  The native shared-bottleneck
+    shape's ratio is window-count-dependent and only recorded.
+    """
+    from benchmarks.e2e_shapes import measure_cross_shard
+
+    baseline_doc = json.loads(BASELINE_PATH.read_text())
+    measured = measure_cross_shard(reps=3)
+    _update_perf("cross_shard", measured)
+    print(f"\ncross-shard: fanin_synced "
+          f"{measured['shapes']['fanin_synced']} ev/s "
+          f"(normalized {measured['normalized']['fanin_synced']}), "
+          f"bottleneck {measured['shapes']['bottleneck']} ev/s over "
+          f"{measured['bottleneck_windows']} windows")
+
+    reference = baseline_doc["cross_shard"]["normalized"]["fanin_synced"]
+    floor = reference * 0.90
+    assert measured["normalized"]["fanin_synced"] >= floor, (
+        f"fanin_synced: normalized {measured['normalized']['fanin_synced']} "
+        f"fell more than 10% below the committed baseline {reference} "
+        f"(floor {floor:.4f}) on a cpu_count={os.cpu_count()} box — "
+        f"the sync machinery grew overhead on the infinite-lookahead path"
+    )

@@ -233,8 +233,17 @@ def _run_bench_cell(config, watchdog=None, tracer=None):
     return run_benchmark(config, tracer=tracer, watchdog=watchdog)
 
 
-def _run_fanin_cell(config, with_toggler=False):
-    """One ``fanin`` cell: N clients through a switch into one server."""
+def _run_fanin_cell(config, with_toggler=False, shards=None):
+    """One ``fanin`` cell: N clients through a switch into one server.
+
+    With ``shards`` set the cell runs through the component-sharded
+    path (byte-identical per connection; see docs/PERFORMANCE.md), which
+    returns a :class:`~repro.experiments.fanin.ShardedFaninResult`.
+    """
+    if shards is not None:
+        from repro.experiments.fanin import run_fanin_sharded
+
+        return run_fanin_sharded(config, shards=shards)
     from repro.experiments.fanin import run_fanin
 
     return run_fanin(config, with_toggler=with_toggler)
@@ -274,12 +283,18 @@ RUN_METRICS: dict[str, Callable] = {
     "server_deliveries": lambda r: r.server_deliveries,
 }
 
-#: Metrics over a :class:`~repro.experiments.fanin.FaninResult`.
+#: Metrics over a :class:`~repro.experiments.fanin.FaninResult` or (when
+#: the cell sets ``shards``) a
+#: :class:`~repro.experiments.fanin.ShardedFaninResult`, which carries
+#: ``server_net_util_mean`` instead of ``server_net_util`` and has no
+#: toggler fields.
 FANIN_METRICS: dict[str, Callable] = {
     "aggregate_mean_ns": lambda r: r.aggregate_mean_ns,
     "averaged_estimate_ns": lambda r: r.averaged_estimate_ns,
-    "server_net_util": lambda r: r.server_net_util,
-    "toggler_toggles": lambda r: r.toggler_toggles,
+    "server_net_util": lambda r: getattr(
+        r, "server_net_util", getattr(r, "server_net_util_mean", None)
+    ),
+    "toggler_toggles": lambda r: getattr(r, "toggler_toggles", None),
 }
 
 
@@ -367,7 +382,32 @@ def _build_fanin(overrides: dict) -> tuple:
         raise CampaignSpecError(
             f"fanin override with_toggler must be a bool, got {with_toggler!r}"
         )
-    return (_apply_config(FaninConfig(), merged), with_toggler)
+    shards = merged.pop("shards", None)
+    if shards is not None:
+        if shards == "auto":
+            from repro.parallel import resolve_workers
+
+            shards = resolve_workers(0)
+        elif not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 1:
+            raise CampaignSpecError(
+                f"fanin override shards must be a positive integer or "
+                f"'auto', got {shards!r}"
+            )
+        if with_toggler:
+            raise CampaignSpecError(
+                "fanin overrides shards and with_toggler are incompatible: "
+                "the toggler couples connections through the shared server, "
+                "which component sharding forbids"
+            )
+        config = _apply_config(
+            FaninConfig(), merged, also_valid=("shards", "with_toggler")
+        )
+        return (config, with_toggler, shards)
+    config = _apply_config(
+        FaninConfig(), merged, also_valid=("shards", "with_toggler")
+    )
+    return (config, with_toggler)
 
 
 def _build_timevarying(overrides: dict) -> tuple:
@@ -421,8 +461,9 @@ SCENARIOS: dict[str, Scenario] = {
     "fanin": Scenario(
         name="fanin",
         doc="A10 fan-in: N clients through a switch into one server; "
-            "overrides are FaninConfig fields plus workload shorthands "
-            "and with_toggler",
+            "overrides are FaninConfig fields plus workload shorthands, "
+            "with_toggler, and shards (positive int or 'auto' to run the "
+            "byte-identical sharded path)",
         runner=_run_fanin_cell,
         build=_build_fanin,
         metrics=FANIN_METRICS,

@@ -54,6 +54,27 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _shards_arg(value: str):
+    """``--shards`` accepts a positive count or ``auto`` (one per CPU)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
+
+def _resolve_shards(value):
+    """Resolve a ``--shards`` value: ``auto`` -> one shard per CPU."""
+    if value == "auto":
+        from repro.parallel import resolve_workers
+
+        return resolve_workers(0)
+    return value
+
+
 def _add_supervise(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--resume", default=None, metavar="DIR",
@@ -339,7 +360,7 @@ def _cmd_fanin(args) -> int:
         registry = MetricsRegistry()
         result = run_fanin_sharded(
             config,
-            shards=args.shards,
+            shards=_resolve_shards(args.shards),
             workers=args.workers,
             policy=policy,
             checkpoint=checkpoint,
@@ -364,6 +385,52 @@ def _cmd_fanin(args) -> int:
             config, with_toggler=args.toggler, backend=args.backend
         )
         print(result.render())
+    if args.json:
+        import pathlib as _pathlib
+
+        target = _pathlib.Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(result.to_json() + "\n")
+        print(f"result JSON written to {args.json}")
+    _report_cache(checkpoint)
+    _finish_tracer(tracer, args.trace)
+    return 0
+
+
+def _cmd_bottleneck(args) -> int:
+    from repro.experiments.bottleneck import (
+        BottleneckConfig,
+        run_shared_bottleneck,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    config = BottleneckConfig(
+        flows=args.flows,
+        total_rate_per_sec=args.rate,
+        nagle=args.nagle,
+        warmup_ns=msecs(args.warmup_ms),
+        measure_ns=msecs(args.measure_ms),
+        seed=args.seed,
+    )
+    policy, checkpoint = _supervise_from(args)
+    tracer = _make_tracer(args.trace, label="bottleneck")
+    registry = MetricsRegistry()
+    result = run_shared_bottleneck(
+        config,
+        shards=_resolve_shards(args.shards),
+        workers=args.workers,
+        policy=policy,
+        checkpoint=checkpoint,
+        tracer=tracer,
+        metrics=registry,
+    )
+    print(result.render())
+    print(f"  bottleneck util {result.bottleneck_utilization:.0%}, "
+          f"peak queue {result.bottleneck_peak_queue} packets, "
+          f"{result.bottleneck_packets} packets through")
+    print(f"  {result.windows} windows, "
+          f"{result.exchanged_events} cross-shard messages "
+          f"(fingerprint {result.merge_fingerprint[:16]})")
     if args.json:
         import pathlib as _pathlib
 
@@ -958,6 +1025,7 @@ _COMMAND_SUMMARY: tuple[tuple[str, str], ...] = (
     ("run", "one benchmark run with explicit knobs"),
     ("faults", "chaos sweep: robustness vs fault intensity"),
     ("fanin", "N clients -> 1 server, optionally sharded"),
+    ("bottleneck", "N flows x 1 shared link, windowed cross-shard"),
     ("ablation", "run one named ablation study"),
     ("profile", "cProfile a bench shape (repro-profile-v1)"),
     ("diagnose", "fault diagnosis over a trace (repro-diagnosis-v1)"),
@@ -1086,12 +1154,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="attach the spanning dynamic toggler "
                               "(monolithic mode only)")
     p_fanin.add_argument(
-        "--shards", type=int, default=None, metavar="N",
+        "--shards", type=_shards_arg, default=None, metavar="N",
         help="run the decomposed model: each connection as an isolated "
              "sub-simulation with its own server replica, partitioned "
              "into N shards and merged deterministically; output is "
-             "byte-identical for every N (including N=1). Omit for the "
-             "monolithic shared-server model",
+             "byte-identical for every N (including N=1). 'auto' uses "
+             "one shard per CPU. Omit for the monolithic shared-server "
+             "model",
     )
     p_fanin.add_argument("--json", default=None, metavar="PATH",
                          help="write the result as canonical unversioned "
@@ -1105,6 +1174,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervise(p_fanin)
     _add_backend(p_fanin)
     p_fanin.set_defaults(func=_cmd_fanin)
+
+    p_bottleneck = sub.add_parser(
+        "bottleneck",
+        help="shared-bottleneck contention: N flows x one link, run on "
+             "the conservative windowed cross-shard engine",
+    )
+    p_bottleneck.add_argument("--flows", type=int, default=4,
+                              help="number of sender/receiver pairs "
+                                   "contending on the link (default 4)")
+    p_bottleneck.add_argument("--rate", type=float, default=8_000.0,
+                              help="total offered load across all flows "
+                                   "(default 8000)")
+    p_bottleneck.add_argument("--nagle", action="store_true",
+                              help="static Nagle on for every connection")
+    p_bottleneck.add_argument("--seed", type=int, default=1)
+    p_bottleneck.add_argument("--warmup-ms", type=int, default=40)
+    p_bottleneck.add_argument(
+        "--shards", type=_shards_arg, default=1, metavar="K",
+        help="partition the flows + fabric components into K shards "
+             "advancing in lock-stepped lookahead windows; output is "
+             "byte-identical for every K (including K=1). 'auto' uses "
+             "one shard per CPU",
+    )
+    p_bottleneck.add_argument("--json", default=None, metavar="PATH",
+                              help="write the result as canonical "
+                                   "unversioned JSON (byte-diffable "
+                                   "across shard/worker counts)")
+    p_bottleneck.add_argument("--trace", default=None, metavar="PATH",
+                              help="record shard.window barrier records "
+                                   "as repro-trace-v1 JSONL")
+    _add_measure(p_bottleneck, 150)
+    _add_workers(p_bottleneck)
+    _add_supervise(p_bottleneck)
+    p_bottleneck.set_defaults(func=_cmd_bottleneck)
 
     p_ablation = sub.add_parser("ablation", help="run one ablation by name")
     p_ablation.add_argument(

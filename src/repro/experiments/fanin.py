@@ -28,6 +28,7 @@ from repro.loadgen.stats import summarize
 from repro.net.switch import Star
 from repro.sim.loop import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.sync import SyncComponent
 from repro.tcp.connect import connect_pair
 from repro.tcp.socket import TcpConfig
 from repro.units import msecs, to_usecs, usecs
@@ -246,98 +247,127 @@ class ConnectionShard:
     events_executed: int
 
 
-def _run_fanin_connection(
-    config: FaninConfig, index: int, backend=None
-) -> ConnectionShard:
-    """Run one fan-in connection as an isolated sub-simulation.
+class _ConnectionSim:
+    """One fan-in connection's isolated sub-simulation, build/run split.
 
     The decomposed model: this client and a server *replica* of its own,
     joined by the same switch fabric — not the shared, contended server
     of :func:`run_fanin` (see docs/PERFORMANCE.md for when each model
     applies).  Everything partition-relevant is keyed by the *global*
     connection index — the RNG stream (``arrivals.{index}``), host and
-    socket names — so this function's output is a pure function of
-    ``(config, index, backend-neutral execution)``, never of the shard
-    that happened to run it.
+    socket names — so the output is a pure function of ``(config,
+    index, backend-neutral execution)``, never of the shard that
+    happened to run it.  The build/run split exists so the windowed
+    engine (:func:`run_fanin_synced`) can drive the identical
+    simulation in steps; :func:`_run_fanin_connection` remains the
+    one-shot form.
     """
-    from repro.config import resolve_backend
 
-    backend = resolve_backend(backend)
-    sim = Simulator()
-    rng = RngRegistry(config.seed)
-    server_host = Host(sim, "server", costs=HostCosts())
-    client_host = Host(sim, f"client{index}", costs=HostCosts())
-    Star.connect(
-        sim,
-        {client_host.name: client_host.nic, server_host.name: server_host.nic},
-        propagation_delay_ns=config.propagation_delay_ns,
-    )
-    tcp_config = TcpConfig(nagle=config.nagle)
-    client_sock, server_sock = connect_pair(
-        sim, client_host, server_host, tcp_config, tcp_config,
-        name=f"conn{index}",
-    )
-    client = RedisClient(
-        sim, client_host, client_sock, config=ClientConfig(),
-        name=f"lancet{index}",
-    )
-    sample_batch = None
-    if backend != "legacy":
-        from repro.sim.batch import SampleBatch
+    def __init__(self, config: FaninConfig, index: int, backend=None):
+        from repro.config import resolve_backend
 
-        sample_batch = SampleBatch(backend)
-    collector = CounterCollector(
-        sim, client_sock, server_sock, period_ns=msecs(10),
-        batch=sample_batch,
-    )
-    server = RedisServer(
-        sim, server_host, server_sock, store=KVStore(), config=ServerConfig(),
-    )
+        backend = resolve_backend(backend)
+        sim = Simulator()
+        rng = RngRegistry(config.seed)
+        server_host = Host(sim, "server", costs=HostCosts())
+        client_host = Host(sim, f"client{index}", costs=HostCosts())
+        Star.connect(
+            sim,
+            {client_host.name: client_host.nic,
+             server_host.name: server_host.nic},
+            propagation_delay_ns=config.propagation_delay_ns,
+        )
+        tcp_config = TcpConfig(nagle=config.nagle)
+        client_sock, server_sock = connect_pair(
+            sim, client_host, server_host, tcp_config, tcp_config,
+            name=f"conn{index}",
+        )
+        client = RedisClient(
+            sim, client_host, client_sock, config=ClientConfig(),
+            name=f"lancet{index}",
+        )
+        sample_batch = None
+        if backend != "legacy":
+            from repro.sim.batch import SampleBatch
 
-    workload = config.workload
-    for key_index in range(workload.keyspace):
-        server.store.set(workload.make_key(key_index), workload.value_bytes)
-    server.start()
-    schedule = poisson_schedule(
-        rng.stream(f"arrivals.{index}"),
-        workload,
-        config.total_rate_per_sec / config.clients,
-        start_ns=sim.now,
-        duration_ns=config.warmup_ns + config.measure_ns,
-    )
-    client.start(schedule)
+            sample_batch = SampleBatch(backend)
+        collector = CounterCollector(
+            sim, client_sock, server_sock, period_ns=msecs(10),
+            batch=sample_batch,
+        )
+        server = RedisServer(
+            sim, server_host, server_sock, store=KVStore(),
+            config=ServerConfig(),
+        )
 
-    measure_start = sim.now + config.warmup_ns
-    measure_end = measure_start + config.measure_ns
+        workload = config.workload
+        for key_index in range(workload.keyspace):
+            server.store.set(
+                workload.make_key(key_index), workload.value_bytes
+            )
+        server.start()
+        schedule = poisson_schedule(
+            rng.stream(f"arrivals.{index}"),
+            workload,
+            config.total_rate_per_sec / config.clients,
+            start_ns=sim.now,
+            duration_ns=config.warmup_ns + config.measure_ns,
+        )
+        client.start(schedule)
 
-    def begin() -> None:
-        server_host.reset_utilization_windows()
-        collector.start()
+        measure_start = sim.now + config.warmup_ns
+        measure_end = measure_start + config.measure_ns
 
-    sim.call_at(measure_start, begin)
-    sim.run(until=measure_end)
-    collector.stop()
+        def begin() -> None:
+            server_host.reset_utilization_windows()
+            collector.start()
 
-    events = tuple(
-        (r.completed_at, (r.kind, r.latency_ns))
-        for r in client.records
-        if measure_start <= r.completed_at <= measure_end
-    )
-    estimate_latency = None
-    estimate_throughput = None
-    if collector.sample_count >= 2:
-        estimate = collector.window_estimate(measure_start, measure_end)
-        estimate_latency = estimate.latency_ns
-        estimate_throughput = estimate.throughput_per_sec
-    return ConnectionShard(
-        index=index,
-        mean_ns=summarize([latency for _, (_, latency) in events]).mean_ns,
-        events=events,
-        estimate_latency_ns=estimate_latency,
-        estimate_throughput=estimate_throughput,
-        server_net_util=server_host.net_core.utilization(),
-        events_executed=sim.events_executed,
-    )
+        sim.call_at(measure_start, begin)
+
+        self.index = index
+        self.sim = sim
+        self.client = client
+        self.collector = collector
+        self.server_host = server_host
+        self.measure_start = measure_start
+        self.measure_end = measure_end
+
+    def finish(self) -> ConnectionShard:
+        """Stop collection and package the shard-neutral output."""
+        self.collector.stop()
+        events = tuple(
+            (r.completed_at, (r.kind, r.latency_ns))
+            for r in self.client.records
+            if self.measure_start <= r.completed_at <= self.measure_end
+        )
+        estimate_latency = None
+        estimate_throughput = None
+        if self.collector.sample_count >= 2:
+            estimate = self.collector.window_estimate(
+                self.measure_start, self.measure_end
+            )
+            estimate_latency = estimate.latency_ns
+            estimate_throughput = estimate.throughput_per_sec
+        return ConnectionShard(
+            index=self.index,
+            mean_ns=summarize(
+                [latency for _, (_, latency) in events]
+            ).mean_ns,
+            events=events,
+            estimate_latency_ns=estimate_latency,
+            estimate_throughput=estimate_throughput,
+            server_net_util=self.server_host.net_core.utilization(),
+            events_executed=self.sim.events_executed,
+        )
+
+
+def _run_fanin_connection(
+    config: FaninConfig, index: int, backend=None
+) -> ConnectionShard:
+    """Run one fan-in connection as an isolated sub-simulation."""
+    conn = _ConnectionSim(config, index, backend=backend)
+    conn.sim.run(until=conn.measure_end)
+    return conn.finish()
 
 
 def _run_fanin_shard(config: FaninConfig, indices, backend=None) -> list:
@@ -432,6 +462,21 @@ def run_fanin_sharded(
         (conn for shard in shard_results for conn in shard),
         key=lambda conn: conn.index,
     )
+    return _assemble_sharded_result(config, conns, metrics)
+
+
+def _assemble_sharded_result(
+    config: FaninConfig, conns, metrics=None
+) -> ShardedFaninResult:
+    """Recombine per-connection outputs into the partition-free result.
+
+    Shared by the shard-map path (:func:`run_fanin_sharded`) and the
+    windowed-engine path (:func:`run_fanin_synced`); both therefore
+    agree byte for byte on everything derived from the same
+    :class:`ConnectionShard` set.
+    """
+    from repro.sim.shard import merge_digest, merge_streams
+
     merged = merge_streams((conn.index, list(conn.events)) for conn in conns)
     if metrics is not None:
         metrics.counter("sim.shard.merged_events").inc(len(merged))
@@ -463,6 +508,82 @@ def run_fanin_sharded(
         merge_fingerprint=merge_digest(merged),
         events_executed=sum(conn.events_executed for conn in conns),
     )
+
+
+class _FaninSyncComponent(SyncComponent):
+    """One fan-in connection as a windowed-engine component.
+
+    Fan-in connections never exchange packets (each has its own server
+    replica), so the component has infinite lookahead: it posts nothing
+    and must receive nothing.
+    """
+
+    def __init__(self, config: FaninConfig, index: int, backend=None):
+        self.index = index
+        self._conn = _ConnectionSim(config, index, backend=backend)
+
+    def deliver(self, message) -> None:
+        from repro.errors import WorkloadError
+
+        raise WorkloadError(
+            "fan-in connections are independent; nothing should be "
+            f"addressed to component {self.index}"
+        )
+
+    def advance(self, until_ns: int) -> list:
+        self._conn.sim.run(until=until_ns)
+        return []
+
+    def events_executed(self) -> int:
+        return self._conn.sim.events_executed
+
+    def finish(self) -> ConnectionShard:
+        return self._conn.finish()
+
+
+def _build_fanin_component(
+    config: FaninConfig, backend, index: int
+) -> _FaninSyncComponent:
+    """Picklable component builder for :func:`run_fanin_synced`."""
+    return _FaninSyncComponent(config, index, backend=backend)
+
+
+def run_fanin_synced(
+    config: FaninConfig,
+    shards: int = 1,
+    workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    backend=None,
+    tracer=None,
+    metrics=None,
+) -> ShardedFaninResult:
+    """The decomposed fan-in through the windowed cross-shard engine.
+
+    With no cross-component links the lookahead is infinite, the plan
+    collapses to a single window, and the engine degenerates to the
+    plain shard map — which is exactly the point: this path proves (and
+    ``benchmarks/test_bench_perf.py`` gates) that the sync machinery
+    costs ~nothing when there is nothing to synchronize.  Output is
+    byte-identical to :func:`run_fanin_sharded` at every ``(shards,
+    workers)`` combination.
+    """
+    from functools import partial
+
+    from repro.sim.sync import WindowPlan, run_windowed
+
+    plan = WindowPlan(
+        horizon_ns=config.warmup_ns + config.measure_ns, lookahead_ns=None
+    )
+    sync = run_windowed(
+        partial(_build_fanin_component, config, backend),
+        config.clients, plan,
+        shards=shards, workers=workers, policy=policy,
+        checkpoint=checkpoint, tracer=tracer, metrics=metrics,
+        label="fanin",
+    )
+    conns = sorted(sync.results, key=lambda conn: conn.index)
+    return _assemble_sharded_result(config, conns, metrics)
 
 
 def run_fanin_many(

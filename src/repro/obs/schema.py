@@ -177,6 +177,22 @@ RECORD_TYPES: dict[str, dict] = {
             "message": (str, "the logged text"),
         },
     },
+    "shard.window": {
+        "doc": (
+            "The windowed cross-shard engine crossed one lock-step "
+            "barrier (see docs/PERFORMANCE.md, 'Cross-shard "
+            "synchronization')."
+        ),
+        "fields": {
+            "window": (int, "window index (1-based)"),
+            "end_ns": (int, "simulated time the window closed at"),
+            "shards": (int, "shards advancing in lock-step"),
+            "exchanged": (
+                int,
+                "cross-component messages collected at this barrier",
+            ),
+        },
+    },
     "job.retry": {
         "doc": (
             "The campaign supervisor scheduled a failed job for another "

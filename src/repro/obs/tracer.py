@@ -214,6 +214,17 @@ class Tracer:
         if self.enabled:
             self.emit("tcp.event", src, event=event, detail=detail)
 
+    def shard_window(
+        self, window: int, end_ns: int, shards: int, exchanged: int
+    ) -> None:
+        """A ``shard.window``: the windowed engine crossed a barrier."""
+        if self.enabled:
+            self.emit(
+                "shard.window", "sync",
+                window=window, end_ns=end_ns,
+                shards=shards, exchanged=exchanged,
+            )
+
     def job_retry(
         self, key: str, index: int, attempts: int, kind: str, backoff_s: float
     ) -> None:

@@ -56,6 +56,7 @@ from repro.errors import CampaignError, WorkloadError
 from repro.supervise import (
     CheckpointStore,
     JobOutcome,
+    PoolLease,
     SupervisePolicy,
     Supervisor,
     Watchdog,
@@ -201,7 +202,8 @@ class ParallelRunner:
         self.last_metrics = None
 
     def _supervisor(
-        self, n: int, checkpoint, tracer, diagnosis=None, remedy=None
+        self, n: int, checkpoint, tracer, diagnosis=None, remedy=None,
+        session: PoolLease | None = None,
     ) -> Supervisor:
         supervisor = Supervisor(
             workers=min(self.workers, n),
@@ -211,9 +213,21 @@ class ParallelRunner:
             tracer=tracer,
             diagnosis=diagnosis,
             remedy=remedy,
+            pool=session,
         )
         self.last_metrics = supervisor.metrics
         return supervisor
+
+    def session(self) -> PoolLease:
+        """A :class:`~repro.supervise.PoolLease` for lock-step protocols.
+
+        Pass the lease as ``session=`` to consecutive
+        :meth:`map_outcomes` calls to reuse one worker pool (and the
+        warm per-process state it holds) across them, then ``close()``
+        it — or use it as a context manager.  Supervision semantics are
+        unchanged: a crashed or hung pool is discarded and rebuilt.
+        """
+        return PoolLease()
 
     # ------------------------------------------------------------------
     # Benchmark campaigns.
@@ -344,6 +358,7 @@ class ParallelRunner:
         tracer=None,
         diagnosis=None,
         remedy=None,
+        session: PoolLease | None = None,
     ) -> list[JobOutcome]:
         """Supervised :meth:`map`: typed outcomes instead of raising.
 
@@ -354,6 +369,8 @@ class ParallelRunner:
         ``log.message`` boundary record before each fresh job, exactly
         like :meth:`run_many_outcomes`; ``diagnosis`` (requires a
         tracer) scores each job's segment exactly as there.
+        ``session`` (see :meth:`session`) reuses one worker pool across
+        consecutive calls instead of building a fresh one per call.
         """
         n = len(items)
         _check_diagnosis(diagnosis, tracer)
@@ -387,7 +404,9 @@ class ParallelRunner:
             )
             supervisor = self._supervisor(1, checkpoint, None, remedy=remedy)
         else:
-            supervisor = self._supervisor(n, checkpoint, None, remedy=remedy)
+            supervisor = self._supervisor(
+                n, checkpoint, None, remedy=remedy, session=session
+            )
         return supervisor.run(_apply, payloads, keys=keys, labels=labels)
 
     def map(self, fn: Callable[..., _R], items: Sequence) -> list[_R]:

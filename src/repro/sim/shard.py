@@ -74,12 +74,22 @@ class ShardPlan:
         )
 
     def shard_of(self, index: int) -> int:
-        """Which shard a component landed in."""
+        """Which shard a component landed in.
+
+        Answered from the stored partition, not by re-deriving the
+        round-robin rule — a plan constructed with a different placement
+        policy (or a hand-built one) stays consistent with itself.
+        """
         if not 0 <= index < self.count:
             raise WorkloadError(
                 f"component {index} out of range 0..{self.count - 1}"
             )
-        return index % self.shards
+        for shard, group in enumerate(self.assignments):
+            if index in group:
+                return shard
+        raise WorkloadError(
+            f"component {index} is missing from the stored partition"
+        )
 
 
 def merge_streams(streams):
@@ -109,10 +119,18 @@ def merge_streams(streams):
             previous = timestamp
             yield (timestamp, component, sequence, payload)
 
-    generators = [
-        keyed(component, events)
-        for component, events in sorted(streams, key=lambda pair: pair[0])
-    ]
+    ordered = sorted(streams, key=lambda pair: pair[0])
+    seen: set[int] = set()
+    for component, _events in ordered:
+        # A component index appearing in two streams would interleave
+        # two independent sequence counters under one key, silently
+        # corrupting the total order — refuse instead.
+        if component in seen:
+            raise WorkloadError(
+                f"component {component} appears in more than one stream"
+            )
+        seen.add(component)
+    generators = [keyed(component, events) for component, events in ordered]
     return list(_heap_merge(*generators))
 
 

@@ -1,0 +1,412 @@
+"""Conservative cross-shard simulation: lock-stepped time windows.
+
+:mod:`repro.sim.shard` parallelizes a run only when its components never
+talk to each other (the decomposed fan-in).  This module generalizes the
+same determinism contract to topologies whose components *do* exchange
+packets — many flows contending on one bottleneck link — with the
+classic conservative parallel-DES recipe:
+
+1. Cut the scenario into **components**, each owning its own
+   :class:`~repro.sim.loop.Simulator`.  Every cut edge has a fixed
+   minimum latency; the smallest such latency is the **lookahead**.
+2. Advance all components in lock-stepped **windows** of one lookahead:
+   within a window each component simulates locally and posts packets
+   bound for other components into its typed :class:`Mailbox` — a
+   posted message's arrival time is always *beyond* the window end, so
+   nothing inside a window can be affected by a message generated in it.
+3. At the window barrier, the coordinator collects every mailbox,
+   orders the messages by the partition-free key ``(arrival timestamp,
+   source component, per-source sequence)``, and routes each to its
+   destination shard's inbox for the window it falls in.
+
+The determinism contract extension
+----------------------------------
+
+The window schedule is a function of ``(horizon, lookahead)`` only —
+never of the partition — and **every** inter-component message goes
+through the exchange, co-located or not.  Each component therefore sees
+the identical inbox in the identical order whether it shares a shard
+(or a process) with its peers or not, so the run's output — and the
+``sim.sync.windows`` / ``sim.sync.exchanged_events`` counts themselves
+— are byte-identical for every ``(shards, workers)`` combination,
+including the in-process serial run.  Components with no cross links
+have infinite lookahead: the plan collapses to a single window and the
+engine degenerates to the plain shard map, paying ~nothing for the sync
+machinery (``benchmarks/perf_baseline.json``, ``cross_shard``).
+
+Execution rides the supervised :class:`~repro.parallel.ParallelRunner`:
+each ``(shard, window)`` is one pure job whose payload carries the
+shard's *full* inbox history, so any worker can rebuild the shard from
+scratch — retries, crashes, checkpoints and resume compose unchanged.
+A worker that already advanced the shard keeps it in a module-level
+cache keyed by a rolling digest of the delivered history and only
+replays when the digest disagrees (or a prior attempt died mid-window),
+so the common case after the first window is incremental, not O(n²).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import WorkloadError
+from repro.sim.shard import ShardPlan
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """One cross-component message (a packet crossing a cut edge).
+
+    ``sequence`` is the source component's emission counter; together
+    with ``arrival_ns`` and ``src`` it forms the partition-free total
+    order every exchange and delivery uses.
+    """
+
+    arrival_ns: int
+    src: int
+    dst: int
+    sequence: int
+    payload: object
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.arrival_ns, self.src, self.sequence)
+
+
+class Mailbox:
+    """A component's typed outbox of cross-component messages."""
+
+    __slots__ = ("src", "_sequence", "_pending")
+
+    def __init__(self, src: int):
+        self.src = src
+        self._sequence = 0
+        self._pending: list[SyncMessage] = []
+
+    def post(self, arrival_ns: int, dst: int, payload) -> None:
+        """Queue ``payload`` for delivery to ``dst`` at ``arrival_ns``."""
+        self._pending.append(
+            SyncMessage(arrival_ns, self.src, dst, self._sequence, payload)
+        )
+        self._sequence += 1
+
+    def drain(self) -> list[SyncMessage]:
+        pending = self._pending
+        self._pending = []
+        return pending
+
+
+class SyncComponent:
+    """One cut piece of a scenario, owning its own sub-simulation.
+
+    Subclasses set :attr:`index` (the global component index) and
+    implement the window protocol; instances are built *inside* the
+    worker by the picklable builder handed to :func:`run_windowed`, so
+    they never cross a process boundary themselves.
+    """
+
+    index: int
+
+    def deliver(self, message: SyncMessage) -> None:
+        """Schedule an inbound message; called before :meth:`advance`
+        for the window ``message.arrival_ns`` falls in, in exchange
+        order."""
+        raise NotImplementedError
+
+    def advance(self, until_ns: int) -> list[SyncMessage]:
+        """Simulate through ``until_ns`` inclusive; return the
+        cross-component messages emitted during the window (every
+        arrival strictly beyond ``until_ns``)."""
+        raise NotImplementedError
+
+    def events_executed(self) -> int:
+        return 0
+
+    def finish(self):
+        """The component's result payload after the final window."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """The lock-step schedule: a horizon cut into lookahead windows.
+
+    ``lookahead_ns=None`` means no component pair exchanges messages
+    (infinite lookahead): the whole horizon is one window.  The schedule
+    depends only on these two numbers — never on the partition — which
+    is what makes the exchange order partition-free.
+    """
+
+    horizon_ns: int
+    lookahead_ns: int | None = None
+
+    def __post_init__(self):
+        if self.horizon_ns <= 0:
+            raise WorkloadError(
+                f"horizon must be positive, got {self.horizon_ns}"
+            )
+        if self.lookahead_ns is not None and self.lookahead_ns <= 0:
+            raise WorkloadError(
+                f"lookahead must be positive (or None), "
+                f"got {self.lookahead_ns}"
+            )
+
+    def window_ends(self) -> tuple[int, ...]:
+        """Window end times, ascending; the last equals the horizon."""
+        lookahead = self.lookahead_ns
+        if lookahead is None or lookahead >= self.horizon_ns:
+            return (self.horizon_ns,)
+        ends = list(range(lookahead, self.horizon_ns, lookahead))
+        ends.append(self.horizon_ns)
+        return tuple(ends)
+
+
+@dataclass
+class SyncRunResult:
+    """What :func:`run_windowed` hands back to the experiment layer."""
+
+    results: list            # component finish() payloads, index order
+    windows: int             # lock-step windows executed
+    exchanged_events: int    # messages through the cross-shard exchange
+    events_executed: int     # kernel events across all sub-simulations
+
+
+# ----------------------------------------------------------------------
+# Worker side: advance one shard by one window.
+# ----------------------------------------------------------------------
+
+class _ShardState:
+    """A worker process's warm copy of one shard's components."""
+
+    __slots__ = ("components", "windows_done", "chain", "dirty")
+
+    def __init__(self, components):
+        self.components = components
+        self.windows_done = 0
+        self.chain = _CHAIN_SEED
+        self.dirty = False
+
+
+_CHAIN_SEED = "sync-v1"
+#: (run token, component indices) -> warm state.  One entry per shard of
+#: the *current* run; other runs' entries are evicted on first touch.
+_STATE: dict[tuple, _ShardState] = {}
+
+
+def _chain_digest(chain: str, deliveries: Sequence[SyncMessage]) -> str:
+    """Extend the rolling history digest by one window's inbox.
+
+    The digest covers each delivery's ``(arrival, src, dst, sequence)``
+    key — in a deterministic engine the key identifies the payload, so
+    matching chains mean the worker's warm state was built from exactly
+    the deliveries this payload prescribes.
+    """
+    hasher = hashlib.sha256(chain.encode())
+    for message in deliveries:
+        hasher.update(
+            b"%d:%d:%d:%d;" % (
+                message.arrival_ns, message.src,
+                message.dst, message.sequence,
+            )
+        )
+    return hasher.hexdigest()
+
+
+def _replay(builder, indices, ends, history, upto) -> _ShardState:
+    """Rebuild a shard from scratch through windows ``0..upto-1``."""
+    state = _ShardState([builder(index) for index in indices])
+    by_index = {c.index: c for c in state.components}
+    for window in range(upto):
+        for message in history[window]:
+            by_index[message.dst].deliver(message)
+        for component in state.components:
+            component.advance(ends[window])
+        state.chain = _chain_digest(state.chain, history[window])
+        state.windows_done = window + 1
+    return state
+
+
+def _advance_shard(token, builder, indices, ends, upto, history):
+    """Worker entry point: one (shard, window) supervised job.
+
+    ``history[w]`` is the shard's exchange-ordered inbox for window
+    ``w`` (``w <= upto``).  Carrying the full history keeps the job
+    pure — any worker, fresh or warm, produces the same bytes; the
+    cache only short-circuits the replay.
+    """
+    key = (token, indices)
+    state = _STATE.get(key)
+    chain = _CHAIN_SEED
+    for window in range(upto):
+        chain = _chain_digest(chain, history[window])
+    if (
+        state is None or state.dirty
+        or state.windows_done != upto or state.chain != chain
+    ):
+        for stale in [k for k in _STATE if k[0] != token]:
+            del _STATE[stale]
+        state = _replay(builder, indices, ends, history, upto)
+        _STATE[key] = state
+
+    by_index = {c.index: c for c in state.components}
+    end = ends[upto]
+    # Anything that raises past this point leaves half-advanced
+    # simulators behind; the dirty flag forces the retry to replay.
+    state.dirty = True
+    for message in history[upto]:
+        by_index[message.dst].deliver(message)
+    outbox: list[SyncMessage] = []
+    for component in state.components:
+        outbox.extend(component.advance(end))
+    state.windows_done = upto + 1
+    state.chain = _chain_digest(state.chain, history[upto])
+    state.dirty = False
+
+    for message in outbox:
+        if message.arrival_ns <= end:
+            raise WorkloadError(
+                f"lookahead violation: component {message.src} emitted a "
+                f"message arriving at {message.arrival_ns} inside the "
+                f"window ending at {end}"
+            )
+    if upto == len(ends) - 1:
+        events = sum(c.events_executed() for c in state.components)
+        results = tuple((c.index, c.finish()) for c in state.components)
+        del _STATE[key]
+        return (tuple(outbox), results, events)
+    return (tuple(outbox), None, 0)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side.
+# ----------------------------------------------------------------------
+
+_RUN_TOKENS = itertools.count(1)
+
+
+def run_windowed(
+    builder: Callable[[int], SyncComponent],
+    count: int,
+    plan: WindowPlan,
+    shards: int = 1,
+    workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    tracer=None,
+    metrics=None,
+    start_method: str | None = None,
+    label: str = "sync",
+) -> SyncRunResult:
+    """Run ``count`` components through the windowed engine.
+
+    ``builder(index)`` constructs component ``index``; it must be
+    picklable (a module-level function or :func:`functools.partial`
+    over picklable arguments) since workers rebuild components from it.
+    ``shards``/``workers`` choose the partition and the pool exactly as
+    in :func:`repro.experiments.fanin.run_fanin_sharded`; ``policy``,
+    ``checkpoint`` and ``tracer`` thread through the supervised runner
+    (the tracer receives one ``shard.window`` record per barrier, and a
+    checkpointed run resumes window-by-window).  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) gains the
+    ``sim.sync.windows`` / ``sim.sync.exchanged_events`` counters.
+    """
+    from repro.parallel import ParallelRunner, _require_all_ok
+    from repro.supervise.checkpoint import job_key
+
+    splan = ShardPlan.round_robin(count, shards)
+    ends = plan.window_ends()
+    runner = ParallelRunner(workers, start_method=start_method, policy=policy)
+    # The token namespaces worker caches per engine run; it is *not*
+    # part of the checkpoint key (which must survive restarts).
+    token = f"{os.getpid()}:{next(_RUN_TOKENS)}"
+    scenario = job_key((label, count, plan, splan.shards))[:16]
+
+    clock = [0]
+    if tracer is not None:
+        tracer.bind_clock(lambda: clock[0])
+
+    histories: list[list[tuple[SyncMessage, ...]]] = [
+        [] for _ in range(splan.shards)
+    ]
+    chains = [_CHAIN_SEED] * splan.shards
+    pending: list[list[SyncMessage]] = [[] for _ in range(splan.shards)]
+    finals: dict[int, object] = {}
+    exchanged = 0
+    events_executed = 0
+
+    with runner.session() as session:
+        for window, end in enumerate(ends):
+            for shard in range(splan.shards):
+                due = sorted(
+                    (m for m in pending[shard] if m.arrival_ns <= end),
+                    key=lambda m: m.key,
+                )
+                pending[shard] = [
+                    m for m in pending[shard] if m.arrival_ns > end
+                ]
+                histories[shard].append(tuple(due))
+                chains[shard] = _chain_digest(chains[shard], due)
+            payloads = [
+                (
+                    token, builder, splan.assignments[shard],
+                    ends, window, tuple(histories[shard]),
+                )
+                for shard in range(splan.shards)
+            ]
+            keys = [
+                f"sync-{scenario}-s{shard}-w{window}-{chains[shard][:16]}"
+                for shard in range(splan.shards)
+            ]
+            labels = [
+                f"{label} window {window + 1}/{len(ends)} "
+                f"shard {shard + 1}/{splan.shards}"
+                for shard in range(splan.shards)
+            ]
+            returns = _require_all_ok(
+                runner.map_outcomes(
+                    _advance_shard, payloads,
+                    checkpoint=checkpoint, labels=labels, keys=keys,
+                    session=session,
+                )
+            )
+            emitted: list[SyncMessage] = []
+            for outbox, results, events in returns:
+                emitted.extend(outbox)
+                if results is not None:
+                    finals.update(results)
+                    events_executed += events
+            for message in sorted(emitted, key=lambda m: m.key):
+                if message.arrival_ns <= end:
+                    raise WorkloadError(
+                        f"lookahead violation at the exchange: "
+                        f"{message.arrival_ns} <= window end {end}"
+                    )
+                if not 0 <= message.dst < count:
+                    raise WorkloadError(
+                        f"message addressed to unknown component "
+                        f"{message.dst}"
+                    )
+                pending[splan.shard_of(message.dst)].append(message)
+            exchanged += len(emitted)
+            clock[0] = end
+            if metrics is not None:
+                metrics.counter("sim.sync.windows").inc()
+                metrics.counter("sim.sync.exchanged_events").inc(
+                    len(emitted)
+                )
+            if tracer is not None and tracer.enabled:
+                tracer.shard_window(
+                    window + 1, end, splan.shards, len(emitted)
+                )
+    # Messages still pending here would arrive beyond the horizon; the
+    # serial run would not execute them either (run(until=horizon)), so
+    # they are dropped symmetrically.
+    return SyncRunResult(
+        results=[finals[index] for index in range(count)],
+        windows=len(ends),
+        exchanged_events=exchanged,
+        events_executed=events_executed,
+    )

@@ -87,6 +87,64 @@ def _guarded(fn: Callable, payload):
         )
 
 
+class PoolLease:
+    """A reusable worker-pool slot shared by consecutive supervised runs.
+
+    A :class:`Supervisor` normally builds a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor` per :meth:`run`
+    and tears it down on exit.  That is correct but wasteful for
+    lock-stepped protocols (the windowed cross-shard engine issues one
+    supervised run *per window*) where worker processes also hold warm
+    module-level state.  A lease keeps one executor alive across runs:
+
+    - :meth:`executor` hands the current pool to a supervisor, creating
+      (or growing) it on demand;
+    - :meth:`discard` kills it outright — the supervisor calls this on a
+      crash or a hung-job kill, so a poisoned pool is never reused;
+    - :meth:`close` shuts it down at end of session.
+
+    Correctness never depends on the lease: every supervised job is
+    pure, so a discarded pool only costs warm state, not result bytes.
+    """
+
+    def __init__(self):
+        self._executor: ProcessPoolExecutor | None = None
+        self._workers = 0
+
+    def executor(self, ctx, workers: int) -> ProcessPoolExecutor:
+        """The live pool, built (or rebuilt larger) on demand."""
+        if self._executor is not None and self._workers < workers:
+            self.discard()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+            )
+            self._workers = workers
+        return self._executor
+
+    def owns(self, executor) -> bool:
+        return executor is not None and executor is self._executor
+
+    def discard(self) -> None:
+        """Kill the pool now (hung or crashed workers included)."""
+        if self._executor is not None:
+            Supervisor._kill_executor(self._executor)
+            self._executor = None
+            self._workers = 0
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._workers = 0
+
+    def __enter__(self) -> "PoolLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class _Job:
     """Mutable supervision state for one pending job."""
 
@@ -146,9 +204,11 @@ class Supervisor:
         log=None,
         diagnosis=None,
         remedy=None,
+        pool: "PoolLease | None" = None,
     ):
         self.workers = max(1, workers)
         self.start_method = start_method
+        self.pool = pool
         self.policy = policy if policy is not None else SupervisePolicy()
         self.policy.validate()
         self.checkpoint = checkpoint
@@ -416,7 +476,16 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def _new_executor(self, ctx, workers: int) -> ProcessPoolExecutor:
+        if self.pool is not None:
+            return self.pool.executor(ctx, workers)
         return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+    def _discard_executor(self, executor: ProcessPoolExecutor) -> None:
+        """Retire a broken/hung pool, through the lease when it owns it."""
+        if self.pool is not None and self.pool.owns(executor):
+            self.pool.discard()
+        else:
+            self._kill_executor(executor)
 
     @staticmethod
     def _kill_executor(executor: ProcessPoolExecutor) -> None:
@@ -497,7 +566,7 @@ class Supervisor:
                     self.log.info(
                         "worker pool died; restarting on a fresh pool"
                     )
-                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._discard_executor(executor)
                     executor = self._new_executor(ctx, workers)
 
                 # Hung-worker detection: any in-flight job past its
@@ -527,11 +596,14 @@ class Supervisor:
                             job.not_before = 0.0
                             pending.appendleft(job)
                     for owner in killed:
-                        self._kill_executor(owner)
+                        self._discard_executor(owner)
                     self.metrics.counter("supervise.pool_restarts").inc(
                         len(killed)
                     )
                     if executor in killed:
                         executor = self._new_executor(ctx, workers)
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            # A leased pool outlives the run by design; the lease owner
+            # closes it.  Anything else is torn down here as before.
+            if not (self.pool is not None and self.pool.owns(executor)):
+                executor.shutdown(wait=False, cancel_futures=True)

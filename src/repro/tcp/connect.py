@@ -18,16 +18,22 @@ def connect_pair(
     config_a: TcpConfig | None = None,
     config_b: TcpConfig | None = None,
     name: str = "conn",
+    conn_id: int | None = None,
 ) -> tuple[TcpSocket, TcpSocket]:
     """Create an established connection between ``host_a`` and ``host_b``.
 
     Returns ``(socket_a, socket_b)``.  Each side can be configured
     independently (e.g. Nagle on the client only); passing a single
-    config uses it for side A and a default for side B.
+    config uses it for side A and a default for side B.  ``conn_id``
+    defaults to a process-global counter; callers that rebuild the same
+    topology in multiple processes (cross-shard windowed runs) must pass
+    an explicit id so segments pickled in one process demux correctly
+    after a replay in another.
     """
     config_a = config_a or TcpConfig()
     config_b = config_b or config_a
-    conn_id = next_conn_id()
+    if conn_id is None:
+        conn_id = next_conn_id()
     sock_a = TcpSocket(sim, host_a, config_a, conn_id, name=f"{name}.a")
     sock_b = TcpSocket(sim, host_b, config_b, conn_id, name=f"{name}.b")
     sock_a.peer = sock_b

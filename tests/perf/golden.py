@@ -93,12 +93,16 @@ def experiment_shapes() -> dict[str, object]:
     patterns the batch pipeline was built for.  Windows are shortened
     to tier-1 size, same as the bench shapes.
     """
+    from repro.experiments.bottleneck import BottleneckConfig
     from repro.experiments.fanin import FaninConfig
     from repro.experiments.timevarying import PhasePlan
 
     return {
         "fanin_4c": FaninConfig(warmup_ns=msecs(10), measure_ns=msecs(40)),
         "timevarying_walk": PhasePlan(phase_ns=msecs(40)),
+        "bottleneck_4f": BottleneckConfig(
+            warmup_ns=msecs(10), measure_ns=msecs(30)
+        ),
     }
 
 
@@ -113,6 +117,12 @@ def run_experiment(name: str, backend=None):
         from repro.experiments.timevarying import run_timevarying
 
         return run_timevarying(plan=shape, backend=backend)
+    if name == "bottleneck_4f":
+        from repro.experiments.bottleneck import run_shared_bottleneck
+
+        # The bottleneck scenario carries no batch collector, so there
+        # is no backend to select; the digest is backend-free.
+        return run_shared_bottleneck(shape)
     raise KeyError(name)
 
 
@@ -125,6 +135,29 @@ def run_experiment_sharded(name: str, shards: int, backend=None):
     return run_fanin_sharded(
         experiment_shapes()[name], shards=shards, backend=backend
     )
+
+
+def run_experiment_windowed(name: str, shards: int, workers: int = 1):
+    """Windowed-engine twins (the conservative cross-shard path).
+
+    ``bottleneck_4f`` runs natively on the engine; ``fanin_4c`` runs the
+    decomposed fan-in *through* the engine (single infinite-lookahead
+    window), which must reproduce :data:`GOLDEN_FANIN_SHARDED` exactly —
+    the sync machinery may not perturb a byte.
+    """
+    if name == "bottleneck_4f":
+        from repro.experiments.bottleneck import run_shared_bottleneck
+
+        return run_shared_bottleneck(
+            experiment_shapes()[name], shards=shards, workers=workers
+        )
+    if name == "fanin_4c":
+        from repro.experiments.fanin import run_fanin_synced
+
+        return run_fanin_synced(
+            experiment_shapes()[name], shards=shards, workers=workers
+        )
+    raise KeyError(f"no windowed variant for {name!r}")
 
 
 def run_instrumented(config: BenchConfig):

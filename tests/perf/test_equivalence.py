@@ -24,6 +24,7 @@ from tests.perf.golden import (
     experiment_shapes,
     run_experiment,
     run_experiment_sharded,
+    run_experiment_windowed,
     run_instrumented,
     run_plain,
 )
@@ -59,6 +60,7 @@ GOLDEN = {
 GOLDEN_EXPERIMENTS = {
     "fanin_4c": "63111f14594cfef073cec57670a98087dd4f3593c89cce8898c2f064ee6377b4",
     "timevarying_walk": "9e85822afa05a262befcbde6bbca0f81e1f737b54d8307a30aacde38738397ca",
+    "bottleneck_4f": "94dc1230dd16d9f2fccd62f8c94d9a260cc5ecf75156c92aa74b08e254abae6e",
 }
 
 #: The decomposed (sharded) fan-in model — a different scenario from the
@@ -101,8 +103,28 @@ def test_sharded_fanin_is_shard_count_invariant(shards):
     assert result.to_json()  # canonical JSON stays serializable
 
 
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_bottleneck_is_partition_and_pool_invariant(shards, workers):
+    """The windowed engine's core contract: the shared-bottleneck run is
+    byte-identical for every (shards, workers) combination, including
+    the in-process serial run."""
+    result = run_experiment_windowed("bottleneck_4f", shards, workers)
+    assert digest(result) == GOLDEN_EXPERIMENTS["bottleneck_4f"]
+    assert result.to_json()  # canonical JSON stays serializable
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_fanin_through_windowed_engine_matches_sharded_golden(shards):
+    """The decomposed fan-in run *through* the sync engine (one
+    infinite-lookahead window) reproduces the sharded golden exactly:
+    the sync machinery perturbs nothing when components never talk."""
+    result = run_experiment_windowed("fanin_4c", shards)
+    assert digest(result) == GOLDEN_FANIN_SHARDED
+
+
 def test_experiment_shapes_cover_issue_scope():
-    """fanin + timevarying are digest-covered, per the PR-6 satellite."""
+    """fanin + timevarying + bottleneck are digest-covered."""
     assert set(experiment_shapes()) == set(GOLDEN_EXPERIMENTS)
 
 

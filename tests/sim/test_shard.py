@@ -52,6 +52,23 @@ def test_plans_depend_only_on_count_and_shards():
     assert ShardPlan.round_robin(9, 4) == ShardPlan.round_robin(9, 4)
 
 
+def test_shard_of_follows_stored_partition_not_modulo():
+    # A hand-built plan whose assignments are NOT index % shards: the
+    # lookup must answer from the partition itself.
+    plan = ShardPlan(count=4, shards=2, assignments=((3, 0), (1, 2)))
+    assert plan.shard_of(3) == 0
+    assert plan.shard_of(0) == 0
+    assert plan.shard_of(1) == 1
+    assert plan.shard_of(2) == 1
+
+
+def test_shard_of_rejects_component_missing_from_partition():
+    # count says 3 components but the partition only places two of them.
+    plan = ShardPlan(count=3, shards=2, assignments=((0,), (2,)))
+    with pytest.raises(WorkloadError):
+        plan.shard_of(1)
+
+
 # ---------------------------------------------------------------------------
 # merge_streams: partition-invariant total order.
 # ---------------------------------------------------------------------------
@@ -119,6 +136,22 @@ def test_merge_orders_timestamp_ties_by_component_then_sequence():
 def test_merge_rejects_out_of_order_component_stream():
     with pytest.raises(WorkloadError):
         merge_streams([(0, [(5, "x"), (3, "y")])])
+
+
+def test_merge_rejects_duplicate_component_indices():
+    # Two streams claiming component 1 would silently interleave under
+    # the contract key; the merge must refuse instead.
+    with pytest.raises(WorkloadError, match="component 1"):
+        merge_streams([(0, [(1, "a")]), (1, [(2, "b")]), (1, [(3, "c")])])
+
+
+def test_merge_handles_empty_streams():
+    assert merge_streams([]) == []
+    merged = merge_streams([(0, []), (2, [(7, "x")]), (1, [])])
+    assert merged == [(7, 2, 0, "x")]
+    # All-empty streams still validate duplicates.
+    with pytest.raises(WorkloadError):
+        merge_streams([(0, []), (0, [])])
 
 
 def test_merge_digest_is_order_sensitive():

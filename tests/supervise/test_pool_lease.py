@@ -1,0 +1,82 @@
+"""PoolLease: one worker pool shared across consecutive supervised runs."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.supervise import PoolLease, SupervisePolicy, Supervisor
+
+FAST = SupervisePolicy(backoff_base_s=0.0, backoff_max_s=0.0)
+
+
+def _worker_pid(x):
+    return (x, os.getpid())
+
+
+def _crash_until_marker(payload):
+    """Kill the worker process outright until a marker file exists."""
+    marker, x = payload
+    if not marker.exists():
+        marker.write_text("seen")
+        os._exit(1)
+    return x * 10
+
+
+class TestPoolLease:
+    def test_reused_across_consecutive_runs(self):
+        with PoolLease() as lease:
+            first = Supervisor(workers=2, policy=FAST, pool=lease).run(
+                _worker_pid, [1, 2, 3, 4]
+            )
+            executor = lease._executor
+            assert executor is not None  # the finally left it alive
+            second = Supervisor(workers=2, policy=FAST, pool=lease).run(
+                _worker_pid, [5, 6, 7, 8]
+            )
+            assert lease._executor is executor
+            pids_first = {pid for o in first for _, pid in [o.result]}
+            pids_second = {pid for o in second for _, pid in [o.result]}
+            # Same pool, same worker processes.
+            assert pids_first & pids_second
+        assert lease._executor is None  # __exit__ closed it
+
+    def test_grows_but_never_shrinks(self):
+        ctx = multiprocessing.get_context()
+        with PoolLease() as lease:
+            small = lease.executor(ctx, 1)
+            assert lease.executor(ctx, 1) is small
+            big = lease.executor(ctx, 2)
+            assert big is not small
+            # A smaller request keeps the bigger pool.
+            assert lease.executor(ctx, 1) is big
+
+    def test_discard_forces_a_fresh_pool(self):
+        ctx = multiprocessing.get_context()
+        with PoolLease() as lease:
+            first = lease.executor(ctx, 1)
+            assert lease.owns(first)
+            lease.discard()
+            assert not lease.owns(first)
+            second = lease.executor(ctx, 1)
+            assert second is not first
+
+    def test_crashed_worker_poisons_the_lease_not_the_results(
+        self, tmp_path
+    ):
+        # A worker hard-exit breaks the pool; the supervisor must
+        # discard the leased executor (never reuse a poisoned pool),
+        # rebuild through the lease, and still deliver every result.
+        with PoolLease() as lease:
+            supervisor = Supervisor(workers=2, policy=FAST, pool=lease)
+            outcomes = supervisor.run(
+                _crash_until_marker,
+                [(tmp_path / "m1", 1), (tmp_path / "m2", 2)],
+            )
+            assert [o.ok for o in outcomes] == [True, True]
+            assert sorted(o.result for o in outcomes) == [10, 20]
+            # The lease is live again for the next run.
+            follow_up = Supervisor(workers=2, policy=FAST, pool=lease).run(
+                _worker_pid, [9]
+            )
+            assert follow_up[0].ok
